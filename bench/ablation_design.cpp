@@ -1,0 +1,122 @@
+// Ablation benches for the design choices DESIGN.md §4 calls out:
+//   A. retest repetition vs. inconsistent blocking (decision 4 — why the
+//      confirmer repeats runs in flaky networks),
+//   B. wait duration vs. vendor review latency (decision 3 — why "after
+//      3-5 days" matters),
+//   C. the decision threshold (decision 3 — where the 2/3 rule separates
+//      the paper's confirmed and unconfirmed rows),
+//   D. sync coverage vs. observed blocking (decision behind the Du 5/6 row).
+#include <cstdio>
+
+#include "core/confirmer.h"
+#include "report/table.h"
+#include "scenarios/paper_world.h"
+#include "scenarios/yemen2009.h"
+
+int main() {
+  using namespace urlf;
+
+  // ---- A. Retest repetition under inconsistent blocking -------------------
+  std::printf("%s", report::sectionBanner(
+                        "A: retest passes vs. blocked count under "
+                        "license-driven inconsistency (Challenge 2)")
+                        .c_str());
+  {
+    report::TextTable table({"Retest passes", "Submitted blocked (of 6)",
+                             "Confirmed?"});
+    for (const int runs : {1, 2, 3, 4, 6, 8}) {
+      scenarios::Yemen2009 yemen;
+      // Start at late morning so single passes straddle the license edge.
+      yemen.world().clock().advanceHours(10);
+      core::Confirmer confirmer(yemen.world(), yemen.hosting(),
+                                yemen.vendorSet());
+      auto config = yemen.caseStudyConfig();
+      config.retestRuns = runs;
+      const auto result = confirmer.run(config);
+      table.addRow({std::to_string(runs),
+                    std::to_string(result.submittedBlocked),
+                    result.confirmed ? "yes" : "no"});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+
+  // ---- B. Wait duration vs. review latency --------------------------------
+  std::printf("%s", report::sectionBanner(
+                        "B: days waited before retest vs. vendor review "
+                        "completion (3-5 day window, sec 4.2)")
+                        .c_str());
+  {
+    report::TextTable table(
+        {"Wait (days)", "Submitted blocked (of 5)", "Confirmed?"});
+    for (const int waitDays : {1, 2, 3, 4, 5, 6}) {
+      scenarios::PaperWorld paper;
+      core::Confirmer confirmer(paper.world(), paper.hosting(),
+                                paper.vendorSet());
+      auto config = paper.caseStudies()[0].config;  // SmartFilter / Bayanat
+      config.waitDays = waitDays;
+      scenarios::advanceClockTo(paper.world(),
+                                paper.caseStudies()[0].startDate);
+      const auto result = confirmer.run(config);
+      table.addRow({std::to_string(waitDays),
+                    std::to_string(result.submittedBlocked),
+                    result.confirmed ? "yes" : "no"});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+
+  // ---- C. Decision threshold over the paper's observed outcomes -----------
+  std::printf("%s", report::sectionBanner(
+                        "C: the 2/3 decision rule across Table 3's observed "
+                        "(blocked, submitted) pairs")
+                        .c_str());
+  {
+    report::TextTable table({"Observed", "ceil(2k/3) needed", "Decision"});
+    struct Observed {
+      int blocked;
+      int submitted;
+    };
+    for (const auto& [blocked, submitted] :
+         {Observed{5, 5}, Observed{5, 6}, Observed{6, 6}, Observed{4, 6},
+          Observed{3, 6}, Observed{0, 3}, Observed{0, 5}, Observed{1, 5}}) {
+      const int needed = (2 * submitted + 2) / 3;
+      table.addRow({std::to_string(blocked) + "/" + std::to_string(submitted),
+                    std::to_string(needed),
+                    core::Confirmer::decide(blocked, blocked, submitted)
+                        ? "confirmed"
+                        : "not confirmed"});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+
+  // ---- D. Sync coverage vs. observed blocking ------------------------------
+  std::printf("%s", report::sectionBanner(
+                        "D: deployment DB sync coverage vs. blocked count "
+                        "(the mechanism behind Du's 5/6)")
+                        .c_str());
+  {
+    report::TextTable table(
+        {"Sync coverage", "Submitted blocked (of 6)", "Confirmed?"});
+    for (const double coverage : {1.0, 0.85, 0.6, 0.4, 0.2, 0.0}) {
+      scenarios::PaperWorld paper;
+      paper.duNetsweeper().policy().syncCoverage = coverage;
+      core::Confirmer confirmer(paper.world(), paper.hosting(),
+                                paper.vendorSet());
+      const auto& caseStudy = paper.caseStudies()[2];  // Netsweeper / Du
+      scenarios::advanceClockTo(paper.world(), caseStudy.startDate);
+      const auto result = confirmer.run(caseStudy.config);
+      char label[16];
+      std::snprintf(label, sizeof label, "%.2f", coverage);
+      table.addRow({label, std::to_string(result.submittedBlocked),
+                    result.confirmed ? "yes" : "no"});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+
+  std::printf(
+      "\nReadings: A shows single-pass retests under-count in flaky networks;"
+      "\nB shows retesting before the review window closes yields false\n"
+      "negatives; C shows the 2/3 rule cleanly separates every observed\n"
+      "outcome in Table 3; D shows partial DB sync degrades blocking\n"
+      "gracefully until the decision flips below ~2/3 coverage.\n");
+  return 0;
+}

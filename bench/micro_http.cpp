@@ -1,0 +1,74 @@
+// Micro-benchmarks for the HTTP substrate hot paths (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "http/header_map.h"
+#include "http/html.h"
+#include "http/wire.h"
+#include "net/url.h"
+
+namespace {
+
+using namespace urlf;
+
+void BM_UrlParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto url = net::Url::parse(
+        "http://denypagetests.netsweeper.com:8080/category/catno/23?x=1&y=2");
+    benchmark::DoNotOptimize(url);
+  }
+}
+BENCHMARK(BM_UrlParse);
+
+void BM_HeaderMapLookup(benchmark::State& state) {
+  http::HeaderMap headers;
+  for (int i = 0; i < state.range(0); ++i)
+    headers.add("X-Header-" + std::to_string(i), "value-" + std::to_string(i));
+  headers.add("Via", "1.1 mwg.example (McAfee Web Gateway 7.2.0.9)");
+  for (auto _ : state) {
+    auto value = headers.get("via");
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_HeaderMapLookup)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ResponseSerialize(benchmark::State& state) {
+  auto resp = http::Response::make(
+      http::Status::kForbidden,
+      http::makePage("McAfee Web Gateway - Notification",
+                     "<h1>URL Blocked</h1><p>The requested URL was blocked by "
+                     "the network content policy.</p>"));
+  resp.headers.add("Via", "1.1 mwg.example (McAfee Web Gateway 7.2.0.9)");
+  for (auto _ : state) {
+    auto wire = http::serialize(resp);
+    benchmark::DoNotOptimize(wire);
+  }
+}
+BENCHMARK(BM_ResponseSerialize);
+
+void BM_ResponseParse(benchmark::State& state) {
+  auto resp = http::Response::make(
+      http::Status::kForbidden,
+      http::makePage("McAfee Web Gateway - Notification", "<h1>Blocked</h1>"));
+  resp.headers.add("Via", "1.1 mwg.example (McAfee Web Gateway 7.2.0.9)");
+  const std::string wire = http::serialize(resp);
+  for (auto _ : state) {
+    auto parsed = http::parseResponse(wire);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_ResponseParse);
+
+void BM_ExtractTitle(benchmark::State& state) {
+  const std::string page = http::makePage(
+      "Netsweeper WebAdmin - Web Page Blocked",
+      std::string(static_cast<std::size_t>(state.range(0)), 'x'));
+  for (auto _ : state) {
+    auto title = http::extractTitle(page);
+    benchmark::DoNotOptimize(title);
+  }
+}
+BENCHMARK(BM_ExtractTitle)->Arg(128)->Arg(2048)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Reproduces Table 1 ("Summary of products we consider"): the product
+// registry with headquarters, description, and previously observed
+// countries, plus each vendor's category-scheme size in this build.
+#include <cstdio>
+
+#include "filters/category.h"
+#include "report/table.h"
+
+namespace {
+
+const char* previouslyObserved(urlf::filters::ProductKind kind) {
+  using PK = urlf::filters::ProductKind;
+  switch (kind) {
+    case PK::kBlueCoat:
+      return "Kuwait, Burma, Egypt, Qatar, Saudi Arabia, Syria, UAE";
+    case PK::kSmartFilter:
+      return "Kuwait, Bahrain, Iran, Saudi Arabia, Oman, Tunisia, UAE";
+    case PK::kNetsweeper:
+      return "Qatar, UAE, Yemen";
+    case PK::kWebsense:
+      return "Yemen (prior to 2009)";
+  }
+  return "";
+}
+
+}  // namespace
+
+int main() {
+  using namespace urlf;
+
+  std::printf("%s",
+              report::sectionBanner("Table 1: Summary of products we consider")
+                  .c_str());
+
+  report::TextTable table({"Company", "Headquarters", "Product description",
+                           "Previously observed", "Categories modeled"});
+  for (const auto product : filters::allProducts()) {
+    table.addRow({std::string(filters::vendorCompany(product)),
+                  std::string(filters::vendorHeadquarters(product)),
+                  std::string(filters::productDescription(product)),
+                  previouslyObserved(product),
+                  std::to_string(filters::schemeFor(product).size())});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

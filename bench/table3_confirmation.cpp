@@ -1,0 +1,85 @@
+// Reproduces Table 3 ("Summary of URL filter case studies") and the §4.4
+// Netsweeper category probe: runs the ten case studies chronologically
+// through the §4 confirmation methodology against the simulated paper world.
+#include <cstdio>
+#include <string>
+
+#include "net/cctld.h"
+
+#include "core/confirmer.h"
+#include "report/table.h"
+#include "scenarios/paper_world.h"
+
+namespace {
+
+std::string countryName(const std::string& alpha2) {
+  const auto country = urlf::net::countryByAlpha2(alpha2);
+  return country ? std::string(country->name) : alpha2;
+}
+
+}  // namespace
+
+int main() {
+  using namespace urlf;
+
+  scenarios::PaperWorld paper;
+  core::Confirmer confirmer(paper.world(), paper.hosting(), paper.vendorSet());
+
+  std::printf("%s", report::sectionBanner(
+                        "Table 3: Summary of URL filter case studies")
+                        .c_str());
+
+  report::TextTable table({"Product", "Country", "ISP", "Date",
+                           "Sites submitted", "Category", "Sites blocked",
+                           "Confirmed?"});
+
+  // §4.4's alternative validation runs in January 2013, between the 2012 and
+  // 2013 case studies.
+  bool categoryProbeDone = false;
+  std::vector<core::CategoryProbeResult> categoryProbe;
+
+  for (const auto& caseStudy : paper.caseStudies()) {
+    if (!categoryProbeDone && caseStudy.startDate >= util::CivilDate{2013, 1, 1}) {
+      scenarios::advanceClockTo(paper.world(), {2013, 1, 14});
+      categoryProbe =
+          confirmer.probeNetsweeperCategories("field-yemennet", "lab-toronto");
+      categoryProbeDone = true;
+    }
+    scenarios::advanceClockTo(paper.world(), caseStudy.startDate);
+    const auto result = confirmer.run(caseStudy.config);
+
+    const auto& cfg = result.config;
+    table.addRow({std::string(filters::toString(cfg.product)),
+                  countryName(cfg.countryAlpha2),
+                  cfg.ispName + " (AS " +
+                      std::to_string(paper.world()
+                                         .findIsp(cfg.ispName)
+                                         ->primaryAsn()) +
+                      ")",
+                  result.dateLabel, result.submittedRatio(),
+                  cfg.categoryLabel.empty() ? cfg.categoryName
+                                            : cfg.categoryLabel,
+                  result.blockedRatio(), result.confirmed ? "yes" : "no"});
+    if (!result.notes.empty())
+      std::printf("  note [%s/%s]: %s\n",
+                  std::string(filters::toString(cfg.product)).c_str(),
+                  cfg.ispName.c_str(), result.notes.c_str());
+  }
+
+  std::printf("%s", table.render().c_str());
+
+  std::printf("%s",
+              report::sectionBanner(
+                  "Netsweeper category test URLs in YemenNet, 1/2013 (sec 4.4)")
+                  .c_str());
+  int blockedCount = 0;
+  for (const auto& probe : categoryProbe) {
+    if (!probe.blocked) continue;
+    ++blockedCount;
+    std::printf("  blocked: catno %d (%s)\n", probe.category,
+                probe.categoryName.c_str());
+  }
+  std::printf("  %d of %zu categories blocked\n", blockedCount,
+              categoryProbe.size());
+  return 0;
+}

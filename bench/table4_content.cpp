@@ -1,0 +1,76 @@
+// Reproduces Table 4 ("Summary of Web content blocked by URL filtering
+// products"): runs the global + per-country local URL lists through the §4.1
+// measurement client in each confirmed network (within 30 days of the §4
+// confirmations) and marks which protected content categories each product
+// blocks there.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/characterizer.h"
+#include "report/table.h"
+#include "scenarios/paper_world.h"
+
+int main() {
+  using namespace urlf;
+
+  scenarios::PaperWorld paper;
+  auto& world = paper.world();
+  core::Characterizer characterizer(world);
+
+  struct Network {
+    const char* vantage;
+    const char* alpha2;
+    util::CivilDate date;  ///< within 30 days of the §4 confirmation
+    int runs;
+  };
+  const std::vector<Network> networks{
+      {"field-etisalat", "AE", {2013, 5, 6}, 1},
+      {"field-yemennet", "YE", {2013, 4, 1}, 3},  // repeated: Challenge 2
+      {"field-du", "AE", {2013, 4, 1}, 1},
+      {"field-ooredoo", "QA", {2013, 8, 26}, 1},
+  };
+
+  std::printf("%s",
+              report::sectionBanner(
+                  "Table 4: Summary of Web content blocked by URL filtering "
+                  "products")
+                  .c_str());
+
+  std::vector<std::string> headers{"Product", "Where"};
+  for (const auto& column : core::table4Categories()) headers.push_back(column);
+  report::TextTable table(headers);
+
+  for (const auto& network : networks) {
+    scenarios::advanceClockTo(world, network.date);
+    const auto result = characterizer.characterize(
+        network.vantage, "lab-toronto", paper.globalList(),
+        paper.localList(network.alpha2), network.runs);
+
+    std::vector<std::string> row;
+    row.push_back(result.attributedProduct
+                      ? std::string(filters::toString(*result.attributedProduct))
+                      : "(none)");
+    const auto* vantage = world.findVantage(network.vantage);
+    row.push_back(std::string(network.alpha2) + " (AS " +
+                  std::to_string(vantage->isp->primaryAsn()) + ")");
+    for (const auto& column : core::table4Categories())
+      row.push_back(result.categoryBlocked(column) ? "x" : "");
+    table.addRow(std::move(row));
+
+    int tested = 0;
+    int blocked = 0;
+    for (const auto& [category, cell] : result.cells) {
+      tested += cell.tested;
+      blocked += cell.blocked;
+    }
+    std::printf("  %s via %s: %d URLs tested, %d blocked\n",
+                result.ispName.c_str(), network.vantage, tested, blocked);
+  }
+
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nAll marked cells are content protected by international human "
+      "rights norms\n(Article 19, Universal Declaration of Human Rights).\n");
+  return 0;
+}

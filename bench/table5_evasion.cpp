@@ -1,0 +1,137 @@
+// Quantifies Table 5 ("methods, limitations, and evasionary tactics"): for
+// each vendor/operator evasion tactic, rebuilds the world with that tactic
+// enabled and reports which stage of the methodology survives —
+// identification (§3), validation (§3.1), and confirmation (§4).
+#include <cstdio>
+#include <string>
+
+#include "core/confirmer.h"
+#include "core/identifier.h"
+#include "report/table.h"
+#include "scenarios/paper_world.h"
+
+namespace {
+
+struct StageOutcomes {
+  std::size_t candidates = 0;      ///< keyword-search hits, all products
+  std::size_t validated = 0;       ///< fingerprint-validated installations
+  bool confirmedSmartFilter = false;  ///< SmartFilter/Etisalat case study
+  bool confirmedNetsweeper = false;   ///< Netsweeper/Ooredoo case study
+  int smartFilterBlocked = 0;
+  int netsweeperBlocked = 0;
+};
+
+StageOutcomes evaluate(const urlf::scenarios::PaperWorldOptions& options,
+                       bool rotateSubmitterIdentities = false) {
+  using namespace urlf;
+
+  scenarios::PaperWorld paper(scenarios::kPaperSeed, options);
+  auto& world = paper.world();
+
+  const auto geo = world.buildGeoDatabase(options.geoErrorRate);
+  const auto whois = world.buildAsnDatabase();
+  scan::BannerIndex index;
+  index.crawl(world, geo);
+  core::Identifier identifier(world, index,
+                              fingerprint::Engine::withBuiltinSignatures(), geo,
+                              whois);
+
+  StageOutcomes outcomes;
+  for (const auto product : filters::allProducts()) {
+    outcomes.candidates += identifier.locateCandidates(product).size();
+    outcomes.validated += identifier.identify(product).size();
+  }
+
+  core::Confirmer confirmer(world, paper.hosting(), paper.vendorSet());
+  for (const auto& caseStudy : paper.caseStudies()) {
+    const auto& config = caseStudy.config;
+    const bool isSmartFilterEtisalat =
+        config.product == filters::ProductKind::kSmartFilter &&
+        config.ispName == "Etisalat" && config.categoryName == "Anonymizers";
+    const bool isNetsweeperOoredoo =
+        config.product == filters::ProductKind::kNetsweeper &&
+        config.ispName == "Ooredoo";
+    if (!isSmartFilterEtisalat && !isNetsweeperOoredoo) continue;
+
+    scenarios::advanceClockTo(world, caseStudy.startDate);
+    auto runConfig = config;
+    if (rotateSubmitterIdentities) {
+      // §6.2 counter-evasion: fresh webmail identities per submission.
+      runConfig.submitterPool = {"alias1@webmail.example",
+                                 "alias2@webmail.example",
+                                 "alias3@webmail.example"};
+    }
+    const auto result = confirmer.run(runConfig);
+    if (isSmartFilterEtisalat) {
+      outcomes.confirmedSmartFilter = result.confirmed;
+      outcomes.smartFilterBlocked = result.submittedBlocked;
+    } else {
+      outcomes.confirmedNetsweeper = result.confirmed;
+      outcomes.netsweeperBlocked = result.submittedBlocked;
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace
+
+int main() {
+  using namespace urlf;
+
+  struct Tactic {
+    const char* name;
+    const char* paperRow;
+    scenarios::PaperWorldOptions options;
+    bool rotateIdentities = false;
+  };
+  const Tactic tactics[] = {
+      {"(baseline: no evasion)", "-", {}, false},
+      {"Hide devices from external access",
+       "evades: identify installations (sec 3.1)",
+       {.hideExternalSurfaces = true},
+       false},
+      {"Remove product evidence from headers/pages",
+       "evades: validate installations (sec 3.1)",
+       {.stripBranding = true},
+       false},
+      {"Identify and disregard our submissions",
+       "evades: confirm censorship (sec 4)",
+       {.disregardSubmitter = true},
+       false},
+      {"  + counter: rotate submitter identities",
+       "counter-evasion (sec 6.2)",
+       {.disregardSubmitter = true},
+       true},
+  };
+
+  std::printf("%s",
+              report::sectionBanner(
+                  "Table 5: Evasion tactics vs. methodology stages (ablation)")
+                  .c_str());
+
+  report::TextTable table({"Evasion tactic", "Keyword candidates",
+                           "Validated installs", "SmartFilter/Etisalat",
+                           "Netsweeper/Ooredoo", "Paper's assessment"});
+  for (const auto& tactic : tactics) {
+    const auto outcome = evaluate(tactic.options, tactic.rotateIdentities);
+    auto confirmCell = [](bool confirmed, int blocked) {
+      return std::string(confirmed ? "confirmed" : "NOT confirmed") + " (" +
+             std::to_string(blocked) + " blocked)";
+    };
+    table.addRow({tactic.name, std::to_string(outcome.candidates),
+                  std::to_string(outcome.validated),
+                  confirmCell(outcome.confirmedSmartFilter,
+                              outcome.smartFilterBlocked),
+                  confirmCell(outcome.confirmedNetsweeper,
+                              outcome.netsweeperBlocked),
+                  tactic.paperRow});
+  }
+  std::printf("%s", table.render().c_str());
+
+  std::printf(
+      "\nNote how the stages fail independently (sec 6): hiding devices kills\n"
+      "identification but NOT confirmation; stripping branding kills\n"
+      "validation and block-page attribution; disregarding submissions kills\n"
+      "confirmation but identification still works.\n");
+  return 0;
+}

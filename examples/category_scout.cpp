@@ -1,0 +1,67 @@
+// Automated Challenge 1 (§4.3): before creating test sites, work out which
+// vendor categories each ISP actually enforces by probing reference sites
+// of known categorization — then feed the enforced category straight into
+// the §4 confirmation methodology.
+#include <cstdio>
+
+#include "core/confirmer.h"
+#include "core/scout.h"
+#include "scenarios/paper_world.h"
+
+int main() {
+  using namespace urlf;
+  using filters::ProductKind;
+
+  scenarios::PaperWorld paper;
+  core::CategoryScout scout(paper.world());
+
+  struct Network {
+    const char* vantage;
+    const char* isp;
+    const char* country;
+  };
+  const Network networks[] = {
+      {"field-bayanat", "Bayanat Al-Oula", "SA"},
+      {"field-etisalat", "Etisalat", "AE"},
+  };
+
+  for (const auto& network : networks) {
+    std::printf("---- %s (%s): SmartFilter category scouting ----\n",
+                network.isp, network.country);
+    const auto uses =
+        scout.scout(network.vantage, "lab-toronto",
+                    paper.referenceSites(ProductKind::kSmartFilter));
+    for (const auto& use : uses)
+      std::printf("  %-14s %d/%d reference sites blocked -> %s\n",
+                  use.categoryName.c_str(), use.blocked, use.tested,
+                  use.inUse() ? "ENFORCED" : "not enforced");
+
+    const auto category = core::CategoryScout::pickEnforcedCategory(
+        uses, {"Anonymizers", "Pornography"});
+    if (!category) {
+      std::printf("  no enforced category found; skipping confirmation\n\n");
+      continue;
+    }
+    std::printf("  chosen category for the experiment: %s\n",
+                category->c_str());
+
+    core::Confirmer confirmer(paper.world(), paper.hosting(),
+                              paper.vendorSet());
+    core::CaseStudyConfig config;
+    config.product = ProductKind::kSmartFilter;
+    config.ispName = network.isp;
+    config.countryAlpha2 = network.country;
+    config.fieldVantage = network.vantage;
+    config.categoryName = *category;
+    config.profile = *category == "Pornography"
+                         ? simnet::ContentProfile::kAdultImage
+                         : simnet::ContentProfile::kGlypeProxy;
+    config.totalSites = 10;
+    config.sitesToSubmit = 5;
+    const auto result = confirmer.run(config);
+    std::printf("  confirmation: %s blocked, %s\n\n",
+                result.blockedRatio().c_str(),
+                result.confirmed ? "CONFIRMED" : "not confirmed");
+  }
+  return 0;
+}

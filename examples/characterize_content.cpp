@@ -1,0 +1,49 @@
+// §5 content characterization of one network with per-URL detail: runs the
+// global + local URL lists from the YemenNet vantage point, classifies block
+// pages, and prints the per-ONI-category tallies behind a Table 4 row.
+#include <cstdio>
+
+#include "core/characterizer.h"
+#include "scenarios/paper_world.h"
+
+int main() {
+  using namespace urlf;
+
+  scenarios::PaperWorld paper;
+  auto& world = paper.world();
+  scenarios::advanceClockTo(world, {2013, 4, 1});
+
+  core::Characterizer characterizer(world);
+  // Yemen blocks inconsistently (Challenge 2): 3 runs per URL.
+  const auto result = characterizer.characterize(
+      "field-yemennet", "lab-toronto", paper.globalList(),
+      paper.localList("YE"), /*runs=*/3);
+
+  std::printf("network: %s (%s)\n", result.ispName.c_str(),
+              result.countryAlpha2.c_str());
+  std::printf("attributed product: %s\n\n",
+              result.attributedProduct
+                  ? std::string(filters::toString(*result.attributedProduct))
+                        .c_str()
+                  : "(none)");
+
+  std::printf("per-URL results:\n");
+  for (const auto& urlResult : result.results) {
+    std::printf("  %-38s %-12s", urlResult.url.c_str(),
+                std::string(measure::toString(urlResult.verdict)).c_str());
+    if (urlResult.blockPage)
+      std::printf(" [%s]", urlResult.blockPage->patternName.c_str());
+    std::printf("\n");
+  }
+
+  std::printf("\nper-category tallies:\n");
+  for (const auto& [category, cell] : result.cells) {
+    const auto oni = measure::oniCategoryByName(category);
+    std::printf("  %-32s %-18s %d tested, %d blocked%s\n", category.c_str(),
+                oni ? std::string(measure::toString(oni->theme)).c_str()
+                    : "?",
+                cell.tested, cell.blocked, cell.blocked > 0 ? "  <== censored"
+                                                            : "");
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Narrated run of one §4 confirmation case study — the 9/2012 SmartFilter
+// experiment in Etisalat — showing every step the methodology takes:
+// domain creation, pre-test, submission, the 3-5 day wait, the retest, and
+// the decision, including the per-URL evidence.
+#include <cstdio>
+
+#include "core/confirmer.h"
+#include "scenarios/paper_world.h"
+
+int main() {
+  using namespace urlf;
+
+  scenarios::PaperWorld paper;
+  core::Confirmer confirmer(paper.world(), paper.hosting(), paper.vendorSet());
+
+  // The Etisalat/Anonymizers case study is the second chronologically.
+  const auto& caseStudy = paper.caseStudies()[1];
+  const auto& config = caseStudy.config;
+
+  std::printf("case study: %s in %s (%s), category \"%s\"\n",
+              std::string(filters::toString(config.product)).c_str(),
+              config.ispName.c_str(), config.countryAlpha2.c_str(),
+              config.categoryName.c_str());
+  std::printf("plan: create %d fresh domains (%s), submit %d, wait %d days, "
+              "retest\n\n",
+              config.totalSites,
+              std::string(simnet::toString(config.profile)).c_str(),
+              config.sitesToSubmit, config.waitDays);
+
+  scenarios::advanceClockTo(paper.world(), caseStudy.startDate);
+  std::printf("clock: %s\n", paper.world().now().date().iso().c_str());
+
+  const auto result = confirmer.run(config);
+
+  std::printf("\npre-test: %d/%d sites accessible in-country before "
+              "submission\n",
+              result.pretestAccessibleCount, config.totalSites);
+
+  std::printf("\nsubmitted to %s:\n",
+              std::string(filters::vendorCompany(config.product)).c_str());
+  for (const auto& url : result.submittedUrls)
+    std::printf("  %s\n", url.c_str());
+  std::printf("controls (not submitted):\n");
+  for (const auto& url : result.controlUrls)
+    std::printf("  %s\n", url.c_str());
+
+  std::printf("\nretest on %s:\n", result.dateLabel.c_str());
+  for (const auto& urlResult : result.finalResults) {
+    std::printf("  %-42s %s", urlResult.url.c_str(),
+                std::string(measure::toString(urlResult.verdict)).c_str());
+    if (urlResult.blockPage)
+      std::printf("  [block page: %s via %s]",
+                  std::string(filters::toString(urlResult.blockPage->product))
+                      .c_str(),
+                  urlResult.blockPage->patternName.c_str());
+    std::printf("\n");
+  }
+
+  std::printf("\nsubmitted blocked: %d/%zu   control blocked: %d/%zu\n",
+              result.submittedBlocked, result.submittedUrls.size(),
+              result.controlBlocked, result.controlUrls.size());
+  std::printf("verdict: %s\n",
+              result.confirmed
+                  ? "CONFIRMED — the submissions triggered the blocking"
+                  : "not confirmed");
+
+  // Show the vendor-side paper trail too.
+  std::printf("\nvendor submission log:\n");
+  for (const auto& submission :
+       paper.vendor(config.product).submissions()) {
+    std::printf("  ticket %d: %s -> %s (%s)\n", submission.ticket,
+                submission.url.toString().c_str(),
+                submission.state == filters::Submission::State::kAccepted
+                    ? "accepted"
+                    : submission.state == filters::Submission::State::kRejected
+                          ? "rejected"
+                          : "pending",
+                submission.note.c_str());
+  }
+  return result.confirmed ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// The §5 collect-first/analyze-later workflow end to end: record a
+// measurement session with full wire traces, lose the pattern library,
+// mine a block-page signature back out of the recorded traces, and verify
+// the mined pattern classifies future block pages.
+#include <cstdio>
+
+#include "measure/mining.h"
+#include "measure/session.h"
+#include "scenarios/paper_world.h"
+
+int main() {
+  using namespace urlf;
+  using filters::ProductKind;
+
+  scenarios::PaperWorld paper;
+  auto& world = paper.world();
+  measure::Client client(world, *world.findVantage("field-etisalat"),
+                         *world.findVantage("lab-toronto"));
+
+  // --- 1. Collect: run the global list and keep full traces.
+  const auto session = client.testList(paper.globalList().urls());
+  int blocked = 0;
+  for (const auto& result : session)
+    if (result.blocked()) ++blocked;
+  std::printf("recorded session: %zu URLs, %d blocked\n", session.size(),
+              blocked);
+
+  const auto exported = measure::exportSession(session);
+  std::printf("exported %zu bytes of wire traces\n\n", exported.size());
+
+  // --- 2. Simulate an analyst with NO pattern library: re-import and
+  //        reclassify with an empty library. Censorship is visible but
+  //        unattributable.
+  auto imported = measure::importSession(exported).value();
+  const auto unattributed = measure::reclassify(imported, {});
+  int blockedOther = 0;
+  for (const auto& result : unattributed)
+    if (result.verdict == measure::Verdict::kBlockedOther) ++blockedOther;
+  std::printf("without patterns: %d blocked-but-unattributed URLs\n\n",
+              blockedOther);
+
+  // --- 3. Manual analysis, mechanized: mine the invariant core of the
+  //        blocked traces.
+  const auto mined = measure::minePatternFromResults(
+      ProductKind::kSmartFilter, imported);
+  if (!mined) {
+    std::printf("no common core found\n");
+    return 1;
+  }
+  std::printf("mined signature candidate (first 80 chars):\n  /%s/\n\n",
+              mined->regex.substr(0, 80).c_str());
+
+  // --- 4. Automated analysis: apply the mined pattern to the recorded
+  //        session.
+  const auto reattributed = measure::reclassify(imported, {*mined});
+  int attributed = 0;
+  for (const auto& result : reattributed)
+    if (result.verdict == measure::Verdict::kBlocked) ++attributed;
+  std::printf("with the mined pattern: %d URLs attributed to %s\n",
+              attributed,
+              std::string(filters::toString(mined->product)).c_str());
+
+  // --- 5. And it generalizes to a page not in the training session.
+  auto fresh = client.testUrl("http://uaeoppositionvoice.org/");
+  const auto match = measure::classifyBlockPage(fresh.field, {*mined});
+  std::printf("fresh block page (%s): %s\n", fresh.url.c_str(),
+              match ? "matched by the mined pattern" : "NOT matched");
+  return match ? 0 : 1;
+}

@@ -1,0 +1,41 @@
+// Netalyzr-style transparent-proxy detection (§7): probe a request-echo
+// origin from every field vantage and diff both directions of the exchange
+// against the lab's view. The §4 confirmations provide the ground truth the
+// paper says this kind of tool needs.
+#include <cstdio>
+
+#include "core/proxy_detect.h"
+#include "scenarios/paper_world.h"
+
+int main() {
+  using namespace urlf;
+
+  scenarios::PaperWorld paper;
+  core::ProxyDetector detector(paper.world());
+
+  std::printf("echo origin: %s\n\n", paper.echoUrl().c_str());
+
+  const char* vantages[] = {"field-etisalat", "field-ooredoo", "field-du",
+                            "field-yemennet", "field-bayanat",
+                            "field-nournet"};
+  for (const char* vantage : vantages) {
+    const auto evidence =
+        detector.detect(vantage, "lab-toronto", paper.echoUrl());
+    std::printf("%-16s %s", vantage,
+                evidence.proxyDetected() ? "TRANSPARENT PROXY DETECTED"
+                                         : "no in-path proxy evidence");
+    if (evidence.productHint)
+      std::printf("  [product hint: %s]", evidence.productHint->c_str());
+    std::printf("\n");
+    for (const auto& header : evidence.addedResponseHeaders)
+      std::printf("    response + %s\n", header.c_str());
+    for (const auto& header : evidence.addedRequestHeaders)
+      std::printf("    request  + %s\n", header.c_str());
+  }
+
+  std::printf(
+      "\nNote the blind spot this tool has (and the paper's method does\n"
+      "not): Du, YemenNet and the Saudi ISPs all censor, but their filters\n"
+      "do not annotate forwarded traffic, so header-diffing sees nothing.\n");
+  return 0;
+}

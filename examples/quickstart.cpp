@@ -1,0 +1,72 @@
+// Quickstart: build a tiny simulated Internet by hand, deploy one URL
+// filter, and run the paper's confirmation methodology (§4) against it.
+//
+// This is the smallest end-to-end use of the public API:
+//   1. create a World with an ISP and a field vantage point,
+//   2. stand up a vendor and a SmartFilter deployment that blocks the
+//      "Anonymizers" category,
+//   3. host fresh proxy domains, submit half to the vendor, wait, retest,
+//   4. read off the confirmation verdict.
+#include <cstdio>
+
+#include "core/confirmer.h"
+#include "filters/smartfilter.h"
+#include "simnet/hosting.h"
+#include "simnet/world.h"
+
+int main() {
+  using namespace urlf;
+
+  // --- 1. A world with one censoring ISP and one hosting network.
+  simnet::World world(/*seed=*/42);
+  world.createAs(64512, "EXAMPLE-ISP", "Example Telecom", "SA",
+                 {net::IpPrefix::parse("100.64.0.0/16").value()});
+  world.createAs(64513, "EXAMPLE-HOSTING", "Example Hosting", "US",
+                 {net::IpPrefix::parse("100.65.0.0/16").value()});
+  auto& isp = world.createIsp("Example Telecom", "SA", {64512});
+
+  world.createVantage("field", "SA", &isp);
+  world.createVantage("lab", "CA", nullptr);
+
+  // --- 2. Vendor + deployment blocking the Anonymizers category (id 2).
+  filters::Vendor vendor(filters::ProductKind::kSmartFilter, world);
+  filters::FilterPolicy policy;
+  policy.blockedCategories = {2};
+  auto& deployment = world.makeMiddlebox<filters::SmartFilterDeployment>(
+      "Example SmartFilter", vendor, policy);
+  deployment.installExternalSurfaces(world, 64512);
+  isp.attachMiddlebox(deployment);
+
+  // --- 3. Run the confirmation methodology.
+  simnet::HostingProvider hosting(world, 64513);
+  core::VendorSet vendors;
+  vendors.add(vendor);
+  core::Confirmer confirmer(world, hosting, vendors);
+
+  core::CaseStudyConfig config;
+  config.product = filters::ProductKind::kSmartFilter;
+  config.countryAlpha2 = "SA";
+  config.ispName = "Example Telecom";
+  config.fieldVantage = "field";
+  config.labVantage = "lab";
+  config.categoryName = "Anonymizers";
+  config.profile = simnet::ContentProfile::kGlypeProxy;
+  config.totalSites = 6;
+  config.sitesToSubmit = 3;
+  config.waitDays = 5;
+
+  const auto result = confirmer.run(config);
+
+  // --- 4. The verdict.
+  std::printf("submitted %s sites under \"%s\"\n",
+              result.submittedRatio().c_str(), config.categoryName.c_str());
+  std::printf("blocked after %d days: %s (attributed to the product: %d)\n",
+              config.waitDays, result.blockedRatio().c_str(),
+              result.attributedToProduct);
+  std::printf("control sites blocked: %d\n", result.controlBlocked);
+  std::printf("==> %s is %s used for censorship in %s\n",
+              std::string(filters::toString(config.product)).c_str(),
+              result.confirmed ? "CONFIRMED" : "not confirmed",
+              config.ispName.c_str());
+  return result.confirmed ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// The historical Yemen/Websense narrative (§2.2): an under-licensed
+// Websense deployment blocks inconsistently; the methodology confirms it
+// anyway; ONI's 2009 report leads Websense to withdraw update support [35];
+// after the withdrawal, newly categorized sites are never blocked and the
+// confirmation methodology correctly reports the change.
+#include <cstdio>
+
+#include "core/confirmer.h"
+#include "measure/repeated.h"
+#include "scenarios/yemen2009.h"
+
+int main() {
+  using namespace urlf;
+
+  scenarios::Yemen2009 yemen;
+  auto& world = yemen.world();
+
+  // --- Act 1: inconsistent blocking (Challenge 2's origin story).
+  const auto probe =
+      yemen.hosting().createFreshDomain(simnet::ContentProfile::kGlypeProxy);
+  yemen.websense().masterDb().addHost(
+      probe.hostname, yemen.websense().scheme().byName("Proxy Avoidance")->id);
+
+  measure::RepeatedTester tester(world, *world.findVantage("field-yemennet-2009"),
+                                 *world.findVantage("lab-toronto"));
+  const std::vector<std::string> urls{"http://" + probe.hostname + "/"};
+  const auto stats = tester.run(urls, /*passes=*/12, /*hoursBetweenPasses=*/2);
+
+  std::printf("act 1 — a categorized proxy site, observed over 24 hours:\n");
+  std::printf("  blocked %d/%d passes (%.0f%%) -> %s\n", stats[0].blocked,
+              stats[0].runs, 100.0 * stats[0].blockedFraction(),
+              stats[0].inconsistent()
+                  ? "INCONSISTENT blocking (license exhaustion at peak hours)"
+                  : "consistent");
+
+  // --- Act 2: confirmation despite the inconsistency.
+  core::Confirmer confirmer(world, yemen.hosting(), yemen.vendorSet());
+  const auto confirmation = confirmer.run(yemen.caseStudyConfig());
+  std::printf("\nact 2 — the sec-4 methodology with repeated retests:\n");
+  std::printf("  %s blocked -> %s\n", confirmation.blockedRatio().c_str(),
+              confirmation.confirmed ? "Websense CONFIRMED in YemenNet"
+                                     : "not confirmed");
+
+  // --- Act 3: the policy impact.
+  yemen.websenseWithdrawsSupport();
+  std::printf("\nact 3 — Websense withdraws update support [35]...\n");
+  const auto after = confirmer.run(yemen.caseStudyConfig());
+  std::printf("  rerunning the methodology: %s blocked -> %s\n",
+              after.blockedRatio().c_str(),
+              after.confirmed
+                  ? "still confirmed"
+                  : "NOT confirmed — new submissions never reach the frozen "
+                    "deployment");
+  return 0;
+}

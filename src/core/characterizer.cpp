@@ -1,0 +1,65 @@
+#include "core/characterizer.h"
+
+#include <stdexcept>
+
+namespace urlf::core {
+
+bool CharacterizationResult::categoryBlocked(
+    const std::string& oniCategory) const {
+  const auto it = cells.find(oniCategory);
+  return it != cells.end() && it->second.blocked > 0;
+}
+
+const std::vector<std::string>& table4Categories() {
+  static const std::vector<std::string> kColumns{
+      "Media Freedom",        "Human Rights",
+      "Political Reform",     "LGBT",
+      "Religious Criticism",  "Minority Groups and Religions",
+  };
+  return kColumns;
+}
+
+CharacterizationResult Characterizer::characterize(
+    const std::string& fieldVantage, const std::string& labVantage,
+    const measure::TestList& globalList, const measure::TestList& localList,
+    int runs) {
+  auto* field = world_->findVantage(fieldVantage);
+  auto* lab = world_->findVantage(labVantage);
+  if (field == nullptr || lab == nullptr)
+    throw std::invalid_argument("Characterizer: unknown vantage point");
+
+  CharacterizationResult out;
+  out.ispName = field->isp != nullptr ? field->isp->name() : "(no ISP)";
+  out.countryAlpha2 = field->countryAlpha2;
+
+  measure::Client client(*world_, *field, *lab);
+  std::map<filters::ProductKind, int> productVotes;
+
+  for (const auto* list : {&globalList, &localList}) {
+    for (const auto& entry : list->entries) {
+      // Retry to ride out inconsistent blocking: keep the first blocked
+      // observation, else the last one.
+      auto result = client.testUrl(entry.url);
+      for (int run = 1;
+           run < runs && !(result.verdict == measure::Verdict::kBlocked); ++run)
+        result = client.testUrl(entry.url);
+      auto& cell = out.cells[entry.oniCategory];
+      ++cell.tested;
+      if (result.verdict == measure::Verdict::kBlocked && result.blockPage) {
+        ++cell.blocked;
+        ++productVotes[result.blockPage->product];
+      }
+      out.results.push_back(std::move(result));
+    }
+  }
+
+  if (!productVotes.empty()) {
+    auto best = productVotes.begin();
+    for (auto it = productVotes.begin(); it != productVotes.end(); ++it)
+      if (it->second > best->second) best = it;
+    out.attributedProduct = best->first;
+  }
+  return out;
+}
+
+}  // namespace urlf::core

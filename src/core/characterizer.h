@@ -1,0 +1,62 @@
+#ifndef URLF_CORE_CHARACTERIZER_H
+#define URLF_CORE_CHARACTERIZER_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "filters/category.h"
+#include "measure/client.h"
+#include "measure/testlist.h"
+#include "simnet/world.h"
+
+namespace urlf::core {
+
+/// Per-ONI-category tally of tested vs blocked URLs in one network.
+struct ContentCell {
+  int tested = 0;
+  int blocked = 0;  ///< blocked with a vendor-attributed block page
+};
+
+/// The §5 characterization of one network: which content categories the
+/// confirmed product blocks there. One CharacterizationResult is one row
+/// group of Table 4.
+struct CharacterizationResult {
+  std::string ispName;
+  std::string countryAlpha2;
+  /// Product attribution from the observed block pages (the product that
+  /// matched most block pages), if any URL was blocked.
+  std::optional<filters::ProductKind> attributedProduct;
+  /// ONI category name -> tallies, across the global + local lists.
+  std::map<std::string, ContentCell> cells;
+  /// All per-URL results (global list first, then local).
+  std::vector<measure::UrlTestResult> results;
+
+  /// True when any URL of this ONI category was blocked.
+  [[nodiscard]] bool categoryBlocked(const std::string& oniCategory) const;
+};
+
+/// Runs the global + local URL lists through the measurement client from a
+/// field vantage and tallies blocked content by ONI category (§5).
+class Characterizer {
+ public:
+  explicit Characterizer(simnet::World& world) : world_(&world) {}
+
+  /// `runs` > 1 repeats each URL and counts it blocked if any run blocked
+  /// it — how the paper coped with inconsistent blocking (Challenge 2).
+  [[nodiscard]] CharacterizationResult characterize(
+      const std::string& fieldVantage, const std::string& labVantage,
+      const measure::TestList& globalList, const measure::TestList& localList,
+      int runs = 1);
+
+ private:
+  simnet::World* world_;
+};
+
+/// The six content categories Table 4 reports as columns.
+[[nodiscard]] const std::vector<std::string>& table4Categories();
+
+}  // namespace urlf::core
+
+#endif  // URLF_CORE_CHARACTERIZER_H

@@ -1,0 +1,193 @@
+#include "core/confirmer.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "filters/netsweeper.h"
+#include "measure/blockpage.h"
+
+namespace urlf::core {
+
+filters::Vendor& VendorSet::get(filters::ProductKind kind) const {
+  const auto it = vendors_.find(kind);
+  if (it == vendors_.end())
+    throw std::invalid_argument("VendorSet: no vendor for " +
+                                std::string(filters::toString(kind)));
+  return *it->second;
+}
+
+std::string CaseStudyResult::submittedRatio() const {
+  return std::to_string(submittedUrls.size()) + "/" +
+         std::to_string(submittedUrls.size() + controlUrls.size());
+}
+
+std::string CaseStudyResult::blockedRatio() const {
+  return std::to_string(submittedBlocked) + "/" +
+         std::to_string(submittedUrls.size());
+}
+
+Confirmer::Confirmer(simnet::World& world, simnet::HostingProvider& hosting,
+                     VendorSet vendors)
+    : world_(&world), hosting_(&hosting), vendors_(std::move(vendors)) {}
+
+CaseStudyResult Confirmer::run(const CaseStudyConfig& config) {
+  if (config.sitesToSubmit <= 0 || config.sitesToSubmit > config.totalSites)
+    throw std::invalid_argument("Confirmer: sitesToSubmit out of range");
+
+  auto* field = world_->findVantage(config.fieldVantage);
+  auto* lab = world_->findVantage(config.labVantage);
+  if (field == nullptr || lab == nullptr)
+    throw std::invalid_argument("Confirmer: unknown vantage point");
+
+  auto& vendor = vendors_.get(config.product);
+  const auto category = vendor.scheme().byName(config.categoryName);
+  if (!category)
+    throw std::invalid_argument("Confirmer: unknown category \"" +
+                                config.categoryName + "\" for " +
+                                std::string(filters::toString(config.product)));
+
+  CaseStudyResult result;
+  result.config = config;
+
+  // 1. Create fresh, never-categorized domains under our control.
+  std::vector<simnet::HostedDomain> domains;
+  domains.reserve(static_cast<std::size_t>(config.totalSites));
+  for (int i = 0; i < config.totalSites; ++i)
+    domains.push_back(hosting_->createFreshDomain(config.profile));
+
+  // What we hand the vendor is the site root (their reviewers crawl the
+  // index page); what the in-country testers fetch is, for the adult-image
+  // profile, the benign file on the host (§4.6) — host-granularity blocking
+  // makes the verdict identical.
+  std::vector<std::string> submitUrls;
+  std::vector<std::string> testUrls;
+  submitUrls.reserve(domains.size());
+  testUrls.reserve(domains.size());
+  for (const auto& d : domains) {
+    submitUrls.push_back("http://" + d.hostname + "/");
+    const std::string testPath =
+        config.profile == simnet::ContentProfile::kAdultImage ? "/benign.jpg"
+                                                              : "/";
+    testUrls.push_back("http://" + d.hostname + testPath);
+  }
+  const std::vector<std::string>& urls = testUrls;
+
+  measure::Client client(*world_, *field, *lab);
+
+  // 2. Pre-test: the methodology requires sites that are NOT already
+  //    blocked. Skipped for Netsweeper (§4.4): the access itself queues the
+  //    URL for categorization.
+  if (config.pretestAccessible) {
+    result.pretestAccessibleCount = 0;
+    for (const auto& r : client.testList(urls)) {
+      if (r.verdict == measure::Verdict::kAccessible)
+        ++result.pretestAccessibleCount;
+    }
+    if (result.pretestAccessibleCount < config.totalSites)
+      result.notes += "pre-test: " +
+                      std::to_string(config.totalSites -
+                                     result.pretestAccessibleCount) +
+                      " site(s) not cleanly accessible before submission; ";
+  }
+
+  // 3. Submit a subset to the vendor. Submitted/control membership is
+  //    tracked by the URLs the testers fetch so retest verdicts map back.
+  for (std::size_t i = 0; i < urls.size(); ++i) {
+    if (i < static_cast<std::size_t>(config.sitesToSubmit)) {
+      const std::string& identity =
+          config.submitterPool.empty()
+              ? config.submitterId
+              : config.submitterPool[i % config.submitterPool.size()];
+      if (config.submitViaHttpPortal && !vendor.portalUrl().empty()) {
+        // Over the wire, as the campaign did: GET the vendor's portal from
+        // the (uncensored) lab network.
+        simnet::Transport transport(*world_);
+        const auto response = transport.fetchUrl(
+            *lab, vendor.portalUrl() + "?url=" + submitUrls[i] +
+                      "&category=" + std::to_string(category->id) +
+                      "&submitter=" + identity);
+        if (!response.ok() || !response.response->isSuccess())
+          result.notes += "portal submission failed for " + submitUrls[i] +
+                          " (" + response.error + "); ";
+      } else {
+        const auto url = net::Url::parse(submitUrls[i]);
+        vendor.submitUrl(*url, category->id, identity);
+      }
+      result.submittedUrls.push_back(testUrls[i]);
+    } else {
+      result.controlUrls.push_back(testUrls[i]);
+    }
+  }
+
+  // 4. Wait out the vendor review latency ("After 3-5 days").
+  world_->clock().advanceDays(config.waitDays);
+
+  // 5. Retest, possibly across several passes (Challenge 2: inconsistent
+  //    blocking) — a URL counts as blocked if any pass blocked it.
+  std::set<std::string> blockedUrls;
+  std::set<std::string> attributedUrls;
+  for (int run = 0; run < std::max(1, config.retestRuns); ++run) {
+    if (run > 0) world_->clock().advanceHours(config.hoursBetweenRuns);
+    result.finalResults = client.testList(urls);
+    for (const auto& r : result.finalResults) {
+      if (!r.blocked()) continue;
+      blockedUrls.insert(r.url);
+      if (r.blockPage && r.blockPage->product == config.product)
+        attributedUrls.insert(r.url);
+    }
+  }
+
+  for (const auto& url : result.submittedUrls) {
+    if (blockedUrls.contains(url)) ++result.submittedBlocked;
+    if (attributedUrls.contains(url)) ++result.attributedToProduct;
+  }
+  for (const auto& url : result.controlUrls)
+    if (blockedUrls.contains(url)) ++result.controlBlocked;
+
+  // 6. Decision rule (§4.2).
+  result.confirmed = decide(result.submittedBlocked, result.attributedToProduct,
+                            config.sitesToSubmit);
+  if (result.controlBlocked > 0)
+    result.notes += "control sites blocked: " +
+                    std::to_string(result.controlBlocked) +
+                    " (consistent with access-queue categorization); ";
+
+  result.dateLabel = world_->now().date().monthYear();
+
+  // 7. Ethics (§4.6): remove offensive content promptly after the test.
+  if (config.profile == simnet::ContentProfile::kAdultImage)
+    for (const auto& d : domains) hosting_->sanitizeDomain(d);
+
+  return result;
+}
+
+bool Confirmer::decide(int submittedBlocked, int attributedToProduct,
+                       int sitesSubmitted) {
+  if (sitesSubmitted <= 0) return false;
+  const int needed = (2 * sitesSubmitted + 2) / 3;
+  return submittedBlocked >= needed && attributedToProduct >= needed;
+}
+
+std::vector<CategoryProbeResult> Confirmer::probeNetsweeperCategories(
+    const std::string& fieldVantage, const std::string& labVantage) {
+  auto* field = world_->findVantage(fieldVantage);
+  auto* lab = world_->findVantage(labVantage);
+  if (field == nullptr || lab == nullptr)
+    throw std::invalid_argument("Confirmer: unknown vantage point");
+
+  const auto scheme = filters::netsweeperScheme();
+  measure::Client client(*world_, *field, *lab);
+
+  std::vector<CategoryProbeResult> out;
+  out.reserve(scheme.size());
+  for (const auto& category : scheme.categories()) {
+    const std::string url = "http://denypagetests.netsweeper.com/category/catno/" +
+                            std::to_string(category.id);
+    const auto result = client.testUrl(url);
+    out.push_back({category.id, category.name, result.blocked()});
+  }
+  return out;
+}
+
+}  // namespace urlf::core

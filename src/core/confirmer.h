@@ -1,0 +1,134 @@
+#ifndef URLF_CORE_CONFIRMER_H
+#define URLF_CORE_CONFIRMER_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "filters/vendor.h"
+#include "measure/client.h"
+#include "simnet/hosting.h"
+#include "simnet/world.h"
+
+namespace urlf::core {
+
+/// The set of vendors reachable for submissions — the methodology submits
+/// to the vendor matching the product under test.
+class VendorSet {
+ public:
+  void add(filters::Vendor& vendor) { vendors_[vendor.kind()] = &vendor; }
+  [[nodiscard]] filters::Vendor& get(filters::ProductKind kind) const;
+  [[nodiscard]] bool has(filters::ProductKind kind) const {
+    return vendors_.contains(kind);
+  }
+
+ private:
+  std::map<filters::ProductKind, filters::Vendor*> vendors_;
+};
+
+/// One §4 case-study configuration (a row of Table 3 before it is run).
+struct CaseStudyConfig {
+  filters::ProductKind product = filters::ProductKind::kSmartFilter;
+  std::string countryAlpha2;   ///< reporting only
+  std::string ispName;         ///< reporting only (vantage implies the ISP)
+  std::string fieldVantage;    ///< name of the in-country vantage point
+  std::string labVantage = "lab-toronto";
+  /// Vendor-scheme category name to submit under (the paper first worked
+  /// out which categories the ISP blocks — Challenge 1).
+  std::string categoryName;
+  /// Reporting label for the category (Table 3 uses e.g. "Pornography",
+  /// "Proxy anonymizer"). Defaults to categoryName when empty.
+  std::string categoryLabel;
+  simnet::ContentProfile profile = simnet::ContentProfile::kGlypeProxy;
+  int totalSites = 10;   ///< domains created
+  int sitesToSubmit = 5; ///< subset submitted to the vendor
+  /// Verify the fresh domains are reachable in-country before submitting.
+  /// Disabled for Netsweeper: accessing them would queue them for
+  /// categorization (§4.4), so "we operate on the assumption that none of
+  /// our sites will be blocked prior to submission".
+  bool pretestAccessible = true;
+  /// Number of retest passes; >1 copes with inconsistent blocking
+  /// (Challenge 2) — a URL counts as blocked if any pass blocked it.
+  int retestRuns = 1;
+  int hoursBetweenRuns = 6;
+  /// Wait between submission and retest ("After 3-5 days", §4.2).
+  int waitDays = 4;
+  std::string submitterId = "citizenlab-tester@webmail.example";
+  /// Counter-evasion (§6.2): when non-empty, submissions rotate through
+  /// these identities ("easy for us to evade using proxy services or Tor
+  /// and many e-mail addresses from free Webmail providers") instead of
+  /// using submitterId.
+  std::vector<std::string> submitterPool;
+  /// Submit through the vendor's Web portal over (simulated) HTTP from the
+  /// lab, like the real campaign did, instead of calling the vendor API
+  /// directly. Requires the vendor's infrastructure to be installed.
+  bool submitViaHttpPortal = false;
+};
+
+/// The outcome of one case study (a completed Table 3 row).
+struct CaseStudyResult {
+  CaseStudyConfig config;
+  std::string dateLabel;  ///< month/year at retest time, as Table 3 reports
+  std::vector<std::string> submittedUrls;
+  std::vector<std::string> controlUrls;
+  /// Pre-test: how many of the created sites were reachable in-country
+  /// (== totalSites expected; -1 when the pre-test was skipped).
+  int pretestAccessibleCount = -1;
+  int submittedBlocked = 0;  ///< submitted sites blocked at retest
+  int controlBlocked = 0;    ///< unsubmitted sites blocked at retest
+  /// How many blocked submitted sites carried a block page attributed to
+  /// the product under test.
+  int attributedToProduct = 0;
+  bool confirmed = false;
+  std::string notes;
+  /// Final per-URL results of the last retest pass (diagnostics).
+  std::vector<measure::UrlTestResult> finalResults;
+
+  /// "5/10"-style strings for Table 3.
+  [[nodiscard]] std::string submittedRatio() const;
+  [[nodiscard]] std::string blockedRatio() const;
+};
+
+/// §4.4's alternative validation: one Netsweeper category-test probe result.
+struct CategoryProbeResult {
+  filters::CategoryId category = 0;
+  std::string categoryName;
+  bool blocked = false;
+};
+
+/// The §4 confirmation methodology.
+///
+/// "The basic idea is to test sites (under our control) that are not
+/// blocked within the ISP, and then submit a subset of these sites to the
+/// appropriate URL filter vendor. After 3-5 days, we retest the sites and
+/// observe whether or not the submitted sites are blocked." (§4.2)
+class Confirmer {
+ public:
+  Confirmer(simnet::World& world, simnet::HostingProvider& hosting,
+            VendorSet vendors);
+
+  /// Run one case study end-to-end. Throws std::invalid_argument when the
+  /// config names unknown vantages/categories.
+  [[nodiscard]] CaseStudyResult run(const CaseStudyConfig& config);
+
+  /// Probe all 66 Netsweeper category-test URLs from a field vantage
+  /// (denypagetests.netsweeper.com/category/catno/N, §4.4).
+  [[nodiscard]] std::vector<CategoryProbeResult> probeNetsweeperCategories(
+      const std::string& fieldVantage, const std::string& labVantage);
+
+  /// The decision rule (§4.2): confirmed ⇔ at least two-thirds of the
+  /// `sitesSubmitted` sites are blocked AND attributable to the product.
+  /// (Table 3's confirmed rows are 5/5, 5/6, 6/6; unconfirmed are 0/x.)
+  [[nodiscard]] static bool decide(int submittedBlocked, int attributedToProduct,
+                                   int sitesSubmitted);
+
+ private:
+  simnet::World* world_;
+  simnet::HostingProvider* hosting_;
+  VendorSet vendors_;
+};
+
+}  // namespace urlf::core
+
+#endif  // URLF_CORE_CONFIRMER_H

@@ -1,0 +1,21 @@
+#include "core/evaluation.h"
+
+namespace urlf::core {
+
+Confusion scoreIdentification(const std::vector<Installation>& reported,
+                              const std::set<std::uint32_t>& truthIps) {
+  Confusion confusion;
+  std::set<std::uint32_t> found;
+  for (const auto& installation : reported) {
+    if (!found.insert(installation.ip.value()).second) continue;  // dedupe
+    if (truthIps.contains(installation.ip.value()))
+      ++confusion.truePositives;
+    else
+      ++confusion.falsePositives;
+  }
+  for (const auto ip : truthIps)
+    if (!found.contains(ip)) ++confusion.falseNegatives;
+  return confusion;
+}
+
+}  // namespace urlf::core

@@ -1,0 +1,47 @@
+#ifndef URLF_CORE_EVALUATION_H
+#define URLF_CORE_EVALUATION_H
+
+#include <set>
+
+#include "core/identifier.h"
+
+namespace urlf::core {
+
+/// Binary-classification tallies used to score the identification pipeline
+/// against ground truth (the quantitative half of our Table 2 bench).
+struct Confusion {
+  int truePositives = 0;
+  int falsePositives = 0;
+  int falseNegatives = 0;
+
+  /// Fraction of reported installations that are real. 1.0 when nothing
+  /// was reported (vacuously precise).
+  [[nodiscard]] double precision() const {
+    const int reported = truePositives + falsePositives;
+    return reported == 0 ? 1.0 : static_cast<double>(truePositives) / reported;
+  }
+
+  /// Fraction of real installations that were found. 1.0 when there was
+  /// nothing to find.
+  [[nodiscard]] double recall() const {
+    const int real = truePositives + falseNegatives;
+    return real == 0 ? 1.0 : static_cast<double>(truePositives) / real;
+  }
+
+  /// Harmonic mean of precision and recall; 0 when both are 0.
+  [[nodiscard]] double f1() const {
+    const double p = precision();
+    const double r = recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// Score a set of reported installations against the ground-truth IPs for
+/// one product.
+[[nodiscard]] Confusion scoreIdentification(
+    const std::vector<Installation>& reported,
+    const std::set<std::uint32_t>& truthIps);
+
+}  // namespace urlf::core
+
+#endif  // URLF_CORE_EVALUATION_H

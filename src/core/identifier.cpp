@@ -1,0 +1,134 @@
+#include "core/identifier.h"
+
+#include <algorithm>
+
+#include "net/cctld.h"
+
+namespace urlf::core {
+
+using filters::ProductKind;
+
+Identifier::Identifier(simnet::World& world, const scan::BannerIndex& index,
+                       fingerprint::Engine engine, geo::GeoDatabase geo,
+                       geo::AsnDatabase whois, IdentifierConfig config)
+    : world_(&world),
+      index_(&index),
+      engine_(std::move(engine)),
+      geo_(std::move(geo)),
+      whois_(std::move(whois)),
+      config_(config) {}
+
+std::vector<std::string> Identifier::shodanKeywords(ProductKind product) {
+  // Verbatim from Table 2.
+  switch (product) {
+    case ProductKind::kBlueCoat:
+      return {"proxysg", "cfru="};
+    case ProductKind::kSmartFilter:
+      return {"mcafee web gateway", "url blocked"};
+    case ProductKind::kNetsweeper:
+      return {"netsweeper", "webadmin", "webadmin/deny", "8080/webadmin/"};
+    case ProductKind::kWebsense:
+      return {"blockpage.cgi", "gateway websense"};
+  }
+  return {};
+}
+
+std::vector<const scan::BannerRecord*> Identifier::locateCandidates(
+    ProductKind product) const {
+  std::vector<scan::Query> queries;
+  for (const auto& keyword : shodanKeywords(product)) {
+    queries.push_back({keyword, std::nullopt});
+    if (config_.expandByCountry) {
+      for (const auto& country : net::allCountries())
+        queries.push_back({keyword, std::string(country.alpha2)});
+    }
+  }
+  return index_->searchAll(queries);
+}
+
+namespace {
+
+/// View a stored banner as a fingerprint observation (passive mode).
+fingerprint::Observation toObservation(const scan::BannerRecord& record) {
+  fingerprint::Observation obs;
+  obs.ip = record.ip;
+  obs.port = record.port;
+  obs.statusCode = record.statusCode;
+  obs.headers = record.headers;
+  obs.body = record.body;
+  obs.title = record.title;
+  return obs;
+}
+
+}  // namespace
+
+template <typename Validate>
+std::vector<Installation> Identifier::identifyWith(ProductKind product,
+                                                   Validate&& validate) const {
+  std::vector<Installation> out;
+  std::set<std::uint32_t> seenIps;
+
+  for (const auto* candidate : locateCandidates(product)) {
+    // One installation per IP: validate each scanned port but report the IP
+    // once, keeping the strongest validation.
+    const std::vector<fingerprint::Match> matches = validate(*candidate);
+    const auto hit =
+        std::find_if(matches.begin(), matches.end(), [&](const auto& m) {
+          return m.product == product && m.certainty >= config_.minCertainty;
+        });
+    if (hit == matches.end()) continue;
+    if (!seenIps.insert(candidate->ip.value()).second) continue;
+
+    Installation inst;
+    inst.product = product;
+    inst.ip = candidate->ip;
+    inst.port = candidate->port;
+    inst.certainty = hit->certainty;
+    inst.evidence = hit->evidence;
+    inst.countryAlpha2 = geo_.lookup(candidate->ip).value_or("??");
+    inst.asn = whois_.lookup(candidate->ip);
+    out.push_back(std::move(inst));
+  }
+  return out;
+}
+
+std::vector<Installation> Identifier::identify(ProductKind product) const {
+  return identifyWith(product, [&](const scan::BannerRecord& candidate) {
+    return engine_.probe(*world_, candidate.ip, candidate.port);
+  });
+}
+
+std::vector<Installation> Identifier::identifyPassive(
+    ProductKind product) const {
+  return identifyWith(product, [&](const scan::BannerRecord& candidate) {
+    return engine_.evaluate(toObservation(candidate));
+  });
+}
+
+std::map<ProductKind, std::vector<Installation>> Identifier::identifyAllPassive()
+    const {
+  std::map<ProductKind, std::vector<Installation>> out;
+  for (const auto product : filters::allProducts())
+    out.emplace(product, identifyPassive(product));
+  return out;
+}
+
+std::map<ProductKind, std::vector<Installation>> Identifier::identifyAll()
+    const {
+  std::map<ProductKind, std::vector<Installation>> out;
+  for (const auto product : filters::allProducts())
+    out.emplace(product, identify(product));
+  return out;
+}
+
+std::map<ProductKind, std::set<std::string>> Identifier::countriesByProduct(
+    const std::map<ProductKind, std::vector<Installation>>& all) {
+  std::map<ProductKind, std::set<std::string>> out;
+  for (const auto& [product, installations] : all) {
+    auto& countries = out[product];
+    for (const auto& inst : installations) countries.insert(inst.countryAlpha2);
+  }
+  return out;
+}
+
+}  // namespace urlf::core

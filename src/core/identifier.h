@@ -1,0 +1,100 @@
+#ifndef URLF_CORE_IDENTIFIER_H
+#define URLF_CORE_IDENTIFIER_H
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "filters/category.h"
+#include "fingerprint/engine.h"
+#include "geo/geodb.h"
+#include "scan/banner_index.h"
+#include "simnet/world.h"
+
+namespace urlf::core {
+
+/// A validated URL-filter installation: the §3 pipeline's output.
+struct Installation {
+  filters::ProductKind product = filters::ProductKind::kBlueCoat;
+  net::Ipv4Addr ip;
+  std::uint16_t port = 80;
+  std::string countryAlpha2;  ///< MaxMind-style geolocation
+  std::optional<geo::AsnRecord> asn;  ///< Team Cymru-style whois
+  double certainty = 0.0;
+  std::vector<std::string> evidence;
+};
+
+struct IdentifierConfig {
+  /// Minimum fingerprint certainty for a validated installation.
+  double minCertainty = 0.5;
+  /// Search each keyword alone AND combined with every country facet, as
+  /// §3.1 does with the ccTLDs "to maximize the set of results".
+  bool expandByCountry = true;
+};
+
+/// The §3 identification pipeline:
+///   1. locate candidates by keyword search over the banner index (Shodan),
+///   2. validate each candidate with an active fingerprint probe (WhatWeb),
+///   3. map validated IPs to country (MaxMind) and ASN (Team Cymru whois).
+///
+/// The pipeline deliberately over-collects at step 1 ("we are not
+/// conservative, and rely on the following step to confirm", §3.1).
+class Identifier {
+ public:
+  Identifier(simnet::World& world, const scan::BannerIndex& index,
+             fingerprint::Engine engine, geo::GeoDatabase geo,
+             geo::AsnDatabase whois, IdentifierConfig config = {});
+
+  /// The Shodan keywords the paper lists per product (Table 2).
+  [[nodiscard]] static std::vector<std::string> shodanKeywords(
+      filters::ProductKind product);
+
+  /// Identify validated installations of one product (active mode: each
+  /// keyword candidate is re-probed, WhatWeb-style).
+  [[nodiscard]] std::vector<Installation> identify(
+      filters::ProductKind product) const;
+
+  /// Passive mode: validate candidates against their *stored* banners only
+  /// — no live probes. This is how an exported scan dump (e.g. a Shodan
+  /// data set or the Internet Census archive) is analyzed offline. Slightly
+  /// weaker than active mode when banners were truncated.
+  [[nodiscard]] std::vector<Installation> identifyPassive(
+      filters::ProductKind product) const;
+
+  [[nodiscard]] std::map<filters::ProductKind, std::vector<Installation>>
+  identifyAllPassive() const;
+
+  /// All four products (Table 1 order).
+  [[nodiscard]] std::map<filters::ProductKind, std::vector<Installation>>
+  identifyAll() const;
+
+  /// Figure 1 data: product -> set of countries with >= 1 installation.
+  [[nodiscard]] static std::map<filters::ProductKind, std::set<std::string>>
+  countriesByProduct(
+      const std::map<filters::ProductKind, std::vector<Installation>>& all);
+
+  /// Candidates located by keyword search (before validation) — exposed so
+  /// precision/recall of the validation step can be evaluated.
+  [[nodiscard]] std::vector<const scan::BannerRecord*> locateCandidates(
+      filters::ProductKind product) const;
+
+ private:
+  /// Shared candidate -> validate -> map pipeline; `validate` produces the
+  /// fingerprint matches for one candidate (live probe or stored banner).
+  template <typename Validate>
+  [[nodiscard]] std::vector<Installation> identifyWith(
+      filters::ProductKind product, Validate&& validate) const;
+
+  simnet::World* world_;
+  const scan::BannerIndex* index_;
+  fingerprint::Engine engine_;
+  geo::GeoDatabase geo_;
+  geo::AsnDatabase whois_;
+  IdentifierConfig config_;
+};
+
+}  // namespace urlf::core
+
+#endif  // URLF_CORE_IDENTIFIER_H

@@ -1,0 +1,50 @@
+#include "core/monitor.h"
+
+#include <set>
+
+namespace urlf::core {
+
+InstallationDiff diffInstallations(const std::vector<Installation>& baseline,
+                                   const std::vector<Installation>& current) {
+  InstallationDiff diff;
+
+  std::map<std::uint32_t, const Installation*> baselineByIp;
+  for (const auto& installation : baseline)
+    baselineByIp.emplace(installation.ip.value(), &installation);
+
+  std::set<std::uint32_t> seen;
+  for (const auto& installation : current) {
+    if (!seen.insert(installation.ip.value()).second) continue;
+    const auto it = baselineByIp.find(installation.ip.value());
+    if (it == baselineByIp.end()) {
+      diff.appeared.push_back(installation);
+    } else if (it->second->countryAlpha2 != installation.countryAlpha2) {
+      diff.relocated.emplace_back(*it->second, installation);
+    } else {
+      diff.persisted.push_back(installation);
+    }
+  }
+  for (const auto& installation : baseline)
+    if (!seen.contains(installation.ip.value()))
+      diff.vanished.push_back(installation);
+  return diff;
+}
+
+std::map<filters::ProductKind, InstallationDiff> diffAll(
+    const std::map<filters::ProductKind, std::vector<Installation>>& baseline,
+    const std::map<filters::ProductKind, std::vector<Installation>>& current) {
+  std::map<filters::ProductKind, InstallationDiff> out;
+  static const std::vector<Installation> kEmpty;
+
+  for (const auto& product : filters::allProducts()) {
+    const auto baseIt = baseline.find(product);
+    const auto currentIt = current.find(product);
+    const auto& base = baseIt == baseline.end() ? kEmpty : baseIt->second;
+    const auto& now = currentIt == current.end() ? kEmpty : currentIt->second;
+    if (base.empty() && now.empty()) continue;
+    out.emplace(product, diffInstallations(base, now));
+  }
+  return out;
+}
+
+}  // namespace urlf::core

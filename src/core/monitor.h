@@ -1,0 +1,45 @@
+#ifndef URLF_CORE_MONITOR_H
+#define URLF_CORE_MONITOR_H
+
+#include <map>
+#include <vector>
+
+#include "core/identifier.h"
+
+namespace urlf::core {
+
+/// The longitudinal view the paper motivates ("it is important that we have
+/// techniques for monitoring the use of specific technologies for
+/// censorship", §1): differences between two identification runs.
+struct InstallationDiff {
+  /// Present now, absent in the baseline — new deployments (or newly
+  /// exposed ones).
+  std::vector<Installation> appeared;
+  /// Present in the baseline, absent now — decommissioned or newly hidden
+  /// (Table 5 evasion #1 shows up here).
+  std::vector<Installation> vanished;
+  /// Present in both runs (current observation kept).
+  std::vector<Installation> persisted;
+  /// Present in both but geolocated to a different country now (geo DB
+  /// churn or address reassignment). Pairs of (baseline, current).
+  std::vector<std::pair<Installation, Installation>> relocated;
+
+  [[nodiscard]] bool empty() const {
+    return appeared.empty() && vanished.empty() && relocated.empty();
+  }
+};
+
+/// Diff two identification runs of one product, keyed by installation IP.
+[[nodiscard]] InstallationDiff diffInstallations(
+    const std::vector<Installation>& baseline,
+    const std::vector<Installation>& current);
+
+/// Diff complete identifyAll() outputs; one entry per product present in
+/// either run.
+[[nodiscard]] std::map<filters::ProductKind, InstallationDiff> diffAll(
+    const std::map<filters::ProductKind, std::vector<Installation>>& baseline,
+    const std::map<filters::ProductKind, std::vector<Installation>>& current);
+
+}  // namespace urlf::core
+
+#endif  // URLF_CORE_MONITOR_H

@@ -1,0 +1,82 @@
+#include "core/profiler.h"
+
+#include <stdexcept>
+
+#include "core/serialize.h"
+#include "fingerprint/engine.h"
+
+namespace urlf::core {
+
+report::Json NetworkProfile::toJson() const {
+  report::Json out = report::Json::object();
+  out["isp"] = report::Json::string(ispName);
+  out["country"] = report::Json::string(countryAlpha2);
+
+  report::Json installations = report::Json::array();
+  for (const auto& installation : installationsInCountry)
+    installations.push(core::toJson(installation));
+  out["installations_in_country"] = std::move(installations);
+
+  out["proxy_evidence"] =
+      proxyEvidence ? core::toJson(*proxyEvidence) : report::Json::null();
+
+  report::Json scouting = report::Json::object();
+  for (const auto& [product, uses] : categoryUse) {
+    report::Json perProduct = report::Json::array();
+    for (const auto& use : uses) perProduct.push(core::toJson(use));
+    scouting[std::string(filters::toString(product))] = std::move(perProduct);
+  }
+  out["category_use"] = std::move(scouting);
+
+  out["characterization"] = core::toJson(characterization);
+  return out;
+}
+
+NetworkProfile profileNetwork(simnet::World& world,
+                              const std::string& fieldVantage,
+                              const std::string& labVantage,
+                              const ProfilerSources& sources) {
+  if (sources.index == nullptr || sources.globalList == nullptr ||
+      sources.localList == nullptr)
+    throw std::invalid_argument("profileNetwork: missing sources");
+  auto* field = world.findVantage(fieldVantage);
+  if (field == nullptr)
+    throw std::invalid_argument("profileNetwork: unknown vantage " +
+                                fieldVantage);
+
+  NetworkProfile profile;
+  profile.ispName = field->isp != nullptr ? field->isp->name() : "(no ISP)";
+  profile.countryAlpha2 = field->countryAlpha2;
+
+  // §3: installations visible in the network's country.
+  Identifier identifier(world, *sources.index,
+                        fingerprint::Engine::withBuiltinSignatures(),
+                        sources.geo, sources.whois);
+  for (const auto& [product, installations] : identifier.identifyAll()) {
+    for (const auto& installation : installations)
+      if (installation.countryAlpha2 == profile.countryAlpha2)
+        profile.installationsInCountry.push_back(installation);
+  }
+
+  // §7: transparent-proxy evidence on the path.
+  if (!sources.echoUrl.empty()) {
+    ProxyDetector detector(world);
+    profile.proxyEvidence =
+        detector.detect(fieldVantage, labVantage, sources.echoUrl);
+  }
+
+  // Challenge 1: which categories does the network enforce, per product.
+  CategoryScout scout(world);
+  for (const auto& [product, sites] : sources.referenceSites)
+    profile.categoryUse[product] = scout.scout(fieldVantage, labVantage, sites);
+
+  // §5: what content is censored.
+  Characterizer characterizer(world);
+  profile.characterization = characterizer.characterize(
+      fieldVantage, labVantage, *sources.globalList, *sources.localList,
+      sources.characterizationRuns);
+
+  return profile;
+}
+
+}  // namespace urlf::core

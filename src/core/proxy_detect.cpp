@@ -1,0 +1,98 @@
+#include "core/proxy_detect.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "simnet/transport.h"
+#include "util/strings.h"
+
+namespace urlf::core {
+
+namespace {
+
+/// Header lines ("Name: value") of a response, normalized for comparison.
+std::vector<std::string> responseHeaderLines(const http::Response& response) {
+  std::vector<std::string> out;
+  for (const auto& field : response.headers.fields())
+    out.push_back(field.name + ": " + field.value);
+  return out;
+}
+
+/// The echoed request lines extracted from the echo page body (between the
+/// <pre> markers, unescaped enough for our needs).
+std::vector<std::string> echoedRequestLines(const std::string& body) {
+  std::vector<std::string> out;
+  const auto open = body.find("<pre>");
+  const auto close = body.find("</pre>");
+  if (open == std::string::npos || close == std::string::npos) return out;
+  const std::string inner = body.substr(open + 5, close - open - 5);
+  for (const auto& line : util::split(inner, '\n')) {
+    const auto trimmed = util::trim(line);
+    if (!trimmed.empty()) out.emplace_back(trimmed);
+  }
+  return out;
+}
+
+/// Lines present in `field` but absent from `lab`.
+std::vector<std::string> addedLines(const std::vector<std::string>& field,
+                                    const std::vector<std::string>& lab) {
+  std::vector<std::string> out;
+  for (const auto& line : field) {
+    if (std::find(lab.begin(), lab.end(), line) == lab.end())
+      out.push_back(line);
+  }
+  return out;
+}
+
+std::optional<std::string> sniffProduct(const std::vector<std::string>& lines) {
+  struct Marker {
+    std::string_view needle;
+    std::string_view product;
+  };
+  static constexpr Marker kMarkers[] = {
+      {"proxysg", "Blue Coat ProxySG"},
+      {"mcafee web gateway", "McAfee Web Gateway"},
+      {"netsweeper", "Netsweeper"},
+      {"websense", "Websense"},
+  };
+  for (const auto& line : lines) {
+    for (const auto& marker : kMarkers) {
+      if (util::icontains(line, marker.needle))
+        return std::string(marker.product);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ProxyEvidence ProxyDetector::detect(const std::string& fieldVantage,
+                                    const std::string& labVantage,
+                                    const std::string& echoUrl) {
+  auto* field = world_->findVantage(fieldVantage);
+  auto* lab = world_->findVantage(labVantage);
+  if (field == nullptr || lab == nullptr)
+    throw std::invalid_argument("ProxyDetector: unknown vantage point");
+
+  simnet::Transport transport(*world_);
+  const auto fieldFetch = transport.fetchUrl(*field, echoUrl);
+  const auto labFetch = transport.fetchUrl(*lab, echoUrl);
+
+  ProxyEvidence evidence;
+  if (!fieldFetch.ok() || !labFetch.ok()) return evidence;
+
+  evidence.addedResponseHeaders =
+      addedLines(responseHeaderLines(*fieldFetch.response),
+                 responseHeaderLines(*labFetch.response));
+  evidence.addedRequestHeaders =
+      addedLines(echoedRequestLines(fieldFetch.response->body),
+                 echoedRequestLines(labFetch.response->body));
+
+  auto all = evidence.addedResponseHeaders;
+  all.insert(all.end(), evidence.addedRequestHeaders.begin(),
+             evidence.addedRequestHeaders.end());
+  evidence.productHint = sniffProduct(all);
+  return evidence;
+}
+
+}  // namespace urlf::core

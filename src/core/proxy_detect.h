@@ -1,0 +1,53 @@
+#ifndef URLF_CORE_PROXY_DETECT_H
+#define URLF_CORE_PROXY_DETECT_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simnet/world.h"
+
+namespace urlf::core {
+
+/// What a Netalyzr-style in-network probe learned about the path between a
+/// field vantage point and an echo origin.
+struct ProxyEvidence {
+  /// Response headers present in the field fetch but not the lab fetch
+  /// (e.g. "Via: 1.1 proxysg...", "X-Cache: MISS ...").
+  std::vector<std::string> addedResponseHeaders;
+  /// Request header lines the origin saw from the field but not from the
+  /// lab (in-path request annotation).
+  std::vector<std::string> addedRequestHeaders;
+  /// Case-insensitive product-marker sniff over the added headers.
+  std::optional<std::string> productHint;
+
+  [[nodiscard]] bool proxyDetected() const {
+    return !addedResponseHeaders.empty() || !addedRequestHeaders.empty();
+  }
+};
+
+/// Transparent-proxy detection in the style of Netalyzr [12, 17].
+///
+/// §7: "our methodology can provide a useful ground truth for more general
+/// identification of transparent proxies". This detector is that more
+/// general tool: it fetches a request-echo origin from the field and the
+/// lab and diffs both directions of the exchange. The §4 confirmations
+/// calibrate it — a network confirmed to run a ProxySG should show proxy
+/// evidence here.
+class ProxyDetector {
+ public:
+  explicit ProxyDetector(simnet::World& world) : world_(&world) {}
+
+  /// `echoUrl` must point at a RequestEchoServer origin. Throws on unknown
+  /// vantage names; returns empty evidence when either fetch fails.
+  [[nodiscard]] ProxyEvidence detect(const std::string& fieldVantage,
+                                     const std::string& labVantage,
+                                     const std::string& echoUrl);
+
+ private:
+  simnet::World* world_;
+};
+
+}  // namespace urlf::core
+
+#endif  // URLF_CORE_PROXY_DETECT_H

@@ -1,0 +1,50 @@
+#include "core/scout.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace urlf::core {
+
+std::vector<CategoryUse> CategoryScout::scout(
+    const std::string& fieldVantage, const std::string& labVantage,
+    const std::vector<ReferenceSite>& referenceSites) {
+  auto* field = world_->findVantage(fieldVantage);
+  auto* lab = world_->findVantage(labVantage);
+  if (field == nullptr || lab == nullptr)
+    throw std::invalid_argument("CategoryScout: unknown vantage point");
+
+  measure::Client client(*world_, *field, *lab);
+
+  std::map<filters::CategoryId, CategoryUse> byCategory;
+  for (const auto& site : referenceSites) {
+    auto& use = byCategory[site.category];
+    use.category = site.category;
+    use.categoryName = site.categoryName;
+
+    const auto result = client.testUrl(site.url);
+    if (result.verdict == measure::Verdict::kError) continue;  // site down
+    ++use.tested;
+    if (result.blocked()) ++use.blocked;
+  }
+
+  std::vector<CategoryUse> out;
+  out.reserve(byCategory.size());
+  for (auto& [id, use] : byCategory) out.push_back(std::move(use));
+  return out;
+}
+
+std::optional<std::string> CategoryScout::pickEnforcedCategory(
+    const std::vector<CategoryUse>& uses,
+    const std::vector<std::string>& candidates) {
+  for (const auto& candidate : candidates) {
+    for (const auto& use : uses) {
+      if (util::iequals(use.categoryName, candidate) && use.inUse())
+        return use.categoryName;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace urlf::core

@@ -1,0 +1,65 @@
+#ifndef URLF_CORE_SCOUT_H
+#define URLF_CORE_SCOUT_H
+
+#include <string>
+#include <vector>
+
+#include "filters/category.h"
+#include "measure/client.h"
+#include "simnet/world.h"
+
+namespace urlf::core {
+
+/// A reference site: a Web site known (from vendor documentation or prior
+/// measurements) to be categorized under a specific vendor category.
+struct ReferenceSite {
+  std::string url;
+  filters::CategoryId category = 0;
+  std::string categoryName;
+};
+
+/// What the scout learned about one vendor category in one ISP.
+struct CategoryUse {
+  filters::CategoryId category = 0;
+  std::string categoryName;
+  int tested = 0;
+  int blocked = 0;
+
+  /// The category is considered "in use" when any reference site for it is
+  /// blocked.
+  [[nodiscard]] bool inUse() const { return blocked > 0; }
+};
+
+/// Automates Challenge 1 (§4.3) and the scalability concern of §7: "the
+/// methods in Section 4 require that we identify which categories are
+/// blocked in each ISP before creating test sites."
+///
+/// The paper did this manually (noticing that SmartFilter-categorized proxy
+/// sites were reachable in Saudi Arabia while pornography was not). The
+/// scout systematizes it: probe reference sites of known vendor
+/// categorization from the field vantage and report which categories the
+/// ISP actually enforces.
+class CategoryScout {
+ public:
+  explicit CategoryScout(simnet::World& world) : world_(&world) {}
+
+  /// Probe every reference site from `fieldVantage`; group results by
+  /// category. Reference sites whose lab fetch fails are skipped (site
+  /// down, not censorship).
+  [[nodiscard]] std::vector<CategoryUse> scout(
+      const std::string& fieldVantage, const std::string& labVantage,
+      const std::vector<ReferenceSite>& referenceSites);
+
+  /// Convenience for the §4 workflow: among `candidates` (category names in
+  /// the vendor scheme), pick the first one the ISP enforces, if any.
+  [[nodiscard]] static std::optional<std::string> pickEnforcedCategory(
+      const std::vector<CategoryUse>& uses,
+      const std::vector<std::string>& candidates);
+
+ private:
+  simnet::World* world_;
+};
+
+}  // namespace urlf::core
+
+#endif  // URLF_CORE_SCOUT_H

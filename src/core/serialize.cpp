@@ -1,0 +1,113 @@
+#include "core/serialize.h"
+
+namespace urlf::core {
+
+using report::Json;
+
+Json toJson(const Installation& installation) {
+  Json out = Json::object();
+  out["product"] = Json::string(filters::toString(installation.product));
+  out["ip"] = Json::string(installation.ip.toString());
+  out["port"] = Json::number(std::int64_t{installation.port});
+  out["country"] = Json::string(installation.countryAlpha2);
+  if (installation.asn) {
+    Json asn = Json::object();
+    asn["asn"] = Json::number(std::int64_t{installation.asn->asn});
+    asn["name"] = Json::string(installation.asn->asName);
+    asn["description"] = Json::string(installation.asn->description);
+    out["asn"] = std::move(asn);
+  }
+  out["certainty"] = Json::number(installation.certainty);
+  Json evidence = Json::array();
+  for (const auto& item : installation.evidence)
+    evidence.push(Json::string(item));
+  out["evidence"] = std::move(evidence);
+  return out;
+}
+
+Json toJson(const CaseStudyResult& result) {
+  Json out = Json::object();
+  out["product"] = Json::string(filters::toString(result.config.product));
+  out["country"] = Json::string(result.config.countryAlpha2);
+  out["isp"] = Json::string(result.config.ispName);
+  out["date"] = Json::string(result.dateLabel);
+  out["category"] = Json::string(result.config.categoryLabel.empty()
+                                     ? result.config.categoryName
+                                     : result.config.categoryLabel);
+  out["sites_submitted"] = Json::string(result.submittedRatio());
+  out["sites_blocked"] = Json::string(result.blockedRatio());
+  out["submitted_blocked"] = Json::number(std::int64_t{result.submittedBlocked});
+  out["control_blocked"] = Json::number(std::int64_t{result.controlBlocked});
+  out["attributed_to_product"] =
+      Json::number(std::int64_t{result.attributedToProduct});
+  out["confirmed"] = Json::boolean(result.confirmed);
+  if (!result.notes.empty()) out["notes"] = Json::string(result.notes);
+
+  Json submitted = Json::array();
+  for (const auto& url : result.submittedUrls) submitted.push(Json::string(url));
+  out["submitted_urls"] = std::move(submitted);
+  Json controls = Json::array();
+  for (const auto& url : result.controlUrls) controls.push(Json::string(url));
+  out["control_urls"] = std::move(controls);
+  return out;
+}
+
+Json toJson(const CharacterizationResult& result) {
+  Json out = Json::object();
+  out["isp"] = Json::string(result.ispName);
+  out["country"] = Json::string(result.countryAlpha2);
+  out["attributed_product"] =
+      result.attributedProduct
+          ? Json::string(filters::toString(*result.attributedProduct))
+          : Json::null();
+  Json cells = Json::object();
+  for (const auto& [category, cell] : result.cells) {
+    Json entry = Json::object();
+    entry["tested"] = Json::number(std::int64_t{cell.tested});
+    entry["blocked"] = Json::number(std::int64_t{cell.blocked});
+    cells[category] = std::move(entry);
+  }
+  out["categories"] = std::move(cells);
+  return out;
+}
+
+Json toJson(const CategoryUse& use) {
+  Json out = Json::object();
+  out["category_id"] = Json::number(std::int64_t{use.category});
+  out["category"] = Json::string(use.categoryName);
+  out["tested"] = Json::number(std::int64_t{use.tested});
+  out["blocked"] = Json::number(std::int64_t{use.blocked});
+  out["in_use"] = Json::boolean(use.inUse());
+  return out;
+}
+
+Json toJson(const ProxyEvidence& evidence) {
+  Json out = Json::object();
+  out["proxy_detected"] = Json::boolean(evidence.proxyDetected());
+  out["product_hint"] = evidence.productHint
+                            ? Json::string(*evidence.productHint)
+                            : Json::null();
+  Json response = Json::array();
+  for (const auto& header : evidence.addedResponseHeaders)
+    response.push(Json::string(header));
+  out["added_response_headers"] = std::move(response);
+  Json request = Json::array();
+  for (const auto& header : evidence.addedRequestHeaders)
+    request.push(Json::string(header));
+  out["added_request_headers"] = std::move(request);
+  return out;
+}
+
+Json toJson(
+    const std::map<filters::ProductKind, std::vector<Installation>>& all) {
+  Json out = Json::object();
+  for (const auto& [product, installations] : all) {
+    Json array = Json::array();
+    for (const auto& installation : installations)
+      array.push(toJson(installation));
+    out[std::string(filters::toString(product))] = std::move(array);
+  }
+  return out;
+}
+
+}  // namespace urlf::core

@@ -1,0 +1,28 @@
+#ifndef URLF_CORE_SERIALIZE_H
+#define URLF_CORE_SERIALIZE_H
+
+#include "core/characterizer.h"
+#include "core/confirmer.h"
+#include "core/identifier.h"
+#include "core/proxy_detect.h"
+#include "core/scout.h"
+#include "report/json.h"
+
+namespace urlf::core {
+
+/// JSON exports of the methodology's result types, for downstream analysis
+/// pipelines (the paper published its measurement data; a faithful
+/// open-source release needs machine-readable output too).
+[[nodiscard]] report::Json toJson(const Installation& installation);
+[[nodiscard]] report::Json toJson(const CaseStudyResult& result);
+[[nodiscard]] report::Json toJson(const CharacterizationResult& result);
+[[nodiscard]] report::Json toJson(const CategoryUse& use);
+[[nodiscard]] report::Json toJson(const ProxyEvidence& evidence);
+
+/// A whole identification run: product -> array of installations.
+[[nodiscard]] report::Json toJson(
+    const std::map<filters::ProductKind, std::vector<Installation>>& all);
+
+}  // namespace urlf::core
+
+#endif  // URLF_CORE_SERIALIZE_H

@@ -1,0 +1,234 @@
+#include "filters/category.h"
+
+#include <array>
+
+#include "util/strings.h"
+
+namespace urlf::filters {
+
+CategoryScheme::CategoryScheme(std::vector<Category> categories)
+    : categories_(std::move(categories)) {}
+
+std::optional<Category> CategoryScheme::byId(CategoryId id) const {
+  for (const auto& c : categories_)
+    if (c.id == id) return c;
+  return std::nullopt;
+}
+
+std::optional<Category> CategoryScheme::byName(std::string_view name) const {
+  for (const auto& c : categories_)
+    if (util::iequals(c.name, name)) return c;
+  return std::nullopt;
+}
+
+std::string CategoryScheme::nameOf(CategoryId id) const {
+  if (const auto c = byId(id)) return c->name;
+  return "category-" + std::to_string(id);
+}
+
+std::string_view toString(ProductKind kind) {
+  switch (kind) {
+    case ProductKind::kBlueCoat: return "Blue Coat";
+    case ProductKind::kSmartFilter: return "McAfee SmartFilter";
+    case ProductKind::kNetsweeper: return "Netsweeper";
+    case ProductKind::kWebsense: return "Websense";
+  }
+  return "unknown";
+}
+
+std::string_view vendorCompany(ProductKind kind) {
+  switch (kind) {
+    case ProductKind::kBlueCoat: return "Blue Coat";
+    case ProductKind::kSmartFilter: return "McAfee";
+    case ProductKind::kNetsweeper: return "Netsweeper";
+    case ProductKind::kWebsense: return "Websense";
+  }
+  return "unknown";
+}
+
+std::string_view vendorHeadquarters(ProductKind kind) {
+  switch (kind) {
+    case ProductKind::kBlueCoat: return "Sunnyvale, CA, USA";
+    case ProductKind::kSmartFilter: return "Santa Clara, CA, USA";
+    case ProductKind::kNetsweeper: return "Guelph, ON, Canada";
+    case ProductKind::kWebsense: return "San Diego, CA, USA";
+  }
+  return "unknown";
+}
+
+std::string_view productDescription(ProductKind kind) {
+  switch (kind) {
+    case ProductKind::kBlueCoat:
+      return "Web proxy (ProxySG) and URL Filter (Web Filter)";
+    case ProductKind::kSmartFilter:
+      return "Filtering of Web content for enterprises";
+    case ProductKind::kNetsweeper:
+      return "Netsweeper Content Filtering";
+    case ProductKind::kWebsense:
+      return "Web proxy gateways including features to monitor for corporate "
+             "data leakage";
+  }
+  return "unknown";
+}
+
+const std::vector<ProductKind>& allProducts() {
+  static const std::vector<ProductKind> kAll{
+      ProductKind::kBlueCoat, ProductKind::kSmartFilter,
+      ProductKind::kNetsweeper, ProductKind::kWebsense};
+  return kAll;
+}
+
+CategoryScheme blueCoatScheme() {
+  return CategoryScheme{{
+      {1, "Pornography"},
+      {2, "Proxy Avoidance"},
+      {3, "Gambling"},
+      {4, "Hacking"},
+      {5, "Illegal Drugs"},
+      {6, "News/Media"},
+      {7, "Political/Social Advocacy"},
+      {8, "Religion"},
+      {9, "LGBT"},
+      {10, "Web Hosting"},
+      {11, "Phishing"},
+      {12, "Violence/Hate/Racism"},
+      {13, "Adult/Mature Content"},
+      {14, "Social Networking"},
+      {15, "Custom"},
+  }};
+}
+
+CategoryScheme smartFilterScheme() {
+  return CategoryScheme{{
+      {1, "Pornography"},
+      {2, "Anonymizers"},
+      {3, "Anonymizing Utilities"},
+      {4, "Gambling"},
+      {5, "Drugs"},
+      {6, "Criminal Activities"},
+      {7, "Dating/Social Networking"},
+      {8, "General News"},
+      {9, "Politics/Opinion"},
+      {10, "Religion/Ideology"},
+      {11, "Sexual Materials"},
+      {12, "Phishing"},
+      {13, "Malicious Sites"},
+      {14, "Media Sharing"},
+      {15, "Provocative Attire"},
+      {16, "Custom"},
+      {17, "Lifestyle"},
+  }};
+}
+
+CategoryScheme netsweeperScheme() {
+  // Netsweeper exposes numbered categories ("catno"); the paper shows catno
+  // 23 = pornography via denypagetests.netsweeper.com/category/catno/23 and
+  // reports 66 category-specific test URLs (§4.4). The five categories found
+  // blocked in YemenNet were: adult images, phishing, pornography, proxy
+  // anonymizers, and search keywords.
+  std::vector<Category> cats;
+  cats.reserve(66);
+  const std::array<std::string_view, 66> names{
+      "Abortion",             // 1
+      "Adult Image",          // 2
+      "Advertisements",       // 3
+      "Alcohol",              // 4
+      "Arts",                 // 5
+      "Astrology",            // 6
+      "Business",             // 7
+      "Chat",                 // 8
+      "Criminal Skills",      // 9
+      "Cults",                // 10
+      "Dating",               // 11
+      "Drugs",                // 12
+      "Education",            // 13
+      "Entertainment",        // 14
+      "Finance",              // 15
+      "Gambling",             // 16
+      "Games",                // 17
+      "General News",         // 18
+      "Government",           // 19
+      "Hate Speech",          // 20
+      "Health",               // 21
+      "Hobbies",              // 22
+      "Pornography",          // 23
+      "Humor",                // 24
+      "Intimate Apparel",     // 25
+      "Job Search",           // 26
+      "Journals and Blogs",   // 27
+      "Kids Sites",           // 28
+      "Lifestyle",            // 29
+      "Matrimonial",          // 30
+      "Military",             // 31
+      "Mobile Phones",        // 32
+      "Nudity",               // 33
+      "Occult",               // 34
+      "Online Auctions",      // 35
+      "Online Storage",       // 36
+      "Peer to Peer",         // 37
+      "Personal Sites",       // 38
+      "Phishing",             // 39
+      "Politics",             // 40
+      "Portals",              // 41
+      "Profanity",            // 42
+      "Proxy Anonymizer",     // 43
+      "Real Estate",          // 44
+      "Religion",             // 45
+      "Search Engines",       // 46
+      "Search Keywords",      // 47
+      "Sex Education",        // 48
+      "Shopping",             // 49
+      "Social Networking",    // 50
+      "Sports",               // 51
+      "Streaming Media",      // 52
+      "Substance Abuse",      // 53
+      "Technology",           // 54
+      "Tobacco",              // 55
+      "Translation Sites",    // 56
+      "Travel",               // 57
+      "Viruses and Malware",  // 58
+      "Weapons",              // 59
+      "Web Mail",             // 60
+      "Web Hosting",          // 61
+      "Extreme",              // 62
+      "New Domains",          // 63
+      "Uncategorized",        // 64
+      "Intolerance",          // 65
+      "Custom",               // 66
+  };
+  for (std::size_t i = 0; i < names.size(); ++i)
+    cats.push_back({static_cast<CategoryId>(i + 1), std::string(names[i])});
+  return CategoryScheme{std::move(cats)};
+}
+
+CategoryScheme websenseScheme() {
+  return CategoryScheme{{
+      {1, "Adult Content"},
+      {2, "Proxy Avoidance"},
+      {3, "Gambling"},
+      {4, "Illegal or Questionable"},
+      {5, "Drugs"},
+      {6, "News and Media"},
+      {7, "Advocacy Groups"},
+      {8, "Religion"},
+      {9, "Gay or Lesbian or Bisexual Interest"},
+      {10, "Hosted Business Applications"},
+      {11, "Phishing and Other Frauds"},
+      {12, "Racism and Hate"},
+      {13, "Sex"},
+      {14, "Social Web"},
+      {15, "Custom"},
+  }};
+}
+
+CategoryScheme schemeFor(ProductKind kind) {
+  switch (kind) {
+    case ProductKind::kBlueCoat: return blueCoatScheme();
+    case ProductKind::kSmartFilter: return smartFilterScheme();
+    case ProductKind::kNetsweeper: return netsweeperScheme();
+    case ProductKind::kWebsense: return websenseScheme();
+  }
+  return {};
+}
+
+}  // namespace urlf::filters

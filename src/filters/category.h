@@ -1,0 +1,69 @@
+#ifndef URLF_FILTERS_CATEGORY_H
+#define URLF_FILTERS_CATEGORY_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace urlf::filters {
+
+/// A vendor-assigned category identifier. Meaning is vendor-specific
+/// (Netsweeper's 23 is "Pornography"; SmartFilter numbers differ).
+using CategoryId = int;
+
+/// One category in a vendor's taxonomy.
+struct Category {
+  CategoryId id = 0;
+  std::string name;
+};
+
+/// A vendor's category taxonomy (its "database schema"): ordered list of
+/// categories with id and name lookup.
+class CategoryScheme {
+ public:
+  CategoryScheme() = default;
+  explicit CategoryScheme(std::vector<Category> categories);
+
+  [[nodiscard]] const std::vector<Category>& categories() const {
+    return categories_;
+  }
+  [[nodiscard]] std::size_t size() const { return categories_.size(); }
+
+  [[nodiscard]] std::optional<Category> byId(CategoryId id) const;
+  /// Case-insensitive name lookup.
+  [[nodiscard]] std::optional<Category> byName(std::string_view name) const;
+
+  /// Name for an id, or "category-<id>" when unknown.
+  [[nodiscard]] std::string nameOf(CategoryId id) const;
+
+ private:
+  std::vector<Category> categories_;
+};
+
+/// The products studied in the paper (Table 1).
+enum class ProductKind { kBlueCoat, kSmartFilter, kNetsweeper, kWebsense };
+
+[[nodiscard]] std::string_view toString(ProductKind kind);
+[[nodiscard]] std::string_view vendorCompany(ProductKind kind);
+[[nodiscard]] std::string_view vendorHeadquarters(ProductKind kind);
+[[nodiscard]] std::string_view productDescription(ProductKind kind);
+/// All four products in Table 1 order.
+[[nodiscard]] const std::vector<ProductKind>& allProducts();
+
+/// Vendor taxonomies.
+/// Blue Coat WebFilter categories ("Proxy Avoidance", "Pornography", ...).
+[[nodiscard]] CategoryScheme blueCoatScheme();
+/// McAfee SmartFilter categories ("Anonymizers", "Pornography", ...).
+[[nodiscard]] CategoryScheme smartFilterScheme();
+/// Netsweeper's 66 numbered categories; catno 23 is "Pornography" as the
+/// paper's denypagetests example shows (§4.4).
+[[nodiscard]] CategoryScheme netsweeperScheme();
+/// Websense categories.
+[[nodiscard]] CategoryScheme websenseScheme();
+
+[[nodiscard]] CategoryScheme schemeFor(ProductKind kind);
+
+}  // namespace urlf::filters
+
+#endif  // URLF_FILTERS_CATEGORY_H

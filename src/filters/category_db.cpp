@@ -1,0 +1,77 @@
+#include "filters/category_db.h"
+
+#include <limits>
+
+#include "util/strings.h"
+
+namespace urlf::filters {
+
+namespace {
+constexpr util::SimTime kNoCutoff{std::numeric_limits<std::int64_t>::max()};
+}
+
+void CategoryDatabase::addHost(std::string_view host, CategoryId category,
+                               util::SimTime addedAt) {
+  auto& entry = byHost_[util::toLower(host)];
+  const auto it = entry.find(category);
+  // Keep the earliest time an entry appeared.
+  if (it == entry.end() || addedAt < it->second) entry[category] = addedAt;
+}
+
+void CategoryDatabase::addUrl(const net::Url& url, CategoryId category,
+                              util::SimTime addedAt) {
+  auto& entry = byUrl_[url.toString()];
+  const auto it = entry.find(category);
+  if (it == entry.end() || addedAt < it->second) entry[category] = addedAt;
+}
+
+void CategoryDatabase::removeHost(std::string_view host) {
+  byHost_.erase(util::toLower(host));
+}
+
+std::set<CategoryId> CategoryDatabase::categoriesOf(const Entry& entry,
+                                                    util::SimTime cutoff) {
+  std::set<CategoryId> out;
+  for (const auto& [category, addedAt] : entry)
+    if (addedAt <= cutoff) out.insert(category);
+  return out;
+}
+
+std::set<CategoryId> CategoryDatabase::categorizeAsOf(
+    const net::Url& url, util::SimTime cutoff) const {
+  std::set<CategoryId> out;
+
+  if (const auto it = byUrl_.find(url.toString()); it != byUrl_.end()) {
+    const auto categories = categoriesOf(it->second, cutoff);
+    out.insert(categories.begin(), categories.end());
+  }
+
+  if (const auto it = byHost_.find(url.host()); it != byHost_.end()) {
+    const auto categories = categoriesOf(it->second, cutoff);
+    out.insert(categories.begin(), categories.end());
+  }
+
+  // Registrable-domain fallback: categorizing "example.info" covers
+  // "www.example.info" too.
+  const std::string domain = net::registrableDomain(url.host());
+  if (domain != url.host()) {
+    if (const auto it = byHost_.find(domain); it != byHost_.end()) {
+      const auto categories = categoriesOf(it->second, cutoff);
+      out.insert(categories.begin(), categories.end());
+    }
+  }
+  return out;
+}
+
+std::set<CategoryId> CategoryDatabase::categorize(const net::Url& url) const {
+  return categorizeAsOf(url, kNoCutoff);
+}
+
+std::set<CategoryId> CategoryDatabase::hostCategories(
+    std::string_view host) const {
+  const auto it = byHost_.find(util::toLower(host));
+  if (it == byHost_.end()) return {};
+  return categoriesOf(it->second, kNoCutoff);
+}
+
+}  // namespace urlf::filters

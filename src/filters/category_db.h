@@ -1,0 +1,73 @@
+#ifndef URLF_FILTERS_CATEGORY_DB_H
+#define URLF_FILTERS_CATEGORY_DB_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "filters/category.h"
+#include "net/url.h"
+#include "util/clock.h"
+
+namespace urlf::filters {
+
+/// A vendor's database of categorized URLs.
+///
+/// Entries exist at two granularities, reflecting real products: whole
+/// hostnames (SmartFilter blocked even the benign image on a categorized
+/// host, §4.6) and exact URLs. Lookup checks the exact URL first, then the
+/// hostname, then the registrable domain, and unions the results.
+///
+/// Each entry records when it was added, so deployments that receive
+/// updates on a delay (§2.1's "subscription/update component") can query
+/// the database "as of" an earlier time.
+class CategoryDatabase {
+ public:
+  CategoryDatabase() = default;
+
+  /// Categorize a whole hostname (and all URLs on it). `addedAt` defaults
+  /// to the simulation epoch, i.e. visible at any query time.
+  void addHost(std::string_view host, CategoryId category,
+               util::SimTime addedAt = util::SimTime{});
+  /// Categorize one exact URL (canonical string form).
+  void addUrl(const net::Url& url, CategoryId category,
+              util::SimTime addedAt = util::SimTime{});
+
+  void removeHost(std::string_view host);
+
+  /// All categories that apply to this URL (ignoring entry times).
+  [[nodiscard]] std::set<CategoryId> categorize(const net::Url& url) const;
+
+  /// Only the categories whose entries existed at or before `cutoff` — the
+  /// view of a deployment whose last update sync was at `cutoff`.
+  [[nodiscard]] std::set<CategoryId> categorizeAsOf(const net::Url& url,
+                                                    util::SimTime cutoff) const;
+
+  /// Categories recorded for the hostname itself (no URL/domain fallback).
+  [[nodiscard]] std::set<CategoryId> hostCategories(std::string_view host) const;
+
+  [[nodiscard]] bool isCategorized(const net::Url& url) const {
+    return !categorize(url).empty();
+  }
+
+  /// Number of categorized hosts + URLs (vendors advertise this figure —
+  /// "Netsweeper by the numbers" [19]).
+  [[nodiscard]] std::size_t entryCount() const {
+    return byHost_.size() + byUrl_.size();
+  }
+
+ private:
+  /// category -> time the entry was added.
+  using Entry = std::map<CategoryId, util::SimTime>;
+
+  static std::set<CategoryId> categoriesOf(const Entry& entry,
+                                           util::SimTime cutoff);
+
+  std::map<std::string, Entry, std::less<>> byHost_;
+  std::map<std::string, Entry, std::less<>> byUrl_;
+};
+
+}  // namespace urlf::filters
+
+#endif  // URLF_FILTERS_CATEGORY_DB_H

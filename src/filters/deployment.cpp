@@ -1,0 +1,107 @@
+#include "filters/deployment.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace urlf::filters {
+
+namespace {
+
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+Deployment::Deployment(std::string deploymentName, Vendor& vendor,
+                       FilterPolicy policy)
+    : deploymentName_(std::move(deploymentName)),
+      vendor_(&vendor),
+      policy_(std::move(policy)) {}
+
+void Deployment::installExternalSurfaces(simnet::World& world,
+                                         std::uint32_t asn) {
+  serviceIp_ = world.allocateAddress(asn);
+}
+
+void Deployment::freezeUpdates() {
+  frozenDb_ = vendor_->masterDb();
+  policy_.receivesUpdates = false;
+}
+
+bool Deployment::isOffline(const simnet::InterceptContext& ctx) const {
+  return policy_.offlineProbability > 0.0 && ctx.rng != nullptr &&
+         ctx.rng->chance(policy_.offlineProbability);
+}
+
+bool Deployment::syncedLocally(std::string_view host) const {
+  if (policy_.syncCoverage >= 1.0) return true;
+  if (policy_.syncCoverage <= 0.0) return false;
+  // Key coverage on the registrable domain so www.x and x agree. The salt
+  // is mixed through a finalizer so that nearby salts give independent
+  // inclusion sets.
+  const std::string domain = net::registrableDomain(host);
+  std::uint64_t h = fnv1a64(domain) ^ policy_.syncSalt;
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return unit < policy_.syncCoverage;
+}
+
+std::set<CategoryId> Deployment::effectiveCategories(const net::Url& url,
+                                                     util::SimTime now) const {
+  std::set<CategoryId> out = policy_.customDb.categorize(url);
+  const CategoryDatabase& db =
+      (frozenDb_ && !policy_.receivesUpdates) ? *frozenDb_ : vendor_->masterDb();
+  if (syncedLocally(url.host())) {
+    // Updates pushed by the vendor reach the box `updateLagHours` later.
+    const auto fromVendor =
+        db.categorizeAsOf(url, now - policy_.updateLagHours);
+    out.insert(fromVendor.begin(), fromVendor.end());
+  }
+  return out;
+}
+
+bool Deployment::isOwnServiceTraffic(const http::Request& request) const {
+  if (serviceIp_ == net::Ipv4Addr{}) return false;
+  return request.url.host() == serviceIp_.toString();
+}
+
+std::optional<simnet::InterceptAction> Deployment::intercept(
+    http::Request& request, const simnet::InterceptContext& ctx) {
+  // Vendor-side queues advance lazily with simulated time.
+  vendor_->processUntil(ctx.now);
+  ++requestsSeen_;
+
+  if (isOwnServiceTraffic(request)) return std::nullopt;
+
+  if (auto action = preIntercept(request, ctx)) return action;
+
+  if (isOffline(ctx)) return onPassThrough(request, ctx);
+
+  const auto categories = effectiveCategories(request.url, ctx.now);
+  std::set<CategoryId> blocked;
+  std::set_intersection(categories.begin(), categories.end(),
+                        policy_.blockedCategories.begin(),
+                        policy_.blockedCategories.end(),
+                        std::inserter(blocked, blocked.begin()));
+  if (!blocked.empty()) {
+    ++requestsBlocked_;
+    for (const auto category : blocked) ++blocksByCategory_[category];
+    return buildBlockAction(request, blocked, ctx);
+  }
+
+  if (policy_.queueAccessedUrls && categories.empty())
+    vendor_->queueForCategorization(request.url, ctx.now);
+
+  return onPassThrough(request, ctx);
+}
+
+}  // namespace urlf::filters

@@ -1,0 +1,37 @@
+#ifndef URLF_FILTERS_FIXED_ENDPOINT_H
+#define URLF_FILTERS_FIXED_ENDPOINT_H
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "simnet/endpoint.h"
+
+namespace urlf::filters {
+
+/// An HttpEndpoint defined by a handler function — used for product
+/// management consoles, deny-page services, and block-page services whose
+/// behaviour is a function of the request.
+class FixedEndpoint : public simnet::HttpEndpoint {
+ public:
+  using Handler =
+      std::function<http::Response(const http::Request&, util::SimTime)>;
+
+  FixedEndpoint(std::string description, Handler handler)
+      : description_(std::move(description)), handler_(std::move(handler)) {}
+
+  http::Response handle(const http::Request& request,
+                        util::SimTime now) override {
+    return handler_(request, now);
+  }
+
+  [[nodiscard]] std::string describe() const override { return description_; }
+
+ private:
+  std::string description_;
+  Handler handler_;
+};
+
+}  // namespace urlf::filters
+
+#endif  // URLF_FILTERS_FIXED_ENDPOINT_H

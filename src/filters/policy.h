@@ -1,0 +1,60 @@
+#ifndef URLF_FILTERS_POLICY_H
+#define URLF_FILTERS_POLICY_H
+
+#include <cstdint>
+#include <set>
+
+#include "filters/category.h"
+#include "filters/category_db.h"
+
+namespace urlf::filters {
+
+/// Per-deployment operator configuration.
+///
+/// A deployment is one installation of a product inside one ISP; the
+/// operator chooses which vendor categories to block, may add custom local
+/// categorizations, and (deliberately or not) controls the properties the
+/// paper's identification method depends on.
+struct FilterPolicy {
+  /// Vendor categories this operator blocks (ids in the vendor's scheme).
+  std::set<CategoryId> blockedCategories;
+
+  /// Operator-maintained local categorizations layered over the vendor DB.
+  CategoryDatabase customDb;
+
+  /// Whether the installation's management/service surfaces are reachable
+  /// from the global Internet. The paper's §3 method only finds visible
+  /// installations (its stated limitation; Table 5 evasion #1).
+  bool externallyVisible = true;
+
+  /// Strip vendor branding/headers from block pages (Table 5 evasion #2 —
+  /// "vendors obscure the use of their products", §2.2).
+  bool stripBranding = false;
+
+  /// Fraction of the vendor master DB present locally (update lag /
+  /// incomplete sync). 1.0 = fully synced. Inclusion is per-host
+  /// deterministic given `syncSalt`.
+  double syncCoverage = 1.0;
+  std::uint64_t syncSalt = 0;
+
+  /// Hours between a vendor-side database addition and its arrival at
+  /// this deployment (the subscription/update push of §2.1). 0 = instant.
+  std::int64_t updateLagHours = 0;
+
+  /// Whether the deployment still receives vendor DB updates. Websense
+  /// withdrew update support from Yemen in 2009 [35]; a frozen deployment
+  /// only sees the DB snapshot taken at freeze time.
+  bool receivesUpdates = true;
+
+  /// Probability that any given exchange passes unfiltered because the box
+  /// is overloaded/over-license ("temporarily offline", Challenge 2 §4.4).
+  double offlineProbability = 0.0;
+
+  /// Netsweeper behaviour (§4.4): queue URLs accessed in-country that are
+  /// not yet categorized, for later vendor categorization.
+  bool queueAccessedUrls = false;
+};
+
+}  // namespace urlf::filters
+
+#endif  // URLF_FILTERS_POLICY_H

@@ -1,0 +1,39 @@
+#ifndef URLF_FILTERS_REGISTRY_H
+#define URLF_FILTERS_REGISTRY_H
+
+#include <memory>
+#include <string>
+
+#include "filters/bluecoat.h"
+#include "filters/deployment.h"
+#include "filters/netsweeper.h"
+#include "filters/smartfilter.h"
+#include "filters/websense.h"
+
+namespace urlf::filters {
+
+/// Construct the right Deployment subclass for a product kind, owned by the
+/// world. Convenience used by scenario builders and tests.
+inline Deployment& makeDeployment(simnet::World& world, ProductKind kind,
+                                  std::string deploymentName, Vendor& vendor,
+                                  FilterPolicy policy) {
+  switch (kind) {
+    case ProductKind::kBlueCoat:
+      return world.makeMiddlebox<BlueCoatProxySG>(std::move(deploymentName),
+                                                  vendor, std::move(policy));
+    case ProductKind::kSmartFilter:
+      return world.makeMiddlebox<SmartFilterDeployment>(
+          std::move(deploymentName), vendor, std::move(policy));
+    case ProductKind::kNetsweeper:
+      return world.makeMiddlebox<NetsweeperDeployment>(std::move(deploymentName),
+                                                       vendor, std::move(policy));
+    case ProductKind::kWebsense:
+      return world.makeMiddlebox<WebsenseDeployment>(std::move(deploymentName),
+                                                     vendor, std::move(policy));
+  }
+  throw std::invalid_argument("makeDeployment: unknown product kind");
+}
+
+}  // namespace urlf::filters
+
+#endif  // URLF_FILTERS_REGISTRY_H

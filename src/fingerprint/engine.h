@@ -1,0 +1,73 @@
+#ifndef URLF_FINGERPRINT_ENGINE_H
+#define URLF_FINGERPRINT_ENGINE_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "filters/category.h"
+#include "fingerprint/matcher.h"
+#include "simnet/world.h"
+
+namespace urlf::fingerprint {
+
+/// A weighted rule inside a signature.
+struct WeightedMatcher {
+  Matcher matcher;
+  double weight = 1.0;  ///< certainty contributed when this rule fires
+};
+
+/// A product signature: a set of weighted rules. The signature matches an
+/// observation when any rule fires; certainty is the maximum weight among
+/// fired rules.
+struct Signature {
+  filters::ProductKind product = filters::ProductKind::kBlueCoat;
+  std::string name;
+  std::vector<WeightedMatcher> matchers;
+  double threshold = 0.5;  ///< minimum certainty to report a match
+};
+
+/// One confirmed signature hit.
+struct Match {
+  filters::ProductKind product = filters::ProductKind::kBlueCoat;
+  std::string signatureName;
+  double certainty = 0.0;
+  std::vector<std::string> evidence;  ///< one entry per fired rule
+};
+
+/// The WhatWeb stand-in: validates that a candidate IP really hosts the
+/// suspected product (§3.1, "Validating URL filter installations").
+class Engine {
+ public:
+  Engine() = default;
+
+  void addSignature(Signature signature);
+
+  /// Engine preloaded with the Table 2 signatures for all four products.
+  [[nodiscard]] static Engine withBuiltinSignatures();
+
+  /// Evaluate all signatures against a stored observation (passive mode).
+  [[nodiscard]] std::vector<Match> evaluate(const Observation& obs) const;
+
+  /// Actively probe (ip, port) from outside — GET / without following
+  /// redirects, so signature Location headers stay observable. Returns
+  /// nullopt when nothing externally reachable answers.
+  [[nodiscard]] static std::optional<Observation> observe(simnet::World& world,
+                                                          net::Ipv4Addr ip,
+                                                          std::uint16_t port);
+
+  /// observe + evaluate (aggressive mode).
+  [[nodiscard]] std::vector<Match> probe(simnet::World& world, net::Ipv4Addr ip,
+                                         std::uint16_t port) const;
+
+  [[nodiscard]] const std::vector<Signature>& signatures() const {
+    return signatures_;
+  }
+
+ private:
+  std::vector<Signature> signatures_;
+};
+
+}  // namespace urlf::fingerprint
+
+#endif  // URLF_FINGERPRINT_ENGINE_H

@@ -1,0 +1,82 @@
+#ifndef URLF_FINGERPRINT_MATCHER_H
+#define URLF_FINGERPRINT_MATCHER_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <regex>
+#include <string>
+
+#include "http/header_map.h"
+#include "net/ipv4.h"
+
+namespace urlf::fingerprint {
+
+/// What the fingerprinting engine sees for one probed (ip, port): status,
+/// headers, a body snippet, and the extracted HTML title. Built either from
+/// an active probe or from a stored scan banner.
+struct Observation {
+  net::Ipv4Addr ip;
+  std::uint16_t port = 80;
+  int statusCode = 0;
+  http::HeaderMap headers;
+  std::string body;
+  std::string title;
+};
+
+/// One WhatWeb-style match rule. Each rule keys on a protocol artifact that
+/// Table 2 of the paper identifies as distinctive for a product.
+class Matcher {
+ public:
+  /// Header `name` has a value containing `needle` (case-insensitive).
+  static Matcher headerContains(std::string name, std::string needle);
+  /// HTML title contains `needle` (case-insensitive).
+  static Matcher titleContains(std::string needle);
+  /// Body contains `needle` (case-insensitive).
+  static Matcher bodyContains(std::string needle);
+  /// Location header contains `needle` (case-insensitive).
+  static Matcher locationContains(std::string needle);
+  /// Redirect whose Location URL targets this port AND carries this query
+  /// parameter (the Websense signature: port 15871 + "ws-session").
+  static Matcher locationRedirect(std::uint16_t port, std::string queryKey);
+  /// Exact status code.
+  static Matcher statusEquals(int code);
+  /// Header `name` has a value matching an ECMAScript regex
+  /// (case-insensitive) — WhatWeb's native rule form. Throws
+  /// std::regex_error on a malformed pattern.
+  static Matcher headerRegex(std::string name, const std::string& pattern);
+  /// Body matches an ECMAScript regex (case-insensitive).
+  static Matcher bodyRegex(const std::string& pattern);
+
+  /// Evidence string when matched, nullopt otherwise.
+  [[nodiscard]] std::optional<std::string> match(const Observation& obs) const;
+
+  /// Human-readable rule description.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  enum class Kind {
+    kHeaderContains,
+    kTitleContains,
+    kBodyContains,
+    kLocationContains,
+    kLocationRedirect,
+    kStatusEquals,
+    kHeaderRegex,
+    kBodyRegex,
+  };
+
+  Matcher() = default;
+
+  Kind kind_ = Kind::kBodyContains;
+  std::string headerName_;
+  std::string needle_;  ///< substring needle, or the regex's source text
+  std::uint16_t port_ = 0;
+  int status_ = 0;
+  /// Compiled regex for the regex kinds (shared so Matcher stays copyable).
+  std::shared_ptr<const std::regex> regex_;
+};
+
+}  // namespace urlf::fingerprint
+
+#endif  // URLF_FINGERPRINT_MATCHER_H

@@ -1,0 +1,70 @@
+#include "geo/geodb.h"
+
+#include <algorithm>
+
+namespace urlf::geo {
+
+namespace {
+
+/// Longest-prefix match over a list of entries.
+template <typename Entry>
+const Entry* longestMatch(const std::vector<Entry>& entries,
+                          net::Ipv4Addr addr) {
+  const Entry* best = nullptr;
+  for (const auto& e : entries) {
+    if (!e.prefix.contains(addr)) continue;
+    if (best == nullptr || e.prefix.length() > best->prefix.length()) best = &e;
+  }
+  return best;
+}
+
+}  // namespace
+
+void GeoDatabase::add(const net::IpPrefix& prefix, std::string alpha2) {
+  entries_.push_back({prefix, std::move(alpha2)});
+}
+
+void GeoDatabase::setErrorModel(double errorRate, std::uint64_t seed) {
+  errorRate_ = std::clamp(errorRate, 0.0, 1.0);
+  noiseSeed_ = seed;
+}
+
+std::optional<std::string> GeoDatabase::lookup(net::Ipv4Addr addr) const {
+  const auto truth = lookupTruth(addr);
+  if (!truth || errorRate_ <= 0.0 || entries_.size() < 2) return truth;
+  // Per-address deterministic noise: hash the address with the seed.
+  util::Rng noise{noiseSeed_ ^ (std::uint64_t{addr.value()} * 0x9E3779B97F4A7C15ULL)};
+  if (!noise.chance(errorRate_)) return truth;
+  // Pick a different entry's country.
+  for (int attempts = 0; attempts < 16; ++attempts) {
+    const auto& candidate = entries_[noise.index(entries_.size())].alpha2;
+    if (candidate != *truth) return candidate;
+  }
+  return truth;  // db is homogeneous; no different country available
+}
+
+std::optional<std::string> GeoDatabase::lookupTruth(net::Ipv4Addr addr) const {
+  const auto* entry = longestMatch(entries_, addr);
+  if (entry == nullptr) return std::nullopt;
+  return entry->alpha2;
+}
+
+void AsnDatabase::add(const net::IpPrefix& prefix, AsnRecord record) {
+  entries_.push_back({prefix, std::move(record)});
+}
+
+std::optional<AsnRecord> AsnDatabase::lookup(net::Ipv4Addr addr) const {
+  const auto* entry = longestMatch(entries_, addr);
+  if (entry == nullptr) return std::nullopt;
+  return entry->record;
+}
+
+std::vector<std::optional<AsnRecord>> AsnDatabase::bulkLookup(
+    const std::vector<net::Ipv4Addr>& addrs) const {
+  std::vector<std::optional<AsnRecord>> out;
+  out.reserve(addrs.size());
+  for (const auto addr : addrs) out.push_back(lookup(addr));
+  return out;
+}
+
+}  // namespace urlf::geo

@@ -1,0 +1,85 @@
+#ifndef URLF_GEO_GEODB_H
+#define URLF_GEO_GEODB_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "util/rng.h"
+
+namespace urlf::geo {
+
+/// A MaxMind-style IP-geolocation database: longest-prefix match from IPv4
+/// prefixes to ISO alpha-2 country codes.
+///
+/// Real geolocation databases are imperfect; `errorRate` models that: with
+/// that probability a lookup deterministically (per address) returns the
+/// country of a different, randomly chosen entry. The identification pipeline
+/// (§3.1) must tolerate this.
+class GeoDatabase {
+ public:
+  GeoDatabase() = default;
+
+  /// Register a prefix as located in `alpha2`. Later insertions with longer
+  /// prefixes take precedence (longest-prefix match).
+  void add(const net::IpPrefix& prefix, std::string alpha2);
+
+  /// Set the mislocation probability (default 0) and the seed that makes the
+  /// per-address noise deterministic.
+  void setErrorModel(double errorRate, std::uint64_t seed);
+
+  /// Country (ISO alpha-2) for the address, if covered by any prefix.
+  [[nodiscard]] std::optional<std::string> lookup(net::Ipv4Addr addr) const;
+
+  /// Ground-truth lookup, ignoring the error model (for evaluation only;
+  /// the methodology code must not call this).
+  [[nodiscard]] std::optional<std::string> lookupTruth(net::Ipv4Addr addr) const;
+
+  [[nodiscard]] std::size_t entryCount() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    net::IpPrefix prefix;
+    std::string alpha2;
+  };
+  std::vector<Entry> entries_;
+  double errorRate_ = 0.0;
+  std::uint64_t noiseSeed_ = 0;
+};
+
+/// One whois/IP-to-ASN record in the Team Cymru style.
+struct AsnRecord {
+  std::uint32_t asn = 0;
+  std::string asName;       ///< e.g. "ETISALAT-AS"
+  std::string description;  ///< e.g. "Emirates Telecommunications Corporation"
+  std::string countryAlpha2;
+};
+
+/// Team Cymru-style IP→ASN mapping: longest-prefix match over announced
+/// prefixes, plus a bulk interface mirroring their netcat/whois service.
+class AsnDatabase {
+ public:
+  AsnDatabase() = default;
+
+  void add(const net::IpPrefix& prefix, AsnRecord record);
+
+  [[nodiscard]] std::optional<AsnRecord> lookup(net::Ipv4Addr addr) const;
+
+  /// Bulk lookup preserving input order; unresolved entries are nullopt.
+  [[nodiscard]] std::vector<std::optional<AsnRecord>> bulkLookup(
+      const std::vector<net::Ipv4Addr>& addrs) const;
+
+  [[nodiscard]] std::size_t entryCount() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    net::IpPrefix prefix;
+    AsnRecord record;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace urlf::geo
+
+#endif  // URLF_GEO_GEODB_H

@@ -1,0 +1,72 @@
+#include "http/header_map.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace urlf::http {
+
+HeaderMap::HeaderMap(std::initializer_list<Field> fields) : fields_(fields) {}
+
+void HeaderMap::add(std::string_view name, std::string_view value) {
+  fields_.push_back({std::string(name), std::string(value)});
+}
+
+void HeaderMap::set(std::string_view name, std::string_view value) {
+  remove(name);
+  add(name, value);
+}
+
+std::size_t HeaderMap::remove(std::string_view name) {
+  const auto before = fields_.size();
+  std::erase_if(fields_, [&](const Field& f) {
+    return util::iequals(f.name, name);
+  });
+  return before - fields_.size();
+}
+
+std::optional<std::string_view> HeaderMap::get(std::string_view name) const {
+  for (const auto& f : fields_)
+    if (util::iequals(f.name, name)) return std::string_view{f.value};
+  return std::nullopt;
+}
+
+std::vector<std::string_view> HeaderMap::getAll(std::string_view name) const {
+  std::vector<std::string_view> out;
+  for (const auto& f : fields_)
+    if (util::iequals(f.name, name)) out.emplace_back(f.value);
+  return out;
+}
+
+bool HeaderMap::contains(std::string_view name) const {
+  return get(name).has_value();
+}
+
+bool HeaderMap::anyValueContains(std::string_view needle) const {
+  return std::any_of(fields_.begin(), fields_.end(), [&](const Field& f) {
+    return util::icontains(f.value, needle);
+  });
+}
+
+std::string HeaderMap::serialize() const {
+  std::string out;
+  for (const auto& f : fields_) {
+    out += f.name;
+    out += ": ";
+    out += f.value;
+    out += "\r\n";
+  }
+  return out;
+}
+
+bool HeaderMap::operator==(const HeaderMap& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (!util::iequals(fields_[i].name, other.fields_[i].name) ||
+        fields_[i].value != other.fields_[i].value)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace urlf::http

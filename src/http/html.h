@@ -1,0 +1,23 @@
+#ifndef URLF_HTTP_HTML_H
+#define URLF_HTTP_HTML_H
+
+#include <string>
+#include <string_view>
+
+namespace urlf::http {
+
+/// Extract the contents of the first <title> element (case-insensitive tag
+/// match, whitespace-trimmed). Empty when no title exists. Fingerprinting
+/// relies on this: e.g. SmartFilter's block page titles itself
+/// "McAfee Web Gateway" (Table 2).
+[[nodiscard]] std::string extractTitle(std::string_view html);
+
+/// Minimal page builder: <html><head><title>..</title></head><body>..</body></html>.
+[[nodiscard]] std::string makePage(std::string_view title, std::string_view body);
+
+/// Escape &, <, > for safe embedding in HTML text.
+[[nodiscard]] std::string escape(std::string_view text);
+
+}  // namespace urlf::http
+
+#endif  // URLF_HTTP_HTML_H

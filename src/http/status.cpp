@@ -1,0 +1,27 @@
+#include "http/status.h"
+
+namespace urlf::http {
+
+std::string_view reasonPhrase(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 301: return "Moved Permanently";
+    case 302: return "Found";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 407: return "Proxy Authentication Required";
+    case 408: return "Request Timeout";
+    case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+std::string_view reasonPhrase(Status status) {
+  return reasonPhrase(static_cast<int>(status));
+}
+
+}  // namespace urlf::http

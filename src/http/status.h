@@ -1,0 +1,35 @@
+#ifndef URLF_HTTP_STATUS_H
+#define URLF_HTTP_STATUS_H
+
+#include <string_view>
+
+namespace urlf::http {
+
+/// HTTP status codes used in the simulation.
+enum class Status : int {
+  kOk = 200,
+  kMovedPermanently = 301,
+  kFound = 302,
+  kBadRequest = 400,
+  kForbidden = 403,
+  kNotFound = 404,
+  kProxyAuthRequired = 407,
+  kRequestTimeout = 408,
+  kInternalServerError = 500,
+  kBadGateway = 502,
+  kServiceUnavailable = 503,
+  kGatewayTimeout = 504,
+};
+
+/// Canonical reason phrase ("OK", "Forbidden", ...). Unknown codes yield
+/// "Unknown".
+[[nodiscard]] std::string_view reasonPhrase(Status status);
+[[nodiscard]] std::string_view reasonPhrase(int code);
+
+[[nodiscard]] constexpr int code(Status s) { return static_cast<int>(s); }
+[[nodiscard]] constexpr bool isRedirectCode(int c) { return c == 301 || c == 302 || c == 303 || c == 307 || c == 308; }
+[[nodiscard]] constexpr bool isSuccessCode(int c) { return c >= 200 && c < 300; }
+
+}  // namespace urlf::http
+
+#endif  // URLF_HTTP_STATUS_H

@@ -1,0 +1,135 @@
+#include "http/wire.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace urlf::http {
+
+namespace {
+
+struct HeaderBlock {
+  HeaderMap headers;
+  std::string_view rest;  // body bytes
+};
+
+/// Parse "Name: value\r\n"* up to the blank line.
+std::optional<HeaderBlock> parseHeaderBlock(std::string_view s) {
+  HeaderBlock out;
+  while (true) {
+    const std::size_t eol = s.find("\r\n");
+    if (eol == std::string_view::npos) return std::nullopt;  // no blank line
+    const std::string_view line = s.substr(0, eol);
+    s.remove_prefix(eol + 2);
+    if (line.empty()) break;  // end of headers
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) return std::nullopt;
+    const std::string_view name = util::trim(line.substr(0, colon));
+    const std::string_view value = util::trim(line.substr(colon + 1));
+    if (name.empty()) return std::nullopt;
+    out.headers.add(name, value);
+  }
+  out.rest = s;
+  return out;
+}
+
+std::optional<int> parseStatusCode(std::string_view s) {
+  if (s.size() != 3) return std::nullopt;
+  int code = 0;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+    code = code * 10 + (c - '0');
+  }
+  return code;
+}
+
+}  // namespace
+
+std::string serialize(const Request& req) {
+  std::string out = req.requestLine();
+  out += "\r\n";
+  out += req.headers.serialize();
+  out += "\r\n";
+  out += req.body;
+  return out;
+}
+
+std::string serialize(const Response& resp) {
+  std::string out = resp.statusLine();
+  out += "\r\n";
+  out += resp.headers.serialize();
+  out += "\r\n";
+  out += resp.body;
+  return out;
+}
+
+std::optional<Response> parseResponse(std::string_view wire) {
+  const std::size_t eol = wire.find("\r\n");
+  if (eol == std::string_view::npos) return std::nullopt;
+  const std::string_view statusLine = wire.substr(0, eol);
+
+  // "HTTP/1.1 SP 3DIGIT SP reason"
+  if (!util::startsWith(statusLine, "HTTP/1.")) return std::nullopt;
+  const std::size_t sp1 = statusLine.find(' ');
+  if (sp1 == std::string_view::npos) return std::nullopt;
+  const std::size_t sp2 = statusLine.find(' ', sp1 + 1);
+  const std::string_view codeText =
+      sp2 == std::string_view::npos
+          ? statusLine.substr(sp1 + 1)
+          : statusLine.substr(sp1 + 1, sp2 - sp1 - 1);
+  const auto code = parseStatusCode(codeText);
+  if (!code) return std::nullopt;
+
+  auto block = parseHeaderBlock(wire.substr(eol + 2));
+  if (!block) return std::nullopt;
+
+  Response resp;
+  resp.statusCode = *code;
+  resp.reason = sp2 == std::string_view::npos
+                    ? std::string(reasonPhrase(*code))
+                    : std::string(statusLine.substr(sp2 + 1));
+  resp.headers = std::move(block->headers);
+  if (const auto len = resp.headers.get("Content-Length")) {
+    std::size_t n = 0;
+    for (char c : *len) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+      n = n * 10 + static_cast<std::size_t>(c - '0');
+    }
+    if (n > block->rest.size()) return std::nullopt;  // truncated
+    resp.body = std::string(block->rest.substr(0, n));
+  } else {
+    resp.body = std::string(block->rest);  // connection-close framing
+  }
+  return resp;
+}
+
+std::optional<Request> parseRequest(std::string_view wire) {
+  const std::size_t eol = wire.find("\r\n");
+  if (eol == std::string_view::npos) return std::nullopt;
+  const std::string_view requestLine = wire.substr(0, eol);
+
+  const auto parts = util::split(requestLine, ' ');
+  if (parts.size() != 3) return std::nullopt;
+  const std::string& method = parts[0];
+  const std::string& target = parts[1];
+  if (method.empty() || target.empty() || parts[2].substr(0, 7) != "HTTP/1.")
+    return std::nullopt;
+
+  auto block = parseHeaderBlock(wire.substr(eol + 2));
+  if (!block) return std::nullopt;
+
+  const auto host = block->headers.get("Host");
+  if (!host) return std::nullopt;
+
+  const auto url = net::Url::parse("http://" + std::string(*host) + target);
+  if (!url) return std::nullopt;
+
+  Request req;
+  req.method = method;
+  req.url = *url;
+  req.headers = std::move(block->headers);
+  req.body = std::string(block->rest);
+  return req;
+}
+
+}  // namespace urlf::http

@@ -1,0 +1,29 @@
+#ifndef URLF_HTTP_WIRE_H
+#define URLF_HTTP_WIRE_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "http/message.h"
+
+namespace urlf::http {
+
+/// Serialize a request to its RFC 7230 wire form (origin-form target).
+[[nodiscard]] std::string serialize(const Request& req);
+
+/// Serialize a response to its wire form.
+[[nodiscard]] std::string serialize(const Response& resp);
+
+/// Parse a response from wire form. Tolerates missing Content-Length by
+/// treating the remainder as the body (connection-close framing). Returns
+/// nullopt on a malformed status line or header block.
+[[nodiscard]] std::optional<Response> parseResponse(std::string_view wire);
+
+/// Parse a request from wire form (origin-form target; requires Host header
+/// to reconstruct the absolute URL). Returns nullopt when malformed.
+[[nodiscard]] std::optional<Request> parseRequest(std::string_view wire);
+
+}  // namespace urlf::http
+
+#endif  // URLF_HTTP_WIRE_H

@@ -1,0 +1,48 @@
+#ifndef URLF_MEASURE_BLOCKPAGE_H
+#define URLF_MEASURE_BLOCKPAGE_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "filters/category.h"
+#include "simnet/transport.h"
+
+namespace urlf::measure {
+
+/// A vendor block-page recognizer: a named regular expression applied to the
+/// textual trace of a fetch (status line, headers, redirect Locations, body).
+/// "Manual analysis identified regular expressions corresponding to the
+/// vendors' block pages" (§5).
+struct BlockPagePattern {
+  filters::ProductKind product = filters::ProductKind::kBlueCoat;
+  std::string name;    ///< e.g. "smartfilter-via-header"
+  std::string regex;   ///< ECMAScript regex, applied case-insensitively
+};
+
+/// The built-in pattern library for the four products.
+[[nodiscard]] const std::vector<BlockPagePattern>& builtinBlockPagePatterns();
+
+/// A positive block-page classification.
+struct BlockPageMatch {
+  filters::ProductKind product = filters::ProductKind::kBlueCoat;
+  std::string patternName;
+  std::string evidence;  ///< the matched text fragment
+};
+
+/// Flatten a fetch result (redirect chain + final response) into the text
+/// the patterns are applied to.
+[[nodiscard]] std::string fetchTrace(const simnet::FetchResult& result);
+
+/// Classify a fetch as a vendor block page, if any pattern matches.
+[[nodiscard]] std::optional<BlockPageMatch> classifyBlockPage(
+    const simnet::FetchResult& result);
+
+/// Same, with a caller-supplied pattern library.
+[[nodiscard]] std::optional<BlockPageMatch> classifyBlockPage(
+    const simnet::FetchResult& result,
+    const std::vector<BlockPagePattern>& patterns);
+
+}  // namespace urlf::measure
+
+#endif  // URLF_MEASURE_BLOCKPAGE_H

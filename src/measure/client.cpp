@@ -1,0 +1,67 @@
+#include "measure/client.h"
+
+namespace urlf::measure {
+
+std::string_view toString(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kAccessible: return "accessible";
+    case Verdict::kBlocked: return "blocked";
+    case Verdict::kBlockedOther: return "blocked-other";
+    case Verdict::kInconclusive: return "inconclusive";
+    case Verdict::kError: return "error";
+  }
+  return "unknown";
+}
+
+Client::Client(simnet::World& world, const simnet::VantagePoint& field,
+               const simnet::VantagePoint& lab)
+    : transport_(world), field_(&field), lab_(&lab) {}
+
+Verdict Client::compare(const simnet::FetchResult& field,
+                        const simnet::FetchResult& lab,
+                        const std::optional<BlockPageMatch>& blockPage) {
+  // If the lab cannot reach the site, the site is simply down; nothing can
+  // be concluded about censorship.
+  if (!lab.ok() || !lab.response->isSuccess()) return Verdict::kError;
+
+  if (blockPage) return Verdict::kBlocked;
+
+  switch (field.outcome) {
+    case simnet::FetchOutcome::kOk:
+      break;
+    case simnet::FetchOutcome::kReset:
+    case simnet::FetchOutcome::kTimeout:
+      // Censorship via RST/blackholing — the ambiguity the paper avoids by
+      // testing products with explicit block pages (§4.1).
+      return Verdict::kBlockedOther;
+    case simnet::FetchOutcome::kDnsFailure:
+    case simnet::FetchOutcome::kConnectFailure:
+      return Verdict::kInconclusive;
+  }
+
+  if (field.response->statusCode != lab.response->statusCode)
+    return Verdict::kBlockedOther;
+  if (field.response->body == lab.response->body) return Verdict::kAccessible;
+  // Same status, different content: transparent rewriting we cannot
+  // attribute to a vendor.
+  return Verdict::kInconclusive;
+}
+
+UrlTestResult Client::testUrl(const std::string& url) {
+  UrlTestResult result;
+  result.url = url;
+  result.field = transport_.fetchUrl(*field_, url);
+  result.lab = transport_.fetchUrl(*lab_, url);
+  result.blockPage = classifyBlockPage(result.field);
+  result.verdict = compare(result.field, result.lab, result.blockPage);
+  return result;
+}
+
+std::vector<UrlTestResult> Client::testList(std::span<const std::string> urls) {
+  std::vector<UrlTestResult> out;
+  out.reserve(urls.size());
+  for (const auto& url : urls) out.push_back(testUrl(url));
+  return out;
+}
+
+}  // namespace urlf::measure

@@ -1,0 +1,71 @@
+#ifndef URLF_MEASURE_CLIENT_H
+#define URLF_MEASURE_CLIENT_H
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "measure/blockpage.h"
+#include "simnet/transport.h"
+#include "simnet/world.h"
+
+namespace urlf::measure {
+
+/// Verdict for one URL after comparing the field and lab accesses (§4.1).
+enum class Verdict {
+  kAccessible,    ///< field matches the lab's view of the page
+  kBlocked,       ///< field got a recognized vendor block page
+  kBlockedOther,  ///< field clearly censored (non-2xx / RST / timeout while
+                  ///< lab is fine) but no vendor pattern matched
+  kInconclusive,  ///< field differs from lab in a way we cannot attribute
+  kError,         ///< the lab access itself failed — the site is just down
+};
+
+[[nodiscard]] std::string_view toString(Verdict verdict);
+
+/// Everything recorded about one URL in one run.
+struct UrlTestResult {
+  std::string url;
+  simnet::FetchResult field;
+  simnet::FetchResult lab;
+  Verdict verdict = Verdict::kError;
+  std::optional<BlockPageMatch> blockPage;
+
+  [[nodiscard]] bool blocked() const {
+    return verdict == Verdict::kBlocked || verdict == Verdict::kBlockedOther;
+  }
+};
+
+/// The ONI-style measurement client (§4.1): accesses a URL list from a field
+/// vantage point and triggers the same list from the uncensored lab, then
+/// compares the two to decide per-URL accessibility.
+class Client {
+ public:
+  Client(simnet::World& world, const simnet::VantagePoint& field,
+         const simnet::VantagePoint& lab);
+
+  [[nodiscard]] UrlTestResult testUrl(const std::string& url);
+
+  [[nodiscard]] std::vector<UrlTestResult> testList(
+      std::span<const std::string> urls);
+
+  [[nodiscard]] const simnet::VantagePoint& field() const { return *field_; }
+  [[nodiscard]] const simnet::VantagePoint& lab() const { return *lab_; }
+
+  /// The pure comparison rule (§4.1): derive the verdict from the two
+  /// fetches and the block-page classification. Public so recorded sessions
+  /// can be re-classified offline with a different pattern library.
+  [[nodiscard]] static Verdict compare(
+      const simnet::FetchResult& field, const simnet::FetchResult& lab,
+      const std::optional<BlockPageMatch>& blockPage);
+
+ private:
+  simnet::Transport transport_;
+  const simnet::VantagePoint* field_;
+  const simnet::VantagePoint* lab_;
+};
+
+}  // namespace urlf::measure
+
+#endif  // URLF_MEASURE_CLIENT_H

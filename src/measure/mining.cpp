@@ -1,0 +1,74 @@
+#include "measure/mining.h"
+
+#include <vector>
+
+namespace urlf::measure {
+
+std::string longestCommonSubstring(std::string_view a, std::string_view b) {
+  if (a.empty() || b.empty()) return {};
+  // Rolling single-row DP: lengths[j] = longest common suffix of a[..i] and
+  // b[..j].
+  std::vector<std::size_t> lengths(b.size() + 1, 0);
+  std::size_t best = 0;
+  std::size_t bestEndInA = 0;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t previousDiagonal = 0;  // lengths[j-1] from the previous row
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t previous = lengths[j];
+      if (a[i - 1] == b[j - 1]) {
+        lengths[j] = previousDiagonal + 1;
+        if (lengths[j] > best) {
+          best = lengths[j];
+          bestEndInA = i;
+        }
+      } else {
+        lengths[j] = 0;
+      }
+      previousDiagonal = previous;
+    }
+  }
+  return std::string(a.substr(bestEndInA - best, best));
+}
+
+std::string regexEscape(std::string_view literal) {
+  static constexpr std::string_view kSpecials = R"(\^$.|?*+()[]{})";
+  std::string out;
+  out.reserve(literal.size());
+  for (const char c : literal) {
+    if (kSpecials.find(c) != std::string_view::npos) out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::optional<BlockPagePattern> minePattern(
+    filters::ProductKind product, std::span<const std::string> traces,
+    std::size_t minLength) {
+  if (traces.empty()) return std::nullopt;
+
+  std::string core = traces[0];
+  for (std::size_t i = 1; i < traces.size(); ++i) {
+    core = longestCommonSubstring(core, traces[i]);
+    if (core.size() < minLength) return std::nullopt;
+  }
+  if (core.size() < minLength) return std::nullopt;
+
+  BlockPagePattern pattern;
+  pattern.product = product;
+  pattern.name = std::string(filters::toString(product)) + "-mined";
+  pattern.regex = regexEscape(core);
+  return pattern;
+}
+
+std::optional<BlockPagePattern> minePatternFromResults(
+    filters::ProductKind product, const std::vector<UrlTestResult>& results,
+    std::size_t minLength) {
+  std::vector<std::string> traces;
+  for (const auto& result : results) {
+    if (!result.blocked()) continue;
+    traces.push_back(fetchTrace(result.field));
+  }
+  return minePattern(product, traces, minLength);
+}
+
+}  // namespace urlf::measure

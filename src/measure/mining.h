@@ -1,0 +1,41 @@
+#ifndef URLF_MEASURE_MINING_H
+#define URLF_MEASURE_MINING_H
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "measure/blockpage.h"
+#include "measure/client.h"
+#include "simnet/transport.h"
+
+namespace urlf::measure {
+
+/// Longest common substring of two strings (dynamic programming; first
+/// occurrence wins ties). Empty when the strings share nothing.
+[[nodiscard]] std::string longestCommonSubstring(std::string_view a,
+                                                 std::string_view b);
+
+/// Escape a literal string for use inside an ECMAScript regex.
+[[nodiscard]] std::string regexEscape(std::string_view literal);
+
+/// Derive a block-page pattern candidate from recorded fetch traces of
+/// blocked URLs in one network — mechanizing the paper's "manual analysis
+/// identified regular expressions corresponding to the vendors' block
+/// pages" (§5). The candidate is the longest substring common to ALL
+/// traces, regex-escaped; nullopt when the common core is shorter than
+/// `minLength` (too generic to be a signature).
+[[nodiscard]] std::optional<BlockPagePattern> minePattern(
+    filters::ProductKind product, std::span<const std::string> traces,
+    std::size_t minLength = 12);
+
+/// Convenience: extract the traces of the blocked results of a session and
+/// mine a pattern from them.
+[[nodiscard]] std::optional<BlockPagePattern> minePatternFromResults(
+    filters::ProductKind product, const std::vector<UrlTestResult>& results,
+    std::size_t minLength = 12);
+
+}  // namespace urlf::measure
+
+#endif  // URLF_MEASURE_MINING_H

@@ -1,0 +1,43 @@
+#include "measure/repeated.h"
+
+namespace urlf::measure {
+
+std::vector<UrlRunStats> RepeatedTester::run(std::span<const std::string> urls,
+                                             int passes,
+                                             int hoursBetweenPasses) {
+  std::vector<UrlRunStats> stats;
+  stats.reserve(urls.size());
+  for (const auto& url : urls) {
+    UrlRunStats s;
+    s.url = url;
+    stats.push_back(std::move(s));
+  }
+
+  for (int pass = 0; pass < passes; ++pass) {
+    if (pass > 0 && hoursBetweenPasses > 0)
+      world_->clock().advanceHours(hoursBetweenPasses);
+    for (std::size_t i = 0; i < urls.size(); ++i) {
+      const auto result = client_.testUrl(urls[i]);
+      auto& s = stats[i];
+      ++s.runs;
+      switch (result.verdict) {
+        case Verdict::kBlocked:
+        case Verdict::kBlockedOther:
+          ++s.blocked;
+          if (result.blockPage && !s.attributedProduct)
+            s.attributedProduct = result.blockPage->product;
+          break;
+        case Verdict::kAccessible:
+          ++s.accessible;
+          break;
+        case Verdict::kInconclusive:
+        case Verdict::kError:
+          ++s.other;
+          break;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace urlf::measure

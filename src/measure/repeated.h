@@ -1,0 +1,60 @@
+#ifndef URLF_MEASURE_REPEATED_H
+#define URLF_MEASURE_REPEATED_H
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "measure/client.h"
+#include "simnet/world.h"
+
+namespace urlf::measure {
+
+/// Per-URL statistics across repeated runs.
+struct UrlRunStats {
+  std::string url;
+  int runs = 0;
+  int blocked = 0;       ///< runs with a blocked verdict
+  int accessible = 0;    ///< runs with an accessible verdict
+  int other = 0;         ///< inconclusive / error runs
+  std::optional<filters::ProductKind> attributedProduct;
+
+  /// Blocked in at least one run AND accessible in at least one run — the
+  /// §4.4 inconsistency signature ("some proxy URLs are accessible on runs
+  /// where other proxy URLs are blocked, while in later runs the reverse is
+  /// true").
+  [[nodiscard]] bool inconsistent() const {
+    return blocked > 0 && accessible > 0;
+  }
+  [[nodiscard]] bool everBlocked() const { return blocked > 0; }
+  [[nodiscard]] double blockedFraction() const {
+    return runs == 0 ? 0.0 : static_cast<double>(blocked) / runs;
+  }
+};
+
+/// Runs a URL list repeatedly with a configurable spacing, advancing the
+/// world clock between passes, and aggregates per-URL statistics —
+/// systematizing how the paper coped with inconsistent blocking
+/// (Challenge 2): "we need to repeat the tests numerous times".
+class RepeatedTester {
+ public:
+  RepeatedTester(simnet::World& world, const simnet::VantagePoint& field,
+                 const simnet::VantagePoint& lab)
+      : world_(&world), client_(world, field, lab) {}
+
+  /// Run `passes` full passes over `urls`, advancing the clock by
+  /// `hoursBetweenPasses` between them (the first pass runs at the current
+  /// time). Results are keyed by URL in input order.
+  [[nodiscard]] std::vector<UrlRunStats> run(std::span<const std::string> urls,
+                                             int passes,
+                                             int hoursBetweenPasses = 6);
+
+ private:
+  simnet::World* world_;
+  Client client_;
+};
+
+}  // namespace urlf::measure
+
+#endif  // URLF_MEASURE_REPEATED_H

@@ -1,0 +1,145 @@
+#include "measure/session.h"
+
+#include "http/wire.h"
+
+namespace urlf::measure {
+
+using report::Json;
+
+namespace {
+
+std::string_view outcomeName(simnet::FetchOutcome outcome) {
+  return simnet::toString(outcome);
+}
+
+std::optional<simnet::FetchOutcome> outcomeFromName(std::string_view name) {
+  using FO = simnet::FetchOutcome;
+  for (const auto outcome : {FO::kOk, FO::kDnsFailure, FO::kConnectFailure,
+                             FO::kTimeout, FO::kReset}) {
+    if (name == simnet::toString(outcome)) return outcome;
+  }
+  return std::nullopt;
+}
+
+Json fetchToJson(const simnet::FetchResult& fetch) {
+  Json out = Json::object();
+  out["outcome"] = Json::string(outcomeName(fetch.outcome));
+  if (!fetch.error.empty()) out["error"] = Json::string(fetch.error);
+  out["response"] = fetch.response
+                        ? Json::string(http::serialize(*fetch.response))
+                        : Json::null();
+  Json chain = Json::array();
+  for (const auto& hop : fetch.redirectChain)
+    chain.push(Json::string(http::serialize(hop)));
+  out["redirect_chain"] = std::move(chain);
+  return out;
+}
+
+std::optional<simnet::FetchResult> fetchFromJson(const Json& json) {
+  if (!json.isObject()) return std::nullopt;
+  const auto* outcome = json.find("outcome");
+  if (outcome == nullptr || !outcome->asString()) return std::nullopt;
+  const auto parsedOutcome = outcomeFromName(*outcome->asString());
+  if (!parsedOutcome) return std::nullopt;
+
+  simnet::FetchResult fetch;
+  fetch.outcome = *parsedOutcome;
+  if (const auto* error = json.find("error"); error && error->asString())
+    fetch.error = *error->asString();
+
+  if (const auto* response = json.find("response");
+      response && response->asString()) {
+    auto parsed = http::parseResponse(*response->asString());
+    if (!parsed) return std::nullopt;
+    fetch.response = std::move(*parsed);
+  }
+  if (const auto* chain = json.find("redirect_chain")) {
+    const auto* array = chain->asArray();
+    if (array == nullptr) return std::nullopt;
+    for (const auto& hop : *array) {
+      if (!hop.asString()) return std::nullopt;
+      auto parsed = http::parseResponse(*hop.asString());
+      if (!parsed) return std::nullopt;
+      fetch.redirectChain.push_back(std::move(*parsed));
+    }
+  }
+  return fetch;
+}
+
+}  // namespace
+
+Json toJson(const UrlTestResult& result) {
+  Json out = Json::object();
+  out["url"] = Json::string(result.url);
+  out["verdict"] = Json::string(toString(result.verdict));
+  out["field"] = fetchToJson(result.field);
+  out["lab"] = fetchToJson(result.lab);
+  if (result.blockPage) {
+    Json match = Json::object();
+    match["product"] =
+        Json::string(filters::toString(result.blockPage->product));
+    match["pattern"] = Json::string(result.blockPage->patternName);
+    match["evidence"] = Json::string(result.blockPage->evidence);
+    out["block_page"] = std::move(match);
+  }
+  return out;
+}
+
+std::optional<UrlTestResult> urlTestResultFromJson(const Json& json) {
+  if (!json.isObject()) return std::nullopt;
+  const auto* url = json.find("url");
+  const auto* field = json.find("field");
+  const auto* lab = json.find("lab");
+  if (url == nullptr || !url->asString() || field == nullptr || lab == nullptr)
+    return std::nullopt;
+
+  UrlTestResult result;
+  result.url = *url->asString();
+  auto parsedField = fetchFromJson(*field);
+  auto parsedLab = fetchFromJson(*lab);
+  if (!parsedField || !parsedLab) return std::nullopt;
+  result.field = std::move(*parsedField);
+  result.lab = std::move(*parsedLab);
+
+  // Verdict and block page are derived data; recompute them so an imported
+  // session is internally consistent even if the library changed.
+  result.blockPage = classifyBlockPage(result.field);
+  result.verdict = Client::compare(result.field, result.lab, result.blockPage);
+  return result;
+}
+
+std::string exportSession(const std::vector<UrlTestResult>& results,
+                          int indent) {
+  Json array = Json::array();
+  for (const auto& result : results) array.push(toJson(result));
+  return array.dump(indent);
+}
+
+std::optional<std::vector<UrlTestResult>> importSession(std::string_view text) {
+  const auto json = Json::parse(text);
+  if (!json) return std::nullopt;
+  const auto* array = json->asArray();
+  if (array == nullptr) return std::nullopt;
+
+  std::vector<UrlTestResult> out;
+  out.reserve(array->size());
+  for (const auto& item : *array) {
+    auto result = urlTestResultFromJson(item);
+    if (!result) return std::nullopt;
+    out.push_back(std::move(*result));
+  }
+  return out;
+}
+
+std::vector<UrlTestResult> reclassify(
+    std::vector<UrlTestResult> results,
+    const std::vector<BlockPagePattern>& patterns) {
+  for (auto& result : results) {
+    result.blockPage = classifyBlockPage(result.field, patterns);
+    result.verdict =
+        Client::compare(result.field, result.lab, result.blockPage);
+  }
+  return results;
+}
+
+}  // namespace urlf::measure

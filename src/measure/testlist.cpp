@@ -1,0 +1,88 @@
+#include "measure/testlist.h"
+
+#include <array>
+
+#include "util/strings.h"
+
+namespace urlf::measure {
+
+std::string_view toString(Theme theme) {
+  switch (theme) {
+    case Theme::kPolitical: return "political";
+    case Theme::kSocial: return "social";
+    case Theme::kInternetTools: return "internet-tools";
+    case Theme::kConflictSecurity: return "conflict-security";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// The 40 ONI content categories under the four themes. The six that appear
+// as Table 4 columns are: Media Freedom, Human Rights, Political Reform,
+// LGBT, Religious Criticism, Minority Groups and Religions.
+constexpr std::array<OniCategory, 40> kCategories{{
+    // Political theme.
+    {"Human Rights", Theme::kPolitical},
+    {"Political Reform", Theme::kPolitical},
+    {"Media Freedom", Theme::kPolitical},
+    {"Opposition Parties", Theme::kPolitical},
+    {"Criticism of Government", Theme::kPolitical},
+    {"Elections", Theme::kPolitical},
+    {"Corruption Reporting", Theme::kPolitical},
+    {"Women's Rights", Theme::kPolitical},
+    {"Labor Rights", Theme::kPolitical},
+    {"Foreign Relations", Theme::kPolitical},
+    // Social theme.
+    {"LGBT", Theme::kSocial},
+    {"Religious Criticism", Theme::kSocial},
+    {"Minority Groups and Religions", Theme::kSocial},
+    {"Pornography", Theme::kSocial},
+    {"Gambling", Theme::kSocial},
+    {"Alcohol and Drugs", Theme::kSocial},
+    {"Dating", Theme::kSocial},
+    {"Sex Education", Theme::kSocial},
+    {"Provocative Attire", Theme::kSocial},
+    {"Popular Culture", Theme::kSocial},
+    // Internet tools theme.
+    {"Anonymizers and Proxies", Theme::kInternetTools},
+    {"Translation Tools", Theme::kInternetTools},
+    {"VoIP", Theme::kInternetTools},
+    {"Peer to Peer", Theme::kInternetTools},
+    {"Free Email", Theme::kInternetTools},
+    {"Web Hosting", Theme::kInternetTools},
+    {"Search Engines", Theme::kInternetTools},
+    {"Blogging Platforms", Theme::kInternetTools},
+    {"Social Networking", Theme::kInternetTools},
+    {"Multimedia Sharing", Theme::kInternetTools},
+    // Conflict / security theme.
+    {"Armed Conflict", Theme::kConflictSecurity},
+    {"Extremism", Theme::kConflictSecurity},
+    {"Militant Groups", Theme::kConflictSecurity},
+    {"Separatist Movements", Theme::kConflictSecurity},
+    {"Border Disputes", Theme::kConflictSecurity},
+    {"Weapons", Theme::kConflictSecurity},
+    {"Hacking Tools", Theme::kConflictSecurity},
+    {"Terrorism Coverage", Theme::kConflictSecurity},
+    {"Military Affairs", Theme::kConflictSecurity},
+    {"Security Services Criticism", Theme::kConflictSecurity},
+}};
+
+}  // namespace
+
+std::span<const OniCategory> oniCategories() { return kCategories; }
+
+std::optional<OniCategory> oniCategoryByName(std::string_view name) {
+  for (const auto& category : kCategories)
+    if (util::iequals(category.name, name)) return category;
+  return std::nullopt;
+}
+
+std::vector<std::string> TestList::urls() const {
+  std::vector<std::string> out;
+  out.reserve(entries.size());
+  for (const auto& entry : entries) out.push_back(entry.url);
+  return out;
+}
+
+}  // namespace urlf::measure

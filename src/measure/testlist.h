@@ -1,0 +1,48 @@
+#ifndef URLF_MEASURE_TESTLIST_H
+#define URLF_MEASURE_TESTLIST_H
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace urlf::measure {
+
+/// The four general themes ONI organizes content categories under (§5).
+enum class Theme { kPolitical, kSocial, kInternetTools, kConflictSecurity };
+
+[[nodiscard]] std::string_view toString(Theme theme);
+
+/// One of the 40 ONI content categories (§5: "Each of the URLs on these
+/// lists was assigned to one of 40 content categories ... under four general
+/// themes").
+struct OniCategory {
+  std::string_view name;
+  Theme theme = Theme::kPolitical;
+};
+
+/// The full 40-category taxonomy.
+[[nodiscard]] std::span<const OniCategory> oniCategories();
+
+/// Case-insensitive category lookup.
+[[nodiscard]] std::optional<OniCategory> oniCategoryByName(std::string_view name);
+
+/// One URL on a test list, tagged with its ONI category.
+struct TestUrlEntry {
+  std::string url;
+  std::string oniCategory;  ///< must name an entry of oniCategories()
+};
+
+/// A test list (§5): the "global list" is constant across countries, a
+/// "local list" is curated per country by regional experts.
+struct TestList {
+  std::string name;                 ///< "global" or "local-<alpha2>"
+  std::vector<TestUrlEntry> entries;
+
+  [[nodiscard]] std::vector<std::string> urls() const;
+};
+
+}  // namespace urlf::measure
+
+#endif  // URLF_MEASURE_TESTLIST_H

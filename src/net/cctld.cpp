@@ -1,0 +1,81 @@
+#include "net/cctld.h"
+
+#include <array>
+
+#include "util/strings.h"
+
+namespace urlf::net {
+
+namespace {
+
+// Countries the paper mentions (Table 1, Table 3, Figure 1, §3.2) plus a set
+// of additional countries so scans and decoys have realistic diversity.
+constexpr std::array<CountryCode, 49> kCountries{{
+    {"AE", "ae", "United Arab Emirates"},
+    {"AR", "ar", "Argentina"},
+    {"AT", "at", "Austria"},
+    {"AU", "au", "Australia"},
+    {"BH", "bh", "Bahrain"},
+    {"BR", "br", "Brazil"},
+    {"CA", "ca", "Canada"},
+    {"CH", "ch", "Switzerland"},
+    {"CL", "cl", "Chile"},
+    {"CN", "cn", "China"},
+    {"CO", "co", "Colombia"},
+    {"CU", "cu", "Cuba"},
+    {"CZ", "cz", "Czech Republic"},
+    {"DE", "de", "Germany"},
+    {"DK", "dk", "Denmark"},
+    {"EG", "eg", "Egypt"},
+    {"ES", "es", "Spain"},
+    {"FI", "fi", "Finland"},
+    {"FR", "fr", "France"},
+    {"GB", "uk", "United Kingdom"},
+    {"GR", "gr", "Greece"},
+    {"ID", "id", "Indonesia"},
+    {"IL", "il", "Israel"},
+    {"IN", "in", "India"},
+    {"IR", "ir", "Iran"},
+    {"IT", "it", "Italy"},
+    {"JP", "jp", "Japan"},
+    {"KE", "ke", "Kenya"},
+    {"KP", "kp", "North Korea"},
+    {"KR", "kr", "South Korea"},
+    {"KW", "kw", "Kuwait"},
+    {"LB", "lb", "Lebanon"},
+    {"MM", "mm", "Burma"},
+    {"MX", "mx", "Mexico"},
+    {"NL", "nl", "Netherlands"},
+    {"NO", "no", "Norway"},
+    {"OM", "om", "Oman"},
+    {"PH", "ph", "Philippines"},
+    {"PK", "pk", "Pakistan"},
+    {"QA", "qa", "Qatar"},
+    {"RU", "ru", "Russia"},
+    {"SA", "sa", "Saudi Arabia"},
+    {"SE", "se", "Sweden"},
+    {"SY", "sy", "Syria"},
+    {"TH", "th", "Thailand"},
+    {"TN", "tn", "Tunisia"},
+    {"TW", "tw", "Taiwan"},
+    {"US", "us", "United States"},
+    {"YE", "ye", "Yemen"},
+}};
+
+}  // namespace
+
+std::span<const CountryCode> allCountries() { return kCountries; }
+
+std::optional<CountryCode> countryByAlpha2(std::string_view alpha2) {
+  for (const auto& c : kCountries)
+    if (util::iequals(c.alpha2, alpha2)) return c;
+  return std::nullopt;
+}
+
+std::optional<CountryCode> countryByName(std::string_view name) {
+  for (const auto& c : kCountries)
+    if (util::iequals(c.name, name)) return c;
+  return std::nullopt;
+}
+
+}  // namespace urlf::net

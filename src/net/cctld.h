@@ -1,0 +1,34 @@
+#ifndef URLF_NET_CCTLD_H
+#define URLF_NET_CCTLD_H
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace urlf::net {
+
+/// A country with its ISO 3166-1 alpha-2 code and ccTLD.
+///
+/// The identification pipeline (§3.1 of the paper) searches the banner index
+/// for each product keyword combined with every two-letter ccTLD to maximize
+/// coverage; this registry supplies that ccTLD list.
+struct CountryCode {
+  std::string_view alpha2;  ///< e.g. "SA"
+  std::string_view cctld;   ///< e.g. "sa"
+  std::string_view name;    ///< e.g. "Saudi Arabia"
+};
+
+/// All countries known to the registry (a superset of every country that
+/// appears in the paper, plus enough others for realistic decoys).
+[[nodiscard]] std::span<const CountryCode> allCountries();
+
+/// Look up by ISO alpha-2 code (case-insensitive).
+[[nodiscard]] std::optional<CountryCode> countryByAlpha2(std::string_view alpha2);
+
+/// Look up by full English name (case-insensitive).
+[[nodiscard]] std::optional<CountryCode> countryByName(std::string_view name);
+
+}  // namespace urlf::net
+
+#endif  // URLF_NET_CCTLD_H

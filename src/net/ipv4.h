@@ -1,0 +1,68 @@
+#ifndef URLF_NET_IPV4_H
+#define URLF_NET_IPV4_H
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace urlf::net {
+
+/// An IPv4 address as a host-order 32-bit integer.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+
+  /// Parse dotted-quad notation ("192.0.2.7"); rejects anything else.
+  static std::optional<Ipv4Addr> parse(std::string_view s);
+
+  [[nodiscard]] std::string toString() const;
+
+  constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+  /// Successor address (wraps at 255.255.255.255).
+  [[nodiscard]] constexpr Ipv4Addr next() const { return Ipv4Addr{value_ + 1}; }
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix, e.g. 192.0.2.0/24.
+class IpPrefix {
+ public:
+  constexpr IpPrefix() = default;
+  /// Requires length <= 32; the base address is masked to the prefix.
+  IpPrefix(Ipv4Addr base, int length);
+
+  /// Parse "a.b.c.d/len".
+  static std::optional<IpPrefix> parse(std::string_view s);
+
+  [[nodiscard]] Ipv4Addr base() const { return base_; }
+  [[nodiscard]] int length() const { return length_; }
+
+  [[nodiscard]] bool contains(Ipv4Addr addr) const;
+  /// Number of addresses covered (2^(32-length)).
+  [[nodiscard]] std::uint64_t size() const;
+  /// The i-th address inside the prefix. Requires i < size().
+  [[nodiscard]] Ipv4Addr addressAt(std::uint64_t i) const;
+
+  [[nodiscard]] std::string toString() const;
+
+  auto operator<=>(const IpPrefix&) const = default;
+
+ private:
+  Ipv4Addr base_{};
+  int length_ = 0;
+};
+
+}  // namespace urlf::net
+
+#endif  // URLF_NET_IPV4_H

@@ -1,0 +1,72 @@
+#ifndef URLF_NET_URL_H
+#define URLF_NET_URL_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace urlf::net {
+
+/// A parsed absolute http/https URL.
+///
+/// This is the subset the measurement pipeline needs: scheme, host, optional
+/// explicit port, path and query. Fragments are parsed and dropped (they are
+/// never sent on the wire). Hosts are normalized to lowercase.
+class Url {
+ public:
+  Url() = default;
+  Url(std::string scheme, std::string host, std::optional<std::uint16_t> port,
+      std::string path, std::string query);
+
+  /// Parse an absolute URL. Returns nullopt for anything that is not a
+  /// well-formed http:// or https:// URL.
+  static std::optional<Url> parse(std::string_view s);
+
+  [[nodiscard]] const std::string& scheme() const { return scheme_; }
+  [[nodiscard]] const std::string& host() const { return host_; }
+  /// Explicit port if present in the URL text.
+  [[nodiscard]] std::optional<std::uint16_t> explicitPort() const { return port_; }
+  /// Explicit port, or the scheme default (80/443).
+  [[nodiscard]] std::uint16_t effectivePort() const;
+  /// Path, always beginning with '/'.
+  [[nodiscard]] const std::string& path() const { return path_; }
+  /// Query string without the leading '?'; empty if absent.
+  [[nodiscard]] const std::string& query() const { return query_; }
+
+  /// Path plus "?query" if a query is present — the HTTP request target.
+  [[nodiscard]] std::string requestTarget() const;
+
+  /// Canonical string form.
+  [[nodiscard]] std::string toString() const;
+
+  bool operator==(const Url&) const = default;
+
+ private:
+  std::string scheme_ = "http";
+  std::string host_;
+  std::optional<std::uint16_t> port_;
+  std::string path_ = "/";
+  std::string query_;
+};
+
+/// Value of `key` in a query string ("a=1&b=2"); nullopt when absent.
+/// No percent-decoding (the simulation never needs it).
+[[nodiscard]] std::optional<std::string> queryParam(std::string_view query,
+                                                    std::string_view key);
+
+/// True if `s` is a plausible DNS hostname (letters/digits/hyphens, dot
+/// separated, no empty labels, <= 253 chars).
+[[nodiscard]] bool isValidHostname(std::string_view s);
+
+/// The rightmost DNS label (e.g. "info" for "starwasher.info"), lowercased.
+/// Empty if the host has no dot or is an IP literal.
+[[nodiscard]] std::string topLevelDomain(std::string_view host);
+
+/// Registrable domain: last two labels ("foo.info" for "www.foo.info").
+/// Falls back to the whole host when it has fewer than two labels.
+[[nodiscard]] std::string registrableDomain(std::string_view host);
+
+}  // namespace urlf::net
+
+#endif  // URLF_NET_URL_H

@@ -1,0 +1,34 @@
+#include "report/csv.h"
+
+namespace urlf::report {
+
+std::string csvEscape(std::string_view field) {
+  const bool needsQuoting =
+      field.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needsQuoting) return std::string(field);
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string csvRow(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out += ',';
+    out += csvEscape(fields[i]);
+  }
+  return out;
+}
+
+std::string csvDocument(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows) {
+  std::string out = csvRow(header) + "\n";
+  for (const auto& row : rows) out += csvRow(row) + "\n";
+  return out;
+}
+
+}  // namespace urlf::report

@@ -1,0 +1,25 @@
+#ifndef URLF_REPORT_CSV_H
+#define URLF_REPORT_CSV_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace urlf::report {
+
+/// RFC 4180-style CSV field escaping: fields containing commas, quotes or
+/// newlines are quoted, embedded quotes doubled.
+[[nodiscard]] std::string csvEscape(std::string_view field);
+
+/// One CSV line (no trailing newline).
+[[nodiscard]] std::string csvRow(const std::vector<std::string>& fields);
+
+/// A whole document: header row + data rows, '\n' separated, trailing
+/// newline included.
+[[nodiscard]] std::string csvDocument(
+    const std::vector<std::string>& header,
+    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace urlf::report
+
+#endif  // URLF_REPORT_CSV_H

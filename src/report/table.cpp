@@ -1,0 +1,49 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace urlf::report {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::addRow(std::vector<std::string> row) {
+  if (row.size() > headers_.size())
+    throw std::invalid_argument("TextTable: row wider than header");
+  row.resize(headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto renderRow = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      line += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') +
+              " |";
+    }
+    return line + "\n";
+  };
+
+  std::string separator = "+";
+  for (const auto w : widths) separator += std::string(w + 2, '-') + "+";
+  separator += "\n";
+
+  std::string out = separator + renderRow(headers_) + separator;
+  for (const auto& row : rows_) out += renderRow(row);
+  out += separator;
+  return out;
+}
+
+std::string sectionBanner(const std::string& title) {
+  return "\n== " + title + " ==\n";
+}
+
+}  // namespace urlf::report

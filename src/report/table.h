@@ -1,0 +1,33 @@
+#ifndef URLF_REPORT_TABLE_H
+#define URLF_REPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace urlf::report {
+
+/// A fixed-width ASCII table, used by the bench binaries to print the
+/// paper's tables.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Rows shorter than the header are padded with empty cells; longer rows
+  /// throw std::invalid_argument.
+  void addRow(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t rowCount() const { return rows_.size(); }
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "== title ==" section banner used by the bench output.
+[[nodiscard]] std::string sectionBanner(const std::string& title);
+
+}  // namespace urlf::report
+
+#endif  // URLF_REPORT_TABLE_H

@@ -1,0 +1,111 @@
+#include "scan/banner_index.h"
+
+#include <set>
+
+#include "http/html.h"
+#include "util/strings.h"
+
+namespace urlf::scan {
+
+namespace {
+
+/// Probe one reachable endpoint the way a banner crawler does: a plain GET /
+/// addressed to the bare IP.
+BannerRecord probeEndpoint(simnet::HttpEndpoint& endpoint, net::Ipv4Addr ip,
+                           std::uint16_t port, const geo::GeoDatabase& geo,
+                           util::SimTime now, std::size_t bodySnippetLimit) {
+  net::Url url{"http", ip.toString(), port, "/", ""};
+  const auto response = endpoint.handle(http::Request::get(url), now);
+
+  BannerRecord record;
+  record.ip = ip;
+  record.port = port;
+  record.statusCode = response.statusCode;
+  record.headers = response.headers;
+  record.body = response.body.substr(0, bodySnippetLimit);
+  record.title = http::extractTitle(response.body);
+  record.countryAlpha2 = geo.lookup(ip).value_or("");
+  record.observedAt = now;
+  return record;
+}
+
+}  // namespace
+
+std::string BannerRecord::searchableText() const {
+  std::string text = "HTTP/1.1 " + std::to_string(statusCode) + "\r\n";
+  text += headers.serialize();
+  text += title;
+  text += "\r\n";
+  text += body;
+  return text;
+}
+
+void BannerIndex::crawl(simnet::World& world, const geo::GeoDatabase& geo,
+                        std::size_t bodySnippetLimit) {
+  records_.clear();
+  for (const auto& surface : world.externalSurfaces()) {
+    records_.push_back(probeEndpoint(*surface.endpoint, surface.ip,
+                                     surface.port, geo, world.now(),
+                                     bodySnippetLimit));
+  }
+}
+
+BannerIndex BannerIndex::fromRecords(std::vector<BannerRecord> records) {
+  BannerIndex index;
+  index.records_ = std::move(records);
+  return index;
+}
+
+void BannerIndex::addRecords(std::vector<BannerRecord> records) {
+  records_.insert(records_.end(), std::make_move_iterator(records.begin()),
+                  std::make_move_iterator(records.end()));
+}
+
+std::vector<const BannerRecord*> BannerIndex::search(const Query& query) const {
+  std::vector<const BannerRecord*> out;
+  for (const auto& record : records_) {
+    if (query.countryAlpha2 &&
+        !util::iequals(record.countryAlpha2, *query.countryAlpha2))
+      continue;
+    if (!util::icontains(record.searchableText(), query.keyword)) continue;
+    out.push_back(&record);
+  }
+  return out;
+}
+
+std::vector<const BannerRecord*> BannerIndex::searchAll(
+    const std::vector<Query>& queries) const {
+  std::vector<const BannerRecord*> out;
+  std::set<std::uint64_t> seen;
+  for (const auto& query : queries) {
+    for (const auto* record : search(query)) {
+      const std::uint64_t key =
+          (std::uint64_t{record->ip.value()} << 16) | record->port;
+      if (seen.insert(key).second) out.push_back(record);
+    }
+  }
+  return out;
+}
+
+std::vector<BannerRecord> CensusScanner::sweep(
+    simnet::World& world, const geo::GeoDatabase& geo,
+    std::uint64_t maxAddressesPerPrefix) const {
+  std::vector<BannerRecord> out;
+  for (const auto* as : world.allAses()) {
+    for (const auto& prefix : as->prefixes()) {
+      const std::uint64_t count = std::min(prefix.size(), maxAddressesPerPrefix);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const auto ip = prefix.addressAt(i);
+        for (const auto port : ports_) {
+          auto* endpoint = world.externalEndpointAt(ip, port);
+          if (endpoint == nullptr) continue;
+          out.push_back(
+              probeEndpoint(*endpoint, ip, port, geo, world.now(), 2048));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace urlf::scan

@@ -1,0 +1,102 @@
+#ifndef URLF_SCAN_BANNER_INDEX_H
+#define URLF_SCAN_BANNER_INDEX_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/geodb.h"
+#include "http/header_map.h"
+#include "net/ipv4.h"
+#include "simnet/world.h"
+#include "util/clock.h"
+
+namespace urlf::scan {
+
+/// One indexed banner: what a Shodan-style crawler recorded when it probed
+/// an (ip, port) — status line, headers, a body snippet, and location
+/// metadata from the crawler's geolocation database.
+struct BannerRecord {
+  net::Ipv4Addr ip;
+  std::uint16_t port = 80;
+  int statusCode = 0;
+  http::HeaderMap headers;
+  std::string body;           ///< truncated body snippet
+  std::string title;          ///< extracted HTML title
+  std::string countryAlpha2;  ///< crawler-side geolocation (may be wrong)
+  util::SimTime observedAt;
+
+  /// The searchable text: status line + raw headers + title + body.
+  [[nodiscard]] std::string searchableText() const;
+};
+
+/// A Shodan-style query: a keyword plus an optional country facet. The
+/// paper's method searches each product keyword combined with every
+/// two-letter ccTLD / country to maximize coverage (§3.1).
+struct Query {
+  std::string keyword;
+  std::optional<std::string> countryAlpha2;
+};
+
+/// The banner search engine (the Shodan stand-in [27]).
+///
+/// `crawl` probes every externally visible surface in the world — the same
+/// epistemic position as a real Internet-wide scanner: it can only see what
+/// is publicly reachable. `search` does case-insensitive keyword matching
+/// over the stored banner text.
+class BannerIndex {
+ public:
+  BannerIndex() = default;
+
+  /// Probe all externally visible surfaces; `geo` supplies the crawler's
+  /// country metadata. Body snippets are capped at `bodySnippetLimit`.
+  void crawl(simnet::World& world, const geo::GeoDatabase& geo,
+             std::size_t bodySnippetLimit = 2048);
+
+  /// Build an index from pre-collected records (e.g. a CensusScanner sweep,
+  /// the larger-scale data source §3.1 mentions as ongoing work).
+  static BannerIndex fromRecords(std::vector<BannerRecord> records);
+
+  /// Append records to the index (merging multiple scan sources).
+  void addRecords(std::vector<BannerRecord> records);
+
+  /// All records matching the query, in index order.
+  [[nodiscard]] std::vector<const BannerRecord*> search(const Query& query) const;
+
+  /// Union of results across many queries, de-duplicated by (ip, port).
+  [[nodiscard]] std::vector<const BannerRecord*> searchAll(
+      const std::vector<Query>& queries) const;
+
+  [[nodiscard]] const std::vector<BannerRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+ private:
+  std::vector<BannerRecord> records_;
+};
+
+/// Internet Census-style exhaustive scanner [10]: probes *every address* in
+/// every announced prefix on a port list, not just known-visible surfaces.
+/// Finds the same surfaces as BannerIndex::crawl but demonstrates the
+/// larger-scale approach §3.1 mentions as ongoing work.
+class CensusScanner {
+ public:
+  explicit CensusScanner(std::vector<std::uint16_t> ports)
+      : ports_(std::move(ports)) {}
+
+  /// Sweep the world's announced address space. Returns records for every
+  /// (address, port) that answered. `maxAddressesPerPrefix` caps very large
+  /// prefixes to keep sweeps bounded.
+  [[nodiscard]] std::vector<BannerRecord> sweep(
+      simnet::World& world, const geo::GeoDatabase& geo,
+      std::uint64_t maxAddressesPerPrefix = 4096) const;
+
+ private:
+  std::vector<std::uint16_t> ports_;
+};
+
+}  // namespace urlf::scan
+
+#endif  // URLF_SCAN_BANNER_INDEX_H

@@ -1,0 +1,101 @@
+#include "scan/serialize.h"
+
+namespace urlf::scan {
+
+using report::Json;
+
+Json toJson(const BannerRecord& record) {
+  Json out = Json::object();
+  out["ip"] = Json::string(record.ip.toString());
+  out["port"] = Json::number(std::int64_t{record.port});
+  out["status"] = Json::number(std::int64_t{record.statusCode});
+  Json headers = Json::array();
+  for (const auto& field : record.headers.fields()) {
+    Json header = Json::object();
+    header["name"] = Json::string(field.name);
+    header["value"] = Json::string(field.value);
+    headers.push(std::move(header));
+  }
+  out["headers"] = std::move(headers);
+  out["body"] = Json::string(record.body);
+  out["title"] = Json::string(record.title);
+  out["country"] = Json::string(record.countryAlpha2);
+  out["observed_at_hours"] = Json::number(record.observedAt.hours());
+  return out;
+}
+
+std::string exportRecords(const std::vector<BannerRecord>& records,
+                          int indent) {
+  Json array = Json::array();
+  for (const auto& record : records) array.push(toJson(record));
+  return array.dump(indent);
+}
+
+std::optional<BannerRecord> recordFromJson(const Json& json) {
+  const auto* object = json.asObject();
+  if (object == nullptr) return std::nullopt;
+
+  auto getString = [&](const char* key) -> std::optional<std::string> {
+    const auto* value = json.find(key);
+    if (value == nullptr) return std::nullopt;
+    const auto* s = value->asString();
+    if (s == nullptr) return std::nullopt;
+    return *s;
+  };
+  auto getNumber = [&](const char* key) -> std::optional<double> {
+    const auto* value = json.find(key);
+    if (value == nullptr) return std::nullopt;
+    const auto* n = value->asNumber();
+    if (n == nullptr) return std::nullopt;
+    return *n;
+  };
+
+  const auto ipText = getString("ip");
+  const auto port = getNumber("port");
+  const auto status = getNumber("status");
+  if (!ipText || !port || !status) return std::nullopt;
+  const auto ip = net::Ipv4Addr::parse(*ipText);
+  if (!ip || *port < 0 || *port > 65535) return std::nullopt;
+
+  BannerRecord record;
+  record.ip = *ip;
+  record.port = static_cast<std::uint16_t>(*port);
+  record.statusCode = static_cast<int>(*status);
+  record.body = getString("body").value_or("");
+  record.title = getString("title").value_or("");
+  record.countryAlpha2 = getString("country").value_or("");
+  if (const auto hours = getNumber("observed_at_hours"))
+    record.observedAt = util::SimTime{static_cast<std::int64_t>(*hours)};
+
+  if (const auto* headers = json.find("headers")) {
+    const auto* array = headers->asArray();
+    if (array == nullptr) return std::nullopt;
+    for (const auto& item : *array) {
+      const auto* name = item.find("name");
+      const auto* value = item.find("value");
+      if (name == nullptr || value == nullptr || !name->asString() ||
+          !value->asString())
+        return std::nullopt;
+      record.headers.add(*name->asString(), *value->asString());
+    }
+  }
+  return record;
+}
+
+std::optional<std::vector<BannerRecord>> importRecords(std::string_view text) {
+  const auto json = Json::parse(text);
+  if (!json) return std::nullopt;
+  const auto* array = json->asArray();
+  if (array == nullptr) return std::nullopt;
+
+  std::vector<BannerRecord> out;
+  out.reserve(array->size());
+  for (const auto& item : *array) {
+    auto record = recordFromJson(item);
+    if (!record) return std::nullopt;
+    out.push_back(std::move(*record));
+  }
+  return out;
+}
+
+}  // namespace urlf::scan

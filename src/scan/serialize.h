@@ -1,0 +1,29 @@
+#ifndef URLF_SCAN_SERIALIZE_H
+#define URLF_SCAN_SERIALIZE_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "report/json.h"
+#include "scan/banner_index.h"
+
+namespace urlf::scan {
+
+/// JSON export of scan data — the shape of a Shodan data dump: one object
+/// per banner with ip, port, status, headers, body snippet, title, country,
+/// and observation time (hours since the simulation epoch).
+[[nodiscard]] report::Json toJson(const BannerRecord& record);
+[[nodiscard]] std::string exportRecords(const std::vector<BannerRecord>& records,
+                                        int indent = 0);
+
+/// Inverse of exportRecords. Returns nullopt on malformed input (bad JSON,
+/// wrong shape, invalid addresses).
+[[nodiscard]] std::optional<BannerRecord> recordFromJson(
+    const report::Json& json);
+[[nodiscard]] std::optional<std::vector<BannerRecord>> importRecords(
+    std::string_view text);
+
+}  // namespace urlf::scan
+
+#endif  // URLF_SCAN_SERIALIZE_H

@@ -1,0 +1,844 @@
+#include "scenarios/paper_world.h"
+
+#include <stdexcept>
+
+#include "http/html.h"
+#include "simnet/echo_server.h"
+#include "simnet/origin_server.h"
+#include "util/strings.h"
+
+namespace urlf::scenarios {
+
+using filters::FilterPolicy;
+using filters::ProductKind;
+
+namespace {
+
+/// The submitter identity the confirmation methodology uses by default
+/// (must match CaseStudyConfig::submitterId).
+constexpr std::string_view kSubmitterId = "citizenlab-tester@webmail.example";
+
+/// Tuned so the Du deployment's partial sync misses exactly one of the six
+/// domains submitted in the 3/2013 Netsweeper case study (Table 3: 5/6).
+constexpr std::uint64_t kDuSyncSalt = 0x3E;
+
+}  // namespace
+
+PaperWorld::PaperWorld(std::uint64_t seed, PaperWorldOptions options)
+    : options_(options), world_(seed) {
+  buildBackbone();
+  buildVendors();
+  buildCaseStudyIsps();
+  buildFigure1Installations();
+  buildDecoys();
+  buildContentSites();
+  buildCaseStudies();
+}
+
+net::IpPrefix PaperWorld::nextPrefix() {
+  const std::uint32_t a = 60 + prefixCursor_ / 200;
+  const std::uint32_t b = prefixCursor_ % 200;
+  ++prefixCursor_;
+  return net::IpPrefix{net::Ipv4Addr{(a << 24) | (b << 16)}, 16};
+}
+
+core::VendorSet PaperWorld::vendorSet() const {
+  core::VendorSet set;
+  set.add(*blueCoatVendor_);
+  set.add(*smartFilterVendor_);
+  set.add(*netsweeperVendor_);
+  set.add(*websenseVendor_);
+  return set;
+}
+
+filters::Vendor& PaperWorld::vendor(ProductKind kind) {
+  switch (kind) {
+    case ProductKind::kBlueCoat: return *blueCoatVendor_;
+    case ProductKind::kSmartFilter: return *smartFilterVendor_;
+    case ProductKind::kNetsweeper: return *netsweeperVendor_;
+    case ProductKind::kWebsense: return *websenseVendor_;
+  }
+  throw std::invalid_argument("PaperWorld::vendor: unknown kind");
+}
+
+const measure::TestList& PaperWorld::localList(const std::string& alpha2) const {
+  static const measure::TestList kEmpty{"empty", {}};
+  const auto it = localLists_.find(util::toUpper(alpha2));
+  return it == localLists_.end() ? kEmpty : it->second;
+}
+
+void PaperWorld::buildBackbone() {
+  // Networks the measurement apparatus itself depends on.
+  world_.createAs(15169, "WEBCORP", "WebCorp content hosting", "US",
+                  {nextPrefix()});
+  world_.createAs(3561, "VENDORNET", "Vendor-operated infrastructure", "US",
+                  {nextPrefix()});
+  world_.createAs(kHostingAsn, "HOSTCO",
+                  "Commodity cloud hosting (fresh test domains)", "US",
+                  {nextPrefix()});
+
+  // The uncensored lab at the University of Toronto (§4.1).
+  world_.createVantage("lab-toronto", "CA", nullptr);
+
+  // Request-echo origin for transparent-proxy detection (§7).
+  auto& echo =
+      world_.makeEndpoint<simnet::RequestEchoServer>("echo.mlab-test.org");
+  const auto echoIp = world_.allocateAddress(15169);
+  world_.bind(echoIp, 80, echo, /*externallyVisible=*/true);
+  world_.registerHostname("echo.mlab-test.org", echoIp);
+  echoUrl_ = "http://echo.mlab-test.org/";
+}
+
+std::vector<core::ReferenceSite> PaperWorld::referenceSites(
+    ProductKind kind) const {
+  // Long-standing public sites whose vendor categorization is well known —
+  // what the paper leaned on when working out which categories an ISP
+  // blocks (Challenge 1, §4.3).
+  struct Mapping {
+    const char* url;
+    const char* categoryName;
+  };
+  std::vector<Mapping> mappings;
+  switch (kind) {
+    case ProductKind::kSmartFilter:
+      mappings = {{"http://freeproxyhub.com/", "Anonymizers"},
+                  {"http://anonbrowse.net/", "Anonymizers"},
+                  {"http://adultvideosite.com/", "Pornography"},
+                  {"http://casinoroyalegames.com/", "Gambling"}};
+      break;
+    case ProductKind::kNetsweeper:
+      mappings = {{"http://freeproxyhub.com/", "Proxy Anonymizer"},
+                  {"http://anonbrowse.net/", "Proxy Anonymizer"},
+                  {"http://adultvideosite.com/", "Pornography"},
+                  {"http://casinoroyalegames.com/", "Gambling"}};
+      break;
+    case ProductKind::kBlueCoat:
+      mappings = {{"http://freeproxyhub.com/", "Proxy Avoidance"},
+                  {"http://adultvideosite.com/", "Pornography"}};
+      break;
+    case ProductKind::kWebsense:
+      mappings = {{"http://freeproxyhub.com/", "Proxy Avoidance"},
+                  {"http://adultvideosite.com/", "Adult Content"}};
+      break;
+  }
+
+  const auto scheme = filters::schemeFor(kind);
+  std::vector<core::ReferenceSite> out;
+  out.reserve(mappings.size());
+  for (const auto& mapping : mappings) {
+    const auto category = scheme.byName(mapping.categoryName);
+    out.push_back({mapping.url, category ? category->id : 0,
+                   mapping.categoryName});
+  }
+  return out;
+}
+
+void PaperWorld::buildVendors() {
+  // McAfee reviewed the paper's submissions within a few days; the Saudi
+  // experiment saw blocking "after four days", so its review window is
+  // 72-96h. Netsweeper/Blue Coat/Websense keep the broader 72-120h window.
+  filters::VendorConfig sfConfig;
+  sfConfig.reviewLatencyMinHours = 72;
+  sfConfig.reviewLatencyMaxHours = 96;
+
+  blueCoatVendor_ =
+      std::make_unique<filters::Vendor>(ProductKind::kBlueCoat, world_);
+  smartFilterVendor_ = std::make_unique<filters::Vendor>(
+      ProductKind::kSmartFilter, world_, sfConfig);
+  netsweeperVendor_ =
+      std::make_unique<filters::Vendor>(ProductKind::kNetsweeper, world_);
+  websenseVendor_ =
+      std::make_unique<filters::Vendor>(ProductKind::kWebsense, world_);
+
+  blueCoatVendor_->installInfrastructure(3561);
+  smartFilterVendor_->installInfrastructure(3561);
+  netsweeperVendor_->installInfrastructure(3561);
+  websenseVendor_->installInfrastructure(3561);
+
+  if (options_.disregardSubmitter) {
+    for (auto* v : {blueCoatVendor_.get(), smartFilterVendor_.get(),
+                    netsweeperVendor_.get(), websenseVendor_.get()})
+      v->disregardSubmitter(std::string(kSubmitterId));
+  }
+
+  hosting_ = std::make_unique<simnet::HostingProvider>(world_, kHostingAsn);
+}
+
+void PaperWorld::buildCaseStudyIsps() {
+  const bool visible = !options_.hideExternalSurfaces;
+  const bool strip = options_.stripBranding;
+
+  auto basePolicy = [&](std::set<filters::CategoryId> blocked) {
+    FilterPolicy policy;
+    policy.blockedCategories = std::move(blocked);
+    policy.externallyVisible = visible;
+    policy.stripBranding = strip;
+    return policy;
+  };
+
+  // ---- UAE: Etisalat (AS 5384) — Blue Coat ProxySG with SmartFilter as the
+  // filtering engine (Challenge 3, §4.5). SmartFilter ids: 1 Pornography,
+  // 2 Anonymizers, 8 General News, 9 Politics/Opinion, 10 Religion/Ideology,
+  // 17 Lifestyle.
+  world_.createAs(5384, "EMIRATES-INTERNET", "Etisalat", "AE", {nextPrefix()});
+  auto& etisalat = world_.createIsp("Etisalat", "AE", {5384});
+
+  etisalatSmartFilter_ = &world_.makeMiddlebox<filters::SmartFilterDeployment>(
+      "Etisalat SmartFilter", *smartFilterVendor_,
+      basePolicy({1, 2, 8, 9, 10, 17}));
+  etisalatSmartFilter_->installExternalSurfaces(world_, 5384);
+
+  // The ProxySG's own Web Filter policy is irrelevant once the engine is
+  // set; submissions to Blue Coat therefore have no effect in Etisalat.
+  etisalatProxySG_ = &world_.makeMiddlebox<filters::BlueCoatProxySG>(
+      "Etisalat ProxySG", *blueCoatVendor_, basePolicy({}));
+  etisalatProxySG_->installExternalSurfaces(world_, 5384);
+  etisalatProxySG_->setFilteringEngine(*etisalatSmartFilter_);
+  etisalat.attachMiddlebox(*etisalatProxySG_);
+  world_.createVantage("field-etisalat", "AE", &etisalat);
+
+  groundTruth_.push_back({ProductKind::kSmartFilter,
+                          etisalatSmartFilter_->serviceIp(), "AE", 5384,
+                          "Etisalat", visible});
+  groundTruth_.push_back({ProductKind::kBlueCoat, etisalatProxySG_->serviceIp(),
+                          "AE", 5384, "Etisalat", visible});
+
+  // ---- UAE: Du (AS 15802) — Netsweeper. Netsweeper ids: 43 Proxy
+  // Anonymizer, 19 Government, 29 Lifestyle, 45 Religion, 10 Cults.
+  // Partial DB sync yields the 5/6 Table 3 row.
+  world_.createAs(15802, "DU-AS", "Emirates Integrated Telecommunications (du)",
+                  "AE", {nextPrefix()});
+  auto& du = world_.createIsp("Du", "AE", {15802});
+  {
+    auto policy = basePolicy({43, 19, 29, 45, 10});
+    policy.queueAccessedUrls = true;
+    policy.syncCoverage = 0.85;
+    policy.syncSalt = kDuSyncSalt;
+    duNetsweeper_ = &world_.makeMiddlebox<filters::NetsweeperDeployment>(
+        "Du Netsweeper", *netsweeperVendor_, std::move(policy));
+  }
+  duNetsweeper_->installExternalSurfaces(world_, 15802);
+  du.attachMiddlebox(*duNetsweeper_);
+  world_.createVantage("field-du", "AE", &du);
+  groundTruth_.push_back({ProductKind::kNetsweeper, duNetsweeper_->serviceIp(),
+                          "AE", 15802, "Du", visible});
+
+  // ---- Qatar: Ooredoo (AS 42298) — Netsweeper for URL filtering, with a
+  // Blue Coat proxy present but not filtering (the Table 3 negative rows).
+  world_.createAs(42298, "OOREDOO-AS", "Ooredoo Q.S.C.", "QA", {nextPrefix()});
+  auto& ooredoo = world_.createIsp("Ooredoo", "QA", {42298});
+
+  ooredooProxySG_ = &world_.makeMiddlebox<filters::BlueCoatProxySG>(
+      "Ooredoo ProxySG", *blueCoatVendor_, basePolicy({}));
+  ooredooProxySG_->installExternalSurfaces(world_, 42298);
+  ooredoo.attachMiddlebox(*ooredooProxySG_);
+  {
+    auto policy = basePolicy({43, 29, 45});
+    policy.queueAccessedUrls = true;
+    ooredooNetsweeper_ = &world_.makeMiddlebox<filters::NetsweeperDeployment>(
+        "Ooredoo Netsweeper", *netsweeperVendor_, std::move(policy));
+  }
+  ooredooNetsweeper_->installExternalSurfaces(world_, 42298);
+  ooredoo.attachMiddlebox(*ooredooNetsweeper_);
+  world_.createVantage("field-ooredoo", "QA", &ooredoo);
+  groundTruth_.push_back({ProductKind::kBlueCoat, ooredooProxySG_->serviceIp(),
+                          "QA", 42298, "Ooredoo", visible});
+  groundTruth_.push_back({ProductKind::kNetsweeper,
+                          ooredooNetsweeper_->serviceIp(), "QA", 42298,
+                          "Ooredoo", visible});
+
+  // ---- Yemen: YemenNet (AS 12486) — Netsweeper with exactly the five §4.4
+  // categories blocked (2 Adult Image, 39 Phishing, 23 Pornography, 43
+  // Proxy Anonymizer, 47 Search Keywords) plus an operator custom category
+  // (66) that carries the political blocking of Table 4; inconsistent
+  // blocking from overload (Challenge 2).
+  world_.createAs(12486, "YEMEN-NET", "Public Telecommunication Corporation",
+                  "YE", {nextPrefix()});
+  auto& yemenNet = world_.createIsp("YemenNet", "YE", {12486});
+  {
+    auto policy = basePolicy({2, 23, 39, 43, 47, 66});
+    policy.queueAccessedUrls = true;
+    policy.offlineProbability = 0.25;
+    yemenNetsweeper_ = &world_.makeMiddlebox<filters::NetsweeperDeployment>(
+        "YemenNet Netsweeper", *netsweeperVendor_, std::move(policy));
+  }
+  yemenNetsweeper_->installExternalSurfaces(world_, 12486);
+  yemenNet.attachMiddlebox(*yemenNetsweeper_);
+  world_.createVantage("field-yemennet", "YE", &yemenNet);
+  groundTruth_.push_back({ProductKind::kNetsweeper,
+                          yemenNetsweeper_->serviceIp(), "YE", 12486,
+                          "YemenNet", visible});
+
+  // ---- Saudi Arabia: centralized SmartFilter "effectively used for all
+  // ISPs" (§4.3) — one national deployment in the KACST network shared by
+  // the chains of Bayanat Al-Oula (AS 48237) and Nournet (AS 29684). Only
+  // pornography is blocked: sites classified as proxies stay accessible
+  // (Challenge 1).
+  world_.createAs(25019, "SAUDINET", "KACST Internet Services Unit", "SA",
+                  {nextPrefix()});
+  world_.createAs(48237, "BAYANAT-AL-OULA", "Bayanat Al-Oula", "SA",
+                  {nextPrefix()});
+  world_.createAs(29684, "NOURNET", "Nour Communication Co.", "SA",
+                  {nextPrefix()});
+
+  saudiSmartFilter_ = &world_.makeMiddlebox<filters::SmartFilterDeployment>(
+      "Saudi national SmartFilter", *smartFilterVendor_, basePolicy({1}));
+  saudiSmartFilter_->installExternalSurfaces(world_, 25019);
+  groundTruth_.push_back({ProductKind::kSmartFilter,
+                          saudiSmartFilter_->serviceIp(), "SA", 25019,
+                          "KACST (national)", visible});
+
+  auto& bayanat = world_.createIsp("Bayanat Al-Oula", "SA", {48237});
+  bayanat.attachMiddlebox(*saudiSmartFilter_);
+  world_.createVantage("field-bayanat", "SA", &bayanat);
+
+  auto& nournet = world_.createIsp("Nournet", "SA", {29684});
+  nournet.attachMiddlebox(*saudiSmartFilter_);
+  world_.createVantage("field-nournet", "SA", &nournet);
+}
+
+filters::Deployment& PaperWorld::addInstallation(
+    ProductKind kind, std::uint32_t asn, const std::string& asName,
+    const std::string& ispName, const std::string& countryAlpha2,
+    FilterPolicy policy) {
+  world_.createAs(asn, asName, ispName, countryAlpha2, {nextPrefix()});
+  auto& isp = world_.createIsp(ispName, countryAlpha2, {asn});
+  policy.externallyVisible = !options_.hideExternalSurfaces;
+  policy.stripBranding = options_.stripBranding;
+
+  filters::Deployment* deployment = nullptr;
+  switch (kind) {
+    case ProductKind::kBlueCoat:
+      deployment = &world_.makeMiddlebox<filters::BlueCoatProxySG>(
+          ispName + " ProxySG", *blueCoatVendor_, std::move(policy));
+      break;
+    case ProductKind::kSmartFilter:
+      deployment = &world_.makeMiddlebox<filters::SmartFilterDeployment>(
+          ispName + " SmartFilter", *smartFilterVendor_, std::move(policy));
+      break;
+    case ProductKind::kNetsweeper:
+      deployment = &world_.makeMiddlebox<filters::NetsweeperDeployment>(
+          ispName + " Netsweeper", *netsweeperVendor_, std::move(policy));
+      break;
+    case ProductKind::kWebsense:
+      deployment = &world_.makeMiddlebox<filters::WebsenseDeployment>(
+          ispName + " Websense", *websenseVendor_, std::move(policy));
+      break;
+  }
+  deployment->installExternalSurfaces(world_, asn);
+  isp.attachMiddlebox(*deployment);
+  groundTruth_.push_back({kind, deployment->serviceIp(), countryAlpha2, asn,
+                          ispName, !options_.hideExternalSurfaces});
+  return *deployment;
+}
+
+void PaperWorld::buildFigure1Installations() {
+  // Default policies for installations used for ordinary network management.
+  auto policyBlocking = [](filters::CategoryId category) {
+    FilterPolicy policy;
+    policy.blockedCategories = {category};
+    return policy;
+  };
+  const FilterPolicy bcPolicy = policyBlocking(1);   // Pornography
+  const FilterPolicy sfPolicy = policyBlocking(1);   // Pornography
+  const FilterPolicy nsPolicy = policyBlocking(23);  // Pornography
+  const FilterPolicy wsPolicy = policyBlocking(1);   // Adult Content
+
+  // Blue Coat: the new countries §3.2 reports (South America, Europe, Asia,
+  // Middle East) plus previously observed ones and the US ISPs named there.
+  addInstallation(ProductKind::kBlueCoat, 7303, "TELECOM-ARGENTINA",
+                  "Telecom Argentina", "AR", bcPolicy);
+  addInstallation(ProductKind::kBlueCoat, 6429, "VTR-BANDA-ANCHA", "VTR", "CL",
+                  bcPolicy);
+  addInstallation(ProductKind::kBlueCoat, 6667, "ELISA-AS", "Elisa", "FI",
+                  bcPolicy);
+  addInstallation(ProductKind::kBlueCoat, 3301, "TELIANET", "TeliaSonera", "SE",
+                  bcPolicy);
+  addInstallation(ProductKind::kBlueCoat, 9299, "IPG-AS", "PLDT", "PH",
+                  bcPolicy);
+  addInstallation(ProductKind::kBlueCoat, 23969, "TOT-NET", "TOT Public Co.",
+                  "TH", bcPolicy);
+  addInstallation(ProductKind::kBlueCoat, 3462, "HINET", "Chunghwa Telecom",
+                  "TW", bcPolicy);
+  addInstallation(ProductKind::kBlueCoat, 8551, "BEZEQ-INTERNATIONAL",
+                  "Bezeq International", "IL", bcPolicy);
+  addInstallation(ProductKind::kBlueCoat, 42003, "OGERO", "Ogero Telecom", "LB",
+                  bcPolicy);
+  addInstallation(ProductKind::kBlueCoat, 29256, "STE-AS",
+                  "Syrian Telecommunications Establishment", "SY", bcPolicy);
+  addInstallation(ProductKind::kBlueCoat, 8452, "TE-AS", "TE Data", "EG",
+                  bcPolicy);
+  addInstallation(ProductKind::kBlueCoat, 9988, "MPT-MM", "Myanma Posts and "
+                  "Telecommunications", "MM", bcPolicy);
+  addInstallation(ProductKind::kBlueCoat, 9155, "QUALITYNET", "Qualitynet",
+                  "KW", bcPolicy);
+  addInstallation(ProductKind::kBlueCoat, 7922, "COMCAST-7922", "Comcast", "US",
+                  bcPolicy);
+  addInstallation(ProductKind::kBlueCoat, 1239, "SPRINTLINK", "Sprint", "US",
+                  bcPolicy);
+  addInstallation(ProductKind::kBlueCoat, 306, "USAISC",
+                  "United States Information Systems Command", "US", bcPolicy);
+
+  // McAfee SmartFilter: Pakistan (the one previously known scan hit), a US
+  // enterprise network, and the previously observed MENA deployments of
+  // Table 1 (Kuwait, Bahrain, Iran, Oman, Tunisia).
+  addInstallation(ProductKind::kSmartFilter, 17557, "PKTELECOM-AS-PK", "PTCL",
+                  "PK", sfPolicy);
+  addInstallation(ProductKind::kSmartFilter, 14265, "ENTERPRISE-NET",
+                  "US Enterprise Network", "US", sfPolicy);
+  addInstallation(ProductKind::kSmartFilter, 21050, "FASTTELCO", "FASTtelco",
+                  "KW", sfPolicy);
+  addInstallation(ProductKind::kSmartFilter, 5416, "BATELCO-BH", "Batelco",
+                  "BH", sfPolicy);
+  addInstallation(ProductKind::kSmartFilter, 12880, "DCI-AS",
+                  "Iran Telecommunication Company", "IR", sfPolicy);
+  addInstallation(ProductKind::kSmartFilter, 28885, "OMANTEL-NAP", "Omantel",
+                  "OM", sfPolicy);
+  addInstallation(ProductKind::kSmartFilter, 2609, "ATI-TN",
+                  "Agence Tunisienne Internet", "TN", sfPolicy);
+
+  // Netsweeper: US educational networks in West Virginia, Oklahoma and
+  // Missouri, and the large US ISPs §3.2 names.
+  addInstallation(ProductKind::kNetsweeper, 14077, "WVNET",
+                  "West Virginia Network", "US", nsPolicy);
+  addInstallation(ProductKind::kNetsweeper, 5078, "ONENET", "OneNet Oklahoma",
+                  "US", nsPolicy);
+  addInstallation(ProductKind::kNetsweeper, 2572, "MORENET",
+                  "Missouri Research and Education Network", "US", nsPolicy);
+  addInstallation(ProductKind::kNetsweeper, 3549, "GBLX", "Global Crossing",
+                  "US", nsPolicy);
+  addInstallation(ProductKind::kNetsweeper, 7018, "ATT-INTERNET4", "AT&T", "US",
+                  nsPolicy);
+  addInstallation(ProductKind::kNetsweeper, 701, "UUNET", "Verizon", "US",
+                  nsPolicy);
+  addInstallation(ProductKind::kNetsweeper, 6389, "BELLSOUTH-NET-BLK",
+                  "BellSouth", "US", nsPolicy);
+
+  // Websense: two Texas utilities' networks (§3.2).
+  auto& utility1 = addInstallation(ProductKind::kWebsense, 54201,
+                                   "TX-UTILITY-1", "Texas Utility One", "US",
+                                   wsPolicy);
+  auto& utility2 = addInstallation(ProductKind::kWebsense, 54202,
+                                   "TX-UTILITY-2", "Texas Utility Two", "US",
+                                   wsPolicy);
+  static_cast<filters::WebsenseDeployment&>(utility1).setLicenseModel(
+      filters::LicenseModel{.licenses = 5000, .baseUsers = 1000,
+                            .peakExtraUsers = 1500, .jitter = 200});
+  static_cast<filters::WebsenseDeployment&>(utility2).setLicenseModel(
+      filters::LicenseModel{.licenses = 5000, .baseUsers = 800,
+                            .peakExtraUsers = 1200, .jitter = 200});
+}
+
+void PaperWorld::buildDecoys() {
+  struct Decoy {
+    std::uint32_t asn;
+    const char* asName;
+    const char* country;
+    const char* hostname;
+    const char* title;
+    const char* body;
+  };
+  // Ordinary Web servers across countries, including keyword bait: banners
+  // that match Shodan keywords ("webadmin", "proxysg", "url blocked",
+  // "blockpage.cgi") but are NOT the products — the validation step must
+  // reject them (§3.1: "we are not conservative" at the locate step).
+  const Decoy decoys[] = {
+      {64501, "DE-HOSTING", "DE", "blog.techtips.de",
+       "Tech Tips - sysadmin blog",
+       "<h1>Running your own webadmin panel</h1><p>A tutorial about webadmin "
+       "tools for small networks.</p>"},
+      {64502, "RU-HOSTING", "RU", "reviews.network.ru",
+       "Network appliance reviews",
+       "<h1>Review: Blue Coat ProxySG appliance</h1><p>We benchmarked the "
+       "proxysg against open-source proxies.</p>"},
+      {64503, "FR-HOSTING", "FR", "forum.websecurite.fr",
+       "Forum - securite web",
+       "<h1>Why was this url blocked?</h1><p>Discussion of corporate "
+       "filtering false positives.</p>"},
+      {64504, "BR-HOSTING", "BR", "www.padaria.br", "Padaria do Centro",
+       "<h1>Fresh bread daily</h1>"},
+      {64505, "IN-HOSTING", "IN", "cricketnews.in", "Cricket News",
+       "<h1>Latest scores</h1>"},
+      {64506, "JP-HOSTING", "JP", "ramenguide.jp", "Ramen Guide",
+       "<h1>Best ramen in Tokyo</h1>"},
+      {64507, "GB-HOSTING", "GB", "weather.uk.example", "UK Weather",
+       "<h1>Rain expected</h1>"},
+      {64508, "CN-HOSTING", "CN", "shop.example.cn", "Online Shop",
+       "<h1>Specials</h1>"},
+      {64509, "US-DEVNET", "US", "dev.blockpagetools.example",
+       "Blockpage.cgi open-source clone",
+       "<h1>blockpage.cgi</h1><p>An open-source block page generator "
+       "unrelated to any commercial gateway.</p>"},
+      {64510, "AU-HOSTING", "AU", "surfreport.au", "Surf Report",
+       "<h1>Swell charts</h1>"},
+  };
+
+  for (const auto& d : decoys) {
+    world_.createAs(d.asn, d.asName, d.asName, d.country, {nextPrefix()});
+    auto& server = world_.makeEndpoint<simnet::OriginServer>(d.hostname);
+    simnet::Page page;
+    page.title = d.title;
+    page.body = d.body;
+    page.contentLabel = "benign";
+    server.setPage("/", std::move(page));
+    const auto ip = world_.allocateAddress(d.asn);
+    world_.bind(ip, 80, server, /*externallyVisible=*/true);
+    world_.registerHostname(d.hostname, ip);
+  }
+}
+
+void PaperWorld::addContentSite(
+    const std::string& hostname, const std::string& oniCategory,
+    const std::string& pageMarker,
+    const std::map<ProductKind, std::string>& vendorCategoryNames) {
+  auto& server = world_.makeEndpoint<simnet::OriginServer>(hostname);
+  simnet::Page page;
+  page.title = hostname;
+  page.body = "<h1>" + http::escape(hostname) + "</h1><p>" + pageMarker +
+              "</p>";
+  page.contentLabel = util::toLower(oniCategory);
+  server.setPage("/", std::move(page));
+  const auto ip = world_.allocateAddress(15169);
+  world_.bind(ip, 80, server, /*externallyVisible=*/true);
+  world_.registerHostname(hostname, ip);
+
+  for (const auto& [kind, categoryName] : vendorCategoryNames) {
+    auto& v = vendor(kind);
+    const auto category = v.scheme().byName(categoryName);
+    if (!category)
+      throw std::logic_error("addContentSite: unknown vendor category " +
+                             categoryName);
+    v.masterDb().addHost(hostname, category->id);
+  }
+}
+
+void PaperWorld::buildContentSites() {
+  using PK = ProductKind;
+
+  auto addGlobal = [&](const std::string& host, const std::string& oniCategory,
+                       const std::string& marker,
+                       const std::map<PK, std::string>& cats) {
+    addContentSite(host, oniCategory, marker, cats);
+    globalList_.entries.push_back({"http://" + host + "/", oniCategory});
+  };
+  auto addLocal = [&](const std::string& alpha2, const std::string& host,
+                      const std::string& oniCategory, const std::string& marker,
+                      const std::map<PK, std::string>& cats) {
+    addContentSite(host, oniCategory, marker, cats);
+    auto& list = localLists_[alpha2];
+    if (list.name.empty()) list.name = "local-" + util::toLower(alpha2);
+    list.entries.push_back({"http://" + host + "/", oniCategory});
+  };
+
+  globalList_.name = "global";
+
+  // --- Global list (§5): constant across countries. Vendor categorization
+  // chosen per product so each deployment's category policy induces the
+  // Table 4 pattern.
+  addGlobal("mediafreedomwatch.org", "Media Freedom",
+            "Reporting on press freedom violations worldwide.",
+            {{PK::kSmartFilter, "General News"},
+             {PK::kNetsweeper, "Journals and Blogs"}});
+  addGlobal("pressfreedomdaily.org", "Media Freedom",
+            "Independent journalism on media censorship.",
+            {{PK::kSmartFilter, "General News"},
+             {PK::kNetsweeper, "Journals and Blogs"}});
+  addGlobal("humanrightsmonitor.org", "Human Rights",
+            "Documenting human rights abuses.",
+            {{PK::kNetsweeper, "Politics"}});
+  addGlobal("rightswatch.org", "Human Rights",
+            "International human rights advocacy.",
+            {{PK::kNetsweeper, "Politics"}});
+  addGlobal("reformnow.org", "Political Reform",
+            "Advocacy for democratic political reform.",
+            {{PK::kSmartFilter, "Politics/Opinion"},
+             {PK::kNetsweeper, "Government"}});
+  addGlobal("democraticchange.org", "Political Reform",
+            "Opposition commentary and reform proposals.",
+            {{PK::kSmartFilter, "Politics/Opinion"},
+             {PK::kNetsweeper, "Government"}});
+  addGlobal("lgbtvoices.org", "LGBT",
+            "Non-pornographic gay and lesbian community resources.",
+            {{PK::kSmartFilter, "Lifestyle"}, {PK::kNetsweeper, "Lifestyle"}});
+  addGlobal("rainbowcommunity.org", "LGBT",
+            "LGBT support groups and news.",
+            {{PK::kSmartFilter, "Lifestyle"}, {PK::kNetsweeper, "Lifestyle"}});
+  addGlobal("religioncritique.org", "Religious Criticism",
+            "Critical discussion of organized religion.",
+            {{PK::kSmartFilter, "Religion/Ideology"},
+             {PK::kNetsweeper, "Religion"}});
+  addGlobal("secularforum.org", "Religious Criticism",
+            "Forum for secularism and free thought.",
+            {{PK::kSmartFilter, "Religion/Ideology"},
+             {PK::kNetsweeper, "Religion"}});
+  addGlobal("minorityfaiths.org", "Minority Groups and Religions",
+            "Resources for minority religious communities.",
+            {{PK::kNetsweeper, "Cults"}});
+  addGlobal("shiacommunity.org", "Minority Groups and Religions",
+            "Community site for a minority religious group.",
+            {{PK::kNetsweeper, "Cults"}});
+  addGlobal("freeproxyhub.com", "Anonymizers and Proxies",
+            "Browse the web anonymously with our free Glype mirrors.",
+            {{PK::kSmartFilter, "Anonymizers"},
+             {PK::kNetsweeper, "Proxy Anonymizer"},
+             {PK::kBlueCoat, "Proxy Avoidance"},
+             {PK::kWebsense, "Proxy Avoidance"}});
+  addGlobal("anonbrowse.net", "Anonymizers and Proxies",
+            "Anonymous browsing gateway (Glype).",
+            {{PK::kSmartFilter, "Anonymizers"},
+             {PK::kNetsweeper, "Proxy Anonymizer"},
+             {PK::kBlueCoat, "Proxy Avoidance"},
+             {PK::kWebsense, "Proxy Avoidance"}});
+  addGlobal("adultvideosite.com", "Pornography",
+            "Explicit adult content site.",
+            {{PK::kSmartFilter, "Pornography"},
+             {PK::kNetsweeper, "Pornography"},
+             {PK::kBlueCoat, "Pornography"},
+             {PK::kWebsense, "Adult Content"}});
+  addGlobal("casinoroyalegames.com", "Gambling", "Online casino games.",
+            {{PK::kSmartFilter, "Gambling"}, {PK::kNetsweeper, "Gambling"}});
+  addGlobal("worldsportsnews.com", "Popular Culture",
+            "Sports scores and highlights.", {});
+  addGlobal("searchportal.com", "Search Engines", "Web search portal.", {});
+  addGlobal("travelguides.org", "Popular Culture", "Travel guides.", {});
+  addGlobal("onlinerecipes.org", "Popular Culture", "Recipe collection.", {});
+
+  // Remaining ONI categories (§5: 40 categories under four themes) — one
+  // representative site each, so the global list exercises the whole
+  // taxonomy. Vendor categorizations only where the products plausibly
+  // carry them; none affect the Table 4 columns.
+  addGlobal("oppositionparty.org", "Opposition Parties",
+            "Platform of an opposition political party.",
+            {{PK::kNetsweeper, "Politics"}});
+  addGlobal("govcriticism.net", "Criticism of Government",
+            "Commentary critical of government policy.",
+            {{PK::kNetsweeper, "Politics"}});
+  addGlobal("electionwatch.org", "Elections",
+            "Election monitoring and results.", {});
+  addGlobal("corruptionleaks.org", "Corruption Reporting",
+            "Investigations into official corruption.", {});
+  addGlobal("womensrightsnow.org", "Women's Rights",
+            "Advocacy for women's rights.", {});
+  addGlobal("laborunionvoice.org", "Labor Rights",
+            "Union organizing and labor rights news.", {});
+  addGlobal("foreignpolicyforum.org", "Foreign Relations",
+            "Analysis of foreign relations.", {});
+  addGlobal("swimwearcatalog.com", "Provocative Attire",
+            "Swimwear catalogue.",
+            {{PK::kSmartFilter, "Provocative Attire"},
+             {PK::kNetsweeper, "Intimate Apparel"}});
+  addGlobal("liquorcellar.com", "Alcohol and Drugs", "Online liquor store.",
+            {{PK::kSmartFilter, "Drugs"}, {PK::kNetsweeper, "Alcohol"}});
+  addGlobal("datingworld.net", "Dating", "Online dating community.",
+            {{PK::kSmartFilter, "Dating/Social Networking"},
+             {PK::kNetsweeper, "Dating"}});
+  addGlobal("sexedresource.org", "Sex Education",
+            "Clinical sex-education resources.",
+            {{PK::kNetsweeper, "Sex Education"}});
+  addGlobal("translatenow.net", "Translation Tools",
+            "Online translation service.",
+            {{PK::kNetsweeper, "Translation Sites"}});
+  addGlobal("voipcalls.net", "VoIP", "Internet telephony service.", {});
+  addGlobal("torrenttracker.net", "Peer to Peer", "Torrent tracker.",
+            {{PK::kNetsweeper, "Peer to Peer"}});
+  addGlobal("freewebmail.net", "Free Email", "Free webmail provider.",
+            {{PK::kNetsweeper, "Web Mail"}});
+  addGlobal("cheaphosting.net", "Web Hosting", "Shared Web hosting.",
+            {{PK::kNetsweeper, "Web Hosting"}});
+  addGlobal("blogplatform.net", "Blogging Platforms",
+            "Free blog hosting platform.",
+            {{PK::kNetsweeper, "Journals and Blogs"}});
+  addGlobal("friendcircle.net", "Social Networking", "Social network.",
+            {{PK::kSmartFilter, "Dating/Social Networking"},
+             {PK::kNetsweeper, "Social Networking"}});
+  addGlobal("videoshare.net", "Multimedia Sharing", "Video sharing site.",
+            {{PK::kNetsweeper, "Streaming Media"}});
+  addGlobal("warreports.org", "Armed Conflict",
+            "Reporting on armed conflicts.", {});
+  addGlobal("extremismmonitor.org", "Extremism",
+            "Research on extremist movements.", {});
+  addGlobal("militantprofiles.org", "Militant Groups",
+            "Profiles of militant organizations.", {});
+  addGlobal("separatistvoice.org", "Separatist Movements",
+            "Separatist movement publications.", {});
+  addGlobal("borderdisputes.org", "Border Disputes",
+            "Coverage of territorial disputes.", {});
+  addGlobal("outdoorarms.com", "Weapons", "Firearms retailer.",
+            {{PK::kNetsweeper, "Weapons"}});
+  addGlobal("pentestkits.net", "Hacking Tools",
+            "Security and penetration-testing tools.",
+            {{PK::kSmartFilter, "Criminal Activities"},
+             {PK::kNetsweeper, "Criminal Skills"}});
+  addGlobal("terrorismcoverage.org", "Terrorism Coverage",
+            "News coverage of terrorism.", {});
+  addGlobal("defensereview.org", "Military Affairs",
+            "Military affairs analysis.", {});
+  addGlobal("securitywatchdog.org", "Security Services Criticism",
+            "Monitoring of security services abuses.", {});
+
+  // --- Local lists (§5): curated per country by regional experts.
+  addLocal("AE", "uaeoppositionvoice.org", "Political Reform",
+           "Opposition voices from the Emirates.",
+           {{PK::kSmartFilter, "Politics/Opinion"},
+            {PK::kNetsweeper, "Government"}});
+  addLocal("AE", "gulfmediafreedom.org", "Media Freedom",
+           "Gulf media freedom monitor.",
+           {{PK::kSmartFilter, "General News"},
+            {PK::kNetsweeper, "Journals and Blogs"}});
+  addLocal("AE", "emiratisecular.org", "Religious Criticism",
+           "Secularist commentary from the region.",
+           {{PK::kSmartFilter, "Religion/Ideology"},
+            {PK::kNetsweeper, "Religion"}});
+
+  addLocal("QA", "qatarlgbtforum.org", "LGBT",
+           "Qatari LGBT community forum.",
+           {{PK::kNetsweeper, "Lifestyle"}});
+  addLocal("QA", "dohacritique.org", "Religious Criticism",
+           "Religious criticism from Doha.", {{PK::kNetsweeper, "Religion"}});
+  addLocal("QA", "qatarreform.org", "Political Reform",
+           "Political reform advocacy in Qatar.",
+           {{PK::kNetsweeper, "Government"}});
+
+  addLocal("SA", "saudireformmovement.org", "Political Reform",
+           "Saudi reform movement site.",
+           {{PK::kSmartFilter, "Politics/Opinion"}});
+  addLocal("SA", "saudiwomenrights.org", "Human Rights",
+           "Saudi women's rights campaign.", {});
+
+  addLocal("YE", "yemenpressfreedom.org", "Media Freedom",
+           "Yemeni press freedom monitor.",
+           {{PK::kNetsweeper, "Journals and Blogs"}});
+  addLocal("YE", "yemenhumanrights.org", "Human Rights",
+           "Yemeni human rights documentation.", {{PK::kNetsweeper, "Politics"}});
+  addLocal("YE", "yemenreform.org", "Political Reform",
+           "Political reform discussion in Yemen.",
+           {{PK::kNetsweeper, "Government"}});
+
+  // YemenNet's political blocking lives in the operator's custom category
+  // (66), so the §4.4 denypagetests probe reports only the five vendor
+  // categories the paper found.
+  for (const std::string host :
+       {"mediafreedomwatch.org", "pressfreedomdaily.org",
+        "humanrightsmonitor.org", "rightswatch.org", "reformnow.org",
+        "democraticchange.org", "yemenpressfreedom.org",
+        "yemenhumanrights.org", "yemenreform.org"})
+    yemenNetsweeper_->policy().customDb.addHost(host, 66);
+}
+
+void PaperWorld::buildCaseStudies() {
+  using PK = ProductKind;
+  using CP = simnet::ContentProfile;
+
+  auto makeConfig = [](PK product, std::string country, std::string isp,
+                       std::string vantage, std::string category,
+                       std::string label, CP profile, int total, int submit) {
+    core::CaseStudyConfig config;
+    config.product = product;
+    config.countryAlpha2 = std::move(country);
+    config.ispName = std::move(isp);
+    config.fieldVantage = std::move(vantage);
+    config.categoryName = std::move(category);
+    config.categoryLabel = std::move(label);
+    config.profile = profile;
+    config.totalSites = total;
+    config.sitesToSubmit = submit;
+    config.submitterId = std::string(kSubmitterId);
+    return config;
+  };
+
+  // Chronological order of Table 3.
+
+  // 9/2012 — SmartFilter, Saudi Arabia, Bayanat Al-Oula: 10 adult-image
+  // domains, 5 submitted, blocked after four days.
+  {
+    auto config = makeConfig(PK::kSmartFilter, "SA", "Bayanat Al-Oula",
+                             "field-bayanat", "Pornography", "Pornography",
+                             CP::kAdultImage, 10, 5);
+    config.waitDays = 4;
+    caseStudies_.push_back({config, {2012, 9, 3}});
+  }
+  // 9/2012 — SmartFilter, UAE, Etisalat: 10 Glype proxy domains, 5 submitted
+  // under Anonymizers.
+  {
+    auto config = makeConfig(PK::kSmartFilter, "AE", "Etisalat",
+                             "field-etisalat", "Anonymizers", "Anonymizers",
+                             CP::kGlypeProxy, 10, 5);
+    config.waitDays = 4;
+    caseStudies_.push_back({config, {2012, 9, 17}});
+  }
+  // 3/2013 — Netsweeper, UAE, Du: 12 proxy domains, 6 submitted to
+  // test-a-site; no pre-test (access would queue categorization).
+  {
+    auto config = makeConfig(PK::kNetsweeper, "AE", "Du", "field-du",
+                             "Proxy Anonymizer", "Proxy anonymizer",
+                             CP::kGlypeProxy, 12, 6);
+    config.pretestAccessible = false;
+    config.waitDays = 5;
+    config.retestRuns = 2;
+    caseStudies_.push_back({config, {2013, 3, 4}});
+  }
+  // 3/2013 — Netsweeper, Yemen, YemenNet: inconsistent blocking; repeated
+  // retests (Challenge 2).
+  {
+    auto config = makeConfig(PK::kNetsweeper, "YE", "YemenNet",
+                             "field-yemennet", "Proxy Anonymizer",
+                             "Proxy anonymizer", CP::kGlypeProxy, 12, 6);
+    config.pretestAccessible = false;
+    config.waitDays = 5;
+    config.retestRuns = 4;
+    caseStudies_.push_back({config, {2013, 3, 11}});
+  }
+  // 4/2013 — Blue Coat, UAE, Etisalat: 6 proxy domains, 3 submitted to the
+  // Proxy Avoidance category; none blocked (SmartFilter does the filtering).
+  {
+    auto config = makeConfig(PK::kBlueCoat, "AE", "Etisalat", "field-etisalat",
+                             "Proxy Avoidance", "Proxy Avoidance",
+                             CP::kGlypeProxy, 6, 3);
+    config.waitDays = 5;  // Blue Coat's review window runs to 5 days
+    caseStudies_.push_back({config, {2013, 4, 1}});
+  }
+  // 4/2013 — Blue Coat, Qatar, Ooredoo: same, none blocked (Netsweeper does
+  // the filtering).
+  {
+    auto config = makeConfig(PK::kBlueCoat, "QA", "Ooredoo", "field-ooredoo",
+                             "Proxy Avoidance", "Proxy Avoidance",
+                             CP::kGlypeProxy, 6, 3);
+    config.waitDays = 5;
+    caseStudies_.push_back({config, {2013, 4, 8}});
+  }
+  // 4/2013 — SmartFilter, Qatar, Ooredoo: pornography submissions have no
+  // effect — SmartFilter is not deployed there.
+  caseStudies_.push_back({makeConfig(PK::kSmartFilter, "QA", "Ooredoo",
+                                     "field-ooredoo", "Pornography",
+                                     "Pornography", CP::kAdultImage, 10, 5),
+                          {2013, 4, 15}});
+  // 4/2013 — SmartFilter, UAE, Etisalat: pornography, 5/5 blocked.
+  {
+    auto config = makeConfig(PK::kSmartFilter, "AE", "Etisalat",
+                             "field-etisalat", "Pornography", "Pornography",
+                             CP::kAdultImage, 10, 5);
+    config.waitDays = 4;
+    caseStudies_.push_back({config, {2013, 4, 22}});
+  }
+  // 5/2013 — SmartFilter, Saudi Arabia, Nournet: repeats the Bayanat
+  // methodology on a second Saudi ISP.
+  {
+    auto config = makeConfig(PK::kSmartFilter, "SA", "Nournet", "field-nournet",
+                             "Pornography", "Pornography", CP::kAdultImage, 10,
+                             5);
+    config.waitDays = 4;
+    caseStudies_.push_back({config, {2013, 5, 6}});
+  }
+  // 8/2013 — Netsweeper, Qatar, Ooredoo: 12 proxy domains, 6 submitted, all
+  // six blocked.
+  {
+    auto config = makeConfig(PK::kNetsweeper, "QA", "Ooredoo", "field-ooredoo",
+                             "Proxy Anonymizer", "Proxy anonymizer",
+                             CP::kGlypeProxy, 12, 6);
+    config.pretestAccessible = false;
+    config.waitDays = 5;
+    caseStudies_.push_back({config, {2013, 8, 5}});
+  }
+}
+
+}  // namespace urlf::scenarios

@@ -1,0 +1,192 @@
+#ifndef URLF_SCENARIOS_PAPER_WORLD_H
+#define URLF_SCENARIOS_PAPER_WORLD_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/confirmer.h"
+#include "core/scout.h"
+#include "filters/bluecoat.h"
+#include "filters/netsweeper.h"
+#include "filters/smartfilter.h"
+#include "filters/vendor.h"
+#include "filters/websense.h"
+#include "measure/testlist.h"
+#include "simnet/hosting.h"
+#include "simnet/world.h"
+#include "util/clock.h"
+
+namespace urlf::scenarios {
+
+/// Default deterministic seed for the paper world (IMC'13 dates).
+inline constexpr std::uint64_t kPaperSeed = 20131023;
+
+/// Ground truth about one deployed installation, recorded at build time so
+/// benches can score the identification pipeline (Table 2 / Figure 1).
+struct GroundTruthInstallation {
+  filters::ProductKind product = filters::ProductKind::kBlueCoat;
+  net::Ipv4Addr serviceIp;
+  std::string countryAlpha2;
+  std::uint32_t asn = 0;
+  std::string ispName;
+  bool externallyVisible = true;
+};
+
+/// One Table 3 case study with the calendar date it started.
+struct CaseStudy {
+  core::CaseStudyConfig config;
+  util::CivilDate startDate;
+};
+
+/// Options for variants of the world (used by the Table 5 evasion bench).
+struct PaperWorldOptions {
+  /// Hide every filter's external surfaces (Table 5 evasion #1).
+  bool hideExternalSurfaces = false;
+  /// Strip vendor branding from block pages and consoles (evasion #2).
+  bool stripBranding = false;
+  /// Vendors disregard the research submitter identity (evasion #3).
+  bool disregardSubmitter = false;
+  /// Geolocation error rate for the scanner's MaxMind-style database.
+  double geoErrorRate = 0.0;
+};
+
+/// The fully wired simulated Internet of the paper:
+///  * the six case-study ISPs with in-country vantage points and the exact
+///    product arrangements of Table 3 (including Etisalat's Blue Coat +
+///    SmartFilter tandem and YemenNet's inconsistent Netsweeper),
+///  * the wider set of installations behind Figure 1,
+///  * decoy Web servers (some with keyword bait) to exercise validation,
+///  * the four vendors with their submission portals and infrastructure,
+///  * a hosting provider for fresh test domains,
+///  * the §5 global and per-country local URL lists with seeded vendor
+///    categorizations.
+class PaperWorld {
+ public:
+  explicit PaperWorld(std::uint64_t seed = kPaperSeed,
+                      PaperWorldOptions options = {});
+
+  PaperWorld(const PaperWorld&) = delete;
+  PaperWorld& operator=(const PaperWorld&) = delete;
+
+  [[nodiscard]] simnet::World& world() { return world_; }
+  [[nodiscard]] simnet::HostingProvider& hosting() { return *hosting_; }
+  [[nodiscard]] core::VendorSet vendorSet() const;
+  [[nodiscard]] filters::Vendor& vendor(filters::ProductKind kind);
+
+  /// Ground truth of every installation created (for scoring only).
+  [[nodiscard]] const std::vector<GroundTruthInstallation>& groundTruth() const {
+    return groundTruth_;
+  }
+
+  /// The ten Table 3 case studies, in chronological order.
+  [[nodiscard]] const std::vector<CaseStudy>& caseStudies() const {
+    return caseStudies_;
+  }
+
+  /// §5 URL lists.
+  [[nodiscard]] const measure::TestList& globalList() const {
+    return globalList_;
+  }
+  /// Local list for a country; empty list when none is curated.
+  [[nodiscard]] const measure::TestList& localList(
+      const std::string& alpha2) const;
+
+  /// Named deployments of the case-study ISPs.
+  [[nodiscard]] filters::SmartFilterDeployment& etisalatSmartFilter() {
+    return *etisalatSmartFilter_;
+  }
+  [[nodiscard]] filters::BlueCoatProxySG& etisalatProxySG() {
+    return *etisalatProxySG_;
+  }
+  [[nodiscard]] filters::SmartFilterDeployment& saudiNationalSmartFilter() {
+    return *saudiSmartFilter_;
+  }
+  [[nodiscard]] filters::NetsweeperDeployment& ooredooNetsweeper() {
+    return *ooredooNetsweeper_;
+  }
+  [[nodiscard]] filters::NetsweeperDeployment& duNetsweeper() {
+    return *duNetsweeper_;
+  }
+  [[nodiscard]] filters::NetsweeperDeployment& yemenNetsweeper() {
+    return *yemenNetsweeper_;
+  }
+
+  [[nodiscard]] const PaperWorldOptions& options() const { return options_; }
+
+  /// ASN of the hosting provider used for fresh test domains.
+  [[nodiscard]] std::uint32_t hostingAsn() const { return kHostingAsn; }
+
+  /// URL of the request-echo origin used for Netalyzr-style transparent
+  /// proxy detection (§7).
+  [[nodiscard]] const std::string& echoUrl() const { return echoUrl_; }
+
+  /// Reference sites of known vendor categorization for the CategoryScout
+  /// (automating Challenge 1: which categories does an ISP enforce?).
+  [[nodiscard]] std::vector<core::ReferenceSite> referenceSites(
+      filters::ProductKind kind) const;
+
+  static constexpr std::uint32_t kHostingAsn = 14618;
+
+ private:
+  void buildBackbone();
+  void buildVendors();
+  void buildCaseStudyIsps();
+  void buildFigure1Installations();
+  void buildDecoys();
+  void buildContentSites();
+  void buildCaseStudies();
+
+  /// Create AS + ISP + one externally surfaced deployment, record ground
+  /// truth, and return the deployment.
+  filters::Deployment& addInstallation(filters::ProductKind kind,
+                                       std::uint32_t asn,
+                                       const std::string& asName,
+                                       const std::string& ispName,
+                                       const std::string& countryAlpha2,
+                                       filters::FilterPolicy policy);
+
+  /// Create one content origin with a label and register it in vendor DBs.
+  void addContentSite(const std::string& hostname, const std::string& oniCategory,
+                      const std::string& pageMarker,
+                      const std::map<filters::ProductKind, std::string>&
+                          vendorCategoryNames);
+
+  /// Sequential /16 allocator for synthetic AS prefixes.
+  net::IpPrefix nextPrefix();
+
+  PaperWorldOptions options_;
+  simnet::World world_;
+  std::unique_ptr<filters::Vendor> blueCoatVendor_;
+  std::unique_ptr<filters::Vendor> smartFilterVendor_;
+  std::unique_ptr<filters::Vendor> netsweeperVendor_;
+  std::unique_ptr<filters::Vendor> websenseVendor_;
+  std::unique_ptr<simnet::HostingProvider> hosting_;
+
+  filters::SmartFilterDeployment* etisalatSmartFilter_ = nullptr;
+  filters::BlueCoatProxySG* etisalatProxySG_ = nullptr;
+  filters::SmartFilterDeployment* saudiSmartFilter_ = nullptr;
+  filters::BlueCoatProxySG* ooredooProxySG_ = nullptr;
+  filters::NetsweeperDeployment* ooredooNetsweeper_ = nullptr;
+  filters::NetsweeperDeployment* duNetsweeper_ = nullptr;
+  filters::NetsweeperDeployment* yemenNetsweeper_ = nullptr;
+
+  std::vector<GroundTruthInstallation> groundTruth_;
+  std::vector<CaseStudy> caseStudies_;
+  std::string echoUrl_;
+  measure::TestList globalList_;
+  std::map<std::string, measure::TestList> localLists_;
+  std::uint32_t prefixCursor_ = 0;
+};
+
+/// Advance the world clock to 00:00 on `date` (no-op if already past it).
+inline void advanceClockTo(simnet::World& world, const util::CivilDate& date) {
+  const auto target = util::SimTime::fromDate(date);
+  if (target > world.now()) world.clock().advanceHours(target - world.now());
+}
+
+}  // namespace urlf::scenarios
+
+#endif  // URLF_SCENARIOS_PAPER_WORLD_H

@@ -1,0 +1,152 @@
+#include "scenarios/random_world.h"
+
+#include <algorithm>
+
+#include "filters/registry.h"
+#include "net/cctld.h"
+#include "simnet/origin_server.h"
+#include "util/strings.h"
+
+namespace urlf::scenarios {
+
+using filters::ProductKind;
+
+namespace {
+
+std::string proxyCategoryFor(ProductKind kind) {
+  switch (kind) {
+    case ProductKind::kBlueCoat: return "Proxy Avoidance";
+    case ProductKind::kSmartFilter: return "Anonymizers";
+    case ProductKind::kNetsweeper: return "Proxy Anonymizer";
+    case ProductKind::kWebsense: return "Proxy Avoidance";
+  }
+  return "";
+}
+
+std::string pornCategoryFor(ProductKind kind) {
+  switch (kind) {
+    case ProductKind::kBlueCoat: return "Pornography";
+    case ProductKind::kSmartFilter: return "Pornography";
+    case ProductKind::kNetsweeper: return "Pornography";
+    case ProductKind::kWebsense: return "Adult Content";
+  }
+  return "";
+}
+
+}  // namespace
+
+RandomWorld::RandomWorld(std::uint64_t seed, RandomWorldConfig config)
+    : world_(seed) {
+  auto rng = world_.rng().fork();
+
+  // Backbone: hosting, vendor infra, lab.
+  std::uint32_t nextAsn = 70000;
+  std::uint32_t nextPrefixIndex = 0;
+  auto nextPrefix = [&]() {
+    const std::uint32_t a = 70 + nextPrefixIndex / 200;
+    const std::uint32_t b = nextPrefixIndex % 200;
+    ++nextPrefixIndex;
+    return net::IpPrefix{net::Ipv4Addr{(a << 24) | (b << 16)}, 16};
+  };
+
+  const std::uint32_t hostingAsn = nextAsn++;
+  world_.createAs(hostingAsn, "RAND-HOSTING", "Hosting provider", "US",
+                  {nextPrefix()});
+  const std::uint32_t infraAsn = nextAsn++;
+  world_.createAs(infraAsn, "RAND-INFRA", "Vendor infrastructure", "US",
+                  {nextPrefix()});
+  world_.createVantage(kLabVantage, "CA", nullptr);
+
+  for (const auto kind :
+       {ProductKind::kBlueCoat, ProductKind::kSmartFilter,
+        ProductKind::kNetsweeper, ProductKind::kWebsense}) {
+    vendors_.push_back(std::make_unique<filters::Vendor>(kind, world_));
+    vendors_.back()->installInfrastructure(infraAsn);
+  }
+  hosting_ = std::make_unique<simnet::HostingProvider>(world_, hostingAsn);
+
+  // Countries: a random sample of the registry.
+  const auto registry = net::allCountries();
+  std::vector<std::size_t> order(registry.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  const int countryCount =
+      std::min<int>(config.countries, static_cast<int>(order.size()));
+
+  for (int c = 0; c < countryCount; ++c) {
+    const auto& country = registry[order[static_cast<std::size_t>(c)]];
+    const std::string alpha2(country.alpha2);
+    const std::uint32_t asn = nextAsn++;
+    world_.createAs(asn, "RAND-AS-" + alpha2, "ISP of " + alpha2, alpha2,
+                    {nextPrefix()});
+    auto& isp = world_.createIsp("ISP-" + alpha2, alpha2, {asn});
+    const std::string vantage = "field-" + util::toLower(alpha2);
+    world_.createVantage(vantage, alpha2, &isp);
+    fieldVantages_.push_back(vantage);
+
+    if (!rng.chance(config.deploymentProbability)) continue;
+
+    const auto kind =
+        static_cast<ProductKind>(rng.uniform(0, 3));
+    auto& vendor = this->vendor(kind);
+    filters::FilterPolicy policy;
+    policy.blockedCategories = {
+        vendor.scheme().byName(proxyCategoryFor(kind))->id,
+        vendor.scheme().byName(pornCategoryFor(kind))->id,
+    };
+    policy.externallyVisible = !rng.chance(config.hiddenProbability);
+
+    auto& deployment = filters::makeDeployment(
+        world_, kind, "ISP-" + alpha2 + " " + std::string(toString(kind)),
+        vendor, policy);
+    deployment.installExternalSurfaces(world_, asn);
+    isp.attachMiddlebox(deployment);
+
+    deployments_.push_back({kind, isp.name(), alpha2, asn, vantage,
+                            deployment.serviceIp(),
+                            policy.externallyVisible,
+                            proxyCategoryFor(kind), &deployment});
+  }
+
+  // Decoys, some with keyword bait the validation step must reject.
+  const char* baits[] = {"webadmin tutorial", "proxysg review",
+                         "url blocked faq", "blockpage.cgi clone",
+                         "gardening tips", "weather report"};
+  for (int d = 0; d < config.decoys; ++d) {
+    const std::string host = "decoy" + std::to_string(d) + ".example";
+    auto& server = world_.makeEndpoint<simnet::OriginServer>(host);
+    simnet::Page page;
+    page.title = "Decoy " + std::to_string(d);
+    page.body = std::string("<h1>") + baits[d % std::size(baits)] + "</h1>";
+    server.setPage("/", std::move(page));
+    const auto ip = world_.allocateAddress(hostingAsn);
+    world_.bind(ip, 80, server, /*externallyVisible=*/true);
+    world_.registerHostname(host, ip);
+  }
+
+  // Content sites, randomly pre-categorized in a random vendor.
+  for (int s = 0; s < config.contentSites; ++s) {
+    const auto profile = static_cast<simnet::ContentProfile>(rng.uniform(0, 3));
+    const auto domain = hosting_->createFreshDomain(profile);
+    if (rng.chance(0.5)) {
+      auto& vendor = *vendors_[rng.index(vendors_.size())];
+      const auto category =
+          vendor.scheme().byName(pornCategoryFor(vendor.kind()));
+      if (category) vendor.masterDb().addHost(domain.hostname, category->id);
+    }
+  }
+}
+
+core::VendorSet RandomWorld::vendorSet() const {
+  core::VendorSet set;
+  for (const auto& vendor : vendors_) set.add(*vendor);
+  return set;
+}
+
+filters::Vendor& RandomWorld::vendor(ProductKind kind) {
+  for (const auto& vendor : vendors_)
+    if (vendor->kind() == kind) return *vendor;
+  throw std::logic_error("RandomWorld: vendor not found");
+}
+
+}  // namespace urlf::scenarios

@@ -1,0 +1,77 @@
+#ifndef URLF_SCENARIOS_RANDOM_WORLD_H
+#define URLF_SCENARIOS_RANDOM_WORLD_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/confirmer.h"
+#include "filters/deployment.h"
+#include "filters/vendor.h"
+#include "simnet/hosting.h"
+#include "simnet/world.h"
+
+namespace urlf::scenarios {
+
+/// Knobs for procedural world generation.
+struct RandomWorldConfig {
+  int countries = 8;                  ///< sampled from the ccTLD registry
+  double deploymentProbability = 0.6; ///< chance an ISP runs a URL filter
+  double hiddenProbability = 0.2;     ///< deployment not externally visible
+  int decoys = 6;                     ///< plain servers (some keyword bait)
+  int contentSites = 10;              ///< random pre-categorized sites
+};
+
+/// A procedurally generated world for property-style testing: random
+/// countries, one ISP per country with a field vantage point, random
+/// product deployments (some hidden), decoy servers, and content sites.
+/// Ground truth about every deployment is recorded so tests can assert the
+/// pipeline's recall/precision on topologies nobody hand-crafted.
+class RandomWorld {
+ public:
+  struct DeploymentInfo {
+    filters::ProductKind kind = filters::ProductKind::kBlueCoat;
+    std::string ispName;
+    std::string countryAlpha2;
+    std::uint32_t asn = 0;
+    std::string fieldVantage;
+    net::Ipv4Addr serviceIp;
+    bool externallyVisible = true;
+    /// The vendor-scheme category name for proxy content in this product.
+    std::string proxyCategoryName;
+    filters::Deployment* deployment = nullptr;
+  };
+
+  explicit RandomWorld(std::uint64_t seed, RandomWorldConfig config = {});
+
+  RandomWorld(const RandomWorld&) = delete;
+  RandomWorld& operator=(const RandomWorld&) = delete;
+
+  [[nodiscard]] simnet::World& world() { return world_; }
+  [[nodiscard]] simnet::HostingProvider& hosting() { return *hosting_; }
+  [[nodiscard]] core::VendorSet vendorSet() const;
+  [[nodiscard]] filters::Vendor& vendor(filters::ProductKind kind);
+
+  /// Every deployment created, visible or not.
+  [[nodiscard]] const std::vector<DeploymentInfo>& deployments() const {
+    return deployments_;
+  }
+
+  /// Names of all field vantage points (one per generated country).
+  [[nodiscard]] const std::vector<std::string>& fieldVantages() const {
+    return fieldVantages_;
+  }
+
+  static constexpr const char* kLabVantage = "lab";
+
+ private:
+  simnet::World world_;
+  std::vector<std::unique_ptr<filters::Vendor>> vendors_;
+  std::unique_ptr<simnet::HostingProvider> hosting_;
+  std::vector<DeploymentInfo> deployments_;
+  std::vector<std::string> fieldVantages_;
+};
+
+}  // namespace urlf::scenarios
+
+#endif  // URLF_SCENARIOS_RANDOM_WORLD_H

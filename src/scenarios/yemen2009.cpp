@@ -1,0 +1,63 @@
+#include "scenarios/yemen2009.h"
+
+namespace urlf::scenarios {
+
+Yemen2009::Yemen2009(std::uint64_t seed) : world_(seed) {
+  world_.createAs(12486, "YEMEN-NET", "Public Telecommunication Corporation",
+                  "YE", {net::IpPrefix::parse("82.114.0.0/16").value()});
+  world_.createAs(14618, "HOSTCO", "Commodity hosting", "US",
+                  {net::IpPrefix::parse("54.224.0.0/16").value()});
+  auto& yemenNet = world_.createIsp("YemenNet", "YE", {12486});
+  world_.createVantage("field-yemennet-2009", "YE", &yemenNet);
+  world_.createVantage("lab-toronto", "CA", nullptr);
+
+  websense_ = std::make_unique<filters::Vendor>(
+      filters::ProductKind::kWebsense, world_);
+
+  filters::FilterPolicy policy;
+  policy.blockedCategories = {
+      websense_->scheme().byName("Proxy Avoidance")->id,
+      websense_->scheme().byName("Adult Content")->id,
+  };
+  deployment_ = &world_.makeMiddlebox<filters::WebsenseDeployment>(
+      "YemenNet Websense (2009)", *websense_, policy);
+  deployment_->installExternalSurfaces(world_, 12486);
+  yemenNet.attachMiddlebox(*deployment_);
+
+  // The under-provisioned license pool [25]: at peak load the box exceeds
+  // its licenses and filtering lapses.
+  deployment_->setLicenseModel(filters::LicenseModel{
+      .licenses = 1200, .baseUsers = 900, .peakExtraUsers = 700, .jitter = 150});
+
+  hosting_ = std::make_unique<simnet::HostingProvider>(world_, 14618);
+}
+
+core::VendorSet Yemen2009::vendorSet() const {
+  core::VendorSet vendors;
+  vendors.add(*websense_);
+  return vendors;
+}
+
+core::CaseStudyConfig Yemen2009::caseStudyConfig() const {
+  core::CaseStudyConfig config;
+  config.product = filters::ProductKind::kWebsense;
+  config.countryAlpha2 = "YE";
+  config.ispName = "YemenNet";
+  config.fieldVantage = "field-yemennet-2009";
+  config.labVantage = "lab-toronto";
+  config.categoryName = "Proxy Avoidance";
+  config.categoryLabel = "Proxy avoidance";
+  config.profile = simnet::ContentProfile::kGlypeProxy;
+  config.totalSites = 12;
+  config.sitesToSubmit = 6;
+  config.waitDays = 5;
+  // Inconsistent blocking: repeat the retest across different hours of the
+  // day so at least one pass lands while the box is under-license.
+  config.retestRuns = 6;
+  config.hoursBetweenRuns = 4;
+  return config;
+}
+
+void Yemen2009::websenseWithdrawsSupport() { deployment_->freezeUpdates(); }
+
+}  // namespace urlf::scenarios

@@ -1,0 +1,58 @@
+#ifndef URLF_SCENARIOS_YEMEN2009_H
+#define URLF_SCENARIOS_YEMEN2009_H
+
+#include <memory>
+
+#include "core/confirmer.h"
+#include "filters/websense.h"
+#include "simnet/hosting.h"
+#include "simnet/world.h"
+
+namespace urlf::scenarios {
+
+/// The historical Yemen scenario behind two of the paper's anecdotes:
+///
+///  * §2.2/§4.4 [25]: YemenNet ran Websense with a limited number of
+///    concurrent user licenses — "when the number of users exceeded the
+///    number of licenses no content would be filtered" — the original
+///    source of the inconsistent-blocking challenge;
+///  * §2.2 [35]: after the ONI identified the deployment in 2009, Websense
+///    "barred Yemen's government from further software updates" — modeled
+///    as freezing the deployment's database snapshot.
+///
+/// The scenario lets the methodology be exercised against a pre-2013
+/// configuration and demonstrates the policy impact: after the update
+/// withdrawal, newly categorized sites are never blocked.
+class Yemen2009 {
+ public:
+  explicit Yemen2009(std::uint64_t seed = 2009);
+
+  Yemen2009(const Yemen2009&) = delete;
+  Yemen2009& operator=(const Yemen2009&) = delete;
+
+  [[nodiscard]] simnet::World& world() { return world_; }
+  [[nodiscard]] filters::Vendor& websense() { return *websense_; }
+  [[nodiscard]] filters::WebsenseDeployment& deployment() {
+    return *deployment_;
+  }
+  [[nodiscard]] simnet::HostingProvider& hosting() { return *hosting_; }
+  [[nodiscard]] core::VendorSet vendorSet() const;
+
+  /// The §4 case-study configuration for this network (repeated retests to
+  /// ride out the license-driven inconsistency).
+  [[nodiscard]] core::CaseStudyConfig caseStudyConfig() const;
+
+  /// The vendor's 2009 policy response [35]: no further updates for the
+  /// deployment. The master DB keeps growing; the box stops seeing it.
+  void websenseWithdrawsSupport();
+
+ private:
+  simnet::World world_;
+  std::unique_ptr<filters::Vendor> websense_;
+  filters::WebsenseDeployment* deployment_ = nullptr;
+  std::unique_ptr<simnet::HostingProvider> hosting_;
+};
+
+}  // namespace urlf::scenarios
+
+#endif  // URLF_SCENARIOS_YEMEN2009_H

@@ -1,0 +1,60 @@
+#ifndef URLF_SIMNET_AS_H
+#define URLF_SIMNET_AS_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace urlf::simnet {
+
+/// An autonomous system: number, naming, home country, and the prefixes it
+/// announces. Addresses for hosts inside the AS are allocated sequentially
+/// from its prefixes.
+class AutonomousSystem {
+ public:
+  AutonomousSystem(std::uint32_t asn, std::string name, std::string description,
+                   std::string countryAlpha2)
+      : asn_(asn),
+        name_(std::move(name)),
+        description_(std::move(description)),
+        country_(std::move(countryAlpha2)) {}
+
+  [[nodiscard]] std::uint32_t asn() const { return asn_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& description() const { return description_; }
+  [[nodiscard]] const std::string& country() const { return country_; }
+  [[nodiscard]] const std::vector<net::IpPrefix>& prefixes() const {
+    return prefixes_;
+  }
+
+  void announce(const net::IpPrefix& prefix) { prefixes_.push_back(prefix); }
+
+  /// Allocate the next unused address in this AS (skipping the network
+  /// address of each prefix). Throws when the AS is exhausted.
+  net::Ipv4Addr allocateAddress() {
+    for (; prefixCursor_ < prefixes_.size(); ++prefixCursor_) {
+      const auto& prefix = prefixes_[prefixCursor_];
+      if (hostCursor_ == 0) hostCursor_ = 1;  // skip network address
+      if (hostCursor_ < prefix.size()) return prefix.addressAt(hostCursor_++);
+      hostCursor_ = 0;
+    }
+    throw std::runtime_error("AutonomousSystem " + std::to_string(asn_) +
+                             ": address space exhausted");
+  }
+
+ private:
+  std::uint32_t asn_;
+  std::string name_;
+  std::string description_;
+  std::string country_;
+  std::vector<net::IpPrefix> prefixes_;
+  std::size_t prefixCursor_ = 0;
+  std::uint64_t hostCursor_ = 0;
+};
+
+}  // namespace urlf::simnet
+
+#endif  // URLF_SIMNET_AS_H

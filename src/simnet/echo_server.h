@@ -1,0 +1,43 @@
+#ifndef URLF_SIMNET_ECHO_SERVER_H
+#define URLF_SIMNET_ECHO_SERVER_H
+
+#include "http/html.h"
+#include "simnet/endpoint.h"
+
+namespace urlf::simnet {
+
+/// A diagnostic origin that echoes back the request exactly as it arrived —
+/// the server-side half of Netalyzr-style transparent-proxy detection
+/// (the paper proposes its methodology as ground truth for such tools, §7).
+/// If an in-path proxy annotated the request, the client sees the
+/// annotations in the echo.
+class RequestEchoServer : public HttpEndpoint {
+ public:
+  explicit RequestEchoServer(std::string hostname)
+      : hostname_(std::move(hostname)) {}
+
+  http::Response handle(const http::Request& request,
+                        util::SimTime /*now*/) override {
+    std::string echo = request.requestLine() + "\n";
+    for (const auto& field : request.headers.fields())
+      echo += field.name + ": " + field.value + "\n";
+    auto resp = http::Response::make(
+        http::Status::kOk,
+        http::makePage("Request Echo",
+                       "<pre>" + http::escape(echo) + "</pre>"));
+    resp.headers.add("Server", "EchoServer/1.0");
+    resp.headers.add("Cache-Control", "no-store");
+    return resp;
+  }
+
+  [[nodiscard]] std::string describe() const override {
+    return "request echo service at " + hostname_;
+  }
+
+ private:
+  std::string hostname_;
+};
+
+}  // namespace urlf::simnet
+
+#endif  // URLF_SIMNET_ECHO_SERVER_H

@@ -1,0 +1,30 @@
+#ifndef URLF_SIMNET_ENDPOINT_H
+#define URLF_SIMNET_ENDPOINT_H
+
+#include "http/message.h"
+#include "util/clock.h"
+
+namespace urlf::simnet {
+
+/// Anything that can answer an HTTP request at a bound (ip, port): origin
+/// Web servers, filter management consoles, block-page services, vendor
+/// portals.
+class HttpEndpoint {
+ public:
+  virtual ~HttpEndpoint() = default;
+
+  HttpEndpoint() = default;
+  HttpEndpoint(const HttpEndpoint&) = delete;
+  HttpEndpoint& operator=(const HttpEndpoint&) = delete;
+
+  /// Handle one request. `now` is the simulation time of the exchange.
+  virtual http::Response handle(const http::Request& request,
+                                util::SimTime now) = 0;
+
+  /// Human-readable description used in debugging and scan metadata.
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+}  // namespace urlf::simnet
+
+#endif  // URLF_SIMNET_ENDPOINT_H

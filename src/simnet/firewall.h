@@ -1,0 +1,52 @@
+#ifndef URLF_SIMNET_FIREWALL_H
+#define URLF_SIMNET_FIREWALL_H
+
+#include <string>
+#include <vector>
+
+#include "simnet/middlebox.h"
+#include "util/strings.h"
+
+namespace urlf::simnet {
+
+/// A national-firewall-style censor that injects TCP resets when the
+/// requested host or path matches a keyword — censorship *without* block
+/// pages, the ambiguous mechanism §4.1 deliberately avoids ("we avoid
+/// ambiguities such as censorship via dropped packets or TCP resets").
+/// Included as a contrast baseline: the measurement client sees these
+/// blocks as kBlockedOther with no product attribution.
+class KeywordResetFirewall : public Middlebox {
+ public:
+  explicit KeywordResetFirewall(std::string name, std::vector<std::string>
+                                    keywords,
+                                bool dropInsteadOfReset = false)
+      : name_(std::move(name)),
+        keywords_(std::move(keywords)),
+        drop_(dropInsteadOfReset) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  std::optional<InterceptAction> intercept(
+      http::Request& request, const InterceptContext& /*ctx*/) override {
+    const std::string target = request.url.toString();
+    for (const auto& keyword : keywords_) {
+      if (util::icontains(target, keyword)) {
+        ++resetsInjected_;
+        return drop_ ? InterceptAction::drop() : InterceptAction::reset();
+      }
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::uint64_t resetsInjected() const { return resetsInjected_; }
+
+ private:
+  std::string name_;
+  std::vector<std::string> keywords_;
+  bool drop_;
+  std::uint64_t resetsInjected_ = 0;
+};
+
+}  // namespace urlf::simnet
+
+#endif  // URLF_SIMNET_FIREWALL_H

@@ -1,0 +1,157 @@
+#include "simnet/hosting.h"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace urlf::simnet {
+
+namespace {
+
+// Two pools of short, non-profane English words, mirroring the paper's
+// "two random (non-profane) words registered with the .info top-level
+// domain (e.g., starwasher.info)".
+constexpr std::array<std::string_view, 32> kFirstWords{
+    "star",   "cloud",  "river",  "maple",  "stone",  "amber",  "cedar",
+    "ivory",  "noble",  "quiet",  "rapid",  "solar",  "tidal",  "urban",
+    "velvet", "winter", "copper", "dawn",   "ember",  "frost",  "glade",
+    "harbor", "indigo", "jasper", "kindle", "lunar",  "meadow", "north",
+    "ocean",  "pearl",  "quartz", "ridge"};
+
+constexpr std::array<std::string_view, 32> kSecondWords{
+    "washer",  "keeper",  "runner", "finder",  "maker",  "holder", "walker",
+    "bringer", "catcher", "dancer", "driver",  "farmer", "gazer",  "helper",
+    "jumper",  "leader",  "mover",  "painter", "porter", "reader", "rider",
+    "seeker",  "singer",  "skater", "smith",   "tender", "trader", "turner",
+    "watcher", "weaver",  "worker", "writer"};
+
+}  // namespace
+
+std::string_view toString(ContentProfile profile) {
+  switch (profile) {
+    case ContentProfile::kGlypeProxy: return "glype-proxy";
+    case ContentProfile::kAdultImage: return "adult-image";
+    case ContentProfile::kBenign: return "benign";
+    case ContentProfile::kNews: return "news";
+  }
+  return "unknown";
+}
+
+std::string_view contentLabel(ContentProfile profile) {
+  switch (profile) {
+    case ContentProfile::kGlypeProxy: return "proxy-script";
+    case ContentProfile::kAdultImage: return "pornography";
+    case ContentProfile::kBenign: return "benign";
+    case ContentProfile::kNews: return "news";
+  }
+  return "unknown";
+}
+
+Page indexPageFor(ContentProfile profile, const std::string& hostname) {
+  Page page;
+  page.contentLabel = std::string(contentLabel(profile));
+  switch (profile) {
+    case ContentProfile::kGlypeProxy:
+      page.title = hostname + " - Glype Proxy";
+      page.body =
+          "<h1>Web Proxy</h1>"
+          "<!-- Powered by Glype (c) UpsideOut, Inc. -->"
+          "<form method=\"post\" action=\"/browse.php\">"
+          "<input type=\"text\" name=\"u\" placeholder=\"Enter URL\"/>"
+          "<input type=\"submit\" value=\"Go\"/></form>"
+          "<p>Browse the web anonymously through " + hostname + ".</p>";
+      break;
+    case ContentProfile::kAdultImage:
+      page.title = hostname;
+      page.body =
+          "<img src=\"/image1.jpg\" alt=\"adult content\"/>";
+      break;
+    case ContentProfile::kBenign:
+      page.title = hostname;
+      page.body = "<h1>Welcome</h1><p>Placeholder page for " + hostname + ".</p>";
+      break;
+    case ContentProfile::kNews:
+      page.title = hostname + " - Independent News";
+      page.body =
+          "<h1>Independent News</h1>"
+          "<p>Reporting on politics, society and human rights.</p>";
+      break;
+  }
+  return page;
+}
+
+HostingProvider::HostingProvider(World& world, std::uint32_t asn)
+    : world_(&world), asn_(asn), nameRng_(world.rng().fork()) {
+  if (world.findAs(asn) == nullptr)
+    throw std::invalid_argument("HostingProvider: unknown ASN " +
+                                std::to_string(asn));
+}
+
+std::string HostingProvider::freshDomainName() {
+  for (int attempt = 0; attempt < 4096; ++attempt) {
+    std::string name;
+    name += kFirstWords[nameRng_.index(kFirstWords.size())];
+    name += kSecondWords[nameRng_.index(kSecondWords.size())];
+    name += ".info";
+    if (std::find(issued_.begin(), issued_.end(), name) == issued_.end() &&
+        !world_->resolve(name)) {
+      issued_.push_back(name);
+      return name;
+    }
+  }
+  // 1024 combinations exhausted: fall back to numbered names.
+  std::string name = "testhost" + std::to_string(issued_.size()) + ".info";
+  issued_.push_back(name);
+  return name;
+}
+
+HostedDomain HostingProvider::createDomain(const std::string& hostname,
+                                           ContentProfile profile) {
+  const auto ip = world_->allocateAddress(asn_);
+  auto& server = world_->makeEndpoint<OriginServer>(hostname);
+
+  server.setPage("/", indexPageFor(profile, hostname));
+  if (profile == ContentProfile::kAdultImage) {
+    // The adult image itself, plus the benign file the testers actually
+    // fetch to limit their exposure (§4.6).
+    Page image;
+    image.contentType = "image/jpeg";
+    image.body = "\xFF\xD8\xFF\xE0 simulated-adult-jpeg-bytes";
+    image.contentLabel = "pornography";
+    server.setPage("/image1.jpg", std::move(image));
+
+    Page benign;
+    benign.contentType = "image/jpeg";
+    benign.body = "\xFF\xD8\xFF\xE0 simulated-benign-jpeg-bytes";
+    benign.contentLabel = "benign";
+    server.setPage("/benign.jpg", std::move(benign));
+  }
+  if (profile == ContentProfile::kGlypeProxy) {
+    Page browse;
+    browse.title = hostname + " - browsing";
+    browse.body = "<p>Proxied content would appear here.</p>";
+    browse.contentLabel = "proxy-script";
+    server.setPage("/browse.php", std::move(browse));
+  }
+
+  world_->bind(ip, 80, server, /*externallyVisible=*/true);
+  world_->registerHostname(hostname, ip);
+  return HostedDomain{hostname, ip, profile, &server};
+}
+
+HostedDomain HostingProvider::createFreshDomain(ContentProfile profile) {
+  return createDomain(freshDomainName(), profile);
+}
+
+void HostingProvider::sanitizeDomain(const HostedDomain& domain) {
+  if (domain.server == nullptr) return;
+  domain.server->setPage("/",
+                         indexPageFor(ContentProfile::kBenign, domain.hostname));
+}
+
+void HostingProvider::teardownDomain(const HostedDomain& domain) {
+  world_->unregisterHostname(domain.hostname);
+  world_->unbind(domain.address, 80);
+}
+
+}  // namespace urlf::simnet

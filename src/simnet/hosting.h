@@ -1,0 +1,77 @@
+#ifndef URLF_SIMNET_HOSTING_H
+#define URLF_SIMNET_HOSTING_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simnet/origin_server.h"
+#include "simnet/world.h"
+
+namespace urlf::simnet {
+
+/// What a freshly created test domain serves — the content profiles the
+/// paper's confirmation experiments used (§4.3, §4.4).
+enum class ContentProfile {
+  kGlypeProxy,  ///< Glype proxy script as the index page (UAE experiment)
+  kAdultImage,  ///< an adult image at "/" plus a benign image at /benign.jpg
+                ///< (Saudi experiment; testers fetch only the benign file)
+  kBenign,      ///< an innocuous placeholder page
+  kNews,        ///< an independent-news-looking page
+};
+
+[[nodiscard]] std::string_view toString(ContentProfile profile);
+/// The ground-truth content label stored on the index page of each profile.
+[[nodiscard]] std::string_view contentLabel(ContentProfile profile);
+
+/// A domain created by the hosting provider.
+struct HostedDomain {
+  std::string hostname;
+  net::Ipv4Addr address;
+  ContentProfile profile = ContentProfile::kBenign;
+  OriginServer* server = nullptr;
+};
+
+/// A commercial hosting company inside the simulated Internet.
+///
+/// The confirmation methodology needs fresh, attacker-controlled,
+/// never-categorized domains ("two random non-profane words registered with
+/// the .info TLD", §4.3). The provider allocates addresses from its AS,
+/// registers DNS, and serves the requested content profile.
+class HostingProvider {
+ public:
+  /// `asn` must already exist in the world (the provider's network).
+  HostingProvider(World& world, std::uint32_t asn);
+
+  /// A fresh "word1word2.info"-style name, unique within this provider.
+  [[nodiscard]] std::string freshDomainName();
+
+  /// Create, bind, and DNS-register a domain serving `profile`.
+  HostedDomain createDomain(const std::string& hostname, ContentProfile profile);
+
+  /// Convenience: fresh name + createDomain.
+  HostedDomain createFreshDomain(ContentProfile profile);
+
+  /// Replace the index page with a benign one (the paper removed the adult
+  /// image promptly after the experiment, §4.6).
+  void sanitizeDomain(const HostedDomain& domain);
+
+  /// Remove DNS and the binding entirely.
+  void teardownDomain(const HostedDomain& domain);
+
+  [[nodiscard]] std::uint32_t asn() const { return asn_; }
+
+ private:
+  World* world_;
+  std::uint32_t asn_;
+  util::Rng nameRng_;
+  std::vector<std::string> issued_;
+};
+
+/// Build the page set for a content profile (exposed for tests).
+[[nodiscard]] Page indexPageFor(ContentProfile profile,
+                                const std::string& hostname);
+
+}  // namespace urlf::simnet
+
+#endif  // URLF_SIMNET_HOSTING_H

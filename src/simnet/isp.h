@@ -1,0 +1,82 @@
+#ifndef URLF_SIMNET_ISP_H
+#define URLF_SIMNET_ISP_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "simnet/middlebox.h"
+
+namespace urlf::simnet {
+
+/// An Internet service provider: a named network in one country, built on
+/// one or more ASes, with an ordered chain of in-path middleboxes that every
+/// subscriber request traverses.
+class Isp {
+ public:
+  Isp(std::string name, std::string countryAlpha2)
+      : name_(std::move(name)), country_(std::move(countryAlpha2)) {}
+
+  Isp(const Isp&) = delete;
+  Isp& operator=(const Isp&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& country() const { return country_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& asns() const { return asns_; }
+
+  void addAsn(std::uint32_t asn) { asns_.push_back(asn); }
+
+  /// Append a middlebox to the egress chain (non-owning; the World owns it).
+  void attachMiddlebox(Middlebox& box) { chain_.push_back(&box); }
+
+  [[nodiscard]] const std::vector<Middlebox*>& chain() const { return chain_; }
+
+  /// Primary ASN (the first one) — what Table 3 reports per ISP.
+  [[nodiscard]] std::uint32_t primaryAsn() const {
+    return asns_.empty() ? 0 : asns_.front();
+  }
+
+  // --- DNS-based censorship -------------------------------------------------
+  // Some censors tamper with their resolvers instead of (or besides)
+  // deploying URL filters: a censored hostname resolves to a sinkhole or a
+  // block server. Subscribers using the ISP resolver get the override; the
+  // lab does not — one of the non-block-page mechanisms §4.1 sets aside.
+
+  /// Make `hostname` resolve to `target` for this ISP's subscribers.
+  void addDnsOverride(const std::string& hostname, net::Ipv4Addr target) {
+    dnsOverrides_[hostname] = target;
+  }
+  void removeDnsOverride(const std::string& hostname) {
+    dnsOverrides_.erase(hostname);
+  }
+  [[nodiscard]] std::optional<net::Ipv4Addr> dnsOverride(
+      const std::string& hostname) const {
+    const auto it = dnsOverrides_.find(hostname);
+    if (it == dnsOverrides_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  std::string name_;
+  std::string country_;
+  std::vector<std::uint32_t> asns_;
+  std::vector<Middlebox*> chain_;
+  std::map<std::string, net::Ipv4Addr> dnsOverrides_;
+};
+
+/// A measurement vantage point: either inside an ISP ("field") or in the
+/// uncensored lab (isp == nullptr), mirroring §4.1 of the paper.
+struct VantagePoint {
+  std::string name;          ///< e.g. "field-etisalat" or "lab-toronto"
+  std::string countryAlpha2; ///< "CA" for the lab
+  const Isp* isp = nullptr;  ///< nullptr = uncensored lab network
+
+  [[nodiscard]] bool isLab() const { return isp == nullptr; }
+};
+
+}  // namespace urlf::simnet
+
+#endif  // URLF_SIMNET_ISP_H

@@ -1,0 +1,73 @@
+#ifndef URLF_SIMNET_MIDDLEBOX_H
+#define URLF_SIMNET_MIDDLEBOX_H
+
+#include <optional>
+#include <string>
+
+#include "http/message.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace urlf::simnet {
+
+class Isp;
+
+/// Context handed to a middlebox for each intercepted exchange.
+struct InterceptContext {
+  util::SimTime now;
+  const Isp* isp = nullptr;      ///< the ISP whose chain is executing
+  std::string clientCountry;     ///< alpha-2 of the requesting vantage point
+  util::Rng* rng = nullptr;      ///< simulation randomness (never null in use)
+};
+
+/// What a middlebox does to an intercepted request when it does not simply
+/// let it pass.
+struct InterceptAction {
+  enum class Kind {
+    kRespond,  ///< short-circuit with `response` (block page, redirect, ...)
+    kReset,    ///< inject a TCP RST — client sees connection reset
+    kDrop,     ///< blackhole the flow — client sees a timeout
+  };
+
+  Kind kind = Kind::kRespond;
+  http::Response response;  ///< meaningful only for kRespond
+
+  static InterceptAction respond(http::Response r) {
+    return {Kind::kRespond, std::move(r)};
+  }
+  static InterceptAction reset() { return {Kind::kReset, {}}; }
+  static InterceptAction drop() { return {Kind::kDrop, {}}; }
+};
+
+/// An in-path device in an ISP: sees every outbound subscriber request and
+/// may short-circuit it (block page, redirect, RST, blackhole) and/or
+/// annotate traffic (proxy Via headers). URL filtering products implement
+/// this interface.
+class Middlebox {
+ public:
+  virtual ~Middlebox() = default;
+
+  Middlebox() = default;
+  Middlebox(const Middlebox&) = delete;
+  Middlebox& operator=(const Middlebox&) = delete;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Inspect (and possibly annotate) an outbound request. Returning an
+  /// action short-circuits the exchange — the origin is never contacted.
+  virtual std::optional<InterceptAction> intercept(http::Request& request,
+                                                   const InterceptContext& ctx) = 0;
+
+  /// Post-process the origin's response on the way back (e.g. a transparent
+  /// proxy stamping Via headers). Default: no-op.
+  virtual void postProcess(const http::Request& request, http::Response& response,
+                           const InterceptContext& ctx) {
+    (void)request;
+    (void)response;
+    (void)ctx;
+  }
+};
+
+}  // namespace urlf::simnet
+
+#endif  // URLF_SIMNET_MIDDLEBOX_H

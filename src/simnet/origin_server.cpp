@@ -1,0 +1,44 @@
+#include "simnet/origin_server.h"
+
+#include "http/html.h"
+
+namespace urlf::simnet {
+
+void OriginServer::setPage(std::string path, Page page) {
+  pages_[std::move(path)] = std::move(page);
+}
+
+const Page* OriginServer::findPage(const std::string& path) const {
+  const auto it = pages_.find(path);
+  if (it != pages_.end()) return &it->second;
+  if (catchAll_) return &*catchAll_;
+  return nullptr;
+}
+
+http::Response OriginServer::handle(const http::Request& request,
+                                    util::SimTime /*now*/) {
+  const Page* page = findPage(request.url.path());
+  if (page == nullptr) {
+    auto resp = http::Response::make(
+        http::Status::kNotFound,
+        http::makePage("404 Not Found",
+                       "<h1>Not Found</h1><p>The requested URL " +
+                           http::escape(request.url.path()) +
+                           " was not found on this server.</p>"));
+    resp.headers.add("Server", serverHeader_);
+    return resp;
+  }
+  auto resp = http::Response::make(
+      http::Status::kOk,
+      page->contentType == "text/html" ? http::makePage(page->title, page->body)
+                                       : page->body,
+      page->contentType);
+  resp.headers.add("Server", serverHeader_);
+  return resp;
+}
+
+std::string OriginServer::describe() const {
+  return "origin server for " + hostname_;
+}
+
+}  // namespace urlf::simnet

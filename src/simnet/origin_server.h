@@ -1,0 +1,53 @@
+#ifndef URLF_SIMNET_ORIGIN_SERVER_H
+#define URLF_SIMNET_ORIGIN_SERVER_H
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "simnet/endpoint.h"
+
+namespace urlf::simnet {
+
+/// One page served by an origin server.
+struct Page {
+  std::string title;
+  std::string body;                     ///< inner-body HTML
+  std::string contentType = "text/html";
+  /// Ground-truth content label (e.g. "proxy-script", "adult-image",
+  /// "news"); used by scenario builders to seed vendor databases and by the
+  /// evaluation to score classification. Free-form, not consulted by the
+  /// methodology code.
+  std::string contentLabel = "benign";
+};
+
+/// A plain Web server hosting a small set of pages. Unknown paths yield 404.
+class OriginServer : public HttpEndpoint {
+ public:
+  explicit OriginServer(std::string hostname,
+                        std::string serverHeader = "Apache/2.2.22 (Unix)")
+      : hostname_(std::move(hostname)), serverHeader_(std::move(serverHeader)) {}
+
+  /// Install or replace a page at an absolute path ("/", "/img/pic1.jpg"...).
+  void setPage(std::string path, Page page);
+
+  /// When set, any path not explicitly installed is answered with this page
+  /// instead of 404 (used e.g. for category-test hosts).
+  void setCatchAll(Page page) { catchAll_ = std::move(page); }
+
+  [[nodiscard]] const std::string& hostname() const { return hostname_; }
+  [[nodiscard]] const Page* findPage(const std::string& path) const;
+
+  http::Response handle(const http::Request& request, util::SimTime now) override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::string hostname_;
+  std::string serverHeader_;
+  std::map<std::string, Page> pages_;
+  std::optional<Page> catchAll_;
+};
+
+}  // namespace urlf::simnet
+
+#endif  // URLF_SIMNET_ORIGIN_SERVER_H

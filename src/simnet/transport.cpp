@@ -1,0 +1,131 @@
+#include "simnet/transport.h"
+
+#include "util/strings.h"
+
+namespace urlf::simnet {
+
+std::string_view toString(FetchOutcome outcome) {
+  switch (outcome) {
+    case FetchOutcome::kOk: return "ok";
+    case FetchOutcome::kDnsFailure: return "dns-failure";
+    case FetchOutcome::kConnectFailure: return "connect-failure";
+    case FetchOutcome::kTimeout: return "timeout";
+    case FetchOutcome::kReset: return "reset";
+  }
+  return "unknown";
+}
+
+FetchResult Transport::fetchOnce(const VantagePoint& vantage,
+                                 http::Request request) {
+  FetchResult result;
+
+  // Field vantage points use their ISP's resolver, which may be tampered
+  // with (DNS-based censorship); the lab resolves cleanly.
+  std::optional<net::Ipv4Addr> ip;
+  if (vantage.isp != nullptr)
+    ip = vantage.isp->dnsOverride(util::toLower(request.url.host()));
+  if (!ip) ip = world_->resolve(request.url.host());
+  if (!ip) {
+    result.outcome = FetchOutcome::kDnsFailure;
+    result.error = "NXDOMAIN: " + request.url.host();
+    return result;
+  }
+
+  InterceptContext ctx{world_->now(), vantage.isp, vantage.countryAlpha2,
+                       &world_->rng()};
+
+  // Egress middlebox chain (field vantage points only).
+  if (vantage.isp != nullptr) {
+    for (Middlebox* box : vantage.isp->chain()) {
+      const auto action = box->intercept(request, ctx);
+      if (!action) continue;
+      switch (action->kind) {
+        case InterceptAction::Kind::kRespond:
+          result.outcome = FetchOutcome::kOk;
+          result.response = action->response;
+          return result;
+        case InterceptAction::Kind::kReset:
+          result.outcome = FetchOutcome::kReset;
+          result.error = "connection reset by peer";
+          return result;
+        case InterceptAction::Kind::kDrop:
+          result.outcome = FetchOutcome::kTimeout;
+          result.error = "connection timed out";
+          return result;
+      }
+    }
+  }
+
+  HttpEndpoint* endpoint = world_->endpointAt(*ip, request.url.effectivePort());
+  if (endpoint == nullptr) {
+    result.outcome = FetchOutcome::kConnectFailure;
+    result.error = "connection refused: " + ip->toString() + ":" +
+                   std::to_string(request.url.effectivePort());
+    return result;
+  }
+
+  http::Response response = endpoint->handle(request, world_->now());
+
+  // Return path through the chain, innermost middlebox last.
+  if (vantage.isp != nullptr) {
+    const auto& chain = vantage.isp->chain();
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it)
+      (*it)->postProcess(request, response, ctx);
+  }
+
+  result.outcome = FetchOutcome::kOk;
+  result.response = std::move(response);
+  return result;
+}
+
+FetchResult Transport::fetch(const VantagePoint& vantage,
+                             const http::Request& request,
+                             const FetchOptions& options) {
+  FetchResult result = fetchOnce(vantage, request);
+  if (!options.followRedirects) return result;
+
+  int hops = 0;
+  while (result.ok() && result.response->isRedirect() &&
+         hops < options.maxRedirects) {
+    const auto location = result.response->location();
+    if (!location) break;
+
+    std::optional<net::Url> target = net::Url::parse(*location);
+    if (!target) {
+      // Relative redirect: resolve against the current request URL.
+      std::string path(*location);
+      if (path.empty() || path.front() != '/') break;
+      const std::size_t qmark = path.find('?');
+      target = net::Url{request.url.scheme(), request.url.host(),
+                        request.url.explicitPort(),
+                        qmark == std::string::npos ? path : path.substr(0, qmark),
+                        qmark == std::string::npos ? "" : path.substr(qmark + 1)};
+    }
+
+    std::vector<http::Response> chain = std::move(result.redirectChain);
+    chain.push_back(std::move(*result.response));
+    result = fetchOnce(vantage, http::Request::get(*target));
+    // Keep the accumulated chain regardless of the hop's outcome.
+    chain.insert(chain.end(),
+                 std::make_move_iterator(result.redirectChain.begin()),
+                 std::make_move_iterator(result.redirectChain.end()));
+    result.redirectChain = std::move(chain);
+    ++hops;
+  }
+  return result;
+}
+
+FetchResult Transport::fetchUrl(const VantagePoint& vantage,
+                                std::string_view urlText,
+                                const FetchOptions& options) {
+  const auto url = net::Url::parse(urlText);
+  if (!url) {
+    FetchResult result;
+    result.outcome = FetchOutcome::kDnsFailure;
+    result.error = "malformed URL: " + std::string(urlText);
+    return result;
+  }
+  return fetch(vantage, http::Request::get(*url), options);
+}
+
+}  // namespace urlf::simnet

@@ -1,0 +1,72 @@
+#ifndef URLF_SIMNET_TRANSPORT_H
+#define URLF_SIMNET_TRANSPORT_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "http/message.h"
+#include "simnet/isp.h"
+#include "simnet/world.h"
+
+namespace urlf::simnet {
+
+/// How a single fetch ended at the transport level.
+enum class FetchOutcome {
+  kOk,              ///< got an HTTP response (possibly a block page)
+  kDnsFailure,      ///< hostname did not resolve
+  kConnectFailure,  ///< nothing listening at (ip, port)
+  kTimeout,         ///< flow blackholed in transit
+  kReset,           ///< TCP RST injected in transit
+};
+
+[[nodiscard]] std::string_view toString(FetchOutcome outcome);
+
+/// The result of fetching a URL from a vantage point.
+struct FetchResult {
+  FetchOutcome outcome = FetchOutcome::kOk;
+  std::optional<http::Response> response;  ///< set when outcome == kOk
+  /// Intermediate 3xx responses consumed while following redirects.
+  std::vector<http::Response> redirectChain;
+  std::string error;  ///< human-readable detail for non-kOk outcomes
+
+  [[nodiscard]] bool ok() const {
+    return outcome == FetchOutcome::kOk && response.has_value();
+  }
+};
+
+struct FetchOptions {
+  bool followRedirects = true;
+  int maxRedirects = 5;
+};
+
+/// Client-side HTTP over the simulated Internet.
+///
+/// A fetch from a field vantage point traverses its ISP's middlebox chain
+/// (where URL filters may block it); a fetch from the lab vantage goes
+/// straight to the origin. This is the only I/O primitive the measurement
+/// methodology uses.
+class Transport {
+ public:
+  explicit Transport(World& world) : world_(&world) {}
+
+  [[nodiscard]] FetchResult fetch(const VantagePoint& vantage,
+                                  const http::Request& request,
+                                  const FetchOptions& options = {});
+
+  /// Convenience: build a GET for `urlText` and fetch it. Malformed URLs
+  /// yield kDnsFailure with a descriptive error.
+  [[nodiscard]] FetchResult fetchUrl(const VantagePoint& vantage,
+                                     std::string_view urlText,
+                                     const FetchOptions& options = {});
+
+ private:
+  [[nodiscard]] FetchResult fetchOnce(const VantagePoint& vantage,
+                                      http::Request request);
+
+  World* world_;
+};
+
+}  // namespace urlf::simnet
+
+#endif  // URLF_SIMNET_TRANSPORT_H

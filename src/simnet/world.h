@@ -1,0 +1,167 @@
+#ifndef URLF_SIMNET_WORLD_H
+#define URLF_SIMNET_WORLD_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "geo/geodb.h"
+#include "net/ipv4.h"
+#include "simnet/as.h"
+#include "simnet/endpoint.h"
+#include "simnet/isp.h"
+#include "simnet/middlebox.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace urlf::simnet {
+
+/// An externally reachable (ip, port) with the endpoint behind it — the unit
+/// a banner scanner enumerates.
+struct Surface {
+  net::Ipv4Addr ip;
+  std::uint16_t port = 80;
+  HttpEndpoint* endpoint = nullptr;
+};
+
+/// The simulated Internet.
+///
+/// Owns the clock, randomness, autonomous systems, ISPs, endpoints,
+/// middleboxes, the DNS registry, and the (ip,port)->endpoint binding table.
+/// Everything is deterministic given the construction seed.
+class World {
+ public:
+  explicit World(std::uint64_t seed);
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  [[nodiscard]] util::SimClock& clock() { return clock_; }
+  [[nodiscard]] const util::SimClock& clock() const { return clock_; }
+  [[nodiscard]] util::SimTime now() const { return clock_.now(); }
+  [[nodiscard]] util::Rng& rng() { return rng_; }
+
+  // --- topology -----------------------------------------------------------
+
+  /// Create and register an AS. Throws if the ASN already exists.
+  AutonomousSystem& createAs(std::uint32_t asn, std::string name,
+                             std::string description, std::string countryAlpha2,
+                             std::vector<net::IpPrefix> prefixes);
+
+  [[nodiscard]] AutonomousSystem* findAs(std::uint32_t asn);
+  [[nodiscard]] const AutonomousSystem* findAs(std::uint32_t asn) const;
+
+  /// Create an ISP operating the given ASes (which must already exist).
+  Isp& createIsp(std::string name, std::string countryAlpha2,
+                 std::vector<std::uint32_t> asns);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Isp>>& isps() const {
+    return isps_;
+  }
+  [[nodiscard]] Isp* findIsp(std::string_view name);
+
+  /// Allocate the next free address in an AS. Throws on unknown ASN.
+  net::Ipv4Addr allocateAddress(std::uint32_t asn);
+
+  // --- ownership ----------------------------------------------------------
+
+  /// Construct an endpoint owned by the world; returns a stable reference.
+  template <typename T, typename... Args>
+  T& makeEndpoint(Args&&... args) {
+    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *owned;
+    endpoints_.push_back(std::move(owned));
+    return ref;
+  }
+
+  /// Construct a middlebox owned by the world; returns a stable reference.
+  template <typename T, typename... Args>
+  T& makeMiddlebox(Args&&... args) {
+    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *owned;
+    middleboxes_.push_back(std::move(owned));
+    return ref;
+  }
+
+  // --- naming & binding ---------------------------------------------------
+
+  /// Register a DNS A record. Re-registering a name overwrites it.
+  void registerHostname(std::string hostname, net::Ipv4Addr addr);
+
+  /// Remove a DNS A record (domain teardown).
+  void unregisterHostname(const std::string& hostname);
+
+  [[nodiscard]] std::optional<net::Ipv4Addr> resolve(
+      const std::string& hostname) const;
+
+  /// Bind an endpoint at (ip, port). `externallyVisible` controls whether a
+  /// global scan can see it — the paper's identification method only works
+  /// on externally visible installations (§3.1, Table 5).
+  void bind(net::Ipv4Addr ip, std::uint16_t port, HttpEndpoint& endpoint,
+            bool externallyVisible);
+
+  void unbind(net::Ipv4Addr ip, std::uint16_t port);
+
+  [[nodiscard]] HttpEndpoint* endpointAt(net::Ipv4Addr ip,
+                                         std::uint16_t port) const;
+
+  /// The endpoint at (ip, port) only if it is externally visible — what an
+  /// Internet-wide scanner can reach. Firewalled bindings return nullptr.
+  [[nodiscard]] HttpEndpoint* externalEndpointAt(net::Ipv4Addr ip,
+                                                 std::uint16_t port) const;
+
+  /// All externally visible surfaces, in binding order.
+  [[nodiscard]] std::vector<Surface> externalSurfaces() const;
+
+  /// All registered autonomous systems (ascending ASN).
+  [[nodiscard]] std::vector<const AutonomousSystem*> allAses() const;
+
+  // --- vantage points -----------------------------------------------------
+
+  VantagePoint& createVantage(std::string name, std::string countryAlpha2,
+                              const Isp* isp);
+  [[nodiscard]] const std::vector<std::unique_ptr<VantagePoint>>& vantages()
+      const {
+    return vantages_;
+  }
+  [[nodiscard]] VantagePoint* findVantage(std::string_view name);
+
+  // --- derived databases --------------------------------------------------
+
+  /// Build a MaxMind-style geolocation DB from the AS registry.
+  [[nodiscard]] geo::GeoDatabase buildGeoDatabase(double errorRate = 0.0) const;
+
+  /// Build a Team Cymru-style whois DB from the AS registry.
+  [[nodiscard]] geo::AsnDatabase buildAsnDatabase() const;
+
+ private:
+  static std::uint64_t bindingKey(net::Ipv4Addr ip, std::uint16_t port) {
+    return (std::uint64_t{ip.value()} << 16) | port;
+  }
+
+  struct Binding {
+    net::Ipv4Addr ip;
+    std::uint16_t port;
+    HttpEndpoint* endpoint;
+    bool externallyVisible;
+  };
+
+  util::SimClock clock_;
+  util::Rng rng_;
+  std::map<std::uint32_t, std::unique_ptr<AutonomousSystem>> ases_;
+  std::vector<std::unique_ptr<Isp>> isps_;
+  std::vector<std::unique_ptr<HttpEndpoint>> endpoints_;
+  std::vector<std::unique_ptr<Middlebox>> middleboxes_;
+  std::vector<std::unique_ptr<VantagePoint>> vantages_;
+  std::map<std::string, net::Ipv4Addr> dns_;
+  std::map<std::uint64_t, std::size_t> bindingIndex_;  ///< key -> bindings_ slot
+  std::vector<Binding> bindings_;                      ///< insertion order kept
+};
+
+}  // namespace urlf::simnet
+
+#endif  // URLF_SIMNET_WORLD_H

@@ -1,0 +1,84 @@
+#include "util/base64.h"
+
+#include <array>
+#include <cstdint>
+
+namespace urlf::util {
+
+namespace {
+
+constexpr std::string_view kAlphabet =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+constexpr std::array<std::int8_t, 256> buildReverse() {
+  std::array<std::int8_t, 256> table{};
+  for (auto& v : table) v = -1;
+  for (std::size_t i = 0; i < kAlphabet.size(); ++i)
+    table[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  return table;
+}
+
+constexpr auto kReverse = buildReverse();
+
+}  // namespace
+
+std::string base64Encode(std::string_view data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= data.size()) {
+    const std::uint32_t n = (static_cast<unsigned char>(data[i]) << 16) |
+                            (static_cast<unsigned char>(data[i + 1]) << 8) |
+                            static_cast<unsigned char>(data[i + 2]);
+    out += kAlphabet[(n >> 18) & 63];
+    out += kAlphabet[(n >> 12) & 63];
+    out += kAlphabet[(n >> 6) & 63];
+    out += kAlphabet[n & 63];
+    i += 3;
+  }
+  const std::size_t rest = data.size() - i;
+  if (rest == 1) {
+    const std::uint32_t n = static_cast<unsigned char>(data[i]) << 16;
+    out += kAlphabet[(n >> 18) & 63];
+    out += kAlphabet[(n >> 12) & 63];
+    out += "==";
+  } else if (rest == 2) {
+    const std::uint32_t n = (static_cast<unsigned char>(data[i]) << 16) |
+                            (static_cast<unsigned char>(data[i + 1]) << 8);
+    out += kAlphabet[(n >> 18) & 63];
+    out += kAlphabet[(n >> 12) & 63];
+    out += kAlphabet[(n >> 6) & 63];
+    out += '=';
+  }
+  return out;
+}
+
+std::optional<std::string> base64Decode(std::string_view text) {
+  if (text.size() % 4 != 0) return std::nullopt;
+  std::string out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int pad = 0;
+    std::uint32_t n = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const char c = text[i + j];
+      if (c == '=') {
+        // '=' only allowed in the last two positions of the final group.
+        if (i + 4 != text.size() || j < 2) return std::nullopt;
+        ++pad;
+        n <<= 6;
+        continue;
+      }
+      if (pad > 0) return std::nullopt;  // data after padding
+      const std::int8_t v = kReverse[static_cast<unsigned char>(c)];
+      if (v < 0) return std::nullopt;
+      n = (n << 6) | static_cast<std::uint32_t>(v);
+    }
+    out += static_cast<char>((n >> 16) & 0xFF);
+    if (pad < 2) out += static_cast<char>((n >> 8) & 0xFF);
+    if (pad < 1) out += static_cast<char>(n & 0xFF);
+  }
+  return out;
+}
+
+}  // namespace urlf::util

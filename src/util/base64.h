@@ -1,0 +1,18 @@
+#ifndef URLF_UTIL_BASE64_H
+#define URLF_UTIL_BASE64_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace urlf::util {
+
+/// Standard base64 (RFC 4648) with padding.
+[[nodiscard]] std::string base64Encode(std::string_view data);
+
+/// Decode; nullopt on malformed input (bad alphabet, bad padding).
+[[nodiscard]] std::optional<std::string> base64Decode(std::string_view text);
+
+}  // namespace urlf::util
+
+#endif  // URLF_UTIL_BASE64_H

@@ -1,0 +1,66 @@
+#include "util/clock.h"
+
+#include <stdexcept>
+
+namespace urlf::util {
+
+namespace {
+
+// Days from civil date to 1970-01-01 (Howard Hinnant's algorithm).
+constexpr std::int64_t daysFromCivil(int y, int m, int d) noexcept {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+constexpr CivilDate civilFromDays(std::int64_t z) noexcept {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  return CivilDate{static_cast<int>(y + (m <= 2)), static_cast<int>(m),
+                   static_cast<int>(d)};
+}
+
+// Simulation epoch: 2012-01-01.
+constexpr std::int64_t kEpochDays = daysFromCivil(2012, 1, 1);
+
+}  // namespace
+
+std::string CivilDate::monthYear() const {
+  return std::to_string(month) + "/" + std::to_string(year);
+}
+
+std::string CivilDate::iso() const {
+  auto pad = [](int v) {
+    std::string s = std::to_string(v);
+    return v < 10 ? "0" + s : s;
+  };
+  return std::to_string(year) + "-" + pad(month) + "-" + pad(day);
+}
+
+CivilDate SimTime::date() const {
+  std::int64_t d = hours_ / 24;
+  if (hours_ < 0 && hours_ % 24 != 0) --d;  // floor division for pre-epoch times
+  return civilFromDays(kEpochDays + d);
+}
+
+SimTime SimTime::fromDate(const CivilDate& d) {
+  return SimTime{(daysFromCivil(d.year, d.month, d.day) - kEpochDays) * 24};
+}
+
+void SimClock::advanceHours(std::int64_t h) {
+  if (h < 0) throw std::invalid_argument("SimClock: cannot advance backwards");
+  now_ = now_ + h;
+}
+
+}  // namespace urlf::util

@@ -1,0 +1,73 @@
+#ifndef URLF_UTIL_CLOCK_H
+#define URLF_UTIL_CLOCK_H
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace urlf::util {
+
+/// A calendar date in the proleptic Gregorian calendar.
+struct CivilDate {
+  int year = 2012;
+  int month = 1;  ///< 1..12
+  int day = 1;    ///< 1..31
+
+  auto operator<=>(const CivilDate&) const = default;
+
+  /// "9/2012" — the month/year form the paper's Table 3 uses.
+  [[nodiscard]] std::string monthYear() const;
+  /// ISO "2012-09-14".
+  [[nodiscard]] std::string iso() const;
+};
+
+/// A point in simulated time, measured in whole hours since the simulation
+/// epoch 2012-01-01 00:00. Hours are the natural granularity: vendor review
+/// latencies are days, measurement runs minutes-to-hours.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t hours) : hours_(hours) {}
+
+  [[nodiscard]] constexpr std::int64_t hours() const { return hours_; }
+  [[nodiscard]] constexpr std::int64_t days() const { return hours_ / 24; }
+
+  [[nodiscard]] CivilDate date() const;
+
+  /// Construct a SimTime at 00:00 on the given calendar date.
+  static SimTime fromDate(const CivilDate& d);
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+  constexpr SimTime operator+(std::int64_t h) const { return SimTime{hours_ + h}; }
+  constexpr SimTime operator-(std::int64_t h) const { return SimTime{hours_ - h}; }
+  constexpr std::int64_t operator-(SimTime other) const { return hours_ - other.hours_; }
+
+ private:
+  std::int64_t hours_ = 0;
+};
+
+/// Number of hours in n days.
+constexpr std::int64_t daysToHours(std::int64_t n) { return n * 24; }
+
+/// The single advancing clock a simulation world owns.
+///
+/// Components hold a reference and read `now()`; only the experiment driver
+/// advances it. Time never goes backwards.
+class SimClock {
+ public:
+  SimClock() = default;
+  explicit SimClock(SimTime start) : now_(start) {}
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Advance by a non-negative number of hours.
+  void advanceHours(std::int64_t h);
+  void advanceDays(std::int64_t d) { advanceHours(daysToHours(d)); }
+
+ private:
+  SimTime now_{};
+};
+
+}  // namespace urlf::util
+
+#endif  // URLF_UTIL_CLOCK_H

@@ -1,0 +1,62 @@
+#ifndef URLF_UTIL_EXPECTED_H
+#define URLF_UTIL_EXPECTED_H
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace urlf::util {
+
+/// Minimal expected/result type for recoverable failures where an
+/// std::optional would lose the reason. (The toolchain's std::expected is
+/// not relied upon; this is the tiny subset we need.)
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Construct the error state.
+  static Expected failure(std::string message) {
+    return Expected(Error{std::move(message)});
+  }
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  /// Value access; throws std::logic_error if in the error state.
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw std::logic_error("Expected: value() on error: " + error());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    if (!ok()) throw std::logic_error("Expected: value() on error: " + error());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    if (!ok()) throw std::logic_error("Expected: value() on error: " + error());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Error message; empty string when in the value state.
+  [[nodiscard]] const std::string& error() const {
+    static const std::string kEmpty;
+    if (ok()) return kEmpty;
+    return std::get<Error>(data_).message;
+  }
+
+ private:
+  struct Error {
+    std::string message;
+  };
+  explicit Expected(Error e) : data_(std::move(e)) {}
+
+  std::variant<T, Error> data_;
+};
+
+}  // namespace urlf::util
+
+#endif  // URLF_UTIL_EXPECTED_H

@@ -1,0 +1,69 @@
+#include "util/rng.h"
+
+namespace urlf::util {
+
+namespace {
+
+constexpr std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t v, int k) noexcept {
+  return (v << k) | (v >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // splitmix64 expansion as recommended by the xoshiro authors; guarantees a
+  // non-zero state for any seed.
+  for (auto& word : state_) word = splitmix64(seed);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform: lo > hi");
+  const std::uint64_t range = hi - lo;
+  if (range == max()) return (*this)();
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t bound = range + 1;
+  const std::uint64_t limit = max() - max() % bound;
+  std::uint64_t v = (*this)();
+  while (v >= limit) v = (*this)();
+  return lo + v % bound;
+}
+
+double Rng::uniform01() noexcept {
+  // 53 high-quality bits -> [0,1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::size_t Rng::index(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::index: empty range");
+  return static_cast<std::size_t>(uniform(0, n - 1));
+}
+
+Rng Rng::fork() { return Rng{(*this)()}; }
+
+}  // namespace urlf::util

@@ -1,0 +1,79 @@
+#ifndef URLF_UTIL_RNG_H
+#define URLF_UTIL_RNG_H
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace urlf::util {
+
+/// Deterministic pseudo-random generator (xoshiro256** seeded via splitmix64).
+///
+/// Every stochastic choice in the simulation flows through one of these so a
+/// single 64-bit seed reproduces an entire experiment. Satisfies
+/// UniformRandomBitGenerator so it can also drive <random> distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  /// Next raw 64-bit value.
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Uniformly chosen index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Uniformly chosen element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    return items[index(items.size())];
+  }
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[index(items.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  /// Sample k distinct elements (order randomized). Requires k <= items.size().
+  template <typename T>
+  std::vector<T> sample(const std::vector<T>& items, std::size_t k) {
+    if (k > items.size()) throw std::invalid_argument("Rng::sample: k too large");
+    std::vector<T> pool = items;
+    shuffle(pool);
+    pool.resize(k);
+    return pool;
+  }
+
+  /// Derive an independent child generator (stable given call order).
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace urlf::util
+
+#endif  // URLF_UTIL_RNG_H

@@ -1,0 +1,42 @@
+#ifndef URLF_UTIL_STRINGS_H
+#define URLF_UTIL_STRINGS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace urlf::util {
+
+/// ASCII lowercase copy.
+[[nodiscard]] std::string toLower(std::string_view s);
+
+/// ASCII uppercase copy.
+[[nodiscard]] std::string toUpper(std::string_view s);
+
+/// Strip leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Split on a single character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Join with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Case-insensitive ASCII equality.
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b);
+
+/// Case-insensitive ASCII substring search.
+[[nodiscard]] bool icontains(std::string_view haystack, std::string_view needle);
+
+/// Case-sensitive prefix / suffix tests (thin wrappers for older call sites).
+[[nodiscard]] bool startsWith(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool endsWith(std::string_view s, std::string_view suffix);
+
+/// Replace every occurrence of `from` (non-empty) with `to`.
+[[nodiscard]] std::string replaceAll(std::string_view s, std::string_view from,
+                                     std::string_view to);
+
+}  // namespace urlf::util
+
+#endif  // URLF_UTIL_STRINGS_H

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "filters/registry.h"
+#include "fingerprint/engine.h"
+#include "http/html.h"
+#include "simnet/origin_server.h"
+
+namespace urlf::fingerprint {
+namespace {
+
+using filters::ProductKind;
+
+net::IpPrefix prefix(const char* text) {
+  return net::IpPrefix::parse(text).value();
+}
+
+Observation makeObservation(int status = 200) {
+  Observation obs;
+  obs.ip = net::Ipv4Addr(10, 0, 0, 1);
+  obs.port = 80;
+  obs.statusCode = status;
+  return obs;
+}
+
+// ------------------------------------------------------------ Matcher ----
+
+TEST(MatcherTest, HeaderContains) {
+  auto obs = makeObservation();
+  obs.headers.add("Via", "1.1 gw (McAfee Web Gateway 7.2)");
+  const auto matcher = Matcher::headerContains("Via", "mcafee web gateway");
+  EXPECT_TRUE(matcher.match(obs));
+  EXPECT_FALSE(Matcher::headerContains("Server", "mcafee").match(obs));
+}
+
+TEST(MatcherTest, HeaderContainsChecksAllValues) {
+  auto obs = makeObservation();
+  obs.headers.add("Via", "1.1 first");
+  obs.headers.add("Via", "1.1 second (ProxySG)");
+  EXPECT_TRUE(Matcher::headerContains("Via", "ProxySG").match(obs));
+}
+
+TEST(MatcherTest, TitleContains) {
+  auto obs = makeObservation();
+  obs.title = "Netsweeper WebAdmin - Login";
+  EXPECT_TRUE(Matcher::titleContains("netsweeper").match(obs));
+  EXPECT_FALSE(Matcher::titleContains("websense").match(obs));
+}
+
+TEST(MatcherTest, BodyContains) {
+  auto obs = makeObservation();
+  obs.body = "<h1>netsweeper webadmin</h1>";
+  EXPECT_TRUE(Matcher::bodyContains("WEBADMIN").match(obs));
+}
+
+TEST(MatcherTest, LocationContains) {
+  auto obs = makeObservation(302);
+  obs.headers.add("Location", "http://www.cfauth.com/?cfru=aGVsbG8=");
+  EXPECT_TRUE(Matcher::locationContains("www.cfauth.com").match(obs));
+  EXPECT_TRUE(Matcher::locationContains("cfru=").match(obs));
+  EXPECT_FALSE(Matcher::locationContains("webadmin").match(obs));
+}
+
+TEST(MatcherTest, LocationRedirectPortAndParam) {
+  auto obs = makeObservation(302);
+  obs.headers.add("Location",
+                  "http://10.1.1.1:15871/cgi-bin/blockpage.cgi?ws-session=9");
+  EXPECT_TRUE(Matcher::locationRedirect(15871, "ws-session").match(obs));
+  EXPECT_FALSE(Matcher::locationRedirect(15872, "ws-session").match(obs));
+  EXPECT_FALSE(Matcher::locationRedirect(15871, "other-param").match(obs));
+
+  // Port present but parameter missing.
+  auto noParam = makeObservation(302);
+  noParam.headers.add("Location", "http://10.1.1.1:15871/cgi-bin/page.cgi");
+  EXPECT_FALSE(Matcher::locationRedirect(15871, "ws-session").match(noParam));
+
+  // No Location at all.
+  EXPECT_FALSE(
+      Matcher::locationRedirect(15871, "ws-session").match(makeObservation()));
+}
+
+TEST(MatcherTest, StatusEquals) {
+  EXPECT_TRUE(Matcher::statusEquals(403).match(makeObservation(403)));
+  EXPECT_FALSE(Matcher::statusEquals(403).match(makeObservation(200)));
+}
+
+TEST(MatcherTest, DescribeIsHumanReadable) {
+  EXPECT_EQ(Matcher::headerContains("Via", "x").describe(),
+            "header Via contains \"x\"");
+  EXPECT_EQ(Matcher::locationRedirect(15871, "ws-session").describe(),
+            "Location redirects to port 15871 with parameter \"ws-session\"");
+}
+
+// ------------------------------------------------------------- Engine ----
+
+TEST(EngineTest, BuiltinSignaturesCoverAllProducts) {
+  const auto engine = Engine::withBuiltinSignatures();
+  std::set<ProductKind> covered;
+  for (const auto& signature : engine.signatures())
+    covered.insert(signature.product);
+  EXPECT_EQ(covered.size(), 4u);
+}
+
+TEST(EngineTest, RecognizesSmartFilterBlockPage) {
+  auto obs = makeObservation(403);
+  obs.headers.add("Via", "1.1 mwg.local (McAfee Web Gateway 7.2.0.9)");
+  obs.title = "McAfee Web Gateway - Notification";
+  const auto matches = Engine::withBuiltinSignatures().evaluate(obs);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].product, ProductKind::kSmartFilter);
+  EXPECT_DOUBLE_EQ(matches[0].certainty, 1.0);
+  EXPECT_GE(matches[0].evidence.size(), 2u);
+}
+
+TEST(EngineTest, RecognizesBlueCoatCfauthRedirect) {
+  auto obs = makeObservation(302);
+  obs.headers.add("Location", "http://www.cfauth.com/?cfru=YQ==");
+  const auto matches = Engine::withBuiltinSignatures().evaluate(obs);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].product, ProductKind::kBlueCoat);
+}
+
+TEST(EngineTest, RecognizesNetsweeperConsole) {
+  auto obs = makeObservation();
+  obs.title = "Netsweeper WebAdmin - Login";
+  obs.headers.add("Server", "Netsweeper/5.0");
+  const auto matches = Engine::withBuiltinSignatures().evaluate(obs);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].product, ProductKind::kNetsweeper);
+}
+
+TEST(EngineTest, RecognizesWebsenseRedirect) {
+  auto obs = makeObservation(302);
+  obs.headers.add("Location",
+                  "http://10.2.2.2:15871/cgi-bin/blockpage.cgi?ws-session=77");
+  const auto matches = Engine::withBuiltinSignatures().evaluate(obs);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].product, ProductKind::kWebsense);
+}
+
+TEST(EngineTest, PlainServerMatchesNothing) {
+  auto obs = makeObservation();
+  obs.title = "Welcome to nginx!";
+  obs.headers.add("Server", "nginx/1.2.1");
+  obs.body = "<h1>It works</h1>";
+  EXPECT_TRUE(Engine::withBuiltinSignatures().evaluate(obs).empty());
+}
+
+TEST(EngineTest, KeywordBaitAloneStaysBelowThreshold) {
+  // A page that merely *mentions* blockpage.cgi (weak rule, weight 0.45)
+  // must not validate as Websense.
+  auto obs = makeObservation();
+  obs.title = "Blockpage tools";
+  obs.body = "open-source blockpage.cgi clone";
+  EXPECT_TRUE(Engine::withBuiltinSignatures().evaluate(obs).empty());
+}
+
+TEST(EngineTest, CertaintyIsMaxOfFiredRules) {
+  Engine engine;
+  engine.addSignature(Signature{ProductKind::kNetsweeper,
+                                "test",
+                                {{Matcher::bodyContains("a"), 0.6},
+                                 {Matcher::bodyContains("b"), 0.9}},
+                                0.5});
+  auto obs = makeObservation();
+  obs.body = "a and b";
+  const auto matches = engine.evaluate(obs);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_DOUBLE_EQ(matches[0].certainty, 0.9);
+}
+
+TEST(EngineTest, ThresholdFiltersWeakMatches) {
+  Engine engine;
+  engine.addSignature(Signature{ProductKind::kNetsweeper,
+                                "weak",
+                                {{Matcher::bodyContains("a"), 0.3}},
+                                0.5});
+  auto obs = makeObservation();
+  obs.body = "a";
+  EXPECT_TRUE(engine.evaluate(obs).empty());
+}
+
+// ------------------------------------------------------ Active probes ----
+
+class ProbeFixture : public ::testing::Test {
+ protected:
+  ProbeFixture() : world(77) {
+    world.createAs(100, "AS", "ISP", "QA", {prefix("10.0.0.0/16")});
+  }
+  simnet::World world;
+};
+
+TEST_F(ProbeFixture, ProbeValidatesRealDeployment) {
+  filters::Vendor vendor(ProductKind::kNetsweeper, world);
+  auto& deployment = world.makeMiddlebox<filters::NetsweeperDeployment>(
+      "NS", vendor, filters::FilterPolicy{});
+  deployment.installExternalSurfaces(world, 100);
+
+  const auto engine = Engine::withBuiltinSignatures();
+  const auto matches = engine.probe(world, deployment.serviceIp(), 8080);
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches[0].product, ProductKind::kNetsweeper);
+}
+
+TEST_F(ProbeFixture, ProbeFailsOnHiddenDeployment) {
+  filters::Vendor vendor(ProductKind::kNetsweeper, world);
+  filters::FilterPolicy policy;
+  policy.externallyVisible = false;
+  auto& deployment = world.makeMiddlebox<filters::NetsweeperDeployment>(
+      "Hidden NS", vendor, policy);
+  deployment.installExternalSurfaces(world, 100);
+
+  const auto engine = Engine::withBuiltinSignatures();
+  EXPECT_FALSE(Engine::observe(world, deployment.serviceIp(), 8080));
+  EXPECT_TRUE(engine.probe(world, deployment.serviceIp(), 8080).empty());
+}
+
+TEST_F(ProbeFixture, ProbeOnUnboundAddressReturnsNothing) {
+  const auto engine = Engine::withBuiltinSignatures();
+  EXPECT_TRUE(engine.probe(world, net::Ipv4Addr(10, 0, 0, 200), 80).empty());
+}
+
+TEST_F(ProbeFixture, StripBrandingDefeatsValidation) {
+  filters::Vendor vendor(ProductKind::kSmartFilter, world);
+  filters::FilterPolicy policy;
+  policy.stripBranding = true;
+  auto& deployment = world.makeMiddlebox<filters::SmartFilterDeployment>(
+      "Stripped", vendor, policy);
+  deployment.installExternalSurfaces(world, 100);
+
+  const auto engine = Engine::withBuiltinSignatures();
+  // The notification service on port 80 serves the (debranded) block page.
+  EXPECT_TRUE(engine.probe(world, deployment.serviceIp(), 80).empty());
+}
+
+/// Property: every product's own surfaces validate as that product and as
+/// no other (signature orthogonality).
+class SignatureOrthogonality : public ::testing::TestWithParam<int> {};
+
+TEST_P(SignatureOrthogonality, OwnSurfacesOnly) {
+  const auto kind = static_cast<ProductKind>(GetParam());
+  simnet::World world(1000 + GetParam());
+  world.createAs(100, "AS", "ISP", "AE",
+                 {net::IpPrefix::parse("10.0.0.0/16").value()});
+  filters::Vendor vendor(kind, world);
+  auto& deployment =
+      filters::makeDeployment(world, kind, "dep", vendor, {});
+  deployment.installExternalSurfaces(world, 100);
+
+  const auto engine = Engine::withBuiltinSignatures();
+  bool anyMatch = false;
+  for (const auto& surface : world.externalSurfaces()) {
+    for (const auto& match :
+         engine.probe(world, surface.ip, surface.port)) {
+      EXPECT_EQ(match.product, kind)
+          << "surface port " << surface.port << " cross-matched";
+      anyMatch = true;
+    }
+  }
+  EXPECT_TRUE(anyMatch) << "no surface of the product validated";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProducts, SignatureOrthogonality,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace urlf::fingerprint

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "geo/geodb.h"
+
+namespace urlf::geo {
+namespace {
+
+net::IpPrefix prefix(const char* text) {
+  return net::IpPrefix::parse(text).value();
+}
+net::Ipv4Addr addr(const char* text) {
+  return net::Ipv4Addr::parse(text).value();
+}
+
+// -------------------------------------------------------- GeoDatabase ----
+
+TEST(GeoDatabaseTest, BasicLookup) {
+  GeoDatabase db;
+  db.add(prefix("10.0.0.0/8"), "US");
+  db.add(prefix("20.0.0.0/8"), "SA");
+  EXPECT_EQ(db.lookup(addr("10.1.2.3")).value(), "US");
+  EXPECT_EQ(db.lookup(addr("20.1.2.3")).value(), "SA");
+  EXPECT_FALSE(db.lookup(addr("30.1.2.3")));
+}
+
+TEST(GeoDatabaseTest, LongestPrefixWins) {
+  GeoDatabase db;
+  db.add(prefix("10.0.0.0/8"), "US");
+  db.add(prefix("10.5.0.0/16"), "AE");
+  EXPECT_EQ(db.lookup(addr("10.5.1.1")).value(), "AE");
+  EXPECT_EQ(db.lookup(addr("10.6.1.1")).value(), "US");
+}
+
+TEST(GeoDatabaseTest, InsertionOrderIrrelevantForLongestMatch) {
+  GeoDatabase db;
+  db.add(prefix("10.5.0.0/16"), "AE");
+  db.add(prefix("10.0.0.0/8"), "US");
+  EXPECT_EQ(db.lookup(addr("10.5.1.1")).value(), "AE");
+}
+
+TEST(GeoDatabaseTest, ErrorModelIsDeterministicPerAddress) {
+  GeoDatabase db;
+  db.add(prefix("10.0.0.0/8"), "US");
+  db.add(prefix("20.0.0.0/8"), "SA");
+  db.setErrorModel(0.5, /*seed=*/99);
+  const auto first = db.lookup(addr("10.1.2.3"));
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(db.lookup(addr("10.1.2.3")), first);
+}
+
+TEST(GeoDatabaseTest, ErrorModelRateRoughlyHolds) {
+  GeoDatabase db;
+  db.add(prefix("10.0.0.0/8"), "US");
+  db.add(prefix("20.0.0.0/8"), "SA");
+  db.setErrorModel(0.2, /*seed=*/7);
+  int wrong = 0;
+  constexpr int kProbes = 2000;
+  for (int i = 0; i < kProbes; ++i) {
+    const net::Ipv4Addr a{0x0A000000u + static_cast<std::uint32_t>(i)};
+    if (db.lookup(a).value() != "US") ++wrong;
+  }
+  EXPECT_NEAR(static_cast<double>(wrong) / kProbes, 0.2, 0.05);
+}
+
+TEST(GeoDatabaseTest, TruthIgnoresErrorModel) {
+  GeoDatabase db;
+  db.add(prefix("10.0.0.0/8"), "US");
+  db.add(prefix("20.0.0.0/8"), "SA");
+  db.setErrorModel(1.0, /*seed=*/5);
+  for (int i = 0; i < 50; ++i) {
+    const net::Ipv4Addr a{0x0A000000u + static_cast<std::uint32_t>(i * 7)};
+    EXPECT_EQ(db.lookupTruth(a).value(), "US");
+    EXPECT_EQ(db.lookup(a).value(), "SA");  // only other entry available
+  }
+}
+
+TEST(GeoDatabaseTest, HomogeneousDbCannotMislocate) {
+  GeoDatabase db;
+  db.add(prefix("10.0.0.0/8"), "US");
+  db.setErrorModel(1.0, /*seed=*/5);
+  EXPECT_EQ(db.lookup(addr("10.0.0.1")).value(), "US");
+}
+
+TEST(GeoDatabaseTest, ZeroErrorRateByDefault) {
+  GeoDatabase db;
+  db.add(prefix("10.0.0.0/8"), "US");
+  db.add(prefix("20.0.0.0/8"), "SA");
+  for (int i = 0; i < 200; ++i) {
+    const net::Ipv4Addr a{0x0A000000u + static_cast<std::uint32_t>(i * 131)};
+    EXPECT_EQ(db.lookup(a).value(), "US");
+  }
+}
+
+// -------------------------------------------------------- AsnDatabase ----
+
+TEST(AsnDatabaseTest, LookupReturnsFullRecord) {
+  AsnDatabase db;
+  db.add(prefix("10.0.0.0/8"), {5384, "EMIRATES-INTERNET", "Etisalat", "AE"});
+  const auto record = db.lookup(addr("10.9.9.9"));
+  ASSERT_TRUE(record);
+  EXPECT_EQ(record->asn, 5384u);
+  EXPECT_EQ(record->asName, "EMIRATES-INTERNET");
+  EXPECT_EQ(record->description, "Etisalat");
+  EXPECT_EQ(record->countryAlpha2, "AE");
+}
+
+TEST(AsnDatabaseTest, LongestPrefixWins) {
+  AsnDatabase db;
+  db.add(prefix("10.0.0.0/8"), {100, "BIG", "Big ISP", "US"});
+  db.add(prefix("10.5.0.0/16"), {200, "SMALL", "Customer", "US"});
+  EXPECT_EQ(db.lookup(addr("10.5.0.1"))->asn, 200u);
+  EXPECT_EQ(db.lookup(addr("10.4.0.1"))->asn, 100u);
+}
+
+TEST(AsnDatabaseTest, BulkPreservesOrderAndGaps) {
+  AsnDatabase db;
+  db.add(prefix("10.0.0.0/8"), {100, "A", "A", "US"});
+  const auto results =
+      db.bulkLookup({addr("10.0.0.1"), addr("99.0.0.1"), addr("10.2.3.4")});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0]);
+  EXPECT_FALSE(results[1]);
+  EXPECT_TRUE(results[2]);
+  EXPECT_EQ(results[0]->asn, 100u);
+}
+
+TEST(AsnDatabaseTest, EmptyDbFindsNothing) {
+  AsnDatabase db;
+  EXPECT_FALSE(db.lookup(addr("1.2.3.4")));
+  EXPECT_EQ(db.entryCount(), 0u);
+}
+
+}  // namespace
+}  // namespace urlf::geo

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "report/table.h"
+
+namespace urlf::report {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table({"A", "Long header", "C"});
+  table.addRow({"1", "x", "yy"});
+  table.addRow({"22", "value", "z"});
+  const auto out = table.render();
+
+  // Separator, header, separator, 2 rows, separator.
+  int lines = 0;
+  for (const char c : out)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 6);
+
+  // All lines are equally wide.
+  std::size_t width = out.find('\n');
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const auto eol = out.find('\n', pos);
+    EXPECT_EQ(eol - pos, width);
+    pos = eol + 1;
+  }
+}
+
+TEST(TextTableTest, PadsShortRows) {
+  TextTable table({"A", "B"});
+  table.addRow({"only"});
+  EXPECT_EQ(table.rowCount(), 1u);
+  EXPECT_NE(table.render().find("| only | "), std::string::npos);
+}
+
+TEST(TextTableTest, RejectsWideRows) {
+  TextTable table({"A"});
+  EXPECT_THROW(table.addRow({"1", "2"}), std::invalid_argument);
+}
+
+TEST(TextTableTest, ColumnWidthGrowsWithContent) {
+  TextTable table({"H"});
+  table.addRow({"a-very-long-cell-value"});
+  EXPECT_NE(table.render().find("| a-very-long-cell-value |"),
+            std::string::npos);
+}
+
+TEST(TextTableTest, EmptyTableRendersHeaderOnly) {
+  TextTable table({"X", "Y"});
+  const auto out = table.render();
+  EXPECT_NE(out.find("| X | Y |"), std::string::npos);
+}
+
+TEST(SectionBannerTest, Format) {
+  EXPECT_EQ(sectionBanner("Title"), "\n== Title ==\n");
+}
+
+}  // namespace
+}  // namespace urlf::report

@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/base64.h"
+#include "util/clock.h"
+#include "util/expected.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace urlf::util {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ZeroSeedStillWorks) {
+  Rng rng(0);
+  EXPECT_NE(rng(), 0u);  // splitmix expansion guarantees non-degenerate state
+}
+
+TEST(RngTest, UniformWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RngTest, UniformSingletonRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform(5, 5), 5u);
+}
+
+TEST(RngTest, UniformRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(3, 2), std::invalid_argument);
+}
+
+TEST(RngTest, UniformCoversFullRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, Uniform01InHalfOpenInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.02);
+}
+
+TEST(RngTest, IndexThrowsOnEmpty) {
+  Rng rng(23);
+  EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, items);
+}
+
+TEST(RngTest, SampleDistinctElements) {
+  Rng rng(31);
+  const std::vector<int> items{1, 2, 3, 4, 5, 6};
+  const auto sample = rng.sample(items, 4);
+  EXPECT_EQ(sample.size(), 4u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST(RngTest, SampleTooLargeThrows) {
+  Rng rng(37);
+  EXPECT_THROW(rng.sample(std::vector<int>{1, 2}, 3), std::invalid_argument);
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic) {
+  Rng a(41);
+  Rng b(41);
+  auto childA = a.fork();
+  auto childB = b.fork();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(childA(), childB());
+}
+
+TEST(RngTest, PickReturnsElementFromVector) {
+  Rng rng(43);
+  const std::vector<std::string> items{"a", "b", "c"};
+  for (int i = 0; i < 30; ++i) {
+    const auto& picked = rng.pick(items);
+    EXPECT_TRUE(picked == "a" || picked == "b" || picked == "c");
+  }
+}
+
+/// Property: uniform(lo, hi) respects bounds for many (seed, range) combos.
+class RngUniformProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(RngUniformProperty, BoundsHold) {
+  const auto [seed, span] = GetParam();
+  Rng rng(seed);
+  const std::uint64_t lo = seed % 1000;
+  const std::uint64_t hi = lo + span;
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.uniform(lo, hi);
+    ASSERT_GE(v, lo);
+    ASSERT_LE(v, hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RngUniformProperty,
+    ::testing::Combine(::testing::Values(1u, 99u, 12345u, 424242u),
+                       ::testing::Values(0u, 1u, 7u, 255u, 1u << 20)));
+
+// -------------------------------------------------------------- Clock ----
+
+TEST(ClockTest, EpochIsJanuary2012) {
+  EXPECT_EQ(SimTime{}.date(), (CivilDate{2012, 1, 1}));
+}
+
+TEST(ClockTest, DayArithmetic) {
+  const auto t = SimTime{} + daysToHours(31);
+  EXPECT_EQ(t.date(), (CivilDate{2012, 2, 1}));
+}
+
+TEST(ClockTest, LeapYear2012HasFeb29) {
+  const auto t = SimTime::fromDate({2012, 2, 29});
+  EXPECT_EQ(t.date(), (CivilDate{2012, 2, 29}));
+  EXPECT_EQ((t + 24).date(), (CivilDate{2012, 3, 1}));
+}
+
+TEST(ClockTest, MonthYearFormat) {
+  EXPECT_EQ((CivilDate{2012, 9, 14}).monthYear(), "9/2012");
+  EXPECT_EQ((CivilDate{2013, 4, 1}).monthYear(), "4/2013");
+}
+
+TEST(ClockTest, IsoFormatPadsMonthAndDay) {
+  EXPECT_EQ((CivilDate{2013, 4, 8}).iso(), "2013-04-08");
+  EXPECT_EQ((CivilDate{2013, 11, 25}).iso(), "2013-11-25");
+}
+
+TEST(ClockTest, FromDateRoundTrips) {
+  const CivilDate dates[] = {{2012, 1, 1},  {2012, 12, 31}, {2013, 8, 5},
+                             {2015, 2, 28}, {2016, 2, 29},  {2020, 7, 4}};
+  for (const auto& d : dates) EXPECT_EQ(SimTime::fromDate(d).date(), d);
+}
+
+TEST(ClockTest, MidDayHoursTruncateToSameDate) {
+  const auto base = SimTime::fromDate({2013, 3, 4});
+  EXPECT_EQ((base + 23).date(), (CivilDate{2013, 3, 4}));
+  EXPECT_EQ((base + 24).date(), (CivilDate{2013, 3, 5}));
+}
+
+TEST(ClockTest, AdvanceMonotonic) {
+  SimClock clock;
+  clock.advanceDays(3);
+  EXPECT_EQ(clock.now().hours(), 72);
+  clock.advanceHours(0);
+  EXPECT_EQ(clock.now().hours(), 72);
+  EXPECT_THROW(clock.advanceHours(-1), std::invalid_argument);
+}
+
+TEST(ClockTest, PreEpochTimesFloorToEarlierDay) {
+  // -1 hour is 23:00 on 2011-12-31, not 2012-01-01.
+  EXPECT_EQ(SimTime{-1}.date(), (CivilDate{2011, 12, 31}));
+  EXPECT_EQ(SimTime{-24}.date(), (CivilDate{2011, 12, 31}));
+  EXPECT_EQ(SimTime{-25}.date(), (CivilDate{2011, 12, 30}));
+}
+
+TEST(ClockTest, TimeDifference) {
+  const SimTime a{100};
+  const SimTime b{40};
+  EXPECT_EQ(a - b, 60);
+  EXPECT_EQ(b - a, -60);
+}
+
+/// Property: date() is consistent with day-by-day stepping across years.
+TEST(ClockTest, SequentialDaysNeverRepeatOrSkip) {
+  auto t = SimTime::fromDate({2012, 1, 1});
+  CivilDate prev = t.date();
+  for (int i = 0; i < 800; ++i) {
+    t = t + 24;
+    const CivilDate next = t.date();
+    EXPECT_LT(prev, next);
+    prev = next;
+  }
+  EXPECT_EQ(prev, (CivilDate{2014, 3, 11}));
+}
+
+// ------------------------------------------------------------ Strings ----
+
+TEST(StringsTest, ToLowerUpper) {
+  EXPECT_EQ(toLower("McAfee Web Gateway"), "mcafee web gateway");
+  EXPECT_EQ(toUpper("ae"), "AE");
+}
+
+TEST(StringsTest, TrimWhitespace) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\r\n"), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("no-trim"), "no-trim");
+}
+
+TEST(StringsTest, SplitPreservesEmptyFields) {
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("nosep", ','), (std::vector<std::string>{"nosep"}));
+}
+
+TEST(StringsTest, JoinInvertsSplit) {
+  const std::vector<std::string> parts{"a", "b", "c"};
+  EXPECT_EQ(join(parts, ","), "a,b,c");
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+}
+
+TEST(StringsTest, CaseInsensitiveEquality) {
+  EXPECT_TRUE(iequals("Content-Type", "content-type"));
+  EXPECT_FALSE(iequals("Content-Type", "content-typ"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+TEST(StringsTest, CaseInsensitiveContains) {
+  EXPECT_TRUE(icontains("Blue Coat ProxySG appliance", "proxysg"));
+  EXPECT_FALSE(icontains("plain server", "proxysg"));
+  EXPECT_TRUE(icontains("anything", ""));
+  EXPECT_FALSE(icontains("ab", "abc"));
+}
+
+TEST(StringsTest, PrefixSuffix) {
+  EXPECT_TRUE(startsWith("http://x", "http://"));
+  EXPECT_FALSE(startsWith("ttp://x", "http://"));
+  EXPECT_TRUE(endsWith("file.info", ".info"));
+  EXPECT_FALSE(endsWith("info", ".info"));
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(replaceAll("a b a b", "a", "x"), "x b x b");
+  EXPECT_EQ(replaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replaceAll("none", "zz", "x"), "none");
+  EXPECT_EQ(replaceAll("abc", "", "x"), "abc");
+}
+
+// ------------------------------------------------------------- Base64 ----
+
+TEST(Base64Test, KnownVectors) {
+  EXPECT_EQ(base64Encode(""), "");
+  EXPECT_EQ(base64Encode("f"), "Zg==");
+  EXPECT_EQ(base64Encode("fo"), "Zm8=");
+  EXPECT_EQ(base64Encode("foo"), "Zm9v");
+  EXPECT_EQ(base64Encode("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64Test, DecodeKnownVectors) {
+  EXPECT_EQ(base64Decode("Zm9vYmFy").value(), "foobar");
+  EXPECT_EQ(base64Decode("Zg==").value(), "f");
+  EXPECT_EQ(base64Decode("").value(), "");
+}
+
+TEST(Base64Test, RejectsMalformed) {
+  EXPECT_FALSE(base64Decode("abc"));       // not multiple of 4
+  EXPECT_FALSE(base64Decode("a=bc"));      // data after padding
+  EXPECT_FALSE(base64Decode("ab!c"));      // bad alphabet
+  EXPECT_FALSE(base64Decode("====") && true);  // padding-only group
+}
+
+/// Property: decode(encode(x)) == x over pseudo-random binary strings.
+class Base64RoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Base64RoundTrip, RoundTrips) {
+  Rng rng(GetParam());
+  for (int len = 0; len < 64; ++len) {
+    std::string data;
+    for (int i = 0; i < len; ++i)
+      data += static_cast<char>(rng.uniform(0, 255));
+    const auto decoded = base64Decode(base64Encode(data));
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(*decoded, data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Base64RoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+// ----------------------------------------------------------- Expected ----
+
+TEST(ExpectedTest, ValueState) {
+  Expected<int> e(42);
+  EXPECT_TRUE(e.ok());
+  EXPECT_EQ(e.value(), 42);
+  EXPECT_EQ(*e, 42);
+  EXPECT_EQ(e.error(), "");
+}
+
+TEST(ExpectedTest, ErrorState) {
+  auto e = Expected<int>::failure("boom");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.error(), "boom");
+  EXPECT_THROW((void)e.value(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace urlf::util

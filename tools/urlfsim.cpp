@@ -1,0 +1,508 @@
+// urlfsim — command-line driver for the reproduction.
+//
+//   urlfsim identify      [--json] [--seed N] [evasion flags]
+//   urlfsim confirm       [--case N | --all] [--json] [--seed N] [flags]
+//   urlfsim characterize  --vantage NAME [--runs N] [--json] [--seed N]
+//   urlfsim probe         [--json] [--seed N]          (§4.4 category probe)
+//   urlfsim scout         --vantage NAME [--product P] [--json]
+//   urlfsim proxy-detect  [--json] [--seed N]
+//   urlfsim export-scan   [--seed N]                   (banner index JSON)
+//
+// Evasion flags: --hide-surfaces --strip-branding --disregard-submitter
+// Products: bluecoat | smartfilter | netsweeper | websense
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/evaluation.h"
+#include "core/monitor.h"
+#include "core/profiler.h"
+#include "core/proxy_detect.h"
+#include "core/serialize.h"
+#include "measure/mining.h"
+#include "measure/session.h"
+#include "scan/serialize.h"
+#include "scenarios/paper_world.h"
+
+namespace {
+
+using namespace urlf;
+
+struct Options {
+  std::string command;
+  std::uint64_t seed = scenarios::kPaperSeed;
+  bool json = false;
+  bool all = false;
+  std::optional<int> caseIndex;
+  std::optional<std::string> vantage;
+  filters::ProductKind product = filters::ProductKind::kSmartFilter;
+  int runs = 1;
+  bool viaPortal = false;
+  scenarios::PaperWorldOptions worldOptions;
+};
+
+std::optional<filters::ProductKind> parseProduct(const std::string& name) {
+  if (name == "bluecoat") return filters::ProductKind::kBlueCoat;
+  if (name == "smartfilter") return filters::ProductKind::kSmartFilter;
+  if (name == "netsweeper") return filters::ProductKind::kNetsweeper;
+  if (name == "websense") return filters::ProductKind::kWebsense;
+  return std::nullopt;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: urlfsim <identify|confirm|characterize|probe|scout|proxy-detect"
+      "|profile|record|export-scan> [options]\n"
+      "       urlfsim diff <baseline.json> <current.json>\n"
+      "       urlfsim reanalyze <session.json> [--mine]\n"
+      "  --seed N            world seed (default %llu)\n"
+      "  --json              machine-readable output\n"
+      "  --case N            confirm: run only Table 3 row N (0-9)\n"
+      "  --all               confirm: run all rows (default)\n"
+      "  --vantage NAME      characterize/scout: field vantage point\n"
+      "  --product P         scout: bluecoat|smartfilter|netsweeper|websense\n"
+      "  --runs N            characterize: passes per URL\n"
+      "  --portal            confirm: submit via the vendor Web portal\n"
+      "  --hide-surfaces --strip-branding --disregard-submitter\n",
+      static_cast<unsigned long long>(scenarios::kPaperSeed));
+  return 2;
+}
+
+std::optional<Options> parseArgs(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Options options;
+  options.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--all") {
+      options.all = true;
+    } else if (arg == "--portal") {
+      options.viaPortal = true;
+    } else if (arg == "--hide-surfaces") {
+      options.worldOptions.hideExternalSurfaces = true;
+    } else if (arg == "--strip-branding") {
+      options.worldOptions.stripBranding = true;
+    } else if (arg == "--disregard-submitter") {
+      options.worldOptions.disregardSubmitter = true;
+    } else if (arg == "--seed") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      options.seed = std::stoull(*value);
+    } else if (arg == "--case") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      options.caseIndex = std::stoi(*value);
+    } else if (arg == "--runs") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      options.runs = std::stoi(*value);
+    } else if (arg == "--vantage") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      options.vantage = *value;
+    } else if (arg == "--product") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      const auto product = parseProduct(*value);
+      if (!product) return std::nullopt;
+      options.product = *product;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return options;
+}
+
+int runIdentify(const Options& options) {
+  scenarios::PaperWorld paper(options.seed, options.worldOptions);
+  auto& world = paper.world();
+  const auto geo = world.buildGeoDatabase(options.worldOptions.geoErrorRate);
+  const auto whois = world.buildAsnDatabase();
+  scan::BannerIndex index;
+  index.crawl(world, geo);
+  core::Identifier identifier(world, index,
+                              fingerprint::Engine::withBuiltinSignatures(),
+                              geo, whois);
+  const auto all = identifier.identifyAll();
+
+  if (options.json) {
+    std::printf("%s\n", core::toJson(all).dump(2).c_str());
+    return 0;
+  }
+  for (const auto& [product, installations] : all) {
+    std::printf("%s: %zu installations\n",
+                std::string(filters::toString(product)).c_str(),
+                installations.size());
+    for (const auto& inst : installations)
+      std::printf("  %s:%u  %s  AS%u (%s)\n", inst.ip.toString().c_str(),
+                  inst.port, inst.countryAlpha2.c_str(),
+                  inst.asn ? inst.asn->asn : 0,
+                  inst.asn ? inst.asn->description.c_str() : "?");
+  }
+  return 0;
+}
+
+int runConfirm(const Options& options) {
+  scenarios::PaperWorld paper(options.seed, options.worldOptions);
+  core::Confirmer confirmer(paper.world(), paper.hosting(), paper.vendorSet());
+
+  report::Json results = report::Json::array();
+  const auto& studies = paper.caseStudies();
+  for (std::size_t i = 0; i < studies.size(); ++i) {
+    if (options.caseIndex && static_cast<std::size_t>(*options.caseIndex) != i)
+      continue;
+    scenarios::advanceClockTo(paper.world(), studies[i].startDate);
+    auto runConfig = studies[i].config;
+    runConfig.submitViaHttpPortal = options.viaPortal;
+    const auto result = confirmer.run(runConfig);
+    if (options.json) {
+      results.push(core::toJson(result));
+    } else {
+      std::printf("[%zu] %-18s %-16s %s  %s blocked -> %s\n", i,
+                  std::string(filters::toString(result.config.product)).c_str(),
+                  result.config.ispName.c_str(), result.dateLabel.c_str(),
+                  result.blockedRatio().c_str(),
+                  result.confirmed ? "CONFIRMED" : "not confirmed");
+    }
+  }
+  if (options.json) std::printf("%s\n", results.dump(2).c_str());
+  return 0;
+}
+
+int runCharacterize(const Options& options) {
+  if (!options.vantage) return usage();
+  scenarios::PaperWorld paper(options.seed, options.worldOptions);
+  const auto* vantage = paper.world().findVantage(*options.vantage);
+  if (vantage == nullptr) {
+    std::fprintf(stderr, "unknown vantage: %s\n", options.vantage->c_str());
+    return 1;
+  }
+  core::Characterizer characterizer(paper.world());
+  const auto result = characterizer.characterize(
+      *options.vantage, "lab-toronto", paper.globalList(),
+      paper.localList(vantage->countryAlpha2), options.runs);
+
+  if (options.json) {
+    std::printf("%s\n", core::toJson(result).dump(2).c_str());
+    return 0;
+  }
+  std::printf("%s (%s), attributed: %s\n", result.ispName.c_str(),
+              result.countryAlpha2.c_str(),
+              result.attributedProduct
+                  ? std::string(filters::toString(*result.attributedProduct))
+                        .c_str()
+                  : "(none)");
+  for (const auto& [category, cell] : result.cells)
+    std::printf("  %-34s %d/%d blocked\n", category.c_str(), cell.blocked,
+                cell.tested);
+  return 0;
+}
+
+int runProbe(const Options& options) {
+  scenarios::PaperWorld paper(options.seed, options.worldOptions);
+  scenarios::advanceClockTo(paper.world(), {2013, 1, 14});
+  core::Confirmer confirmer(paper.world(), paper.hosting(), paper.vendorSet());
+  const auto probe =
+      confirmer.probeNetsweeperCategories("field-yemennet", "lab-toronto");
+
+  if (options.json) {
+    report::Json out = report::Json::array();
+    for (const auto& result : probe) {
+      report::Json item = report::Json::object();
+      item["catno"] = report::Json::number(std::int64_t{result.category});
+      item["category"] = report::Json::string(result.categoryName);
+      item["blocked"] = report::Json::boolean(result.blocked);
+      out.push(std::move(item));
+    }
+    std::printf("%s\n", out.dump(2).c_str());
+    return 0;
+  }
+  for (const auto& result : probe)
+    if (result.blocked)
+      std::printf("blocked: catno %d (%s)\n", result.category,
+                  result.categoryName.c_str());
+  return 0;
+}
+
+int runScout(const Options& options) {
+  if (!options.vantage) return usage();
+  scenarios::PaperWorld paper(options.seed, options.worldOptions);
+  core::CategoryScout scout(paper.world());
+  const auto uses = scout.scout(*options.vantage, "lab-toronto",
+                                paper.referenceSites(options.product));
+  if (options.json) {
+    report::Json out = report::Json::array();
+    for (const auto& use : uses) out.push(core::toJson(use));
+    std::printf("%s\n", out.dump(2).c_str());
+    return 0;
+  }
+  for (const auto& use : uses)
+    std::printf("%-20s %d/%d blocked -> %s\n", use.categoryName.c_str(),
+                use.blocked, use.tested,
+                use.inUse() ? "ENFORCED" : "not enforced");
+  return 0;
+}
+
+int runProxyDetect(const Options& options) {
+  scenarios::PaperWorld paper(options.seed, options.worldOptions);
+  core::ProxyDetector detector(paper.world());
+  report::Json out = report::Json::object();
+  for (const auto& vantage : paper.world().vantages()) {
+    if (vantage->isLab()) continue;
+    const auto evidence =
+        detector.detect(vantage->name, "lab-toronto", paper.echoUrl());
+    if (options.json) {
+      out[vantage->name] = core::toJson(evidence);
+    } else {
+      std::printf("%-18s %s%s\n", vantage->name.c_str(),
+                  evidence.proxyDetected() ? "proxy detected" : "clean path",
+                  evidence.productHint ? (" [" + *evidence.productHint + "]")
+                                             .c_str()
+                                       : "");
+    }
+  }
+  if (options.json) std::printf("%s\n", out.dump(2).c_str());
+  return 0;
+}
+
+int runDiff(const Options& options, const std::string& baselinePath,
+            const std::string& currentPath) {
+  auto readFile = [](const std::string& path) -> std::optional<std::string> {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) return std::nullopt;
+    std::string out;
+    char buffer[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof buffer, file)) > 0)
+      out.append(buffer, n);
+    std::fclose(file);
+    return out;
+  };
+
+  const auto baselineText = readFile(baselinePath);
+  const auto currentText = readFile(currentPath);
+  if (!baselineText || !currentText) {
+    std::fprintf(stderr, "diff: cannot read scan files\n");
+    return 1;
+  }
+  auto baselineRecords = scan::importRecords(*baselineText);
+  auto currentRecords = scan::importRecords(*currentText);
+  if (!baselineRecords || !currentRecords) {
+    std::fprintf(stderr, "diff: malformed scan data\n");
+    return 1;
+  }
+
+  // Offline analysis: the world only supplies geo/whois context; all
+  // validation is passive (stored banners, no live probes).
+  scenarios::PaperWorld paper(options.seed, options.worldOptions);
+  const auto geo = paper.world().buildGeoDatabase();
+  const auto whois = paper.world().buildAsnDatabase();
+  const auto engine = fingerprint::Engine::withBuiltinSignatures();
+
+  const auto baselineIndex =
+      scan::BannerIndex::fromRecords(std::move(*baselineRecords));
+  const auto currentIndex =
+      scan::BannerIndex::fromRecords(std::move(*currentRecords));
+  core::Identifier fromBaseline(paper.world(), baselineIndex, engine, geo,
+                                whois);
+  core::Identifier fromCurrent(paper.world(), currentIndex, engine, geo,
+                               whois);
+  const auto diffs = core::diffAll(fromBaseline.identifyAllPassive(),
+                                   fromCurrent.identifyAllPassive());
+
+  for (const auto& [product, diff] : diffs) {
+    if (diff.empty()) continue;
+    std::printf("%s:\n", std::string(filters::toString(product)).c_str());
+    for (const auto& inst : diff.appeared)
+      std::printf("  + appeared  %s (%s)\n", inst.ip.toString().c_str(),
+                  inst.countryAlpha2.c_str());
+    for (const auto& inst : diff.vanished)
+      std::printf("  - vanished  %s (%s)\n", inst.ip.toString().c_str(),
+                  inst.countryAlpha2.c_str());
+    for (const auto& [before, after] : diff.relocated)
+      std::printf("  ~ relocated %s (%s -> %s)\n",
+                  after.ip.toString().c_str(), before.countryAlpha2.c_str(),
+                  after.countryAlpha2.c_str());
+  }
+  return 0;
+}
+
+std::optional<std::string> readWholeFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  std::string out;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, file)) > 0)
+    out.append(buffer, n);
+  std::fclose(file);
+  return out;
+}
+
+int runRecord(const Options& options) {
+  // Record a full measurement session (global + local lists, full wire
+  // traces) from a field vantage — the collect-first half of §5.
+  if (!options.vantage) return usage();
+  scenarios::PaperWorld paper(options.seed, options.worldOptions);
+  auto& world = paper.world();
+  const auto* vantage = world.findVantage(*options.vantage);
+  if (vantage == nullptr) {
+    std::fprintf(stderr, "unknown vantage: %s\n", options.vantage->c_str());
+    return 1;
+  }
+  measure::Client client(world, *vantage, *world.findVantage("lab-toronto"));
+  std::vector<std::string> urls = paper.globalList().urls();
+  for (const auto& url : paper.localList(vantage->countryAlpha2).urls())
+    urls.push_back(url);
+  const auto session = client.testList(urls);
+  std::printf("%s\n", measure::exportSession(session, 2).c_str());
+  return 0;
+}
+
+int runReanalyze(const std::string& path, bool mine) {
+  // The analyze-later half of §5: reload a recorded session, re-classify
+  // with the current pattern library, optionally mine pattern candidates
+  // from the blocked traces.
+  const auto text = readWholeFile(path);
+  if (!text) {
+    std::fprintf(stderr, "reanalyze: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  auto session = measure::importSession(*text);
+  if (!session) {
+    std::fprintf(stderr, "reanalyze: malformed session\n");
+    return 1;
+  }
+  const auto reclassified = measure::reclassify(
+      std::move(*session), measure::builtinBlockPagePatterns());
+
+  std::map<std::string, int> verdictCounts;
+  std::map<filters::ProductKind, int> productCounts;
+  for (const auto& result : reclassified) {
+    ++verdictCounts[std::string(measure::toString(result.verdict))];
+    if (result.blockPage) ++productCounts[result.blockPage->product];
+  }
+  for (const auto& [verdict, count] : verdictCounts)
+    std::printf("%-14s %d\n", verdict.c_str(), count);
+  for (const auto& [product, count] : productCounts)
+    std::printf("attributed to %s: %d\n",
+                std::string(filters::toString(product)).c_str(), count);
+
+  if (mine) {
+    for (const auto& [product, count] : productCounts) {
+      const auto pattern =
+          measure::minePatternFromResults(product, reclassified);
+      if (pattern)
+        std::printf("mined candidate for %s: /%s/\n",
+                    std::string(filters::toString(product)).c_str(),
+                    pattern->regex.substr(0, 96).c_str());
+    }
+  }
+  return 0;
+}
+
+int runProfile(const Options& options) {
+  if (!options.vantage) return usage();
+  scenarios::PaperWorld paper(options.seed, options.worldOptions);
+  auto& world = paper.world();
+  const auto* vantage = world.findVantage(*options.vantage);
+  if (vantage == nullptr) {
+    std::fprintf(stderr, "unknown vantage: %s\n", options.vantage->c_str());
+    return 1;
+  }
+
+  const auto geo = world.buildGeoDatabase();
+  scan::BannerIndex index;
+  index.crawl(world, geo);
+
+  core::ProfilerSources sources;
+  sources.index = &index;
+  sources.geo = geo;
+  sources.whois = world.buildAsnDatabase();
+  for (const auto product : filters::allProducts())
+    sources.referenceSites[product] = paper.referenceSites(product);
+  sources.globalList = &paper.globalList();
+  sources.localList = &paper.localList(vantage->countryAlpha2);
+  sources.echoUrl = paper.echoUrl();
+  sources.characterizationRuns = options.runs;
+
+  const auto profile =
+      core::profileNetwork(world, *options.vantage, "lab-toronto", sources);
+
+  if (options.json) {
+    std::printf("%s\n", profile.toJson().dump(2).c_str());
+    return 0;
+  }
+  std::printf("network profile: %s (%s)\n", profile.ispName.c_str(),
+              profile.countryAlpha2.c_str());
+  std::printf("installations geolocated in-country: %zu\n",
+              profile.installationsInCountry.size());
+  for (const auto& inst : profile.installationsInCountry)
+    std::printf("  %s at %s\n",
+                std::string(filters::toString(inst.product)).c_str(),
+                inst.ip.toString().c_str());
+  if (profile.proxyEvidence)
+    std::printf("transparent proxy on path: %s%s\n",
+                profile.proxyEvidence->proxyDetected() ? "yes" : "no",
+                profile.proxyEvidence->productHint
+                    ? (" (" + *profile.proxyEvidence->productHint + ")")
+                          .c_str()
+                    : "");
+  for (const auto& [product, uses] : profile.categoryUse) {
+    for (const auto& use : uses)
+      if (use.inUse())
+        std::printf("enforces %s category \"%s\"\n",
+                    std::string(filters::toString(product)).c_str(),
+                    use.categoryName.c_str());
+  }
+  std::printf("censored ONI categories:");
+  for (const auto& [category, cell] : profile.characterization.cells)
+    if (cell.blocked > 0) std::printf(" [%s]", category.c_str());
+  std::printf("\n");
+  return 0;
+}
+
+int runExportScan(const Options& options) {
+  scenarios::PaperWorld paper(options.seed, options.worldOptions);
+  const auto geo = paper.world().buildGeoDatabase();
+  scan::BannerIndex index;
+  index.crawl(paper.world(), geo);
+  std::printf("%s\n", scan::exportRecords(index.records(), 2).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // `diff` and `reanalyze` take positional file arguments.
+  if (argc >= 2 && std::strcmp(argv[1], "diff") == 0) {
+    if (argc != 4) return usage();
+    return runDiff(Options{}, argv[2], argv[3]);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "reanalyze") == 0) {
+    if (argc < 3 || argc > 4) return usage();
+    const bool mine = argc == 4 && std::strcmp(argv[3], "--mine") == 0;
+    return runReanalyze(argv[2], mine);
+  }
+  const auto options = parseArgs(argc, argv);
+  if (!options) return usage();
+  if (options->command == "identify") return runIdentify(*options);
+  if (options->command == "confirm") return runConfirm(*options);
+  if (options->command == "characterize") return runCharacterize(*options);
+  if (options->command == "probe") return runProbe(*options);
+  if (options->command == "scout") return runScout(*options);
+  if (options->command == "proxy-detect") return runProxyDetect(*options);
+  if (options->command == "profile") return runProfile(*options);
+  if (options->command == "record") return runRecord(*options);
+  if (options->command == "export-scan") return runExportScan(*options);
+  return usage();
+}
