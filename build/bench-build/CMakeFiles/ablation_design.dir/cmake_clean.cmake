@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_design"
+  "../bench/ablation_design.pdb"
+  "CMakeFiles/ablation_design.dir/ablation_design.cpp.o"
+  "CMakeFiles/ablation_design.dir/ablation_design.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/census_vs_shodan"
+  "../bench/census_vs_shodan.pdb"
+  "CMakeFiles/census_vs_shodan.dir/census_vs_shodan.cpp.o"
+  "CMakeFiles/census_vs_shodan.dir/census_vs_shodan.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_vs_shodan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

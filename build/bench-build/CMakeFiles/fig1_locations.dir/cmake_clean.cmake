@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_locations"
+  "../bench/fig1_locations.pdb"
+  "CMakeFiles/fig1_locations.dir/fig1_locations.cpp.o"
+  "CMakeFiles/fig1_locations.dir/fig1_locations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_locations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

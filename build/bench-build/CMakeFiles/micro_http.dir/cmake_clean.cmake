@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_http"
+  "../bench/micro_http.pdb"
+  "CMakeFiles/micro_http.dir/micro_http.cpp.o"
+  "CMakeFiles/micro_http.dir/micro_http.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

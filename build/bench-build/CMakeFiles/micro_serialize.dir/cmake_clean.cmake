@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_serialize"
+  "../bench/micro_serialize.pdb"
+  "CMakeFiles/micro_serialize.dir/micro_serialize.cpp.o"
+  "CMakeFiles/micro_serialize.dir/micro_serialize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/monitor_longitudinal"
+  "../bench/monitor_longitudinal.pdb"
+  "CMakeFiles/monitor_longitudinal.dir/monitor_longitudinal.cpp.o"
+  "CMakeFiles/monitor_longitudinal.dir/monitor_longitudinal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_longitudinal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

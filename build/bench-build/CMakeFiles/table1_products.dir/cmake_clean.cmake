@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_products"
+  "../bench/table1_products.pdb"
+  "CMakeFiles/table1_products.dir/table1_products.cpp.o"
+  "CMakeFiles/table1_products.dir/table1_products.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_products.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_identification"
+  "../bench/table2_identification.pdb"
+  "CMakeFiles/table2_identification.dir/table2_identification.cpp.o"
+  "CMakeFiles/table2_identification.dir/table2_identification.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

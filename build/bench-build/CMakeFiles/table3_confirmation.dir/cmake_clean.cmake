@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_confirmation"
+  "../bench/table3_confirmation.pdb"
+  "CMakeFiles/table3_confirmation.dir/table3_confirmation.cpp.o"
+  "CMakeFiles/table3_confirmation.dir/table3_confirmation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_confirmation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

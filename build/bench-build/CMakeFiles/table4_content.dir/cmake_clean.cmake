@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_content"
+  "../bench/table4_content.pdb"
+  "CMakeFiles/table4_content.dir/table4_content.cpp.o"
+  "CMakeFiles/table4_content.dir/table4_content.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_content.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

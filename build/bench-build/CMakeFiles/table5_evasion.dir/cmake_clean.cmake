@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_evasion"
+  "../bench/table5_evasion.pdb"
+  "CMakeFiles/table5_evasion.dir/table5_evasion.cpp.o"
+  "CMakeFiles/table5_evasion.dir/table5_evasion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_evasion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/category_scout.dir/category_scout.cpp.o"
+  "CMakeFiles/category_scout.dir/category_scout.cpp.o.d"
+  "category_scout"
+  "category_scout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/category_scout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_content.dir/characterize_content.cpp.o"
+  "CMakeFiles/characterize_content.dir/characterize_content.cpp.o.d"
+  "characterize_content"
+  "characterize_content.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_content.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

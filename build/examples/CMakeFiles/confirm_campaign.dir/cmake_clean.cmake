@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confirm_campaign.dir/confirm_campaign.cpp.o"
+  "CMakeFiles/confirm_campaign.dir/confirm_campaign.cpp.o.d"
+  "confirm_campaign"
+  "confirm_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confirm_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

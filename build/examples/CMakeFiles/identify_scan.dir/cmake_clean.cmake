@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/identify_scan.dir/identify_scan.cpp.o"
+  "CMakeFiles/identify_scan.dir/identify_scan.cpp.o.d"
+  "identify_scan"
+  "identify_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/identify_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

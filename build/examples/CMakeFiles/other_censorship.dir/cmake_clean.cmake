@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/other_censorship.dir/other_censorship.cpp.o"
+  "CMakeFiles/other_censorship.dir/other_censorship.cpp.o.d"
+  "other_censorship"
+  "other_censorship.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/other_censorship.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_detect.dir/proxy_detect.cpp.o"
+  "CMakeFiles/proxy_detect.dir/proxy_detect.cpp.o.d"
+  "proxy_detect"
+  "proxy_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

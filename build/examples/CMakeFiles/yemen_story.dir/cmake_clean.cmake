@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yemen_story.dir/yemen_story.cpp.o"
+  "CMakeFiles/yemen_story.dir/yemen_story.cpp.o.d"
+  "yemen_story"
+  "yemen_story.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yemen_story.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for yemen_story.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for yemen_story.
+# This may be replaced when dependencies are built.

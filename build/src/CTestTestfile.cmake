@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("net")
+subdirs("http")
+subdirs("geo")
+subdirs("simnet")
+subdirs("filters")
+subdirs("scan")
+subdirs("fingerprint")
+subdirs("measure")
+subdirs("core")
+subdirs("scenarios")
+subdirs("report")

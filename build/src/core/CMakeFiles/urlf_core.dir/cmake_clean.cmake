@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urlf_core.dir/characterizer.cpp.o"
+  "CMakeFiles/urlf_core.dir/characterizer.cpp.o.d"
+  "CMakeFiles/urlf_core.dir/confirmer.cpp.o"
+  "CMakeFiles/urlf_core.dir/confirmer.cpp.o.d"
+  "CMakeFiles/urlf_core.dir/evaluation.cpp.o"
+  "CMakeFiles/urlf_core.dir/evaluation.cpp.o.d"
+  "CMakeFiles/urlf_core.dir/identifier.cpp.o"
+  "CMakeFiles/urlf_core.dir/identifier.cpp.o.d"
+  "CMakeFiles/urlf_core.dir/monitor.cpp.o"
+  "CMakeFiles/urlf_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/urlf_core.dir/profiler.cpp.o"
+  "CMakeFiles/urlf_core.dir/profiler.cpp.o.d"
+  "CMakeFiles/urlf_core.dir/proxy_detect.cpp.o"
+  "CMakeFiles/urlf_core.dir/proxy_detect.cpp.o.d"
+  "CMakeFiles/urlf_core.dir/scout.cpp.o"
+  "CMakeFiles/urlf_core.dir/scout.cpp.o.d"
+  "CMakeFiles/urlf_core.dir/serialize.cpp.o"
+  "CMakeFiles/urlf_core.dir/serialize.cpp.o.d"
+  "liburlf_core.a"
+  "liburlf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urlf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filters/bluecoat.cpp" "src/filters/CMakeFiles/urlf_filters.dir/bluecoat.cpp.o" "gcc" "src/filters/CMakeFiles/urlf_filters.dir/bluecoat.cpp.o.d"
+  "/root/repo/src/filters/category.cpp" "src/filters/CMakeFiles/urlf_filters.dir/category.cpp.o" "gcc" "src/filters/CMakeFiles/urlf_filters.dir/category.cpp.o.d"
+  "/root/repo/src/filters/category_db.cpp" "src/filters/CMakeFiles/urlf_filters.dir/category_db.cpp.o" "gcc" "src/filters/CMakeFiles/urlf_filters.dir/category_db.cpp.o.d"
+  "/root/repo/src/filters/deployment.cpp" "src/filters/CMakeFiles/urlf_filters.dir/deployment.cpp.o" "gcc" "src/filters/CMakeFiles/urlf_filters.dir/deployment.cpp.o.d"
+  "/root/repo/src/filters/netsweeper.cpp" "src/filters/CMakeFiles/urlf_filters.dir/netsweeper.cpp.o" "gcc" "src/filters/CMakeFiles/urlf_filters.dir/netsweeper.cpp.o.d"
+  "/root/repo/src/filters/smartfilter.cpp" "src/filters/CMakeFiles/urlf_filters.dir/smartfilter.cpp.o" "gcc" "src/filters/CMakeFiles/urlf_filters.dir/smartfilter.cpp.o.d"
+  "/root/repo/src/filters/vendor.cpp" "src/filters/CMakeFiles/urlf_filters.dir/vendor.cpp.o" "gcc" "src/filters/CMakeFiles/urlf_filters.dir/vendor.cpp.o.d"
+  "/root/repo/src/filters/websense.cpp" "src/filters/CMakeFiles/urlf_filters.dir/websense.cpp.o" "gcc" "src/filters/CMakeFiles/urlf_filters.dir/websense.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnet/CMakeFiles/urlf_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/urlf_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/urlf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/urlf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/urlf_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

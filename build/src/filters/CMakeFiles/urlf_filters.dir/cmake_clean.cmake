@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urlf_filters.dir/bluecoat.cpp.o"
+  "CMakeFiles/urlf_filters.dir/bluecoat.cpp.o.d"
+  "CMakeFiles/urlf_filters.dir/category.cpp.o"
+  "CMakeFiles/urlf_filters.dir/category.cpp.o.d"
+  "CMakeFiles/urlf_filters.dir/category_db.cpp.o"
+  "CMakeFiles/urlf_filters.dir/category_db.cpp.o.d"
+  "CMakeFiles/urlf_filters.dir/deployment.cpp.o"
+  "CMakeFiles/urlf_filters.dir/deployment.cpp.o.d"
+  "CMakeFiles/urlf_filters.dir/netsweeper.cpp.o"
+  "CMakeFiles/urlf_filters.dir/netsweeper.cpp.o.d"
+  "CMakeFiles/urlf_filters.dir/smartfilter.cpp.o"
+  "CMakeFiles/urlf_filters.dir/smartfilter.cpp.o.d"
+  "CMakeFiles/urlf_filters.dir/vendor.cpp.o"
+  "CMakeFiles/urlf_filters.dir/vendor.cpp.o.d"
+  "CMakeFiles/urlf_filters.dir/websense.cpp.o"
+  "CMakeFiles/urlf_filters.dir/websense.cpp.o.d"
+  "liburlf_filters.a"
+  "liburlf_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urlf_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

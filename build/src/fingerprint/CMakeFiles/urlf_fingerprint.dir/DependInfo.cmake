@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fingerprint/engine.cpp" "src/fingerprint/CMakeFiles/urlf_fingerprint.dir/engine.cpp.o" "gcc" "src/fingerprint/CMakeFiles/urlf_fingerprint.dir/engine.cpp.o.d"
+  "/root/repo/src/fingerprint/matcher.cpp" "src/fingerprint/CMakeFiles/urlf_fingerprint.dir/matcher.cpp.o" "gcc" "src/fingerprint/CMakeFiles/urlf_fingerprint.dir/matcher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/filters/CMakeFiles/urlf_filters.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/urlf_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/urlf_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/urlf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/urlf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/urlf_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

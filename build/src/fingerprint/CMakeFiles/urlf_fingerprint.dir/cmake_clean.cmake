@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urlf_fingerprint.dir/engine.cpp.o"
+  "CMakeFiles/urlf_fingerprint.dir/engine.cpp.o.d"
+  "CMakeFiles/urlf_fingerprint.dir/matcher.cpp.o"
+  "CMakeFiles/urlf_fingerprint.dir/matcher.cpp.o.d"
+  "liburlf_fingerprint.a"
+  "liburlf_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urlf_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urlf_geo.dir/geodb.cpp.o"
+  "CMakeFiles/urlf_geo.dir/geodb.cpp.o.d"
+  "liburlf_geo.a"
+  "liburlf_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urlf_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

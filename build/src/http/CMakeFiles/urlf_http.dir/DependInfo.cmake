@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/header_map.cpp" "src/http/CMakeFiles/urlf_http.dir/header_map.cpp.o" "gcc" "src/http/CMakeFiles/urlf_http.dir/header_map.cpp.o.d"
+  "/root/repo/src/http/html.cpp" "src/http/CMakeFiles/urlf_http.dir/html.cpp.o" "gcc" "src/http/CMakeFiles/urlf_http.dir/html.cpp.o.d"
+  "/root/repo/src/http/message.cpp" "src/http/CMakeFiles/urlf_http.dir/message.cpp.o" "gcc" "src/http/CMakeFiles/urlf_http.dir/message.cpp.o.d"
+  "/root/repo/src/http/status.cpp" "src/http/CMakeFiles/urlf_http.dir/status.cpp.o" "gcc" "src/http/CMakeFiles/urlf_http.dir/status.cpp.o.d"
+  "/root/repo/src/http/wire.cpp" "src/http/CMakeFiles/urlf_http.dir/wire.cpp.o" "gcc" "src/http/CMakeFiles/urlf_http.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/urlf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/urlf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

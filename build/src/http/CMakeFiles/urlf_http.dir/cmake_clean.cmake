@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urlf_http.dir/header_map.cpp.o"
+  "CMakeFiles/urlf_http.dir/header_map.cpp.o.d"
+  "CMakeFiles/urlf_http.dir/html.cpp.o"
+  "CMakeFiles/urlf_http.dir/html.cpp.o.d"
+  "CMakeFiles/urlf_http.dir/message.cpp.o"
+  "CMakeFiles/urlf_http.dir/message.cpp.o.d"
+  "CMakeFiles/urlf_http.dir/status.cpp.o"
+  "CMakeFiles/urlf_http.dir/status.cpp.o.d"
+  "CMakeFiles/urlf_http.dir/wire.cpp.o"
+  "CMakeFiles/urlf_http.dir/wire.cpp.o.d"
+  "liburlf_http.a"
+  "liburlf_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urlf_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/blockpage.cpp" "src/measure/CMakeFiles/urlf_measure.dir/blockpage.cpp.o" "gcc" "src/measure/CMakeFiles/urlf_measure.dir/blockpage.cpp.o.d"
+  "/root/repo/src/measure/client.cpp" "src/measure/CMakeFiles/urlf_measure.dir/client.cpp.o" "gcc" "src/measure/CMakeFiles/urlf_measure.dir/client.cpp.o.d"
+  "/root/repo/src/measure/mining.cpp" "src/measure/CMakeFiles/urlf_measure.dir/mining.cpp.o" "gcc" "src/measure/CMakeFiles/urlf_measure.dir/mining.cpp.o.d"
+  "/root/repo/src/measure/repeated.cpp" "src/measure/CMakeFiles/urlf_measure.dir/repeated.cpp.o" "gcc" "src/measure/CMakeFiles/urlf_measure.dir/repeated.cpp.o.d"
+  "/root/repo/src/measure/session.cpp" "src/measure/CMakeFiles/urlf_measure.dir/session.cpp.o" "gcc" "src/measure/CMakeFiles/urlf_measure.dir/session.cpp.o.d"
+  "/root/repo/src/measure/testlist.cpp" "src/measure/CMakeFiles/urlf_measure.dir/testlist.cpp.o" "gcc" "src/measure/CMakeFiles/urlf_measure.dir/testlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/report/CMakeFiles/urlf_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/filters/CMakeFiles/urlf_filters.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/urlf_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/urlf_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/urlf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/urlf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/urlf_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

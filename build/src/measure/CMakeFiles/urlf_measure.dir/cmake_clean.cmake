@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urlf_measure.dir/blockpage.cpp.o"
+  "CMakeFiles/urlf_measure.dir/blockpage.cpp.o.d"
+  "CMakeFiles/urlf_measure.dir/client.cpp.o"
+  "CMakeFiles/urlf_measure.dir/client.cpp.o.d"
+  "CMakeFiles/urlf_measure.dir/mining.cpp.o"
+  "CMakeFiles/urlf_measure.dir/mining.cpp.o.d"
+  "CMakeFiles/urlf_measure.dir/repeated.cpp.o"
+  "CMakeFiles/urlf_measure.dir/repeated.cpp.o.d"
+  "CMakeFiles/urlf_measure.dir/session.cpp.o"
+  "CMakeFiles/urlf_measure.dir/session.cpp.o.d"
+  "CMakeFiles/urlf_measure.dir/testlist.cpp.o"
+  "CMakeFiles/urlf_measure.dir/testlist.cpp.o.d"
+  "liburlf_measure.a"
+  "liburlf_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urlf_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

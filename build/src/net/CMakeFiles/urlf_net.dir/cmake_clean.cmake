@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urlf_net.dir/cctld.cpp.o"
+  "CMakeFiles/urlf_net.dir/cctld.cpp.o.d"
+  "CMakeFiles/urlf_net.dir/ipv4.cpp.o"
+  "CMakeFiles/urlf_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/urlf_net.dir/url.cpp.o"
+  "CMakeFiles/urlf_net.dir/url.cpp.o.d"
+  "liburlf_net.a"
+  "liburlf_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urlf_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

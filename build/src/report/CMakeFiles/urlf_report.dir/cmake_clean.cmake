@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urlf_report.dir/csv.cpp.o"
+  "CMakeFiles/urlf_report.dir/csv.cpp.o.d"
+  "CMakeFiles/urlf_report.dir/json.cpp.o"
+  "CMakeFiles/urlf_report.dir/json.cpp.o.d"
+  "CMakeFiles/urlf_report.dir/table.cpp.o"
+  "CMakeFiles/urlf_report.dir/table.cpp.o.d"
+  "liburlf_report.a"
+  "liburlf_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urlf_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

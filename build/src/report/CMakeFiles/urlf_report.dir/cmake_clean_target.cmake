@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liburlf_report.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urlf_scan.dir/banner_index.cpp.o"
+  "CMakeFiles/urlf_scan.dir/banner_index.cpp.o.d"
+  "CMakeFiles/urlf_scan.dir/serialize.cpp.o"
+  "CMakeFiles/urlf_scan.dir/serialize.cpp.o.d"
+  "liburlf_scan.a"
+  "liburlf_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urlf_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urlf_scenarios.dir/paper_world.cpp.o"
+  "CMakeFiles/urlf_scenarios.dir/paper_world.cpp.o.d"
+  "CMakeFiles/urlf_scenarios.dir/random_world.cpp.o"
+  "CMakeFiles/urlf_scenarios.dir/random_world.cpp.o.d"
+  "CMakeFiles/urlf_scenarios.dir/yemen2009.cpp.o"
+  "CMakeFiles/urlf_scenarios.dir/yemen2009.cpp.o.d"
+  "liburlf_scenarios.a"
+  "liburlf_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urlf_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

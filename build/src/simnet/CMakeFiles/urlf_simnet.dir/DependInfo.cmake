@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/hosting.cpp" "src/simnet/CMakeFiles/urlf_simnet.dir/hosting.cpp.o" "gcc" "src/simnet/CMakeFiles/urlf_simnet.dir/hosting.cpp.o.d"
+  "/root/repo/src/simnet/origin_server.cpp" "src/simnet/CMakeFiles/urlf_simnet.dir/origin_server.cpp.o" "gcc" "src/simnet/CMakeFiles/urlf_simnet.dir/origin_server.cpp.o.d"
+  "/root/repo/src/simnet/transport.cpp" "src/simnet/CMakeFiles/urlf_simnet.dir/transport.cpp.o" "gcc" "src/simnet/CMakeFiles/urlf_simnet.dir/transport.cpp.o.d"
+  "/root/repo/src/simnet/world.cpp" "src/simnet/CMakeFiles/urlf_simnet.dir/world.cpp.o" "gcc" "src/simnet/CMakeFiles/urlf_simnet.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/http/CMakeFiles/urlf_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/urlf_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/urlf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/urlf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urlf_simnet.dir/hosting.cpp.o"
+  "CMakeFiles/urlf_simnet.dir/hosting.cpp.o.d"
+  "CMakeFiles/urlf_simnet.dir/origin_server.cpp.o"
+  "CMakeFiles/urlf_simnet.dir/origin_server.cpp.o.d"
+  "CMakeFiles/urlf_simnet.dir/transport.cpp.o"
+  "CMakeFiles/urlf_simnet.dir/transport.cpp.o.d"
+  "CMakeFiles/urlf_simnet.dir/world.cpp.o"
+  "CMakeFiles/urlf_simnet.dir/world.cpp.o.d"
+  "liburlf_simnet.a"
+  "liburlf_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urlf_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urlf_util.dir/base64.cpp.o"
+  "CMakeFiles/urlf_util.dir/base64.cpp.o.d"
+  "CMakeFiles/urlf_util.dir/clock.cpp.o"
+  "CMakeFiles/urlf_util.dir/clock.cpp.o.d"
+  "CMakeFiles/urlf_util.dir/rng.cpp.o"
+  "CMakeFiles/urlf_util.dir/rng.cpp.o.d"
+  "CMakeFiles/urlf_util.dir/strings.cpp.o"
+  "CMakeFiles/urlf_util.dir/strings.cpp.o.d"
+  "liburlf_util.a"
+  "liburlf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urlf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/other_censorship_test.dir/other_censorship_test.cpp.o"
+  "CMakeFiles/other_censorship_test.dir/other_censorship_test.cpp.o.d"
+  "other_censorship_test"
+  "other_censorship_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/other_censorship_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for other_censorship_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/report_test.cpp" "tests/CMakeFiles/report_test.dir/report_test.cpp.o" "gcc" "tests/CMakeFiles/report_test.dir/report_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenarios/CMakeFiles/urlf_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/urlf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/urlf_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/urlf_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/urlf_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/urlf_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/filters/CMakeFiles/urlf_filters.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/urlf_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/urlf_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/urlf_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/urlf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/urlf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yemen2009_test.dir/yemen2009_test.cpp.o"
+  "CMakeFiles/yemen2009_test.dir/yemen2009_test.cpp.o.d"
+  "yemen2009_test"
+  "yemen2009_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yemen2009_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urlfsim.dir/urlfsim.cpp.o"
+  "CMakeFiles/urlfsim.dir/urlfsim.cpp.o.d"
+  "urlfsim"
+  "urlfsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urlfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for urlfsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(urlfsim_confirm "/root/repo/build/tools/urlfsim" "confirm" "--case" "0")
+set_tests_properties(urlfsim_confirm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(urlfsim_identify_json "/root/repo/build/tools/urlfsim" "identify" "--json")
+set_tests_properties(urlfsim_identify_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(urlfsim_probe "/root/repo/build/tools/urlfsim" "probe")
+set_tests_properties(urlfsim_probe PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(urlfsim_scout "/root/repo/build/tools/urlfsim" "scout" "--vantage" "field-etisalat" "--product" "smartfilter")
+set_tests_properties(urlfsim_scout PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(urlfsim_bad_args "/root/repo/build/tools/urlfsim" "nonsense")
+set_tests_properties(urlfsim_bad_args PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(urlfsim_export_diff "sh" "-c" "/root/repo/build/tools/urlfsim export-scan > scan_dump.json && /root/repo/build/tools/urlfsim diff scan_dump.json scan_dump.json && rm scan_dump.json")
+set_tests_properties(urlfsim_export_diff PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(urlfsim_profile "/root/repo/build/tools/urlfsim" "profile" "--vantage" "field-yemennet" "--runs" "3")
+set_tests_properties(urlfsim_profile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(urlfsim_record_reanalyze "sh" "-c" "/root/repo/build/tools/urlfsim record --vantage field-etisalat > session_dump.json && /root/repo/build/tools/urlfsim reanalyze session_dump.json --mine && rm session_dump.json")
+set_tests_properties(urlfsim_record_reanalyze PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(urlfsim_confirm_portal "/root/repo/build/tools/urlfsim" "confirm" "--case" "0" "--portal")
+set_tests_properties(urlfsim_confirm_portal PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
