@@ -1,0 +1,190 @@
+// Scan→identify hot-path benchmark: linear-reference vs indexed
+// BannerIndex::searchAll (the §3.1 keyword×country fan-out) and serial vs
+// parallel Identifier::identifyAll, on RandomWorld at several host counts.
+// Emits BENCH_scan.json so later PRs have a perf trajectory.
+//
+// Usage: micro_scan [--quick] [--out PATH]
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/identifier.h"
+#include "core/serialize.h"
+#include "net/cctld.h"
+#include "report/json.h"
+#include "scan/banner_index.h"
+#include "scenarios/random_world.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace urlf;
+using Clock = std::chrono::steady_clock;
+
+double millisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Best-of-`reps` wall time of `fn`, in milliseconds.
+template <typename Fn>
+double bestOf(int reps, Fn&& fn) {
+  double best = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    fn();
+    const double elapsed = millisSince(start);
+    if (best < 0.0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+std::vector<scan::Query> fullFanOut() {
+  std::vector<scan::Query> queries;
+  for (const auto product : filters::allProducts()) {
+    for (const auto& keyword : core::Identifier::shodanKeywords(product)) {
+      queries.push_back({keyword, std::nullopt});
+      for (const auto& country : net::allCountries())
+        queries.push_back({keyword, std::string(country.alpha2)});
+    }
+  }
+  return queries;
+}
+
+core::Identifier makeIdentifier(scenarios::RandomWorld& world,
+                                const scan::BannerIndex& index,
+                                std::size_t threads) {
+  core::IdentifierConfig config;
+  config.threads = threads;
+  return core::Identifier(world.world(), index,
+                          fingerprint::Engine::withBuiltinSignatures(),
+                          world.world().buildGeoDatabase(),
+                          world.world().buildAsnDatabase(), config);
+}
+
+report::Json benchAtSize(int hosts, int reps) {
+  scenarios::RandomWorldConfig config;
+  config.countries = 30;
+  config.decoys = hosts;
+  config.contentSites = 50;
+  scenarios::RandomWorld world(424242, config);
+  const auto geo = world.world().buildGeoDatabase();
+
+  report::Json out = report::Json::object();
+  out["hosts"] = report::Json::number(std::int64_t{hosts});
+
+  // --- crawl: serial vs parallel (identical index either way) ------------
+  scan::BannerIndex index;
+  const double crawlSerialMs = bestOf(reps, [&] {
+    index.crawl(world.world(), geo, 2048, /*threadLimit=*/1);
+  });
+  const double crawlParallelMs = bestOf(reps, [&] {
+    index.crawl(world.world(), geo, 2048, /*threadLimit=*/0);
+  });
+  out["records"] = report::Json::number(
+      static_cast<std::int64_t>(index.size()));
+  out["vocabulary"] = report::Json::number(
+      static_cast<std::int64_t>(index.vocabularySize()));
+  out["crawl_serial_ms"] = report::Json::number(crawlSerialMs);
+  out["crawl_parallel_ms"] = report::Json::number(crawlParallelMs);
+  out["crawl_speedup"] =
+      report::Json::number(crawlSerialMs / crawlParallelMs);
+
+  // --- searchAll: linear reference vs posting-list index -----------------
+  const auto queries = fullFanOut();
+  out["search_all_queries"] = report::Json::number(
+      static_cast<std::int64_t>(queries.size()));
+
+  std::vector<const scan::BannerRecord*> referenceHits;
+  index.setSearchMode(scan::BannerIndex::SearchMode::kReference);
+  const double searchReferenceMs =
+      bestOf(reps, [&] { referenceHits = index.searchAll(queries); });
+
+  std::vector<const scan::BannerRecord*> indexedHits;
+  index.setSearchMode(scan::BannerIndex::SearchMode::kIndexed);
+  const double searchIndexedMs =
+      bestOf(reps, [&] { indexedHits = index.searchAll(queries); });
+
+  out["search_all_hits"] = report::Json::number(
+      static_cast<std::int64_t>(indexedHits.size()));
+  out["search_all_reference_ms"] = report::Json::number(searchReferenceMs);
+  out["search_all_indexed_ms"] = report::Json::number(searchIndexedMs);
+  out["search_all_speedup"] =
+      report::Json::number(searchReferenceMs / searchIndexedMs);
+  out["search_results_equal"] =
+      report::Json::boolean(referenceHits == indexedHits);
+
+  // --- identifyAll: serial vs parallel validation ------------------------
+  const auto serialIdentifier = makeIdentifier(world, index, 1);
+  const auto parallelIdentifier = makeIdentifier(world, index, 0);
+
+  std::map<filters::ProductKind, std::vector<core::Installation>> serialRun;
+  const double identifySerialMs =
+      bestOf(reps, [&] { serialRun = serialIdentifier.identifyAll(); });
+  std::map<filters::ProductKind, std::vector<core::Installation>> parallelRun;
+  const double identifyParallelMs =
+      bestOf(reps, [&] { parallelRun = parallelIdentifier.identifyAll(); });
+
+  std::size_t installations = 0;
+  for (const auto& [product, found] : serialRun) installations += found.size();
+  out["installations"] = report::Json::number(
+      static_cast<std::int64_t>(installations));
+  out["identify_all_serial_ms"] = report::Json::number(identifySerialMs);
+  out["identify_all_parallel_ms"] = report::Json::number(identifyParallelMs);
+  out["identify_all_speedup"] =
+      report::Json::number(identifySerialMs / identifyParallelMs);
+  out["identify_results_identical"] = report::Json::boolean(
+      core::toJson(serialRun).dump() == core::toJson(parallelRun).dump());
+
+  std::cerr << "hosts=" << hosts << " records=" << index.size()
+            << " searchAll ref=" << searchReferenceMs
+            << "ms idx=" << searchIndexedMs << "ms ("
+            << searchReferenceMs / searchIndexedMs
+            << "x)  identifyAll serial=" << identifySerialMs
+            << "ms parallel=" << identifyParallelMs << "ms ("
+            << identifySerialMs / identifyParallelMs << "x)\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string outPath = "BENCH_scan.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      outPath = argv[++i];
+    } else {
+      std::cerr << "usage: micro_scan [--quick] [--out PATH]\n";
+      return 2;
+    }
+  }
+
+  const std::vector<int> sizes =
+      quick ? std::vector<int>{1000} : std::vector<int>{1000, 5000, 20000};
+  const int reps = quick ? 1 : 3;
+
+  report::Json root = report::Json::object();
+  root["bench"] = report::Json::string("micro_scan");
+  root["pool_threads"] = report::Json::number(static_cast<std::int64_t>(
+      urlf::util::ThreadPool::shared().threadCount()));
+  root["reps"] = report::Json::number(std::int64_t{reps});
+
+  report::Json runs = report::Json::array();
+  for (const int hosts : sizes) runs.push(benchAtSize(hosts, reps));
+  root["runs"] = std::move(runs);
+
+  std::ofstream file(outPath);
+  if (!file) {
+    std::cerr << "micro_scan: cannot open " << outPath << " for writing\n";
+    return 1;
+  }
+  file << root.dump(2) << "\n";
+  std::cout << root.dump(2) << "\n";
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/cctld.h"
+#include "util/thread_pool.h"
 
 namespace urlf::core {
 
@@ -62,21 +63,34 @@ fingerprint::Observation toObservation(const scan::BannerRecord& record) {
 
 }  // namespace
 
-template <typename Validate>
-std::vector<Installation> Identifier::identifyWith(ProductKind product,
-                                                   Validate&& validate) const {
+Identifier::ValidateFn Identifier::activeValidator() const {
+  return [this](const scan::BannerRecord& candidate) {
+    return engine_.probe(*world_, candidate.ip, candidate.port);
+  };
+}
+
+Identifier::ValidateFn Identifier::passiveValidator() const {
+  return [this](const scan::BannerRecord& candidate) {
+    return engine_.evaluate(toObservation(candidate));
+  };
+}
+
+std::vector<Installation> Identifier::selectInstallations(
+    ProductKind product,
+    const std::vector<const scan::BannerRecord*>& candidates,
+    const std::vector<std::vector<fingerprint::Match>>& matches) const {
   std::vector<Installation> out;
   std::set<std::uint32_t> seenIps;
 
-  for (const auto* candidate : locateCandidates(product)) {
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const auto* candidate = candidates[i];
     // One installation per IP: validate each scanned port but report the IP
     // once, keeping the strongest validation.
-    const std::vector<fingerprint::Match> matches = validate(*candidate);
-    const auto hit =
-        std::find_if(matches.begin(), matches.end(), [&](const auto& m) {
+    const auto hit = std::find_if(
+        matches[i].begin(), matches[i].end(), [&](const auto& m) {
           return m.product == product && m.certainty >= config_.minCertainty;
         });
-    if (hit == matches.end()) continue;
+    if (hit == matches[i].end()) continue;
     if (!seenIps.insert(candidate->ip.value()).second) continue;
 
     Installation inst;
@@ -92,33 +106,71 @@ std::vector<Installation> Identifier::identifyWith(ProductKind product,
   return out;
 }
 
+std::vector<Installation> Identifier::identifyWith(
+    ProductKind product, const ValidateFn& validate) const {
+  const auto candidates = locateCandidates(product);
+  std::vector<std::vector<fingerprint::Match>> matches(candidates.size());
+  util::parallelFor(
+      candidates.size(),
+      [&](std::size_t i) { matches[i] = validate(*candidates[i]); },
+      config_.threads);
+  return selectInstallations(product, candidates, matches);
+}
+
+std::map<ProductKind, std::vector<Installation>> Identifier::identifyAllWith(
+    const ValidateFn& validate) const {
+  const auto& products = filters::allProducts();
+
+  // Locate every product's candidates first (fast: indexed search), then
+  // validate the whole flattened (product, candidate) set in one parallel
+  // wave — wider than four sequential per-product fan-outs.
+  std::vector<std::vector<const scan::BannerRecord*>> candidates(
+      products.size());
+  for (std::size_t p = 0; p < products.size(); ++p)
+    candidates[p] = locateCandidates(products[p]);
+
+  std::vector<std::pair<std::size_t, std::size_t>> jobs;  // (product, slot)
+  for (std::size_t p = 0; p < products.size(); ++p)
+    for (std::size_t i = 0; i < candidates[p].size(); ++i)
+      jobs.emplace_back(p, i);
+
+  std::vector<std::vector<std::vector<fingerprint::Match>>> matches(
+      products.size());
+  for (std::size_t p = 0; p < products.size(); ++p)
+    matches[p].resize(candidates[p].size());
+
+  util::parallelFor(
+      jobs.size(),
+      [&](std::size_t j) {
+        const auto [p, i] = jobs[j];
+        matches[p][i] = validate(*candidates[p][i]);
+      },
+      config_.threads);
+
+  std::map<ProductKind, std::vector<Installation>> out;
+  for (std::size_t p = 0; p < products.size(); ++p)
+    out.emplace(products[p],
+                selectInstallations(products[p], candidates[p], matches[p]));
+  return out;
+}
+
 std::vector<Installation> Identifier::identify(ProductKind product) const {
-  return identifyWith(product, [&](const scan::BannerRecord& candidate) {
-    return engine_.probe(*world_, candidate.ip, candidate.port);
-  });
+  return identifyWith(product, activeValidator());
 }
 
 std::vector<Installation> Identifier::identifyPassive(
     ProductKind product) const {
-  return identifyWith(product, [&](const scan::BannerRecord& candidate) {
-    return engine_.evaluate(toObservation(candidate));
-  });
+  return identifyWith(product, passiveValidator());
 }
 
 std::map<ProductKind, std::vector<Installation>> Identifier::identifyAllPassive()
     const {
-  std::map<ProductKind, std::vector<Installation>> out;
-  for (const auto product : filters::allProducts())
-    out.emplace(product, identifyPassive(product));
-  return out;
+  return identifyAllWith(passiveValidator());
 }
 
 std::map<ProductKind, std::vector<Installation>> Identifier::identifyAll()
     const {
-  std::map<ProductKind, std::vector<Installation>> out;
-  for (const auto product : filters::allProducts())
-    out.emplace(product, identify(product));
-  return out;
+  return identifyAllWith(activeValidator());
 }
 
 std::map<ProductKind, std::set<std::string>> Identifier::countriesByProduct(

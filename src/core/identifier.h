@@ -1,6 +1,8 @@
 #ifndef URLF_CORE_IDENTIFIER_H
 #define URLF_CORE_IDENTIFIER_H
 
+#include <cstddef>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -32,6 +34,11 @@ struct IdentifierConfig {
   /// Search each keyword alone AND combined with every country facet, as
   /// §3.1 does with the ccTLDs "to maximize the set of results".
   bool expandByCountry = true;
+  /// Validation fan-out width: 0 uses the full shared thread pool, 1 forces
+  /// the serial reference path. Output is byte-identical for any value —
+  /// candidates are validated into per-candidate slots and the selection
+  /// pass runs sequentially in candidate order (DESIGN.md §4.1).
+  std::size_t threads = 0;
 };
 
 /// The §3 identification pipeline:
@@ -41,6 +48,11 @@ struct IdentifierConfig {
 ///
 /// The pipeline deliberately over-collects at step 1 ("we are not
 /// conservative, and rely on the following step to confirm", §3.1).
+///
+/// Validation probes run concurrently on the shared thread pool (active
+/// probes are anonymous `GET /` exchanges against externally visible
+/// surfaces, which are pure request handlers), so `identifyAll` fans out
+/// across every (product, candidate) pair at once.
 class Identifier {
  public:
   Identifier(simnet::World& world, const scan::BannerIndex& index,
@@ -81,11 +93,31 @@ class Identifier {
       filters::ProductKind product) const;
 
  private:
-  /// Shared candidate -> validate -> map pipeline; `validate` produces the
-  /// fingerprint matches for one candidate (live probe or stored banner).
-  template <typename Validate>
+  /// Validate one candidate: fingerprint matches from a live probe (active)
+  /// or the stored banner (passive).
+  using ValidateFn =
+      std::function<std::vector<fingerprint::Match>(const scan::BannerRecord&)>;
+
+  /// candidates -> parallel validation -> sequential selection. The
+  /// selection pass walks candidates in index order (one installation per
+  /// IP, first qualifying port wins), so output is order-deterministic.
   [[nodiscard]] std::vector<Installation> identifyWith(
-      filters::ProductKind product, Validate&& validate) const;
+      filters::ProductKind product, const ValidateFn& validate) const;
+
+  /// Shared fan-out for identifyAll/identifyAllPassive: flattens every
+  /// (product, candidate) pair into one parallel validation wave instead of
+  /// four sequential per-product waves.
+  [[nodiscard]] std::map<filters::ProductKind, std::vector<Installation>>
+  identifyAllWith(const ValidateFn& validate) const;
+
+  /// The sequential selection pass shared by all identify flavours.
+  [[nodiscard]] std::vector<Installation> selectInstallations(
+      filters::ProductKind product,
+      const std::vector<const scan::BannerRecord*>& candidates,
+      const std::vector<std::vector<fingerprint::Match>>& matches) const;
+
+  [[nodiscard]] ValidateFn activeValidator() const;
+  [[nodiscard]] ValidateFn passiveValidator() const;
 
   simnet::World* world_;
   const scan::BannerIndex* index_;

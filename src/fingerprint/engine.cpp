@@ -74,13 +74,16 @@ Engine Engine::withBuiltinSignatures() {
 }
 
 std::vector<Match> Engine::evaluate(const Observation& obs) const {
+  // Case-fold the observation once; every signature rule then probes the
+  // prepared view instead of re-lowercasing body/title per matcher.
+  const PreparedObservation view(obs);
   std::vector<Match> out;
   for (const auto& signature : signatures_) {
     Match match;
     match.product = signature.product;
     match.signatureName = signature.name;
     for (const auto& [matcher, weight] : signature.matchers) {
-      if (const auto evidence = matcher.match(obs)) {
+      if (const auto evidence = matcher.match(view)) {
         match.certainty = std::max(match.certainty, weight);
         match.evidence.push_back(matcher.describe() + " -> " + *evidence);
       }

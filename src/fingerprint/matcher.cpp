@@ -5,11 +5,23 @@
 
 namespace urlf::fingerprint {
 
+PreparedObservation::PreparedObservation(const Observation& observation)
+    : obs(&observation),
+      loweredBody(util::toLower(observation.body)),
+      loweredTitle(util::toLower(observation.title)) {
+  if (const auto value = observation.headers.get("Location")) {
+    hasLocation = true;
+    location = std::string(*value);
+    loweredLocation = util::toLower(location);
+  }
+}
+
 Matcher Matcher::headerContains(std::string name, std::string needle) {
   Matcher m;
   m.kind_ = Kind::kHeaderContains;
   m.headerName_ = std::move(name);
   m.needle_ = std::move(needle);
+  m.loweredNeedle_ = util::toLower(m.needle_);
   return m;
 }
 
@@ -17,6 +29,7 @@ Matcher Matcher::titleContains(std::string needle) {
   Matcher m;
   m.kind_ = Kind::kTitleContains;
   m.needle_ = std::move(needle);
+  m.loweredNeedle_ = util::toLower(m.needle_);
   return m;
 }
 
@@ -24,6 +37,7 @@ Matcher Matcher::bodyContains(std::string needle) {
   Matcher m;
   m.kind_ = Kind::kBodyContains;
   m.needle_ = std::move(needle);
+  m.loweredNeedle_ = util::toLower(m.needle_);
   return m;
 }
 
@@ -31,6 +45,7 @@ Matcher Matcher::locationContains(std::string needle) {
   Matcher m;
   m.kind_ = Kind::kLocationContains;
   m.needle_ = std::move(needle);
+  m.loweredNeedle_ = util::toLower(m.needle_);
   return m;
 }
 
@@ -71,6 +86,12 @@ Matcher Matcher::bodyRegex(const std::string& pattern) {
 }
 
 std::optional<std::string> Matcher::match(const Observation& obs) const {
+  return match(PreparedObservation(obs));
+}
+
+std::optional<std::string> Matcher::match(
+    const PreparedObservation& view) const {
+  const Observation& obs = *view.obs;
   switch (kind_) {
     case Kind::kHeaderContains: {
       for (const auto value : obs.headers.getAll(headerName_)) {
@@ -80,25 +101,26 @@ std::optional<std::string> Matcher::match(const Observation& obs) const {
       return std::nullopt;
     }
     case Kind::kTitleContains:
-      if (util::icontains(obs.title, needle_)) return "title: " + obs.title;
+      if (view.loweredTitle.find(loweredNeedle_) != std::string::npos)
+        return "title: " + obs.title;
       return std::nullopt;
     case Kind::kBodyContains:
-      if (util::icontains(obs.body, needle_)) return "body contains " + needle_;
+      if (view.loweredBody.find(loweredNeedle_) != std::string::npos)
+        return "body contains " + needle_;
       return std::nullopt;
     case Kind::kLocationContains: {
-      const auto location = obs.headers.get("Location");
-      if (location && util::icontains(*location, needle_))
-        return "Location: " + std::string(*location);
+      if (view.hasLocation &&
+          view.loweredLocation.find(loweredNeedle_) != std::string::npos)
+        return "Location: " + view.location;
       return std::nullopt;
     }
     case Kind::kLocationRedirect: {
-      const auto location = obs.headers.get("Location");
-      if (!location) return std::nullopt;
-      const auto url = net::Url::parse(*location);
+      if (!view.hasLocation) return std::nullopt;
+      const auto url = net::Url::parse(view.location);
       if (!url) return std::nullopt;
       if (url->effectivePort() != port_) return std::nullopt;
       if (!net::queryParam(url->query(), needle_)) return std::nullopt;
-      return "Location: " + std::string(*location);
+      return "Location: " + view.location;
     }
     case Kind::kStatusEquals:
       if (obs.statusCode == status_)

@@ -24,6 +24,22 @@ struct Observation {
   std::string title;
 };
 
+/// Case-folded, parsed-once view of one Observation. The engine evaluates
+/// dozens of matchers against the same observation; preparing the lowered
+/// body/title and the Location header once keeps that work out of every
+/// rule probe. The view borrows the observation — keep the Observation
+/// alive for the view's lifetime.
+struct PreparedObservation {
+  explicit PreparedObservation(const Observation& observation);
+
+  const Observation* obs;
+  std::string loweredBody;
+  std::string loweredTitle;
+  bool hasLocation = false;
+  std::string location;         ///< raw Location header value (first)
+  std::string loweredLocation;
+};
+
 /// One WhatWeb-style match rule. Each rule keys on a protocol artifact that
 /// Table 2 of the paper identifies as distinctive for a product.
 class Matcher {
@@ -51,6 +67,11 @@ class Matcher {
   /// Evidence string when matched, nullopt otherwise.
   [[nodiscard]] std::optional<std::string> match(const Observation& obs) const;
 
+  /// Fast path against a prepared view — identical verdicts to the
+  /// Observation overload, without re-lowercasing per rule.
+  [[nodiscard]] std::optional<std::string> match(
+      const PreparedObservation& view) const;
+
   /// Human-readable rule description.
   [[nodiscard]] std::string describe() const;
 
@@ -71,6 +92,7 @@ class Matcher {
   Kind kind_ = Kind::kBodyContains;
   std::string headerName_;
   std::string needle_;  ///< substring needle, or the regex's source text
+  std::string loweredNeedle_;  ///< needle_ case-folded once at construction
   std::uint16_t port_ = 0;
   int status_ = 0;
   /// Compiled regex for the regex kinds (shared so Matcher stays copyable).

@@ -1,9 +1,13 @@
 #include "scan/banner_index.h"
 
+#include <algorithm>
+#include <cctype>
 #include <set>
+#include <string_view>
 
 #include "http/html.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace urlf::scan {
 
@@ -29,6 +33,39 @@ BannerRecord probeEndpoint(simnet::HttpEndpoint& endpoint, net::Ipv4Addr ip,
   return record;
 }
 
+bool isTokenChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Maximal alphanumeric runs of `text`. Both banners and keywords are
+/// tokenized with the same character class, so a keyword with no separator
+/// can only ever occur inside a single banner token.
+std::vector<std::string_view> tokenize(std::string_view text) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && !isTokenChar(text[i])) ++i;
+    const std::size_t start = i;
+    while (i < text.size() && isTokenChar(text[i])) ++i;
+    if (i > start) out.push_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+void mergeSortedUnique(std::vector<std::uint32_t>& ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+std::vector<std::uint32_t> intersectSorted(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
 }  // namespace
 
 std::string BannerRecord::searchableText() const {
@@ -40,45 +77,197 @@ std::string BannerRecord::searchableText() const {
   return text;
 }
 
-void BannerIndex::crawl(simnet::World& world, const geo::GeoDatabase& geo,
-                        std::size_t bodySnippetLimit) {
-  records_.clear();
-  for (const auto& surface : world.externalSurfaces()) {
-    records_.push_back(probeEndpoint(*surface.endpoint, surface.ip,
-                                     surface.port, geo, world.now(),
-                                     bodySnippetLimit));
+const std::string& BannerRecord::searchableTextLower() const {
+  if (!searchLowerReady_) {
+    searchLower_ = util::toLower(searchableText());
+    searchLowerReady_ = true;
   }
+  return searchLower_;
+}
+
+void BannerIndex::crawl(simnet::World& world, const geo::GeoDatabase& geo,
+                        std::size_t bodySnippetLimit,
+                        std::size_t threadLimit) {
+  const auto surfaces = world.externalSurfaces();
+  const auto now = world.now();
+
+  records_.clear();
+  postings_.clear();
+  countryBuckets_.clear();
+  records_.resize(surfaces.size());
+
+  // Each probe writes only its own slot, so the records land in binding
+  // order — the same index a serial crawl builds.
+  util::parallelFor(
+      surfaces.size(),
+      [&](std::size_t i) {
+        const auto& surface = surfaces[i];
+        records_[i] = probeEndpoint(*surface.endpoint, surface.ip,
+                                    surface.port, geo, now, bodySnippetLimit);
+        records_[i].primeSearchText();
+      },
+      threadLimit);
+
+  indexRange(0);
 }
 
 BannerIndex BannerIndex::fromRecords(std::vector<BannerRecord> records) {
   BannerIndex index;
-  index.records_ = std::move(records);
+  index.addRecords(std::move(records));
   return index;
 }
 
 void BannerIndex::addRecords(std::vector<BannerRecord> records) {
+  const std::size_t begin = records_.size();
   records_.insert(records_.end(), std::make_move_iterator(records.begin()),
                   std::make_move_iterator(records.end()));
+  util::parallelFor(records_.size() - begin, [&](std::size_t i) {
+    records_[begin + i].primeSearchText();
+  });
+  indexRange(begin);
 }
 
-std::vector<const BannerRecord*> BannerIndex::search(const Query& query) const {
+void BannerIndex::indexRange(std::size_t begin) {
+  // Ids are appended in ascending order, so every posting list and country
+  // bucket stays sorted and unique without a final sort pass.
+  for (std::size_t id = begin; id < records_.size(); ++id) {
+    const auto& record = records_[id];
+    auto tokens = tokenize(record.searchableTextLower());
+    std::sort(tokens.begin(), tokens.end());
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+    for (const auto token : tokens)
+      postings_[std::string(token)].push_back(static_cast<std::uint32_t>(id));
+    countryBuckets_[util::toUpper(record.countryAlpha2)].push_back(
+        static_cast<std::uint32_t>(id));
+  }
+}
+
+std::vector<std::uint32_t> BannerIndex::keywordCandidates(
+    const std::string& loweredKeyword) const {
+  const auto keywordTokens = tokenize(loweredKeyword);
+
+  std::vector<std::uint32_t> candidates;
+  if (keywordTokens.empty()) {
+    // No alphanumeric core (e.g. "=", whitespace, empty): substring-scan the
+    // cached lowered text. An empty keyword matches every record, as the
+    // reference `icontains` does.
+    for (std::size_t id = 0; id < records_.size(); ++id) {
+      if (records_[id].searchableTextLower().find(loweredKeyword) !=
+          std::string::npos)
+        candidates.push_back(static_cast<std::uint32_t>(id));
+    }
+    return candidates;
+  }
+
+  // Pre-filter on the keyword's longest token: any banner containing the
+  // keyword must contain that token inside one of its own tokens, so the
+  // union of posting lists over vocabulary tokens containing it is a
+  // superset of the exact match set.
+  const std::string_view longest = *std::max_element(
+      keywordTokens.begin(), keywordTokens.end(),
+      [](std::string_view a, std::string_view b) { return a.size() < b.size(); });
+  for (const auto& [token, ids] : postings_) {
+    if (token.find(longest) == std::string::npos) continue;
+    candidates.insert(candidates.end(), ids.begin(), ids.end());
+  }
+  mergeSortedUnique(candidates);
+
+  // A keyword that *is* its longest token (no separators) is exact already;
+  // anything else ("cfru=", "mcafee web gateway", "8080/webadmin/") is
+  // verified against the cached lowered text.
+  if (loweredKeyword == longest) return candidates;
+  std::vector<std::uint32_t> verified;
+  verified.reserve(candidates.size());
+  for (const auto id : candidates) {
+    if (records_[id].searchableTextLower().find(loweredKeyword) !=
+        std::string::npos)
+      verified.push_back(id);
+  }
+  return verified;
+}
+
+std::vector<const BannerRecord*> BannerIndex::searchIndexed(
+    const Query& query) const {
+  std::vector<std::uint32_t> ids = keywordCandidates(util::toLower(query.keyword));
+  if (query.countryAlpha2) {
+    const auto bucket = countryBuckets_.find(util::toUpper(*query.countryAlpha2));
+    if (bucket == countryBuckets_.end()) return {};
+    ids = intersectSorted(ids, bucket->second);
+  }
+  std::vector<const BannerRecord*> out;
+  out.reserve(ids.size());
+  for (const auto id : ids) out.push_back(&records_[id]);
+  return out;
+}
+
+std::vector<const BannerRecord*> BannerIndex::searchReference(
+    const Query& query) const {
+  const std::string loweredKeyword = util::toLower(query.keyword);
   std::vector<const BannerRecord*> out;
   for (const auto& record : records_) {
     if (query.countryAlpha2 &&
         !util::iequals(record.countryAlpha2, *query.countryAlpha2))
       continue;
-    if (!util::icontains(record.searchableText(), query.keyword)) continue;
+    if (record.searchableTextLower().find(loweredKeyword) == std::string::npos)
+      continue;
     out.push_back(&record);
   }
   return out;
 }
 
+std::vector<const BannerRecord*> BannerIndex::search(const Query& query) const {
+  return mode_ == SearchMode::kIndexed ? searchIndexed(query)
+                                       : searchReference(query);
+}
+
 std::vector<const BannerRecord*> BannerIndex::searchAll(
     const std::vector<Query>& queries) const {
+  std::vector<std::vector<const BannerRecord*>> perQuery(queries.size());
+
+  if (mode_ == SearchMode::kIndexed) {
+    // The §3.1 fan-out repeats the same few keywords across every country
+    // facet; resolve each distinct keyword once, in parallel, then apply
+    // the country restriction per query.
+    std::vector<std::string> keywords;
+    std::unordered_map<std::string, std::size_t> keywordSlot;
+    std::vector<std::size_t> querySlot(queries.size());
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const std::string lowered = util::toLower(queries[q].keyword);
+      const auto [it, inserted] = keywordSlot.emplace(lowered, keywords.size());
+      if (inserted) keywords.push_back(lowered);
+      querySlot[q] = it->second;
+    }
+
+    std::vector<std::vector<std::uint32_t>> perKeyword(keywords.size());
+    util::parallelFor(keywords.size(), [&](std::size_t k) {
+      perKeyword[k] = keywordCandidates(keywords[k]);
+    });
+
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const std::vector<std::uint32_t>* ids = &perKeyword[querySlot[q]];
+      std::vector<std::uint32_t> restricted;
+      if (queries[q].countryAlpha2) {
+        const auto bucket =
+            countryBuckets_.find(util::toUpper(*queries[q].countryAlpha2));
+        restricted = bucket == countryBuckets_.end()
+                         ? std::vector<std::uint32_t>{}
+                         : intersectSorted(*ids, bucket->second);
+        ids = &restricted;
+      }
+      perQuery[q].reserve(ids->size());
+      for (const auto id : *ids) perQuery[q].push_back(&records_[id]);
+    }
+  } else {
+    for (std::size_t q = 0; q < queries.size(); ++q)
+      perQuery[q] = searchReference(queries[q]);
+  }
+
+  // Sequential merge in query order keeps the output identical across
+  // modes and thread counts.
   std::vector<const BannerRecord*> out;
   std::set<std::uint64_t> seen;
-  for (const auto& query : queries) {
-    for (const auto* record : search(query)) {
+  for (const auto& hits : perQuery) {
+    for (const auto* record : hits) {
       const std::uint64_t key =
           (std::uint64_t{record->ip.value()} << 16) | record->port;
       if (seen.insert(key).second) out.push_back(record);

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "geo/geodb.h"
@@ -29,6 +30,19 @@ struct BannerRecord {
 
   /// The searchable text: status line + raw headers + title + body.
   [[nodiscard]] std::string searchableText() const;
+
+  /// Lowercased searchable text, built once and cached so queries never
+  /// re-materialize the banner. BannerIndex primes every record at insert
+  /// time; prime before sharing a record across threads (the lazy fill is
+  /// not synchronized). Treat records as immutable once primed.
+  [[nodiscard]] const std::string& searchableTextLower() const;
+
+  /// Build the lowered-text cache now (idempotent).
+  void primeSearchText() const { (void)searchableTextLower(); }
+
+ private:
+  mutable std::string searchLower_;
+  mutable bool searchLowerReady_ = false;
 };
 
 /// A Shodan-style query: a keyword plus an optional country facet. The
@@ -45,14 +59,34 @@ struct Query {
 /// epistemic position as a real Internet-wide scanner: it can only see what
 /// is publicly reachable. `search` does case-insensitive keyword matching
 /// over the stored banner text.
+///
+/// Two execution modes answer every query with identical results:
+///  - `kIndexed` (default): per-country buckets plus a token posting-list
+///    index (lowercased token -> sorted record ids). A keyword that is a
+///    single alphanumeric token resolves through the posting lists (the
+///    vocabulary is scanned for tokens containing the keyword, so matches
+///    inside longer tokens are kept); keywords with separators use their
+///    longest token as a pre-filter and are verified against the cached
+///    lowered text; keywords with no tokens at all fall back to a substring
+///    scan of the (bucketed) cached text.
+///  - `kReference`: the original linear scan, retained for equivalence
+///    testing and benchmarking (it still reuses the cached lowered text
+///    instead of rebuilding each banner per probe).
 class BannerIndex {
  public:
+  enum class SearchMode { kIndexed, kReference };
+
   BannerIndex() = default;
 
   /// Probe all externally visible surfaces; `geo` supplies the crawler's
   /// country metadata. Body snippets are capped at `bodySnippetLimit`.
+  /// Surfaces are probed concurrently on the shared thread pool; results
+  /// land in binding order, so the index is byte-identical to a serial
+  /// crawl. External-surface handlers must therefore be thread-safe for the
+  /// crawler's anonymous `GET /` (all in-tree handlers are pure functions
+  /// of the request). `threadLimit == 1` forces the serial crawl.
   void crawl(simnet::World& world, const geo::GeoDatabase& geo,
-             std::size_t bodySnippetLimit = 2048);
+             std::size_t bodySnippetLimit = 2048, std::size_t threadLimit = 0);
 
   /// Build an index from pre-collected records (e.g. a CensusScanner sweep,
   /// the larger-scale data source §3.1 mentions as ongoing work).
@@ -61,10 +95,18 @@ class BannerIndex {
   /// Append records to the index (merging multiple scan sources).
   void addRecords(std::vector<BannerRecord> records);
 
+  void setSearchMode(SearchMode mode) { mode_ = mode; }
+  [[nodiscard]] SearchMode searchMode() const { return mode_; }
+
   /// All records matching the query, in index order.
   [[nodiscard]] std::vector<const BannerRecord*> search(const Query& query) const;
 
-  /// Union of results across many queries, de-duplicated by (ip, port).
+  /// Union of results across many queries, de-duplicated by (ip, port),
+  /// ordered by first match (query order, then index order). In indexed
+  /// mode the per-keyword candidate sets are computed once per distinct
+  /// keyword — not once per (keyword, country) combination — and in
+  /// parallel on the shared pool; the merge is sequential in query order,
+  /// so results are identical across modes and thread counts.
   [[nodiscard]] std::vector<const BannerRecord*> searchAll(
       const std::vector<Query>& queries) const;
 
@@ -73,8 +115,30 @@ class BannerIndex {
   }
   [[nodiscard]] std::size_t size() const { return records_.size(); }
 
+  /// Distinct lowercased tokens in the posting-list index (diagnostics).
+  [[nodiscard]] std::size_t vocabularySize() const { return postings_.size(); }
+
  private:
+  /// Ids of records whose banner contains `loweredKeyword`, ascending. Uses
+  /// the posting lists when the keyword has at least one alphanumeric token,
+  /// otherwise scans the cached lowered text.
+  [[nodiscard]] std::vector<std::uint32_t> keywordCandidates(
+      const std::string& loweredKeyword) const;
+
+  [[nodiscard]] std::vector<const BannerRecord*> searchIndexed(
+      const Query& query) const;
+  [[nodiscard]] std::vector<const BannerRecord*> searchReference(
+      const Query& query) const;
+
+  /// Tokenize + bucket records_[begin..end) into the index structures.
+  void indexRange(std::size_t begin);
+
+  SearchMode mode_ = SearchMode::kIndexed;
   std::vector<BannerRecord> records_;
+  /// lowercased token -> record ids (ascending, unique).
+  std::unordered_map<std::string, std::vector<std::uint32_t>> postings_;
+  /// UPPERCASED alpha2 -> record ids (ascending, unique).
+  std::unordered_map<std::string, std::vector<std::uint32_t>> countryBuckets_;
 };
 
 /// Internet Census-style exhaustive scanner [10]: probes *every address* in

@@ -1,0 +1,123 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+
+namespace urlf::util {
+
+namespace {
+thread_local const ThreadPool* currentPool = nullptr;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threadCount) {
+  if (threadCount == 0) {
+    threadCount = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threadCount);
+  for (std::size_t i = 0; i < threadCount; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  wake_.notify_one();
+}
+
+ThreadPool& ThreadPool::shared() {
+  // URLF_THREADS overrides the width (CI, benchmarking). Otherwise use the
+  // hardware concurrency, but never fewer than two workers: a single-core
+  // host still interleaves the pool's scheduling, so the determinism
+  // contract is exercised rather than silently degrading to inline loops.
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("URLF_THREADS")) {
+      const long n = std::atol(env);
+      if (n > 0) return static_cast<std::size_t>(n);
+    }
+    return std::max<std::size_t>(2, std::thread::hardware_concurrency());
+  }());
+  return pool;
+}
+
+bool ThreadPool::onWorkerThread() const { return currentPool == this; }
+
+void ThreadPool::workerLoop() {
+  currentPool = this;
+  while (true) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
+                 std::size_t threadLimit) {
+  if (n == 0) return;
+
+  ThreadPool& pool = ThreadPool::shared();
+  const std::size_t width =
+      threadLimit == 0 ? pool.threadCount()
+                       : std::min(threadLimit, pool.threadCount());
+  if (width <= 1 || n == 1 || pool.onWorkerThread()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Contiguous shards, a few per worker so uneven jobs balance out. Each
+  // index is processed exactly once; output slots are caller-owned, so the
+  // gathered result is independent of scheduling.
+  const std::size_t shardCount = std::min(n, width * 4);
+  const std::size_t perShard = (n + shardCount - 1) / shardCount;
+
+  std::mutex doneMutex;
+  std::condition_variable doneSignal;
+  std::size_t pending = 0;
+  std::exception_ptr firstError;
+
+  {
+    const std::lock_guard<std::mutex> lock(doneMutex);
+    pending = (n + perShard - 1) / perShard;
+  }
+
+  for (std::size_t begin = 0; begin < n; begin += perShard) {
+    const std::size_t end = std::min(n, begin + perShard);
+    pool.submit([&, begin, end] {
+      std::exception_ptr error;
+      try {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      {
+        const std::lock_guard<std::mutex> lock(doneMutex);
+        if (error && !firstError) firstError = error;
+        --pending;
+      }
+      doneSignal.notify_one();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(doneMutex);
+  doneSignal.wait(lock, [&] { return pending == 0; });
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+}  // namespace urlf::util

@@ -1,0 +1,70 @@
+#ifndef URLF_UTIL_THREAD_POOL_H
+#define URLF_UTIL_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace urlf::util {
+
+/// A fixed-size worker pool for data-parallel stages of the pipeline.
+///
+/// Determinism contract (DESIGN.md §4.1): the pool never decides *what* is
+/// computed or *where* results land — callers partition work by index and
+/// every job writes only its own pre-assigned slot, so the gathered output
+/// is identical for any thread count, including 1.
+class ThreadPool {
+ public:
+  /// `threadCount == 0` sizes the pool to the hardware concurrency.
+  explicit ThreadPool(std::size_t threadCount = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t threadCount() const { return workers_.size(); }
+
+  /// Enqueue one job. Jobs must not throw out of the pool; use `parallelFor`
+  /// for exception-safe bulk work.
+  void submit(std::function<void()> job);
+
+  /// Process-wide pool shared by all parallel pipeline stages. Sized to the
+  /// hardware concurrency (min 2 so concurrency is always exercised);
+  /// override with the URLF_THREADS environment variable.
+  static ThreadPool& shared();
+
+  /// True when called from one of this pool's worker threads — used to run
+  /// nested parallel sections inline instead of deadlocking on the queue.
+  [[nodiscard]] bool onWorkerThread() const;
+
+ private:
+  void workerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+/// Run `body(i)` for every `i` in `[0, n)` and block until all complete.
+///
+/// Work is split into contiguous index shards processed by the shared pool;
+/// because each index owns its output slot, results are gathered in index
+/// order and the outcome is byte-identical to the serial loop. The first
+/// exception thrown by any `body(i)` is rethrown in the caller.
+///
+/// `threadLimit == 1` forces the plain serial loop (reference mode for
+/// benchmarks and equivalence tests); `0` uses the full shared pool. Calls
+/// from inside a pool worker run inline, so accidental nesting degrades to
+/// serial instead of deadlocking.
+void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
+                 std::size_t threadLimit = 0);
+
+}  // namespace urlf::util
+
+#endif  // URLF_UTIL_THREAD_POOL_H

@@ -1,0 +1,230 @@
+// Equivalence properties of the indexed scan→identify pipeline:
+//  - indexed BannerIndex::search/searchAll return exactly the reference
+//    (linear-scan) result sets over randomized worlds and randomized
+//    queries, including country facets, mixed-case keywords, keywords
+//    spanning token boundaries, and punctuation-only keywords;
+//  - parallel crawl and parallel identifyAll are byte-identical to their
+//    serial counterparts for the same seed.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "core/serialize.h"
+#include "net/cctld.h"
+#include "scan/serialize.h"
+#include "scenarios/random_world.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace urlf::scan {
+namespace {
+
+using scenarios::RandomWorld;
+using scenarios::RandomWorldConfig;
+
+RandomWorldConfig mediumWorld() {
+  RandomWorldConfig config;
+  config.countries = 12;
+  config.decoys = 24;
+  config.contentSites = 12;
+  return config;
+}
+
+/// Random keyword drawn from real banner text so it can straddle token
+/// boundaries ("r\n<title>Net"), with random case flips.
+std::string keywordFromBanner(util::Rng& rng, const BannerIndex& index) {
+  const auto& records = index.records();
+  const auto& text = records[rng.index(records.size())].searchableText();
+  if (text.empty()) return "x";
+  const std::size_t len = 1 + rng.index(18);
+  const std::size_t start = rng.index(text.size());
+  std::string keyword = text.substr(start, len);
+  for (auto& c : keyword)
+    if (rng.chance(0.5)) c = static_cast<char>(std::toupper(
+        static_cast<unsigned char>(c)));
+  return keyword;
+}
+
+std::vector<Query> randomQueries(util::Rng& rng, const BannerIndex& index,
+                                 int count) {
+  const std::vector<std::string> fixed = {
+      "proxysg",       "cfru=",          "mcafee web gateway",
+      "url blocked",   "netsweeper",     "webadmin",
+      "webadmin/deny", "8080/webadmin/", "blockpage.cgi",
+      "gateway websense",
+      // pathological keywords: empty, punctuation-only, whitespace
+      "", "=", "/", " ", "\r\n", "no-such-keyword-anywhere"};
+
+  std::vector<Query> out;
+  for (int i = 0; i < count; ++i) {
+    Query query;
+    if (rng.chance(0.4)) {
+      query.keyword = fixed[rng.index(fixed.size())];
+    } else {
+      query.keyword = keywordFromBanner(rng, index);
+    }
+    const double facet = rng.uniform01();
+    if (facet < 0.4) {
+      // a country actually present in the index (random case)
+      const auto& records = index.records();
+      auto country = records[rng.index(records.size())].countryAlpha2;
+      if (!country.empty() && rng.chance(0.5))
+        country = util::toLower(country);
+      query.countryAlpha2 = country;
+    } else if (facet < 0.55) {
+      query.countryAlpha2 = "ZZ";  // absent country
+    }
+    out.push_back(std::move(query));
+  }
+  return out;
+}
+
+std::vector<const BannerRecord*> searchInMode(BannerIndex& index,
+                                              BannerIndex::SearchMode mode,
+                                              const Query& query) {
+  index.setSearchMode(mode);
+  return index.search(query);
+}
+
+TEST(ScanIndexProperty, IndexedSearchMatchesReferenceOnRandomWorlds) {
+  for (const std::uint64_t seed : {11u, 22u, 33u}) {
+    RandomWorld world(seed, mediumWorld());
+    const auto geo = world.world().buildGeoDatabase();
+    BannerIndex index;
+    index.crawl(world.world(), geo);
+    ASSERT_GT(index.size(), 0u);
+
+    util::Rng rng(seed * 1000 + 7);
+    const auto queries = randomQueries(rng, index, 200);
+    for (const auto& query : queries) {
+      const auto indexed =
+          searchInMode(index, BannerIndex::SearchMode::kIndexed, query);
+      const auto reference =
+          searchInMode(index, BannerIndex::SearchMode::kReference, query);
+      ASSERT_EQ(indexed, reference)
+          << "seed=" << seed << " keyword=\"" << query.keyword << "\" country="
+          << query.countryAlpha2.value_or("(none)");
+    }
+  }
+}
+
+TEST(ScanIndexProperty, SearchAllMatchesReferenceOnRandomQueries) {
+  RandomWorld world(77, mediumWorld());
+  const auto geo = world.world().buildGeoDatabase();
+  BannerIndex index;
+  index.crawl(world.world(), geo);
+
+  util::Rng rng(404);
+  const auto queries = randomQueries(rng, index, 300);
+
+  index.setSearchMode(BannerIndex::SearchMode::kIndexed);
+  const auto indexed = index.searchAll(queries);
+  index.setSearchMode(BannerIndex::SearchMode::kReference);
+  const auto reference = index.searchAll(queries);
+  EXPECT_EQ(indexed, reference);
+}
+
+TEST(ScanIndexProperty, SearchAllMatchesReferenceOnFullKeywordCountryFanOut) {
+  RandomWorld world(5150, mediumWorld());
+  const auto geo = world.world().buildGeoDatabase();
+  BannerIndex index;
+  index.crawl(world.world(), geo);
+
+  // The §3.1 fan-out the Identifier issues: every product keyword alone and
+  // crossed with every registry country.
+  std::vector<Query> queries;
+  for (const auto product : filters::allProducts()) {
+    for (const auto& keyword : core::Identifier::shodanKeywords(product)) {
+      queries.push_back({keyword, std::nullopt});
+      for (const auto& country : net::allCountries())
+        queries.push_back({keyword, std::string(country.alpha2)});
+    }
+  }
+
+  index.setSearchMode(BannerIndex::SearchMode::kIndexed);
+  const auto indexed = index.searchAll(queries);
+  index.setSearchMode(BannerIndex::SearchMode::kReference);
+  const auto reference = index.searchAll(queries);
+  EXPECT_EQ(indexed, reference);
+  EXPECT_GT(indexed.size(), 0u);
+}
+
+TEST(ScanIndexProperty, ParallelCrawlIsByteIdenticalToSerialCrawl) {
+  RandomWorld worldA(913, mediumWorld());
+  RandomWorld worldB(913, mediumWorld());
+  const auto geoA = worldA.world().buildGeoDatabase();
+  const auto geoB = worldB.world().buildGeoDatabase();
+
+  BannerIndex serial;
+  serial.crawl(worldA.world(), geoA, 2048, /*threadLimit=*/1);
+  BannerIndex parallel;
+  parallel.crawl(worldB.world(), geoB, 2048, /*threadLimit=*/0);
+
+  EXPECT_EQ(exportRecords(serial.records(), 0),
+            exportRecords(parallel.records(), 0));
+}
+
+core::Identifier makeIdentifier(RandomWorld& world, const BannerIndex& index,
+                                std::size_t threads) {
+  core::IdentifierConfig config;
+  config.threads = threads;
+  return core::Identifier(world.world(), index,
+                          fingerprint::Engine::withBuiltinSignatures(),
+                          world.world().buildGeoDatabase(),
+                          world.world().buildAsnDatabase(), config);
+}
+
+TEST(ScanIndexProperty, ParallelIdentifyAllIsByteIdenticalToSerial) {
+  RandomWorld world(2024, mediumWorld());
+  const auto geo = world.world().buildGeoDatabase();
+  BannerIndex index;
+  index.crawl(world.world(), geo);
+
+  const auto serial = makeIdentifier(world, index, 1).identifyAll();
+  const auto parallel = makeIdentifier(world, index, 0).identifyAll();
+  EXPECT_EQ(core::toJson(serial).dump(2), core::toJson(parallel).dump(2));
+}
+
+TEST(ScanIndexProperty, ParallelIdentifyAllPassiveIsByteIdenticalToSerial) {
+  RandomWorld world(2025, mediumWorld());
+  const auto geo = world.world().buildGeoDatabase();
+  BannerIndex index;
+  index.crawl(world.world(), geo);
+
+  const auto serial = makeIdentifier(world, index, 1).identifyAllPassive();
+  const auto parallel = makeIdentifier(world, index, 0).identifyAllPassive();
+  EXPECT_EQ(core::toJson(serial).dump(2), core::toJson(parallel).dump(2));
+}
+
+TEST(ScanIndexProperty, AddRecordsKeepsIndexConsistent) {
+  RandomWorld world(31337, mediumWorld());
+  const auto geo = world.world().buildGeoDatabase();
+  BannerIndex crawled;
+  crawled.crawl(world.world(), geo);
+
+  // Rebuild the same index through the fromRecords/addRecords path in two
+  // chunks; queries must agree with the crawl-built index.
+  auto records = crawled.records();
+  const std::size_t half = records.size() / 2;
+  BannerIndex merged = BannerIndex::fromRecords(
+      {records.begin(), records.begin() + static_cast<std::ptrdiff_t>(half)});
+  merged.addRecords(
+      {records.begin() + static_cast<std::ptrdiff_t>(half), records.end()});
+  ASSERT_EQ(merged.size(), crawled.size());
+
+  util::Rng rng(99);
+  for (const auto& query : randomQueries(rng, crawled, 100)) {
+    const auto a = crawled.search(query);
+    const auto b = merged.search(query);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i]->ip.value(), b[i]->ip.value());
+      EXPECT_EQ(a[i]->port, b[i]->port);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace urlf::scan

@@ -1,14 +1,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "util/base64.h"
 #include "util/clock.h"
 #include "util/expected.h"
 #include "util/rng.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace urlf::util {
 namespace {
@@ -340,6 +344,56 @@ TEST(ExpectedTest, ErrorState) {
   EXPECT_FALSE(e.ok());
   EXPECT_EQ(e.error(), "boom");
   EXPECT_THROW((void)e.value(), std::logic_error);
+}
+
+// --------------------------------------------------------- ThreadPool ----
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  std::vector<int> visits(10000, 0);
+  parallelFor(visits.size(), [&](std::size_t i) { visits[i] += 1; });
+  EXPECT_TRUE(std::all_of(visits.begin(), visits.end(),
+                          [](int v) { return v == 1; }));
+}
+
+TEST(ThreadPoolTest, ParallelForResultsMatchSerialLoop) {
+  std::vector<std::uint64_t> parallel(5000), serial(5000);
+  const auto body = [](std::size_t i) { return i * i + 17; };
+  parallelFor(parallel.size(), [&](std::size_t i) { parallel[i] = body(i); });
+  parallelFor(
+      serial.size(), [&](std::size_t i) { serial[i] = body(i); },
+      /*threadLimit=*/1);
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndSingle) {
+  int calls = 0;
+  parallelFor(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallelFor(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesExceptions) {
+  EXPECT_THROW(
+      parallelFor(100,
+                  [](std::size_t i) {
+                    if (i == 57) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  std::vector<int> sums(64, 0);
+  parallelFor(sums.size(), [&](std::size_t i) {
+    // A nested call from a worker must degrade to the serial loop.
+    parallelFor(8, [&](std::size_t j) { sums[i] += static_cast<int>(j); });
+  });
+  EXPECT_TRUE(std::all_of(sums.begin(), sums.end(),
+                          [](int s) { return s == 28; }));
+}
+
+TEST(ThreadPoolTest, SharedPoolHasAtLeastOneWorker) {
+  EXPECT_GE(ThreadPool::shared().threadCount(), 1u);
 }
 
 }  // namespace
