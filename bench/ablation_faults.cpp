@@ -1,0 +1,162 @@
+// Fault-rate x retry-budget ablation: how much substrate unreliability
+// (Challenge 2, §4.4 "inconsistent blocking") can the §4 confirmation
+// methodology absorb before Table 3 verdicts flip?
+//
+// For each (per-process fault rate, retry budget) cell a fresh PaperWorld
+// is built with a seeded simnet::FaultPlan and all ten case studies run
+// chronologically. The verdict vector is compared against the fault-free
+// baseline; the flip point per budget is the smallest swept rate whose
+// vector differs. Everything is deterministic: same seed, same table.
+//
+// Emits BENCH_faults.json so later PRs can track the stability envelope.
+//
+// Usage: ablation_faults [--quick] [--out PATH]
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/confirmer.h"
+#include "report/json.h"
+#include "scenarios/paper_world.h"
+
+namespace {
+
+using namespace urlf;
+using Clock = std::chrono::steady_clock;
+
+double millisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// One case study's outcome, compressed for vector comparison.
+struct StudyOutcome {
+  bool confirmed = false;
+  int controlBlocked = 0;
+};
+
+/// Run all ten Table 3 case studies on a fresh world with the given fault
+/// rate, every fetch carrying the given retry budget.
+std::vector<StudyOutcome> runStudies(double faultRate, int retryBudget) {
+  scenarios::PaperWorldOptions options;
+  options.faultRate = faultRate;
+  scenarios::PaperWorld paper(scenarios::kPaperSeed, options);
+  core::Confirmer confirmer(paper.world(), paper.hosting(),
+                            paper.vendorSet());
+
+  simnet::RetryPolicy retry = simnet::RetryPolicy::attempts(retryBudget);
+  // The ablation varies the budget alone, so every injected fault kind must
+  // be retryable — otherwise connect failures bypass the budget entirely.
+  retry.retryOnConnectFailure = true;
+
+  std::vector<StudyOutcome> outcomes;
+  for (const auto& caseStudy : paper.caseStudies()) {
+    scenarios::advanceClockTo(paper.world(), caseStudy.startDate);
+    auto config = caseStudy.config;
+    config.fetchOptions.retry = retry;
+    const auto result = confirmer.run(config);
+    outcomes.push_back({result.confirmed, result.controlBlocked});
+  }
+  return outcomes;
+}
+
+std::string verdictString(const std::vector<StudyOutcome>& outcomes) {
+  std::string text;
+  for (const auto& outcome : outcomes) text += outcome.confirmed ? 'y' : 'n';
+  return text;
+}
+
+int countFlips(const std::vector<StudyOutcome>& baseline,
+               const std::vector<StudyOutcome>& observed) {
+  int flips = 0;
+  for (std::size_t i = 0; i < baseline.size(); ++i)
+    if (baseline[i].confirmed != observed[i].confirmed) ++flips;
+  return flips;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string outPath = "BENCH_faults.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      outPath = argv[++i];
+  }
+
+  const std::vector<double> rates =
+      quick ? std::vector<double>{0.0, 0.02, 0.10}
+            : std::vector<double>{0.0, 0.01, 0.02, 0.05, 0.10, 0.15, 0.20};
+  const std::vector<int> budgets =
+      quick ? std::vector<int>{1, 3} : std::vector<int>{1, 2, 3, 4};
+
+  std::cerr << "ablation_faults: baseline (no faults)...\n";
+  const auto baseline = runStudies(0.0, 1);
+
+  report::Json out = report::Json::object();
+  out["bench"] = report::Json::string("ablation_faults");
+  out["quick"] = report::Json::boolean(quick);
+  out["seed"] = report::Json::number(
+      static_cast<std::int64_t>(scenarios::kPaperSeed));
+  out["studies"] = report::Json::number(
+      static_cast<std::int64_t>(baseline.size()));
+  out["baseline_verdicts"] = report::Json::string(verdictString(baseline));
+
+  report::Json cells = report::Json::array();
+  std::vector<std::optional<double>> flipPoints(budgets.size());
+
+  for (std::size_t b = 0; b < budgets.size(); ++b) {
+    for (const double rate : rates) {
+      std::cerr << "ablation_faults: rate " << rate << " budget "
+                << budgets[b] << "...\n";
+      const auto start = Clock::now();
+      const auto outcomes = runStudies(rate, budgets[b]);
+      const double elapsed = millisSince(start);
+
+      const int flips = countFlips(baseline, outcomes);
+      int controlBlocked = 0;
+      int confirmedCount = 0;
+      for (const auto& outcome : outcomes) {
+        controlBlocked += outcome.controlBlocked;
+        if (outcome.confirmed) ++confirmedCount;
+      }
+      if (flips > 0 && !flipPoints[b]) flipPoints[b] = rate;
+
+      report::Json cell = report::Json::object();
+      cell["rate"] = report::Json::number(rate);
+      cell["budget"] = report::Json::number(std::int64_t{budgets[b]});
+      cell["verdicts"] = report::Json::string(verdictString(outcomes));
+      cell["confirmed"] = report::Json::number(std::int64_t{confirmedCount});
+      cell["flips"] = report::Json::number(std::int64_t{flips});
+      cell["control_blocked"] =
+          report::Json::number(std::int64_t{controlBlocked});
+      cell["ms"] = report::Json::number(elapsed);
+      cells.push(std::move(cell));
+    }
+  }
+  out["cells"] = std::move(cells);
+
+  // The headline: smallest swept rate at which each budget's Table 3
+  // differs from the fault-free baseline (null = stable across the sweep).
+  report::Json flipPointsJson = report::Json::array();
+  for (std::size_t b = 0; b < budgets.size(); ++b) {
+    report::Json entry = report::Json::object();
+    entry["budget"] = report::Json::number(std::int64_t{budgets[b]});
+    entry["flip_rate"] = flipPoints[b]
+                             ? report::Json::number(*flipPoints[b])
+                             : report::Json::null();
+    flipPointsJson.push(std::move(entry));
+  }
+  out["flip_points"] = std::move(flipPointsJson);
+
+  const std::string text = out.dump(2);
+  std::ofstream file(outPath);
+  file << text << '\n';
+  std::cout << text << '\n';
+  std::cerr << "ablation_faults: wrote " << outPath << '\n';
+  return 0;
+}

@@ -19,10 +19,28 @@ const std::vector<std::string>& table4Categories() {
   return kColumns;
 }
 
+namespace {
+
+/// How definitive one run's verdict is: a vendor block page settles the
+/// question, a clean accessible pass beats ambiguous failures, and an
+/// injected-fault shadow (timeout/inconclusive) ranks lowest.
+int verdictRank(const measure::UrlTestResult& result) {
+  switch (result.verdict) {
+    case measure::Verdict::kBlocked: return 5;
+    case measure::Verdict::kAccessible: return 4;
+    case measure::Verdict::kBlockedOther: return 3;
+    case measure::Verdict::kInconclusive: return 2;
+    case measure::Verdict::kError: return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
 CharacterizationResult Characterizer::characterize(
     const std::string& fieldVantage, const std::string& labVantage,
     const measure::TestList& globalList, const measure::TestList& localList,
-    int runs) {
+    int runs, const simnet::FetchOptions& fetchOptions) {
   auto* field = world_->findVantage(fieldVantage);
   auto* lab = world_->findVantage(labVantage);
   if (field == nullptr || lab == nullptr)
@@ -32,17 +50,22 @@ CharacterizationResult Characterizer::characterize(
   out.ispName = field->isp != nullptr ? field->isp->name() : "(no ISP)";
   out.countryAlpha2 = field->countryAlpha2;
 
-  measure::Client client(*world_, *field, *lab);
+  measure::Client client(*world_, *field, *lab, fetchOptions);
   std::map<filters::ProductKind, int> productVotes;
 
   for (const auto* list : {&globalList, &localList}) {
     for (const auto& entry : list->entries) {
-      // Retry to ride out inconsistent blocking: keep the first blocked
-      // observation, else the last one.
+      // Repeat to ride out inconsistent blocking (any-blocked semantics):
+      // stop at the first block page, otherwise keep the most definitive
+      // observation seen across runs.
       auto result = client.testUrl(entry.url);
       for (int run = 1;
-           run < runs && !(result.verdict == measure::Verdict::kBlocked); ++run)
-        result = client.testUrl(entry.url);
+           run < runs && !(result.verdict == measure::Verdict::kBlocked);
+           ++run) {
+        auto repeat = client.testUrl(entry.url);
+        if (verdictRank(repeat) > verdictRank(result))
+          result = std::move(repeat);
+      }
       auto& cell = out.cells[entry.oniCategory];
       ++cell.tested;
       if (result.verdict == measure::Verdict::kBlocked && result.blockPage) {

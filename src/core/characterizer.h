@@ -45,10 +45,14 @@ class Characterizer {
 
   /// `runs` > 1 repeats each URL and counts it blocked if any run blocked
   /// it — how the paper coped with inconsistent blocking (Challenge 2).
+  /// Among runs that never produced a block page, the most definitive
+  /// observation wins (accessible beats timeout/inconclusive), so transient
+  /// substrate faults do not shadow a clean pass. `fetchOptions` adds
+  /// per-fetch retry/backoff below the per-URL repetition.
   [[nodiscard]] CharacterizationResult characterize(
       const std::string& fieldVantage, const std::string& labVantage,
       const measure::TestList& globalList, const measure::TestList& localList,
-      int runs = 1);
+      int runs = 1, const simnet::FetchOptions& fetchOptions = {});
 
  private:
   simnet::World* world_;

@@ -73,7 +73,7 @@ CaseStudyResult Confirmer::run(const CaseStudyConfig& config) {
   }
   const std::vector<std::string>& urls = testUrls;
 
-  measure::Client client(*world_, *field, *lab);
+  measure::Client client(*world_, *field, *lab, config.fetchOptions);
 
   // 2. Pre-test: the methodology requires sites that are NOT already
   //    blocked. Skipped for Netsweeper (§4.4): the access itself queues the
@@ -104,9 +104,11 @@ CaseStudyResult Confirmer::run(const CaseStudyConfig& config) {
         // the (uncensored) lab network.
         simnet::Transport transport(*world_);
         const auto response = transport.fetchUrl(
-            *lab, vendor.portalUrl() + "?url=" + submitUrls[i] +
-                      "&category=" + std::to_string(category->id) +
-                      "&submitter=" + identity);
+            *lab,
+            vendor.portalUrl() + "?url=" + submitUrls[i] +
+                "&category=" + std::to_string(category->id) +
+                "&submitter=" + identity,
+            config.fetchOptions);
         if (!response.ok() || !response.response->isSuccess())
           result.notes += "portal submission failed for " + submitUrls[i] +
                           " (" + response.error + "); ";
@@ -170,14 +172,15 @@ bool Confirmer::decide(int submittedBlocked, int attributedToProduct,
 }
 
 std::vector<CategoryProbeResult> Confirmer::probeNetsweeperCategories(
-    const std::string& fieldVantage, const std::string& labVantage) {
+    const std::string& fieldVantage, const std::string& labVantage,
+    const simnet::FetchOptions& fetchOptions) {
   auto* field = world_->findVantage(fieldVantage);
   auto* lab = world_->findVantage(labVantage);
   if (field == nullptr || lab == nullptr)
     throw std::invalid_argument("Confirmer: unknown vantage point");
 
   const auto scheme = filters::netsweeperScheme();
-  measure::Client client(*world_, *field, *lab);
+  measure::Client client(*world_, *field, *lab, fetchOptions);
 
   std::vector<CategoryProbeResult> out;
   out.reserve(scheme.size());

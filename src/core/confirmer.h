@@ -64,6 +64,10 @@ struct CaseStudyConfig {
   /// lab, like the real campaign did, instead of calling the vendor API
   /// directly. Requires the vendor's infrastructure to be installed.
   bool submitViaHttpPortal = false;
+  /// Transport behaviour for every fetch in the study (pre-test, portal
+  /// submission, retests): redirect limits plus the RetryPolicy that rides
+  /// out injected transient faults before a verdict is derived.
+  simnet::FetchOptions fetchOptions;
 };
 
 /// The outcome of one case study (a completed Table 3 row).
@@ -115,7 +119,8 @@ class Confirmer {
   /// Probe all 66 Netsweeper category-test URLs from a field vantage
   /// (denypagetests.netsweeper.com/category/catno/N, §4.4).
   [[nodiscard]] std::vector<CategoryProbeResult> probeNetsweeperCategories(
-      const std::string& fieldVantage, const std::string& labVantage);
+      const std::string& fieldVantage, const std::string& labVantage,
+      const simnet::FetchOptions& fetchOptions = {});
 
   /// The decision rule (§4.2): confirmed ⇔ at least two-thirds of the
   /// `sitesSubmitted` sites are blocked AND attributable to the product.

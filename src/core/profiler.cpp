@@ -74,7 +74,7 @@ NetworkProfile profileNetwork(simnet::World& world,
   Characterizer characterizer(world);
   profile.characterization = characterizer.characterize(
       fieldVantage, labVantage, *sources.globalList, *sources.localList,
-      sources.characterizationRuns);
+      sources.characterizationRuns, sources.fetchOptions);
 
   return profile;
 }

@@ -47,6 +47,8 @@ struct ProfilerSources {
   const measure::TestList* localList = nullptr;
   std::string echoUrl;  ///< empty = skip proxy detection
   int characterizationRuns = 1;
+  /// Redirect limits + retry/backoff for every measurement fetch.
+  simnet::FetchOptions fetchOptions;
 };
 
 /// One-call profiling of a network (composition of the §3/§4.3/§5/§7

@@ -253,9 +253,16 @@ void Vendor::reviewSubmission(Submission& submission) {
 
 std::optional<CategoryId> Vendor::crawlAndClassify(const net::Url& url) {
   simnet::Transport transport{*world_};
+  // Professional review crawlers ride out transient substrate faults: a
+  // submission must not silently fail categorization because one fetch hit
+  // an injected DNS flap or timeout (the simulated-clock backoff is noise
+  // at the review queue's day granularity).
+  simnet::FetchOptions options;
+  options.followRedirects = true;
+  options.retry.maxAttempts = 4;
+  options.retry.retryOnConnectFailure = true;
   const auto result =
-      transport.fetch(vendorVantage_, http::Request::get(url),
-                      simnet::FetchOptions{.followRedirects = true});
+      transport.fetch(vendorVantage_, http::Request::get(url), options);
   if (!result.ok() || !result.response->isSuccess()) return std::nullopt;
   return classifyContent(result.response->body);
 }

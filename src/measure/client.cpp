@@ -14,8 +14,12 @@ std::string_view toString(Verdict verdict) {
 }
 
 Client::Client(simnet::World& world, const simnet::VantagePoint& field,
-               const simnet::VantagePoint& lab)
-    : transport_(world), field_(&field), lab_(&lab) {}
+               const simnet::VantagePoint& lab,
+               simnet::FetchOptions fetchOptions)
+    : transport_(world),
+      field_(&field),
+      lab_(&lab),
+      fetchOptions_(fetchOptions) {}
 
 Verdict Client::compare(const simnet::FetchResult& field,
                         const simnet::FetchResult& lab,
@@ -37,6 +41,10 @@ Verdict Client::compare(const simnet::FetchResult& field,
     case simnet::FetchOutcome::kDnsFailure:
     case simnet::FetchOutcome::kConnectFailure:
       return Verdict::kInconclusive;
+    case simnet::FetchOutcome::kBadUrl:
+      // A parse error is a test-list defect, not a network observation (and
+      // the lab fetch of the same URL fails first in practice).
+      return Verdict::kError;
   }
 
   if (field.response->statusCode != lab.response->statusCode)
@@ -50,8 +58,8 @@ Verdict Client::compare(const simnet::FetchResult& field,
 UrlTestResult Client::testUrl(const std::string& url) {
   UrlTestResult result;
   result.url = url;
-  result.field = transport_.fetchUrl(*field_, url);
-  result.lab = transport_.fetchUrl(*lab_, url);
+  result.field = transport_.fetchUrl(*field_, url, fetchOptions_);
+  result.lab = transport_.fetchUrl(*lab_, url, fetchOptions_);
   result.blockPage = classifyBlockPage(result.field);
   result.verdict = compare(result.field, result.lab, result.blockPage);
   return result;

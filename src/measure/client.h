@@ -40,10 +40,15 @@ struct UrlTestResult {
 /// The ONI-style measurement client (§4.1): accesses a URL list from a field
 /// vantage point and triggers the same list from the uncensored lab, then
 /// compares the two to decide per-URL accessibility.
+///
+/// `fetchOptions` (redirect limits + RetryPolicy) apply to both the field
+/// and the lab fetch, so transient substrate faults are ridden out on both
+/// sides before the verdict is derived.
 class Client {
  public:
   Client(simnet::World& world, const simnet::VantagePoint& field,
-         const simnet::VantagePoint& lab);
+         const simnet::VantagePoint& lab,
+         simnet::FetchOptions fetchOptions = {});
 
   [[nodiscard]] UrlTestResult testUrl(const std::string& url);
 
@@ -52,6 +57,9 @@ class Client {
 
   [[nodiscard]] const simnet::VantagePoint& field() const { return *field_; }
   [[nodiscard]] const simnet::VantagePoint& lab() const { return *lab_; }
+  [[nodiscard]] const simnet::FetchOptions& fetchOptions() const {
+    return fetchOptions_;
+  }
 
   /// The pure comparison rule (§4.1): derive the verdict from the two
   /// fetches and the block-page classification. Public so recorded sessions
@@ -64,6 +72,7 @@ class Client {
   simnet::Transport transport_;
   const simnet::VantagePoint* field_;
   const simnet::VantagePoint* lab_;
+  simnet::FetchOptions fetchOptions_;
 };
 
 }  // namespace urlf::measure

@@ -40,8 +40,9 @@ struct UrlRunStats {
 class RepeatedTester {
  public:
   RepeatedTester(simnet::World& world, const simnet::VantagePoint& field,
-                 const simnet::VantagePoint& lab)
-      : world_(&world), client_(world, field, lab) {}
+                 const simnet::VantagePoint& lab,
+                 simnet::FetchOptions fetchOptions = {})
+      : world_(&world), client_(world, field, lab, fetchOptions) {}
 
   /// Run `passes` full passes over `urls`, advancing the clock by
   /// `hoursBetweenPasses` between them (the first pass runs at the current

@@ -15,7 +15,7 @@ std::string_view outcomeName(simnet::FetchOutcome outcome) {
 std::optional<simnet::FetchOutcome> outcomeFromName(std::string_view name) {
   using FO = simnet::FetchOutcome;
   for (const auto outcome : {FO::kOk, FO::kDnsFailure, FO::kConnectFailure,
-                             FO::kTimeout, FO::kReset}) {
+                             FO::kTimeout, FO::kReset, FO::kBadUrl}) {
     if (name == simnet::toString(outcome)) return outcome;
   }
   return std::nullopt;
@@ -25,6 +25,10 @@ Json fetchToJson(const simnet::FetchResult& fetch) {
   Json out = Json::object();
   out["outcome"] = Json::string(outcomeName(fetch.outcome));
   if (!fetch.error.empty()) out["error"] = Json::string(fetch.error);
+  if (fetch.attempts > 1)
+    out["attempts"] = Json::number(std::int64_t{fetch.attempts});
+  if (fetch.injectedFault != simnet::FaultKind::kNone)
+    out["injected_fault"] = Json::string(simnet::toString(fetch.injectedFault));
   out["response"] = fetch.response
                         ? Json::string(http::serialize(*fetch.response))
                         : Json::null();
@@ -46,6 +50,18 @@ std::optional<simnet::FetchResult> fetchFromJson(const Json& json) {
   fetch.outcome = *parsedOutcome;
   if (const auto* error = json.find("error"); error && error->asString())
     fetch.error = *error->asString();
+  if (const auto* attempts = json.find("attempts");
+      attempts && attempts->asNumber())
+    fetch.attempts = static_cast<int>(*attempts->asNumber());
+  if (const auto* fault = json.find("injected_fault");
+      fault && fault->asString()) {
+    using FK = simnet::FaultKind;
+    for (const auto kind :
+         {FK::kDnsFlap, FK::kConnectFail, FK::kLoss, FK::kTimeout}) {
+      if (*fault->asString() == simnet::toString(kind))
+        fetch.injectedFault = kind;
+    }
+  }
 
   if (const auto* response = json.find("response");
       response && response->asString()) {

@@ -26,6 +26,12 @@ constexpr std::uint64_t kDuSyncSalt = 0x3E;
 
 PaperWorld::PaperWorld(std::uint64_t seed, PaperWorldOptions options)
     : options_(options), world_(seed) {
+  if (options_.faultRate > 0.0) {
+    const std::uint64_t faultSeed =
+        options_.faultSeed != 0 ? options_.faultSeed : seed ^ 0xFA017FA017ULL;
+    world_.setFaultPlan(simnet::FaultPlan(
+        faultSeed, simnet::FaultRates::uniform(options_.faultRate)));
+  }
   buildBackbone();
   buildVendors();
   buildCaseStudyIsps();

@@ -51,6 +51,12 @@ struct PaperWorldOptions {
   bool disregardSubmitter = false;
   /// Geolocation error rate for the scanner's MaxMind-style database.
   double geoErrorRate = 0.0;
+  /// Substrate fault preset: when > 0, a simnet::FaultPlan is installed with
+  /// each of the four fault processes firing at this per-attempt rate
+  /// (ONI-style field measurement noise — Challenge 2, §4.4).
+  double faultRate = 0.0;
+  /// Seed of that plan; 0 derives one from the world seed.
+  std::uint64_t faultSeed = 0;
 };
 
 /// The fully wired simulated Internet of the paper:

@@ -37,6 +37,9 @@ std::string pornCategoryFor(ProductKind kind) {
 
 RandomWorld::RandomWorld(std::uint64_t seed, RandomWorldConfig config)
     : world_(seed) {
+  if (config.faultRate > 0.0)
+    world_.setFaultPlan(simnet::FaultPlan(
+        seed ^ 0xFA017FA017ULL, simnet::FaultRates::uniform(config.faultRate)));
   auto rng = world_.rng().fork();
 
   // Backbone: hosting, vendor infra, lab.

@@ -20,6 +20,10 @@ struct RandomWorldConfig {
   double hiddenProbability = 0.2;     ///< deployment not externally visible
   int decoys = 6;                     ///< plain servers (some keyword bait)
   int contentSites = 10;              ///< random pre-categorized sites
+  /// Substrate fault preset: when > 0, installs a simnet::FaultPlan with
+  /// each fault process at this per-attempt rate (seed derived from the
+  /// world seed).
+  double faultRate = 0.0;
 };
 
 /// A procedurally generated world for property-style testing: random

@@ -1,0 +1,81 @@
+#include "simnet/fault.h"
+
+namespace urlf::simnet {
+
+namespace {
+
+constexpr std::uint64_t splitmix64Next(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// FNV-1a over a string, folded into the splitmix64 key schedule.
+constexpr std::uint64_t hashText(std::string_view text) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x00000100000001B3ULL;
+  }
+  return h;
+}
+
+/// Uniform double in [0, 1) from the keyed stream — mirrors Rng::uniform01.
+double keyedUniform01(std::uint64_t key) noexcept {
+  return static_cast<double>(splitmix64Next(key) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::string_view toString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kDnsFlap: return "dns-flap";
+    case FaultKind::kConnectFail: return "connect-fail";
+    case FaultKind::kLoss: return "loss";
+    case FaultKind::kTimeout: return "timeout";
+  }
+  return "unknown";
+}
+
+const FaultRates& FaultPlan::ratesFor(const VantagePoint& vantage) const {
+  if (vantage.isp != nullptr) {
+    const auto it = ispRates_.find(vantage.isp->name());
+    if (it != ispRates_.end()) return it->second;
+  }
+  const auto it = countryRates_.find(vantage.countryAlpha2);
+  if (it != countryRates_.end()) return it->second;
+  return defaults_;
+}
+
+FaultKind FaultPlan::roll(const VantagePoint& vantage, std::string_view url,
+                          int attempt) const {
+  const FaultRates& rates = ratesFor(vantage);
+  if (rates.zero()) return FaultKind::kNone;
+
+  // Mix (seed, vantage, url, attempt) through the splitmix64 schedule; each
+  // component advances the key so e.g. ("a", 1) and ("a1",) differ.
+  std::uint64_t key = seed_;
+  splitmix64Next(key);
+  key ^= hashText(vantage.name);
+  splitmix64Next(key);
+  key ^= hashText(url);
+  splitmix64Next(key);
+  key ^= static_cast<std::uint64_t>(attempt) * 0x9E3779B97F4A7C15ULL;
+
+  // One draw, cumulative thresholds: at most one process fires per attempt.
+  const double u = keyedUniform01(key);
+  double edge = rates.dnsFlap;
+  if (u < edge) return FaultKind::kDnsFlap;
+  edge += rates.connectFail;
+  if (u < edge) return FaultKind::kConnectFail;
+  edge += rates.loss;
+  if (u < edge) return FaultKind::kLoss;
+  edge += rates.timeout;
+  if (u < edge) return FaultKind::kTimeout;
+  return FaultKind::kNone;
+}
+
+}  // namespace urlf::simnet

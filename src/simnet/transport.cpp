@@ -1,5 +1,7 @@
 #include "simnet/transport.h"
 
+#include <algorithm>
+
 #include "util/strings.h"
 
 namespace urlf::simnet {
@@ -11,13 +13,63 @@ std::string_view toString(FetchOutcome outcome) {
     case FetchOutcome::kConnectFailure: return "connect-failure";
     case FetchOutcome::kTimeout: return "timeout";
     case FetchOutcome::kReset: return "reset";
+    case FetchOutcome::kBadUrl: return "bad-url";
   }
   return "unknown";
 }
 
+bool RetryPolicy::shouldRetry(FetchOutcome outcome) const {
+  switch (outcome) {
+    case FetchOutcome::kOk:
+    case FetchOutcome::kBadUrl:
+      return false;
+    case FetchOutcome::kTimeout: return retryOnTimeout;
+    case FetchOutcome::kReset: return retryOnReset;
+    case FetchOutcome::kDnsFailure: return retryOnDns;
+    case FetchOutcome::kConnectFailure: return retryOnConnectFailure;
+  }
+  return false;
+}
+
+std::int64_t RetryPolicy::backoffHours(int attempt) const {
+  std::int64_t hours = std::max(0, initialBackoffHours);
+  for (int i = 0; i < attempt; ++i) hours *= std::max(1, backoffMultiplier);
+  return hours;
+}
+
 FetchResult Transport::fetchOnce(const VantagePoint& vantage,
-                                 http::Request request) {
+                                 http::Request request, int attempt) {
   FetchResult result;
+
+  // Injected transient fault (FaultPlan, if the world carries one) preempts
+  // the whole exchange. The decision is a pure function of
+  // (plan seed, vantage, url, attempt) — see simnet/fault.h.
+  if (const FaultPlan* plan = world_->faultPlan()) {
+    const FaultKind fault = plan->roll(vantage, request.url.toString(), attempt);
+    if (fault != FaultKind::kNone) {
+      result.injectedFault = fault;
+      switch (fault) {
+        case FaultKind::kDnsFlap:
+          result.outcome = FetchOutcome::kDnsFailure;
+          result.error = "injected transient DNS flap: " + request.url.host();
+          break;
+        case FaultKind::kConnectFail:
+          result.outcome = FetchOutcome::kConnectFailure;
+          result.error = "injected transient connect failure";
+          break;
+        case FaultKind::kLoss:
+          result.outcome = FetchOutcome::kTimeout;
+          result.error = "injected transient loss (flow blackholed)";
+          break;
+        case FaultKind::kTimeout:
+          result.outcome = FetchOutcome::kTimeout;
+          result.error = "injected timeout (response past deadline)";
+          break;
+        case FaultKind::kNone: break;
+      }
+      return result;
+    }
+  }
 
   // Field vantage points use their ISP's resolver, which may be tampered
   // with (DNS-based censorship); the lab resolves cleanly.
@@ -78,10 +130,10 @@ FetchResult Transport::fetchOnce(const VantagePoint& vantage,
   return result;
 }
 
-FetchResult Transport::fetch(const VantagePoint& vantage,
-                             const http::Request& request,
-                             const FetchOptions& options) {
-  FetchResult result = fetchOnce(vantage, request);
+FetchResult Transport::fetchAttempt(const VantagePoint& vantage,
+                                    const http::Request& request,
+                                    const FetchOptions& options, int attempt) {
+  FetchResult result = fetchOnce(vantage, request, attempt);
   if (!options.followRedirects) return result;
 
   int hops = 0;
@@ -104,7 +156,7 @@ FetchResult Transport::fetch(const VantagePoint& vantage,
 
     std::vector<http::Response> chain = std::move(result.redirectChain);
     chain.push_back(std::move(*result.response));
-    result = fetchOnce(vantage, http::Request::get(*target));
+    result = fetchOnce(vantage, http::Request::get(*target), attempt);
     // Keep the accumulated chain regardless of the hop's outcome.
     chain.insert(chain.end(),
                  std::make_move_iterator(result.redirectChain.begin()),
@@ -115,13 +167,30 @@ FetchResult Transport::fetch(const VantagePoint& vantage,
   return result;
 }
 
+FetchResult Transport::fetch(const VantagePoint& vantage,
+                             const http::Request& request,
+                             const FetchOptions& options) {
+  const int maxAttempts = std::max(1, options.retry.maxAttempts);
+  FetchResult result;
+  for (int attempt = 0; attempt < maxAttempts; ++attempt) {
+    result = fetchAttempt(vantage, request, options, attempt);
+    result.attempts = attempt + 1;
+    if (attempt + 1 == maxAttempts) break;
+    if (!options.retry.shouldRetry(result.outcome)) break;
+    // Simulated-clock backoff between attempts; the whole world ages, so
+    // retries see vendor-feed/license state as a real re-test would.
+    world_->clock().advanceHours(options.retry.backoffHours(attempt));
+  }
+  return result;
+}
+
 FetchResult Transport::fetchUrl(const VantagePoint& vantage,
                                 std::string_view urlText,
                                 const FetchOptions& options) {
   const auto url = net::Url::parse(urlText);
   if (!url) {
     FetchResult result;
-    result.outcome = FetchOutcome::kDnsFailure;
+    result.outcome = FetchOutcome::kBadUrl;
     result.error = "malformed URL: " + std::string(urlText);
     return result;
   }

@@ -1,11 +1,13 @@
 #ifndef URLF_SIMNET_TRANSPORT_H
 #define URLF_SIMNET_TRANSPORT_H
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "http/message.h"
+#include "simnet/fault.h"
 #include "simnet/isp.h"
 #include "simnet/world.h"
 
@@ -18,6 +20,7 @@ enum class FetchOutcome {
   kConnectFailure,  ///< nothing listening at (ip, port)
   kTimeout,         ///< flow blackholed in transit
   kReset,           ///< TCP RST injected in transit
+  kBadUrl,          ///< the URL never parsed — no network activity happened
 };
 
 [[nodiscard]] std::string_view toString(FetchOutcome outcome);
@@ -29,15 +32,48 @@ struct FetchResult {
   /// Intermediate 3xx responses consumed while following redirects.
   std::vector<http::Response> redirectChain;
   std::string error;  ///< human-readable detail for non-kOk outcomes
+  /// The injected fault that produced this outcome, if any — keeps
+  /// fault-rate accounting separable from organic failures.
+  FaultKind injectedFault = FaultKind::kNone;
+  /// Attempts consumed, including the final one (1 = no retry happened).
+  int attempts = 1;
 
   [[nodiscard]] bool ok() const {
     return outcome == FetchOutcome::kOk && response.has_value();
   }
 };
 
+/// When and how often a transient failure is re-fetched. Backoff runs on the
+/// simulated clock: the world advances `backoffHours(attempt)` hours after
+/// failed attempt `attempt` (0-based), doubling (by default) each time.
+struct RetryPolicy {
+  int maxAttempts = 1;  ///< total attempts; 1 disables retrying
+  int initialBackoffHours = 1;
+  int backoffMultiplier = 2;
+  /// Which outcomes are considered transient. kOk (even a block page) and
+  /// kBadUrl (a client-side parse error) are never retried.
+  bool retryOnTimeout = true;
+  bool retryOnReset = true;
+  bool retryOnDns = true;
+  bool retryOnConnectFailure = false;
+
+  [[nodiscard]] bool shouldRetry(FetchOutcome outcome) const;
+  /// Hours to wait after failed attempt `attempt` (0-based):
+  /// initialBackoffHours * backoffMultiplier^attempt.
+  [[nodiscard]] std::int64_t backoffHours(int attempt) const;
+
+  /// Convenience: `attempts` tries with the default backoff schedule.
+  static RetryPolicy attempts(int n) {
+    RetryPolicy policy;
+    policy.maxAttempts = n;
+    return policy;
+  }
+};
+
 struct FetchOptions {
   bool followRedirects = true;
   int maxRedirects = 5;
+  RetryPolicy retry = {};
 };
 
 /// Client-side HTTP over the simulated Internet.
@@ -45,7 +81,9 @@ struct FetchOptions {
 /// A fetch from a field vantage point traverses its ISP's middlebox chain
 /// (where URL filters may block it); a fetch from the lab vantage goes
 /// straight to the origin. This is the only I/O primitive the measurement
-/// methodology uses.
+/// methodology uses. When the world carries a FaultPlan, each attempt may be
+/// preempted by an injected transient fault; the retry policy then governs
+/// re-fetching with simulated-clock backoff.
 class Transport {
  public:
   explicit Transport(World& world) : world_(&world) {}
@@ -55,14 +93,19 @@ class Transport {
                                   const FetchOptions& options = {});
 
   /// Convenience: build a GET for `urlText` and fetch it. Malformed URLs
-  /// yield kDnsFailure with a descriptive error.
+  /// yield kBadUrl with a descriptive error (no retry, no fault roll).
   [[nodiscard]] FetchResult fetchUrl(const VantagePoint& vantage,
                                      std::string_view urlText,
                                      const FetchOptions& options = {});
 
  private:
   [[nodiscard]] FetchResult fetchOnce(const VantagePoint& vantage,
-                                      http::Request request);
+                                      http::Request request, int attempt);
+  /// One attempt: fetchOnce plus redirect following.
+  [[nodiscard]] FetchResult fetchAttempt(const VantagePoint& vantage,
+                                         const http::Request& request,
+                                         const FetchOptions& options,
+                                         int attempt);
 
   World* world_;
 };

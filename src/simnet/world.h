@@ -13,6 +13,7 @@
 #include "net/ipv4.h"
 #include "simnet/as.h"
 #include "simnet/endpoint.h"
+#include "simnet/fault.h"
 #include "simnet/isp.h"
 #include "simnet/middlebox.h"
 #include "util/clock.h"
@@ -44,6 +45,16 @@ class World {
   [[nodiscard]] const util::SimClock& clock() const { return clock_; }
   [[nodiscard]] util::SimTime now() const { return clock_.now(); }
   [[nodiscard]] util::Rng& rng() { return rng_; }
+
+  // --- substrate faults ---------------------------------------------------
+
+  /// Install (or replace) the transient-fault model the transport consults.
+  /// A zero-rate plan is behaviourally identical to having no plan.
+  void setFaultPlan(FaultPlan plan) { faultPlan_ = std::move(plan); }
+  void clearFaultPlan() { faultPlan_.reset(); }
+  [[nodiscard]] const FaultPlan* faultPlan() const {
+    return faultPlan_ ? &*faultPlan_ : nullptr;
+  }
 
   // --- topology -----------------------------------------------------------
 
@@ -152,6 +163,7 @@ class World {
 
   util::SimClock clock_;
   util::Rng rng_;
+  std::optional<FaultPlan> faultPlan_;
   std::map<std::uint32_t, std::unique_ptr<AutonomousSystem>> ases_;
   std::vector<std::unique_ptr<Isp>> isps_;
   std::vector<std::unique_ptr<HttpEndpoint>> endpoints_;

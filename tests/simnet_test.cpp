@@ -216,8 +216,12 @@ TEST_F(SimnetFixture, ConnectFailureOnUnboundPort) {
 TEST_F(SimnetFixture, MalformedUrlReportsError) {
   Transport transport(world);
   const auto result = transport.fetchUrl(*lab, "not-a-url");
-  EXPECT_EQ(result.outcome, FetchOutcome::kDnsFailure);
+  EXPECT_EQ(result.outcome, FetchOutcome::kBadUrl);
+  EXPECT_FALSE(result.ok());
   EXPECT_NE(result.error.find("malformed"), std::string::npos);
+  // A parse error is client-side: no fault roll, no retry, no clock motion.
+  EXPECT_EQ(result.injectedFault, FaultKind::kNone);
+  EXPECT_EQ(result.attempts, 1);
 }
 
 TEST_F(SimnetFixture, MiddleboxBlocksFieldButNotLab) {

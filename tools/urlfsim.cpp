@@ -9,6 +9,8 @@
 //   urlfsim export-scan   [--seed N]                   (banner index JSON)
 //
 // Evasion flags: --hide-surfaces --strip-branding --disregard-submitter
+// Fault flags:   --faults R (per-process injected fault rate)
+//                --retries N (transport retry budget w/ simulated backoff)
 // Products: bluecoat | smartfilter | netsweeper | websense
 #include <cstdio>
 #include <cstring>
@@ -39,8 +41,17 @@ struct Options {
   std::optional<std::string> vantage;
   filters::ProductKind product = filters::ProductKind::kSmartFilter;
   int runs = 1;
+  int retries = 1;
   bool viaPortal = false;
   scenarios::PaperWorldOptions worldOptions;
+
+  /// Transport options derived from --retries (applied to every fetch the
+  /// selected command performs).
+  [[nodiscard]] simnet::FetchOptions fetchOptions() const {
+    simnet::FetchOptions fetch;
+    fetch.retry.maxAttempts = retries;
+    return fetch;
+  }
 };
 
 std::optional<filters::ProductKind> parseProduct(const std::string& name) {
@@ -66,6 +77,8 @@ int usage() {
       "  --product P         scout: bluecoat|smartfilter|netsweeper|websense\n"
       "  --runs N            characterize: passes per URL\n"
       "  --portal            confirm: submit via the vendor Web portal\n"
+      "  --faults R          inject transient faults at rate R per process\n"
+      "  --retries N         transport retry budget (simulated backoff)\n"
       "  --hide-surfaces --strip-branding --disregard-submitter\n",
       static_cast<unsigned long long>(scenarios::kPaperSeed));
   return 2;
@@ -105,6 +118,14 @@ std::optional<Options> parseArgs(int argc, char** argv) {
       const auto value = next();
       if (!value) return std::nullopt;
       options.runs = std::stoi(*value);
+    } else if (arg == "--faults") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      options.worldOptions.faultRate = std::stod(*value);
+    } else if (arg == "--retries") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      options.retries = std::stoi(*value);
     } else if (arg == "--vantage") {
       const auto value = next();
       if (!value) return std::nullopt;
@@ -163,6 +184,7 @@ int runConfirm(const Options& options) {
     scenarios::advanceClockTo(paper.world(), studies[i].startDate);
     auto runConfig = studies[i].config;
     runConfig.submitViaHttpPortal = options.viaPortal;
+    runConfig.fetchOptions = options.fetchOptions();
     const auto result = confirmer.run(runConfig);
     if (options.json) {
       results.push(core::toJson(result));
@@ -189,7 +211,8 @@ int runCharacterize(const Options& options) {
   core::Characterizer characterizer(paper.world());
   const auto result = characterizer.characterize(
       *options.vantage, "lab-toronto", paper.globalList(),
-      paper.localList(vantage->countryAlpha2), options.runs);
+      paper.localList(vantage->countryAlpha2), options.runs,
+      options.fetchOptions());
 
   if (options.json) {
     std::printf("%s\n", core::toJson(result).dump(2).c_str());
@@ -211,8 +234,8 @@ int runProbe(const Options& options) {
   scenarios::PaperWorld paper(options.seed, options.worldOptions);
   scenarios::advanceClockTo(paper.world(), {2013, 1, 14});
   core::Confirmer confirmer(paper.world(), paper.hosting(), paper.vendorSet());
-  const auto probe =
-      confirmer.probeNetsweeperCategories("field-yemennet", "lab-toronto");
+  const auto probe = confirmer.probeNetsweeperCategories(
+      "field-yemennet", "lab-toronto", options.fetchOptions());
 
   if (options.json) {
     report::Json out = report::Json::array();
@@ -359,7 +382,8 @@ int runRecord(const Options& options) {
     std::fprintf(stderr, "unknown vantage: %s\n", options.vantage->c_str());
     return 1;
   }
-  measure::Client client(world, *vantage, *world.findVantage("lab-toronto"));
+  measure::Client client(world, *vantage, *world.findVantage("lab-toronto"),
+                         options.fetchOptions());
   std::vector<std::string> urls = paper.globalList().urls();
   for (const auto& url : paper.localList(vantage->countryAlpha2).urls())
     urls.push_back(url);
@@ -434,6 +458,7 @@ int runProfile(const Options& options) {
   sources.localList = &paper.localList(vantage->countryAlpha2);
   sources.echoUrl = paper.echoUrl();
   sources.characterizationRuns = options.runs;
+  sources.fetchOptions = options.fetchOptions();
 
   const auto profile =
       core::profileNetwork(world, *options.vantage, "lab-toronto", sources);
