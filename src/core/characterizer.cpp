@@ -41,6 +41,17 @@ CharacterizationResult Characterizer::characterize(
     const std::string& fieldVantage, const std::string& labVantage,
     const measure::TestList& globalList, const measure::TestList& localList,
     int runs, const simnet::FetchOptions& fetchOptions) {
+  CharacterizeOptions options;
+  options.runs = runs;
+  options.fetchOptions = fetchOptions;
+  return characterize(fieldVantage, labVantage, globalList, localList,
+                      options);
+}
+
+CharacterizationResult Characterizer::characterize(
+    const std::string& fieldVantage, const std::string& labVantage,
+    const measure::TestList& globalList, const measure::TestList& localList,
+    const CharacterizeOptions& options) {
   auto* field = world_->findVantage(fieldVantage);
   auto* lab = world_->findVantage(labVantage);
   if (field == nullptr || lab == nullptr)
@@ -50,29 +61,53 @@ CharacterizationResult Characterizer::characterize(
   out.ispName = field->isp != nullptr ? field->isp->name() : "(no ISP)";
   out.countryAlpha2 = field->countryAlpha2;
 
-  measure::Client client(*world_, *field, *lab, fetchOptions);
+  measure::Client client(*world_, *field, *lab, options.fetchOptions);
+  client.setClassifyMode(options.classifyMode);
+  client.enableVerdictMemo(options.memoizeVerdicts);
   std::map<filters::ProductKind, int> productVotes;
 
-  for (const auto* list : {&globalList, &localList}) {
-    for (const auto& entry : list->entries) {
-      // Repeat to ride out inconsistent blocking (any-blocked semantics):
-      // stop at the first block page, otherwise keep the most definitive
-      // observation seen across runs.
-      auto result = client.testUrl(entry.url);
-      for (int run = 1;
-           run < runs && !(result.verdict == measure::Verdict::kBlocked);
-           ++run) {
-        auto repeat = client.testUrl(entry.url);
-        if (verdictRank(repeat) > verdictRank(result))
-          result = std::move(repeat);
+  const auto tally = [&](measure::UrlTestResult result,
+                         const std::string& oniCategory) {
+    auto& cell = out.cells[oniCategory];
+    ++cell.tested;
+    if (result.verdict == measure::Verdict::kBlocked && result.blockPage) {
+      ++cell.blocked;
+      ++productVotes[result.blockPage->product];
+    }
+    out.results.push_back(std::move(result));
+  };
+
+  if (options.runs <= 1) {
+    // Single pass: the per-entry loop is just one fetch per URL in list
+    // order, so the batched client reproduces it exactly while fanning the
+    // classification stage out across threads.
+    std::vector<std::string> urls;
+    urls.reserve(globalList.entries.size() + localList.entries.size());
+    for (const auto* list : {&globalList, &localList})
+      for (const auto& entry : list->entries) urls.push_back(entry.url);
+
+    auto results = client.testListBatched(urls, options.classifyThreads);
+    std::size_t i = 0;
+    for (const auto* list : {&globalList, &localList})
+      for (const auto& entry : list->entries)
+        tally(std::move(results[i++]), entry.oniCategory);
+  } else {
+    for (const auto* list : {&globalList, &localList}) {
+      for (const auto& entry : list->entries) {
+        // Repeat to ride out inconsistent blocking (any-blocked semantics):
+        // stop at the first block page, otherwise keep the most definitive
+        // observation seen across runs.
+        auto result = client.testUrl(entry.url);
+        for (int run = 1;
+             run < options.runs &&
+             !(result.verdict == measure::Verdict::kBlocked);
+             ++run) {
+          auto repeat = client.testUrl(entry.url);
+          if (verdictRank(repeat) > verdictRank(result))
+            result = std::move(repeat);
+        }
+        tally(std::move(result), entry.oniCategory);
       }
-      auto& cell = out.cells[entry.oniCategory];
-      ++cell.tested;
-      if (result.verdict == measure::Verdict::kBlocked && result.blockPage) {
-        ++cell.blocked;
-        ++productVotes[result.blockPage->product];
-      }
-      out.results.push_back(std::move(result));
     }
   }
 

@@ -37,6 +37,22 @@ struct CharacterizationResult {
   [[nodiscard]] bool categoryBlocked(const std::string& oniCategory) const;
 };
 
+/// Pipeline knobs for one characterization (fetch→classify fast path).
+struct CharacterizeOptions {
+  /// Repeats per URL ("any run blocked" semantics, Challenge 2).
+  int runs = 1;
+  /// Transport behaviour per fetch (redirect limits + retry/backoff).
+  simnet::FetchOptions fetchOptions;
+  /// Pattern evaluation: compiled library (default) or per-call reference.
+  measure::ClassifyMode classifyMode = measure::ClassifyMode::kCompiled;
+  /// Thread limit for the classification stage (util::parallelFor
+  /// semantics: 1 = serial reference, 0 = shared pool).
+  std::size_t classifyThreads = 0;
+  /// Memoize verdicts for repeat fetches on deterministic chains (the memo
+  /// auto-disables itself on chains that roll dice — see measure::Client).
+  bool memoizeVerdicts = true;
+};
+
 /// Runs the global + local URL lists through the measurement client from a
 /// field vantage and tallies blocked content by ONI category (§5).
 class Characterizer {
@@ -53,6 +69,16 @@ class Characterizer {
       const std::string& fieldVantage, const std::string& labVantage,
       const measure::TestList& globalList, const measure::TestList& localList,
       int runs = 1, const simnet::FetchOptions& fetchOptions = {});
+
+  /// Full-options variant. Single-pass characterizations route through the
+  /// batched client (serial fetches, parallel classification); multi-run
+  /// ones keep the per-URL repeat loop so the RNG stream order of
+  /// nondeterministic chains is replayed exactly. Verdicts and tallies are
+  /// identical across classify modes, thread limits, and memo settings.
+  [[nodiscard]] CharacterizationResult characterize(
+      const std::string& fieldVantage, const std::string& labVantage,
+      const measure::TestList& globalList, const measure::TestList& localList,
+      const CharacterizeOptions& options);
 
  private:
   simnet::World* world_;

@@ -74,13 +74,15 @@ CaseStudyResult Confirmer::run(const CaseStudyConfig& config) {
   const std::vector<std::string>& urls = testUrls;
 
   measure::Client client(*world_, *field, *lab, config.fetchOptions);
+  client.setClassifyMode(config.classifyMode);
+  client.enableVerdictMemo(config.memoizeVerdicts);
 
   // 2. Pre-test: the methodology requires sites that are NOT already
   //    blocked. Skipped for Netsweeper (§4.4): the access itself queues the
   //    URL for categorization.
   if (config.pretestAccessible) {
     result.pretestAccessibleCount = 0;
-    for (const auto& r : client.testList(urls)) {
+    for (const auto& r : client.testListBatched(urls, config.classifyThreads)) {
       if (r.verdict == measure::Verdict::kAccessible)
         ++result.pretestAccessibleCount;
     }
@@ -131,7 +133,7 @@ CaseStudyResult Confirmer::run(const CaseStudyConfig& config) {
   std::set<std::string> attributedUrls;
   for (int run = 0; run < std::max(1, config.retestRuns); ++run) {
     if (run > 0) world_->clock().advanceHours(config.hoursBetweenRuns);
-    result.finalResults = client.testList(urls);
+    result.finalResults = client.testListBatched(urls, config.classifyThreads);
     for (const auto& r : result.finalResults) {
       if (!r.blocked()) continue;
       blockedUrls.insert(r.url);
@@ -182,13 +184,20 @@ std::vector<CategoryProbeResult> Confirmer::probeNetsweeperCategories(
   const auto scheme = filters::netsweeperScheme();
   measure::Client client(*world_, *field, *lab, fetchOptions);
 
+  // Batched: the 66 probes fetch serially in category order (identical to
+  // the per-URL loop) and classify in parallel.
+  std::vector<std::string> urls;
+  urls.reserve(scheme.size());
+  for (const auto& category : scheme.categories())
+    urls.push_back("http://denypagetests.netsweeper.com/category/catno/" +
+                   std::to_string(category.id));
+  const auto results = client.testListBatched(urls);
+
   std::vector<CategoryProbeResult> out;
   out.reserve(scheme.size());
-  for (const auto& category : scheme.categories()) {
-    const std::string url = "http://denypagetests.netsweeper.com/category/catno/" +
-                            std::to_string(category.id);
-    const auto result = client.testUrl(url);
-    out.push_back({category.id, category.name, result.blocked()});
+  for (std::size_t i = 0; i < scheme.categories().size(); ++i) {
+    const auto& category = scheme.categories()[i];
+    out.push_back({category.id, category.name, results[i].blocked()});
   }
   return out;
 }

@@ -68,6 +68,13 @@ struct CaseStudyConfig {
   /// submission, retests): redirect limits plus the RetryPolicy that rides
   /// out injected transient faults before a verdict is derived.
   simnet::FetchOptions fetchOptions;
+  /// Fetch→classify fast-path knobs. Defaults run the compiled pattern
+  /// library with the shared pool; the reference combination
+  /// (kReference / classifyThreads=1 / memoizeVerdicts=false) reproduces
+  /// the original serial pipeline for equivalence checks.
+  measure::ClassifyMode classifyMode = measure::ClassifyMode::kCompiled;
+  std::size_t classifyThreads = 0;  ///< util::parallelFor semantics
+  bool memoizeVerdicts = true;      ///< auto-disabled on dice-rolling chains
 };
 
 /// The outcome of one case study (a completed Table 3 row).

@@ -1,5 +1,6 @@
 #include "filters/category_db.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "util/strings.h"
@@ -10,57 +11,109 @@ namespace {
 constexpr util::SimTime kNoCutoff{std::numeric_limits<std::int64_t>::max()};
 }
 
+void CategoryDatabase::addTo(Entry& entry, CategoryId category,
+                             util::SimTime addedAt) {
+  const auto it = std::lower_bound(
+      entry.begin(), entry.end(), category,
+      [](const TimedCategory& tc, CategoryId id) { return tc.category < id; });
+  if (it != entry.end() && it->category == category) {
+    // Keep the earliest time an entry appeared.
+    if (addedAt < it->addedAt) it->addedAt = addedAt;
+    return;
+  }
+  entry.insert(it, TimedCategory{category, addedAt});
+}
+
 void CategoryDatabase::addHost(std::string_view host, CategoryId category,
                                util::SimTime addedAt) {
-  auto& entry = byHost_[util::toLower(host)];
-  const auto it = entry.find(category);
-  // Keep the earliest time an entry appeared.
-  if (it == entry.end() || addedAt < it->second) entry[category] = addedAt;
+  // Keys are interned lowercase at insert time so every lookup can compare
+  // raw bytes against an already-normalized Url::host().
+  addTo(byHost_.getOrInsert(util::toLower(host)), category, addedAt);
+  ++mutationCount_;
 }
 
 void CategoryDatabase::addUrl(const net::Url& url, CategoryId category,
                               util::SimTime addedAt) {
-  auto& entry = byUrl_[url.toString()];
-  const auto it = entry.find(category);
-  if (it == entry.end() || addedAt < it->second) entry[category] = addedAt;
+  addTo(byUrl_.getOrInsert(url.toString()), category, addedAt);
+  ++mutationCount_;
 }
 
 void CategoryDatabase::removeHost(std::string_view host) {
   byHost_.erase(util::toLower(host));
+  ++mutationCount_;
 }
 
-std::set<CategoryId> CategoryDatabase::categoriesOf(const Entry& entry,
-                                                    util::SimTime cutoff) {
-  std::set<CategoryId> out;
-  for (const auto& [category, addedAt] : entry)
-    if (addedAt <= cutoff) out.insert(category);
-  return out;
+void CategoryDatabase::collect(const Entry& entry, util::SimTime cutoff,
+                               CategorySet& out) {
+  for (const auto& tc : entry)
+    if (tc.addedAt <= cutoff) out.insert(tc.category);
+}
+
+bool CategoryDatabase::anyVisible(const Entry& entry, util::SimTime cutoff) {
+  for (const auto& tc : entry)
+    if (tc.addedAt <= cutoff) return true;
+  return false;
+}
+
+template <typename Fn>
+void CategoryDatabase::forEachProbe(const net::Url& url, Fn&& fn) const {
+  if (!byUrl_.empty()) {
+    thread_local std::string urlKey;
+    urlKey.clear();
+    url.appendTo(urlKey);
+    if (const Entry* entry = byUrl_.find(urlKey)) {
+      if (fn(*entry)) return;
+    }
+  }
+
+  if (const Entry* entry = byHost_.find(url.host())) {
+    if (fn(*entry)) return;
+  }
+
+  // Registrable-domain fallback: categorizing "example.info" covers
+  // "www.example.info" too. The domain is a suffix view of the (already
+  // lowercase) host — no allocation.
+  const std::string_view domain = net::registrableDomainView(url.host());
+  if (domain != url.host()) {
+    if (const Entry* entry = byHost_.find(domain)) {
+      if (fn(*entry)) return;
+    }
+  }
+}
+
+void CategoryDatabase::categorizeAsOfInto(const net::Url& url,
+                                          util::SimTime cutoff,
+                                          CategorySet& out) const {
+  forEachProbe(url, [&](const Entry& entry) {
+    collect(entry, cutoff, out);
+    return false;  // union all probes
+  });
+}
+
+void CategoryDatabase::categorizeInto(const net::Url& url,
+                                      CategorySet& out) const {
+  categorizeAsOfInto(url, kNoCutoff, out);
+}
+
+bool CategoryDatabase::isCategorizedAsOf(const net::Url& url,
+                                         util::SimTime cutoff) const {
+  bool found = false;
+  forEachProbe(url, [&](const Entry& entry) {
+    found = anyVisible(entry, cutoff);
+    return found;  // stop at the first visible entry
+  });
+  return found;
+}
+
+bool CategoryDatabase::isCategorized(const net::Url& url) const {
+  return isCategorizedAsOf(url, kNoCutoff);
 }
 
 std::set<CategoryId> CategoryDatabase::categorizeAsOf(
     const net::Url& url, util::SimTime cutoff) const {
-  std::set<CategoryId> out;
-
-  if (const auto it = byUrl_.find(url.toString()); it != byUrl_.end()) {
-    const auto categories = categoriesOf(it->second, cutoff);
-    out.insert(categories.begin(), categories.end());
-  }
-
-  if (const auto it = byHost_.find(url.host()); it != byHost_.end()) {
-    const auto categories = categoriesOf(it->second, cutoff);
-    out.insert(categories.begin(), categories.end());
-  }
-
-  // Registrable-domain fallback: categorizing "example.info" covers
-  // "www.example.info" too.
-  const std::string domain = net::registrableDomain(url.host());
-  if (domain != url.host()) {
-    if (const auto it = byHost_.find(domain); it != byHost_.end()) {
-      const auto categories = categoriesOf(it->second, cutoff);
-      out.insert(categories.begin(), categories.end());
-    }
-  }
-  return out;
+  CategorySet scratch;
+  categorizeAsOfInto(url, cutoff, scratch);
+  return scratch.toSet();
 }
 
 std::set<CategoryId> CategoryDatabase::categorize(const net::Url& url) const {
@@ -69,9 +122,11 @@ std::set<CategoryId> CategoryDatabase::categorize(const net::Url& url) const {
 
 std::set<CategoryId> CategoryDatabase::hostCategories(
     std::string_view host) const {
-  const auto it = byHost_.find(util::toLower(host));
-  if (it == byHost_.end()) return {};
-  return categoriesOf(it->second, kNoCutoff);
+  const Entry* entry = byHost_.find(util::toLower(host));
+  if (entry == nullptr) return {};
+  CategorySet scratch;
+  collect(*entry, kNoCutoff, scratch);
+  return scratch.toSet();
 }
 
 }  // namespace urlf::filters

@@ -1,0 +1,58 @@
+#ifndef URLF_FILTERS_CATEGORY_SET_H
+#define URLF_FILTERS_CATEGORY_SET_H
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "filters/category.h"
+
+namespace urlf::filters {
+
+/// A small set of category ids stored as a sorted-unique vector.
+///
+/// Real deployments assign a URL a handful of categories at most, so a flat
+/// sorted vector beats a node-based std::set on every operation the lookup
+/// fast path performs: iteration is a linear scan over contiguous ints, and
+/// clear()+reuse keeps the capacity, making repeated lookups through one
+/// scratch instance allocation-free after warm-up.
+class CategorySet {
+ public:
+  CategorySet() = default;
+
+  void insert(CategoryId id) {
+    const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+    if (it != ids_.end() && *it == id) return;
+    ids_.insert(it, id);
+  }
+
+  [[nodiscard]] bool contains(CategoryId id) const {
+    return std::binary_search(ids_.begin(), ids_.end(), id);
+  }
+
+  /// Retains capacity — the point of reusing one instance across lookups.
+  void clear() { ids_.clear(); }
+
+  [[nodiscard]] bool empty() const { return ids_.empty(); }
+  [[nodiscard]] std::size_t size() const { return ids_.size(); }
+
+  [[nodiscard]] auto begin() const { return ids_.begin(); }
+  [[nodiscard]] auto end() const { return ids_.end(); }
+
+  /// The sorted id vector (useful for set algorithms over the raw range).
+  [[nodiscard]] const std::vector<CategoryId>& ids() const { return ids_; }
+
+  /// Adapter for the public std::set-based API.
+  [[nodiscard]] std::set<CategoryId> toSet() const {
+    return {ids_.begin(), ids_.end()};
+  }
+
+  bool operator==(const CategorySet&) const = default;
+
+ private:
+  std::vector<CategoryId> ids_;
+};
+
+}  // namespace urlf::filters
+
+#endif  // URLF_FILTERS_CATEGORY_SET_H

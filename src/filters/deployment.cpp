@@ -45,8 +45,9 @@ bool Deployment::syncedLocally(std::string_view host) const {
   if (policy_.syncCoverage <= 0.0) return false;
   // Key coverage on the registrable domain so www.x and x agree. The salt
   // is mixed through a finalizer so that nearby salts give independent
-  // inclusion sets.
-  const std::string domain = net::registrableDomain(host);
+  // inclusion sets. Callers pass Url::host(), normalized lowercase at parse
+  // time, so the suffix view hashes the same bytes the lowercased copy did.
+  const std::string_view domain = net::registrableDomainView(host);
   std::uint64_t h = fnv1a64(domain) ^ policy_.syncSalt;
   h ^= h >> 33;
   h *= 0xFF51AFD7ED558CCDULL;
@@ -55,18 +56,36 @@ bool Deployment::syncedLocally(std::string_view host) const {
   return unit < policy_.syncCoverage;
 }
 
-std::set<CategoryId> Deployment::effectiveCategories(const net::Url& url,
-                                                     util::SimTime now) const {
-  std::set<CategoryId> out = policy_.customDb.categorize(url);
+void Deployment::effectiveCategoriesInto(const net::Url& url,
+                                         util::SimTime now,
+                                         CategorySet& out) const {
+  policy_.customDb.categorizeInto(url, out);
   const CategoryDatabase& db =
       (frozenDb_ && !policy_.receivesUpdates) ? *frozenDb_ : vendor_->masterDb();
   if (syncedLocally(url.host())) {
     // Updates pushed by the vendor reach the box `updateLagHours` later.
-    const auto fromVendor =
-        db.categorizeAsOf(url, now - policy_.updateLagHours);
-    out.insert(fromVendor.begin(), fromVendor.end());
+    db.categorizeAsOfInto(url, now - policy_.updateLagHours, out);
   }
-  return out;
+}
+
+std::set<CategoryId> Deployment::effectiveCategories(const net::Url& url,
+                                                     util::SimTime now) const {
+  CategorySet scratch;
+  effectiveCategoriesInto(url, now, scratch);
+  return scratch.toSet();
+}
+
+std::uint64_t Deployment::stateEpoch() const {
+  std::uint64_t epoch =
+      vendor_->masterDb().mutationCount() + policy_.customDb.mutationCount();
+  // The snapshot's presence flips which database is consulted, so freezing
+  // itself must advance the epoch even though the snapshot never mutates.
+  if (frozenDb_) epoch += frozenDb_->mutationCount() + 1;
+  return epoch;
+}
+
+bool Deployment::deterministicIntercept() const {
+  return policy_.offlineProbability <= 0.0;
 }
 
 bool Deployment::isOwnServiceTraffic(const http::Request& request) const {
@@ -86,12 +105,16 @@ std::optional<simnet::InterceptAction> Deployment::intercept(
 
   if (isOffline(ctx)) return onPassThrough(request, ctx);
 
-  const auto categories = effectiveCategories(request.url, ctx.now);
+  // Per-request fast path: one reused scratch set, no node allocations.
+  // The common outcome — uncategorized, pass through — touches the heap
+  // not at all once the scratch has warmed up.
+  thread_local CategorySet categories;
+  categories.clear();
+  effectiveCategoriesInto(request.url, ctx.now, categories);
   std::set<CategoryId> blocked;
-  std::set_intersection(categories.begin(), categories.end(),
-                        policy_.blockedCategories.begin(),
-                        policy_.blockedCategories.end(),
-                        std::inserter(blocked, blocked.begin()));
+  for (const CategoryId category : categories)
+    if (policy_.blockedCategories.count(category) != 0)
+      blocked.insert(category);
   if (!blocked.empty()) {
     ++requestsBlocked_;
     for (const auto category : blocked) ++blocksByCategory_[category];

@@ -50,6 +50,15 @@ class Deployment : public simnet::Middlebox {
   std::optional<simnet::InterceptAction> intercept(
       http::Request& request, const simnet::InterceptContext& ctx) override;
 
+  /// Covers every database whose mutation can change a verdict: the vendor
+  /// master DB, the operator's custom DB, and the frozen snapshot (whose
+  /// presence itself flips which DB is consulted).
+  [[nodiscard]] std::uint64_t stateEpoch() const override;
+
+  /// False when this deployment rolls dice per exchange (offlineProbability)
+  /// — its verdicts must be re-drawn, never memoized or replay-skipped.
+  [[nodiscard]] bool deterministicIntercept() const override;
+
   // --- statistics -----------------------------------------------------------
   [[nodiscard]] std::uint64_t requestsSeen() const { return requestsSeen_; }
   [[nodiscard]] std::uint64_t requestsBlocked() const { return requestsBlocked_; }
@@ -66,6 +75,11 @@ class Deployment : public simnet::Middlebox {
   /// benches.
   [[nodiscard]] std::set<CategoryId> effectiveCategories(
       const net::Url& url, util::SimTime now) const;
+
+  /// Allocation-free variant: unions into `out` (does not clear). This is
+  /// the per-request path intercept() runs.
+  void effectiveCategoriesInto(const net::Url& url, util::SimTime now,
+                               CategorySet& out) const;
 
  protected:
   /// Build this product's signature block behaviour for a request that

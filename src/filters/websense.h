@@ -43,6 +43,12 @@ class WebsenseDeployment : public Deployment {
 
   [[nodiscard]] bool isOffline(const simnet::InterceptContext& ctx) const override;
 
+  /// The license model draws RNG jitter per exchange — verdicts must be
+  /// re-drawn, never memoized.
+  [[nodiscard]] bool deterministicIntercept() const override {
+    return Deployment::deterministicIntercept() && !licenseModel_;
+  }
+
   /// The block page served from :15871/cgi-bin/blockpage.cgi.
   [[nodiscard]] http::Response makeBlockPage(
       const std::optional<std::string>& blockedUrl) const;

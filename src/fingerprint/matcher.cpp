@@ -1,6 +1,7 @@
 #include "fingerprint/matcher.h"
 
 #include "net/url.h"
+#include "util/regex.h"
 #include "util/strings.h"
 
 namespace urlf::fingerprint {
@@ -69,9 +70,9 @@ Matcher Matcher::headerRegex(std::string name, const std::string& pattern) {
   m.kind_ = Kind::kHeaderRegex;
   m.headerName_ = std::move(name);
   m.needle_ = pattern;
-  m.regex_ = std::make_shared<const std::regex>(
-      pattern, std::regex::ECMAScript | std::regex::icase |
-                   std::regex::optimize);
+  // Shared compile-once pool: the same pattern source used by a block-page
+  // recognizer or another fingerprint compiles exactly once per process.
+  m.regex_ = util::compileIcaseRegex(pattern);
   return m;
 }
 
@@ -79,9 +80,7 @@ Matcher Matcher::bodyRegex(const std::string& pattern) {
   Matcher m;
   m.kind_ = Kind::kBodyRegex;
   m.needle_ = pattern;
-  m.regex_ = std::make_shared<const std::regex>(
-      pattern, std::regex::ECMAScript | std::regex::icase |
-                   std::regex::optimize);
+  m.regex_ = util::compileIcaseRegex(pattern);
   return m;
 }
 

@@ -55,12 +55,32 @@ std::string serialize(const Request& req) {
 }
 
 std::string serialize(const Response& resp) {
-  std::string out = resp.statusLine();
+  std::string out;
+  out.reserve(serializedSizeBound(resp));
+  serializeTo(resp, out);
+  return out;
+}
+
+void serializeTo(const Response& resp, std::string& out) {
+  out += resp.statusLine();
   out += "\r\n";
-  out += resp.headers.serialize();
+  for (const auto& field : resp.headers.fields()) {
+    out += field.name;
+    out += ": ";
+    out += field.value;
+    out += "\r\n";
+  }
   out += "\r\n";
   out += resp.body;
-  return out;
+}
+
+std::size_t serializedSizeBound(const Response& resp) {
+  // "HTTP/1.1 NNN " + reason + CRLF, with slack for long status codes.
+  std::size_t n = 16 + resp.reason.size() + 2;
+  for (const auto& field : resp.headers.fields())
+    n += field.name.size() + 2 + field.value.size() + 2;
+  n += 2 + resp.body.size();
+  return n;
 }
 
 std::optional<Response> parseResponse(std::string_view wire) {

@@ -15,6 +15,16 @@ namespace urlf::http {
 /// Serialize a response to its wire form.
 [[nodiscard]] std::string serialize(const Response& resp);
 
+/// Append a response's wire form to `out` (no intermediate string). The
+/// measurement pipeline flattens every hop of a fetch into one trace; the
+/// appending form lets the caller reserve once for the whole trace.
+void serializeTo(const Response& resp, std::string& out);
+
+/// Upper-bound byte count of serializeTo(resp) — exact for the body and
+/// headers, slack only for the status line. Cheap enough to call per hop to
+/// size a reserve().
+[[nodiscard]] std::size_t serializedSizeBound(const Response& resp);
+
 /// Parse a response from wire form. Tolerates missing Content-Length by
 /// treating the remainder as the body (connection-close framing). Returns
 /// nullopt on a malformed status line or header block.

@@ -3,6 +3,8 @@
 #include <regex>
 
 #include "http/wire.h"
+#include "measure/pattern_library.h"
+#include "util/regex.h"
 
 namespace urlf::measure {
 
@@ -39,12 +41,40 @@ const std::vector<BlockPagePattern>& builtinBlockPagePatterns() {
 
 std::string fetchTrace(const simnet::FetchResult& result) {
   std::string trace;
-  for (const auto& hop : result.redirectChain) trace += http::serialize(hop);
-  if (result.response) trace += http::serialize(*result.response);
+  fetchTraceInto(result, trace);
   return trace;
 }
 
+void fetchTraceInto(const simnet::FetchResult& result, std::string& out) {
+  out.clear();
+  std::size_t bound = 0;
+  for (const auto& hop : result.redirectChain)
+    bound += http::serializedSizeBound(hop);
+  if (result.response) bound += http::serializedSizeBound(*result.response);
+  out.reserve(bound);
+  for (const auto& hop : result.redirectChain) http::serializeTo(hop, out);
+  if (result.response) http::serializeTo(*result.response, out);
+}
+
 std::optional<BlockPageMatch> classifyBlockPage(
+    const simnet::FetchResult& result,
+    const std::vector<BlockPagePattern>& patterns) {
+  if (!result.ok() && result.redirectChain.empty()) return std::nullopt;
+  thread_local std::string trace;
+  fetchTraceInto(result, trace);
+  for (const auto& pattern : patterns) {
+    // Compiled once per distinct pattern source via the process-wide cache;
+    // repeated calls with the same library pay only a hash lookup.
+    const std::regex& re = *util::compileIcaseRegex(pattern.regex);
+    std::smatch match;
+    if (std::regex_search(trace, match, re)) {
+      return BlockPageMatch{pattern.product, pattern.name, match.str(0)};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<BlockPageMatch> classifyBlockPageReference(
     const simnet::FetchResult& result,
     const std::vector<BlockPagePattern>& patterns) {
   if (!result.ok() && result.redirectChain.empty()) return std::nullopt;
@@ -63,7 +93,7 @@ std::optional<BlockPageMatch> classifyBlockPage(
 
 std::optional<BlockPageMatch> classifyBlockPage(
     const simnet::FetchResult& result) {
-  return classifyBlockPage(result, builtinBlockPagePatterns());
+  return CompiledPatternLibrary::builtin().classify(result);
 }
 
 }  // namespace urlf::measure

@@ -31,15 +31,34 @@ struct BlockPageMatch {
 };
 
 /// Flatten a fetch result (redirect chain + final response) into the text
-/// the patterns are applied to.
+/// the patterns are applied to. Reserves the exact output size up front.
 [[nodiscard]] std::string fetchTrace(const simnet::FetchResult& result);
 
-/// Classify a fetch as a vendor block page, if any pattern matches.
+/// Same, replacing the contents of `out` — lets hot paths reuse one buffer
+/// across classifications instead of allocating a trace per call.
+void fetchTraceInto(const simnet::FetchResult& result, std::string& out);
+
+/// How classification evaluates its pattern library.
+enum class ClassifyMode {
+  kCompiled,   ///< compile-once regexes + literal prefilter (default)
+  kReference,  ///< per-call std::regex construction, no prefilter
+};
+
+/// Classify a fetch as a vendor block page, if any pattern matches. Uses the
+/// shared compiled library over builtinBlockPagePatterns().
 [[nodiscard]] std::optional<BlockPageMatch> classifyBlockPage(
     const simnet::FetchResult& result);
 
-/// Same, with a caller-supplied pattern library.
+/// Same, with a caller-supplied pattern library. Regexes compile once per
+/// distinct pattern source (process-wide cache), not per call.
 [[nodiscard]] std::optional<BlockPageMatch> classifyBlockPage(
+    const simnet::FetchResult& result,
+    const std::vector<BlockPagePattern>& patterns);
+
+/// Reference classifier: constructs every pattern's std::regex on each call
+/// and runs it unconditionally. Semantically identical to the fast paths;
+/// kept as the equivalence baseline for tests and benchmarks.
+[[nodiscard]] std::optional<BlockPageMatch> classifyBlockPageReference(
     const simnet::FetchResult& result,
     const std::vector<BlockPagePattern>& patterns);
 

@@ -1,5 +1,7 @@
 #include "measure/client.h"
 
+#include "util/thread_pool.h"
+
 namespace urlf::measure {
 
 std::string_view toString(Verdict verdict) {
@@ -16,7 +18,8 @@ std::string_view toString(Verdict verdict) {
 Client::Client(simnet::World& world, const simnet::VantagePoint& field,
                const simnet::VantagePoint& lab,
                simnet::FetchOptions fetchOptions)
-    : transport_(world),
+    : world_(&world),
+      transport_(world),
       field_(&field),
       lab_(&lab),
       fetchOptions_(fetchOptions) {}
@@ -55,13 +58,67 @@ Verdict Client::compare(const simnet::FetchResult& field,
   return Verdict::kInconclusive;
 }
 
-UrlTestResult Client::testUrl(const std::string& url) {
+bool Client::chainsDeterministic() const {
+  for (const auto* vantage : {field_, lab_}) {
+    if (vantage->isp == nullptr) continue;  // lab: no chain
+    for (const auto* box : vantage->isp->chain())
+      if (!box->deterministicIntercept()) return false;
+  }
+  return true;
+}
+
+Client::MemoEpoch Client::currentEpoch() const {
+  return MemoEpoch{world_->middleboxStateEpoch(), world_->now().hours()};
+}
+
+void Client::enableVerdictMemo(bool enabled) {
+  memoEnabled_ = enabled;
+  // Re-check the chains each time: a box attached (or reconfigured) after
+  // construction must be able to veto memoization.
+  memoSafe_ = enabled && chainsDeterministic();
+  if (!verdictMemoActive()) clearVerdictMemo();
+}
+
+void Client::clearVerdictMemo() {
+  memo_.clear();
+  memoEpoch_ = MemoEpoch{};
+  memoHits_ = 0;
+}
+
+std::optional<BlockPageMatch> Client::classify(
+    const simnet::FetchResult& field) const {
+  return classifyMode_ == ClassifyMode::kReference
+             ? classifyBlockPageReference(field, builtinBlockPagePatterns())
+             : classifyBlockPage(field);
+}
+
+UrlTestResult Client::fetchAndClassify(const std::string& url) {
   UrlTestResult result;
   result.url = url;
   result.field = transport_.fetchUrl(*field_, url, fetchOptions_);
   result.lab = transport_.fetchUrl(*lab_, url, fetchOptions_);
-  result.blockPage = classifyBlockPage(result.field);
+  result.blockPage = classify(result.field);
   result.verdict = compare(result.field, result.lab, result.blockPage);
+  return result;
+}
+
+UrlTestResult Client::testUrl(const std::string& url) {
+  if (!verdictMemoActive()) return fetchAndClassify(url);
+
+  const MemoEpoch before = currentEpoch();
+  if (before != memoEpoch_) {
+    memo_.clear();
+    memoEpoch_ = before;
+  }
+  if (const auto it = memo_.find(url); it != memo_.end()) {
+    ++memoHits_;
+    return it->second;
+  }
+  UrlTestResult result = fetchAndClassify(url);
+  // Insert-guard: memoize only when the fetch itself left the epoch alone.
+  // A fetch that advanced the clock (retry backoff) or mutated a database
+  // (queue-triggered categorization) would not replay identically.
+  if (currentEpoch() == before) memo_.emplace(url, result);
   return result;
 }
 
@@ -69,6 +126,70 @@ std::vector<UrlTestResult> Client::testList(std::span<const std::string> urls) {
   std::vector<UrlTestResult> out;
   out.reserve(urls.size());
   for (const auto& url : urls) out.push_back(testUrl(url));
+  return out;
+}
+
+std::vector<UrlTestResult> Client::testListBatched(
+    std::span<const std::string> urls, std::size_t threadLimit) {
+  std::vector<UrlTestResult> out(urls.size());
+  const bool memoActive = verdictMemoActive();
+
+  // Phase 1 — fetches, strictly in list order. Fetching mutates the world
+  // (RNG draws, clock advances, vendor queues), so this phase must replay
+  // the exact serial program order regardless of threadLimit.
+  std::vector<std::size_t> fetched;  // indices that still need classification
+  std::vector<MemoEpoch> before, after;
+  fetched.reserve(urls.size());
+  if (memoActive) {
+    before.reserve(urls.size());
+    after.reserve(urls.size());
+  }
+  for (std::size_t i = 0; i < urls.size(); ++i) {
+    if (memoActive) {
+      const MemoEpoch epoch = currentEpoch();
+      if (epoch != memoEpoch_) {
+        memo_.clear();
+        memoEpoch_ = epoch;
+      }
+      if (const auto it = memo_.find(urls[i]); it != memo_.end()) {
+        ++memoHits_;
+        out[i] = it->second;
+        continue;
+      }
+      before.push_back(epoch);
+    }
+    out[i].url = urls[i];
+    out[i].field = transport_.fetchUrl(*field_, urls[i], fetchOptions_);
+    out[i].lab = transport_.fetchUrl(*lab_, urls[i], fetchOptions_);
+    fetched.push_back(i);
+    if (memoActive) after.push_back(currentEpoch());
+  }
+
+  // Phase 2 — classification + comparison: pure per entry, fanned out with
+  // slot-per-index writes, so the gathered output is byte-identical to the
+  // serial loop at any thread count.
+  util::parallelFor(
+      fetched.size(),
+      [&](std::size_t k) {
+        UrlTestResult& result = out[fetched[k]];
+        result.blockPage = classify(result.field);
+        result.verdict = compare(result.field, result.lab, result.blockPage);
+      },
+      threadLimit);
+
+  // Phase 3 — memo inserts, serial. An entry is replayable only if nothing
+  // (its own fetch included) moved the epoch between its fetch and now.
+  if (memoActive) {
+    const MemoEpoch finalEpoch = currentEpoch();
+    if (finalEpoch != memoEpoch_) {
+      memo_.clear();
+      memoEpoch_ = finalEpoch;
+    }
+    for (std::size_t k = 0; k < fetched.size(); ++k) {
+      if (before[k] == finalEpoch && after[k] == finalEpoch)
+        memo_.emplace(out[fetched[k]].url, out[fetched[k]]);
+    }
+  }
   return out;
 }
 

@@ -1,9 +1,11 @@
 #ifndef URLF_MEASURE_CLIENT_H
 #define URLF_MEASURE_CLIENT_H
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "measure/blockpage.h"
@@ -44,6 +46,27 @@ struct UrlTestResult {
 /// `fetchOptions` (redirect limits + RetryPolicy) apply to both the field
 /// and the lab fetch, so transient substrate faults are ridden out on both
 /// sides before the verdict is derived.
+///
+/// Two campaign-scale fast paths are layered on the same semantics:
+///
+/// - **Batched classification** (testListBatched): fetches stay strictly in
+///   list order — fetching mutates the world (RNG draws, retry-backoff clock
+///   advances, vendor queues) and must replay the exact serial program order
+///   (DESIGN.md §4.1) — while the pure classify/compare stage fans out over
+///   util::parallelFor with slot-per-index writes. Output is byte-identical
+///   to testList at any thread count.
+///
+/// - **Verdict memoization** (enableVerdictMemo): repeat fetches of the same
+///   URL at an unchanged (middlebox state epoch, clock) are answered from a
+///   per-client memo. The memo only ever activates when every middlebox on
+///   both vantages' paths reports deterministicIntercept() — a box that
+///   rolls dice per exchange (offlineProbability, license models) must
+///   consume its RNG draws on every repeat, so its vantage is never
+///   memoized. Entries are dropped the moment the epoch moves (any category
+///   database mutation or clock advance), and a fetch that itself moves the
+///   epoch (retry backoff, queue-triggered recategorization) is not
+///   memoized. Policy-knob edits that bypass the epoch (e.g. assigning a new
+///   FilterPolicy wholesale) require clearVerdictMemo() or a fresh Client.
 class Client {
  public:
   Client(simnet::World& world, const simnet::VantagePoint& field,
@@ -54,6 +77,25 @@ class Client {
 
   [[nodiscard]] std::vector<UrlTestResult> testList(
       std::span<const std::string> urls);
+
+  /// testList with the classification stage parallelized (threadLimit as in
+  /// util::parallelFor: 1 = serial reference, 0 = shared pool).
+  [[nodiscard]] std::vector<UrlTestResult> testListBatched(
+      std::span<const std::string> urls, std::size_t threadLimit = 0);
+
+  /// Opt into verdict memoization. Takes effect only when both vantages'
+  /// middlebox chains are deterministic (checked here and remembered).
+  void enableVerdictMemo(bool enabled);
+  [[nodiscard]] bool verdictMemoActive() const {
+    return memoEnabled_ && memoSafe_;
+  }
+  void clearVerdictMemo();
+  [[nodiscard]] std::uint64_t verdictMemoHits() const { return memoHits_; }
+
+  /// Classification mode: compiled pattern library (default) or per-call
+  /// reference regex construction (equivalence baseline).
+  void setClassifyMode(ClassifyMode mode) { classifyMode_ = mode; }
+  [[nodiscard]] ClassifyMode classifyMode() const { return classifyMode_; }
 
   [[nodiscard]] const simnet::VantagePoint& field() const { return *field_; }
   [[nodiscard]] const simnet::VantagePoint& lab() const { return *lab_; }
@@ -69,10 +111,34 @@ class Client {
       const std::optional<BlockPageMatch>& blockPage);
 
  private:
+  /// Everything that must be unchanged for a memoized verdict to replay
+  /// exactly: category-database state across all middleboxes + the clock
+  /// (the policy epoch and the fetch time).
+  struct MemoEpoch {
+    std::uint64_t boxes = 0;
+    std::int64_t now = 0;
+    bool operator==(const MemoEpoch&) const = default;
+  };
+  [[nodiscard]] MemoEpoch currentEpoch() const;
+  [[nodiscard]] bool chainsDeterministic() const;
+
+  /// Fetch both sides and classify — the memo-oblivious core of testUrl.
+  [[nodiscard]] UrlTestResult fetchAndClassify(const std::string& url);
+  [[nodiscard]] std::optional<BlockPageMatch> classify(
+      const simnet::FetchResult& field) const;
+
+  simnet::World* world_;
   simnet::Transport transport_;
   const simnet::VantagePoint* field_;
   const simnet::VantagePoint* lab_;
   simnet::FetchOptions fetchOptions_;
+
+  ClassifyMode classifyMode_ = ClassifyMode::kCompiled;
+  bool memoEnabled_ = false;
+  bool memoSafe_ = false;
+  MemoEpoch memoEpoch_{};
+  std::uint64_t memoHits_ = 0;
+  std::unordered_map<std::string, UrlTestResult> memo_;
 };
 
 }  // namespace urlf::measure

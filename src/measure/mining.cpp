@@ -63,12 +63,31 @@ std::optional<BlockPagePattern> minePattern(
 std::optional<BlockPagePattern> minePatternFromResults(
     filters::ProductKind product, const std::vector<UrlTestResult>& results,
     std::size_t minLength) {
-  std::vector<std::string> traces;
+  // Fold the common core incrementally instead of materializing every trace:
+  // the DP only ever needs the running core and the current trace, and the
+  // core shrinks monotonically, so peak memory is two traces rather than all
+  // of them.
+  std::string core;
+  std::string trace;
+  bool haveFirst = false;
   for (const auto& result : results) {
     if (!result.blocked()) continue;
-    traces.push_back(fetchTrace(result.field));
+    fetchTraceInto(result.field, trace);
+    if (!haveFirst) {
+      core = trace;
+      haveFirst = true;
+      continue;
+    }
+    core = longestCommonSubstring(core, trace);
+    if (core.size() < minLength) return std::nullopt;
   }
-  return minePattern(product, traces, minLength);
+  if (!haveFirst || core.size() < minLength) return std::nullopt;
+
+  BlockPagePattern pattern;
+  pattern.product = product;
+  pattern.name = std::string(filters::toString(product)) + "-mined";
+  pattern.regex = regexEscape(core);
+  return pattern;
 }
 
 }  // namespace urlf::measure

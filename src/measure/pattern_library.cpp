@@ -1,0 +1,63 @@
+#include "measure/pattern_library.h"
+
+#include <regex>
+
+#include "util/strings.h"
+
+namespace urlf::measure {
+
+CompiledPatternLibrary::CompiledPatternLibrary(
+    std::vector<BlockPagePattern> patterns) {
+  entries_.reserve(patterns.size());
+  for (auto& pattern : patterns) {
+    std::string literal = util::requiredLiteral(pattern.regex);
+    if (!literal.empty()) anyLiteral_ = true;
+    util::LazyRegex regex(pattern.regex);
+    entries_.push_back(
+        Entry{std::move(pattern), std::move(regex), std::move(literal)});
+  }
+}
+
+const CompiledPatternLibrary& CompiledPatternLibrary::builtin() {
+  static const CompiledPatternLibrary kLibrary(builtinBlockPagePatterns());
+  return kLibrary;
+}
+
+std::optional<BlockPageMatch> CompiledPatternLibrary::classify(
+    const simnet::FetchResult& result) const {
+  if (!result.ok() && result.redirectChain.empty()) return std::nullopt;
+  // Reuse one trace buffer per thread: classification is pure, so batched
+  // runs classify on worker threads and each keeps its own scratch.
+  thread_local std::string trace;
+  fetchTraceInto(result, trace);
+  return classifyTrace(trace);
+}
+
+std::optional<BlockPageMatch> CompiledPatternLibrary::classifyTrace(
+    const std::string& trace) const {
+  thread_local std::string folded;
+  if (anyLiteral_) util::toLowerInto(trace, folded);
+  for (const auto& entry : entries_) {
+    // The literal is case-folded and required in every match; its absence
+    // from the folded trace proves the (case-insensitive) regex cannot
+    // match, so the expensive search is skipped.
+    if (!entry.literal.empty() &&
+        folded.find(entry.literal) == std::string::npos)
+      continue;
+    std::smatch match;
+    if (std::regex_search(trace, match, entry.regex.get())) {
+      return BlockPageMatch{entry.source.product, entry.source.name,
+                            match.str(0)};
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<BlockPagePattern> CompiledPatternLibrary::patterns() const {
+  std::vector<BlockPagePattern> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.push_back(entry.source);
+  return out;
+}
+
+}  // namespace urlf::measure

@@ -1,0 +1,62 @@
+#ifndef URLF_MEASURE_PATTERN_LIBRARY_H
+#define URLF_MEASURE_PATTERN_LIBRARY_H
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "measure/blockpage.h"
+#include "util/regex.h"
+
+namespace urlf::measure {
+
+/// A block-page pattern set prepared for repeated classification.
+///
+/// The reference classifier (classifyBlockPageReference) constructs a
+/// std::regex per pattern per call; at campaign scale that construction
+/// dominates the classify path. This library compiles each pattern exactly
+/// once — lazily and thread-safely, through the process-wide cache shared
+/// with fingerprint::Matcher — and additionally extracts a case-folded
+/// literal that must occur in every match (util::requiredLiteral). A trace
+/// that does not contain the literal is rejected with a memchr-class scan
+/// and the regex never runs at all; on a typical campaign the overwhelming
+/// majority of traces are benign and the prefilter short-circuits them.
+///
+/// Classification semantics are byte-identical to the reference classifier:
+/// patterns are tried in order, the first match wins, and the evidence is
+/// match.str(0) against the original (non-folded) trace.
+class CompiledPatternLibrary {
+ public:
+  explicit CompiledPatternLibrary(std::vector<BlockPagePattern> patterns);
+
+  /// The shared library over builtinBlockPagePatterns().
+  static const CompiledPatternLibrary& builtin();
+
+  /// Classify a fetch result (same guard and trace flattening as the
+  /// reference path).
+  [[nodiscard]] std::optional<BlockPageMatch> classify(
+      const simnet::FetchResult& result) const;
+
+  /// Classify an already-flattened trace.
+  [[nodiscard]] std::optional<BlockPageMatch> classifyTrace(
+      const std::string& trace) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// The source patterns, in match order.
+  [[nodiscard]] std::vector<BlockPagePattern> patterns() const;
+
+ private:
+  struct Entry {
+    BlockPagePattern source;
+    util::LazyRegex regex;
+    std::string literal;  ///< case-folded required literal; "" = no prefilter
+  };
+  std::vector<Entry> entries_;
+  bool anyLiteral_ = false;  ///< fold the trace only when a prefilter exists
+};
+
+}  // namespace urlf::measure
+
+#endif  // URLF_MEASURE_PATTERN_LIBRARY_H

@@ -102,10 +102,24 @@ std::string Url::requestTarget() const {
 }
 
 std::string Url::toString() const {
-  std::string out = scheme_ + "://" + host_;
-  if (port_) out += ":" + std::to_string(*port_);
-  out += requestTarget();
+  std::string out;
+  appendTo(out);
   return out;
+}
+
+void Url::appendTo(std::string& out) const {
+  out += scheme_;
+  out += "://";
+  out += host_;
+  if (port_) {
+    out += ':';
+    out += std::to_string(*port_);
+  }
+  out += path_;
+  if (!query_.empty()) {
+    out += '?';
+    out += query_;
+  }
 }
 
 std::optional<std::string> queryParam(std::string_view query,
@@ -156,6 +170,14 @@ std::string registrableDomain(std::string_view host) {
   const std::size_t prev = host.rfind('.', last - 1);
   if (prev == std::string_view::npos) return util::toLower(host);
   return util::toLower(host.substr(prev + 1));
+}
+
+std::string_view registrableDomainView(std::string_view host) {
+  const std::size_t last = host.rfind('.');
+  if (last == std::string_view::npos) return host;
+  const std::size_t prev = host.rfind('.', last - 1);
+  if (prev == std::string_view::npos) return host;
+  return host.substr(prev + 1);
 }
 
 }  // namespace urlf::net

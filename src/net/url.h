@@ -40,6 +40,10 @@ class Url {
   /// Canonical string form.
   [[nodiscard]] std::string toString() const;
 
+  /// Append the canonical string form to `out` — key-building hot paths
+  /// reuse one buffer instead of allocating a fresh string per lookup.
+  void appendTo(std::string& out) const;
+
   bool operator==(const Url&) const = default;
 
  private:
@@ -66,6 +70,11 @@ class Url {
 /// Registrable domain: last two labels ("foo.info" for "www.foo.info").
 /// Falls back to the whole host when it has fewer than two labels.
 [[nodiscard]] std::string registrableDomain(std::string_view host);
+
+/// Zero-allocation variant: the registrable domain as a suffix view into
+/// `host`. The caller must pass an already-lowercased host (Url::host() is
+/// normalized at parse time), since a view cannot case-fold.
+[[nodiscard]] std::string_view registrableDomainView(std::string_view host);
 
 }  // namespace urlf::net
 

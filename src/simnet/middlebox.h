@@ -66,6 +66,18 @@ class Middlebox {
     (void)response;
     (void)ctx;
   }
+
+  /// A monotone counter covering every mutable input that can change what
+  /// intercept() returns for a given (request, now) — e.g. category-database
+  /// mutation counts. Verdict memoization is valid only while the epoch (and
+  /// the clock) is unchanged. Stateless boxes keep the default 0.
+  [[nodiscard]] virtual std::uint64_t stateEpoch() const { return 0; }
+
+  /// True when intercept() is a pure function of (request, now, epoch) —
+  /// i.e. it never draws randomness. Boxes that roll dice per request
+  /// (license overload, §4.4) must return false so callers neither memoize
+  /// their verdicts nor skip replays that would consume RNG draws.
+  [[nodiscard]] virtual bool deterministicIntercept() const { return true; }
 };
 
 }  // namespace urlf::simnet

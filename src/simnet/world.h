@@ -98,6 +98,16 @@ class World {
     return ref;
   }
 
+  /// Sum of every owned middlebox's stateEpoch(): changes whenever any
+  /// mutable filtering input (category databases, frozen snapshots) changes.
+  /// Together with the clock this keys verdict memoization — see
+  /// measure::Client.
+  [[nodiscard]] std::uint64_t middleboxStateEpoch() const {
+    std::uint64_t epoch = 0;
+    for (const auto& box : middleboxes_) epoch += box->stateEpoch();
+    return epoch;
+  }
+
   // --- naming & binding ---------------------------------------------------
 
   /// Register a DNS A record. Re-registering a name overwrites it.

@@ -1,0 +1,154 @@
+#include "util/regex.h"
+
+#include <cctype>
+#include <mutex>
+#include <unordered_map>
+
+namespace urlf::util {
+
+std::shared_ptr<const std::regex> compileIcaseRegex(
+    const std::string& pattern) {
+  static std::mutex mutex;
+  static std::unordered_map<std::string, std::shared_ptr<const std::regex>>
+      cache;
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (const auto it = cache.find(pattern); it != cache.end())
+      return it->second;
+  }
+  // Compile outside the lock: construction may be slow (or throw), and two
+  // threads racing on the same pattern just produce an identical object.
+  auto compiled = std::make_shared<const std::regex>(
+      pattern,
+      std::regex::ECMAScript | std::regex::icase | std::regex::optimize);
+  const std::lock_guard<std::mutex> lock(mutex);
+  return cache.try_emplace(pattern, std::move(compiled)).first->second;
+}
+
+namespace {
+
+bool isAsciiAlnum(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+char asciiLower(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+/// True when `i` points at a quantifier that allows zero repetitions
+/// (?, *, {0...}) — the quantified unit is optional and cannot be required.
+bool isOptionalQuantifier(std::string_view p, std::size_t i) {
+  if (i >= p.size()) return false;
+  if (p[i] == '?' || p[i] == '*') return true;
+  if (p[i] == '{') {
+    ++i;
+    if (i < p.size() && p[i] == '0') return true;
+  }
+  return false;
+}
+
+/// True when `i` points at any quantifier (?, *, +, {...}).
+bool isQuantifier(std::string_view p, std::size_t i) {
+  return i < p.size() &&
+         (p[i] == '?' || p[i] == '*' || p[i] == '+' || p[i] == '{');
+}
+
+/// Advance past the quantifier at `i` (including a lazy '?' suffix).
+std::size_t skipQuantifier(std::string_view p, std::size_t i) {
+  if (i >= p.size()) return i;
+  if (p[i] == '{') {
+    while (i < p.size() && p[i] != '}') ++i;
+    if (i < p.size()) ++i;  // '}'
+  } else {
+    ++i;  // '?', '*' or '+'
+  }
+  if (i < p.size() && p[i] == '?') ++i;  // lazy variant
+  return i;
+}
+
+}  // namespace
+
+std::string requiredLiteral(std::string_view pattern) {
+  std::string best;
+  std::string current;
+  const auto flush = [&] {
+    if (current.size() > best.size()) best = current;
+    current.clear();
+  };
+
+  std::size_t i = 0;
+  while (i < pattern.size()) {
+    const char c = pattern[i];
+
+    // Alternation or grouping: some branch (or an optional group) may match
+    // without any literal we collected — give up entirely. Character-class
+    // internals never reach here, so a '(' or '|' seen at this level is
+    // structural.
+    if (c == '|' || c == '(' || c == ')') return {};
+
+    if (c == '[') {
+      // Skip the character class; whatever it matches is not a fixed
+      // literal. A leading ']' (possibly after '^') is a literal member.
+      flush();
+      ++i;
+      if (i < pattern.size() && pattern[i] == '^') ++i;
+      if (i < pattern.size() && pattern[i] == ']') ++i;
+      while (i < pattern.size() && pattern[i] != ']') {
+        if (pattern[i] == '\\') ++i;
+        ++i;
+      }
+      if (i < pattern.size()) ++i;  // closing ']'
+      i = skipQuantifier(pattern, i);
+      continue;
+    }
+
+    if (c == '.' || c == '^' || c == '$') {
+      flush();
+      ++i;
+      i = skipQuantifier(pattern, i);
+      continue;
+    }
+
+    // A literal character, possibly escaped.
+    char literal = c;
+    std::size_t next = i + 1;
+    if (c == '\\') {
+      if (i + 1 >= pattern.size()) {
+        flush();
+        break;
+      }
+      const char escaped = pattern[i + 1];
+      if (isAsciiAlnum(escaped)) {
+        // \d \s \w \b \B \1 ... — a class, anchor, or backreference, never a
+        // single fixed character.
+        flush();
+        i += 2;
+        i = skipQuantifier(pattern, i);
+        continue;
+      }
+      literal = escaped;  // escaped punctuation matches itself
+      next = i + 2;
+    }
+
+    if (isOptionalQuantifier(pattern, next)) {
+      // "x?" / "x*" / "x{0,n}": x may be absent entirely.
+      flush();
+      i = skipQuantifier(pattern, next);
+      continue;
+    }
+    current += asciiLower(literal);
+    if (isQuantifier(pattern, next)) {
+      // "x+" / "x{2,}": at least one x occurs, but what follows it in the
+      // subject is more x's, not the next pattern character — the run ends
+      // after this one occurrence.
+      flush();
+      i = skipQuantifier(pattern, next);
+      continue;
+    }
+    i = next;
+  }
+  flush();
+  return best;
+}
+
+}  // namespace urlf::util

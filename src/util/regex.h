@@ -1,0 +1,72 @@
+#ifndef URLF_UTIL_REGEX_H
+#define URLF_UTIL_REGEX_H
+
+#include <atomic>
+#include <memory>
+#include <regex>
+#include <string>
+#include <string_view>
+
+namespace urlf::util {
+
+/// Compile an ECMAScript, case-insensitive, optimized regex through a
+/// process-wide cache keyed by pattern source. Every regex the pipeline
+/// evaluates (block-page patterns, WhatWeb-style fingerprint rules) uses
+/// exactly these flags, so block-page classification and fingerprinting
+/// share one compile-once pool. Thread-safe. Throws std::regex_error on a
+/// malformed pattern (on every call — failures are not cached).
+[[nodiscard]] std::shared_ptr<const std::regex> compileIcaseRegex(
+    const std::string& pattern);
+
+/// A regex compiled exactly once, on first use, thread-safely.
+///
+/// std::regex construction builds an NFA and dominates the classify hot
+/// path when done per call; LazyRegex amortizes it to once per pattern per
+/// process (via the compileIcaseRegex cache) while keeping construction off
+/// the startup path for libraries that are built but never matched.
+class LazyRegex {
+ public:
+  explicit LazyRegex(std::string pattern) : pattern_(std::move(pattern)) {}
+
+  LazyRegex(const LazyRegex& other)
+      : pattern_(other.pattern_), compiled_(other.compiled_.load()) {}
+  LazyRegex& operator=(const LazyRegex& other) {
+    pattern_ = other.pattern_;
+    compiled_.store(other.compiled_.load());
+    return *this;
+  }
+
+  [[nodiscard]] const std::string& pattern() const { return pattern_; }
+
+  /// The compiled regex; compiles (through the shared cache) on first call.
+  /// Throws std::regex_error when the pattern is malformed.
+  [[nodiscard]] const std::regex& get() const {
+    const std::regex* re = compiled_.load(std::memory_order_acquire);
+    if (re == nullptr) {
+      // The cache owns the compiled object for the process lifetime, so the
+      // raw pointer stays valid; racing initializers store the same value.
+      re = compileIcaseRegex(pattern_).get();
+      compiled_.store(re, std::memory_order_release);
+    }
+    return *re;
+  }
+
+ private:
+  std::string pattern_;
+  mutable std::atomic<const std::regex*> compiled_{nullptr};
+};
+
+/// A case-folded literal that must occur in every match of `pattern`, or ""
+/// when no such literal can be proven. Used as a cheap prefilter: when the
+/// literal does not occur in the case-folded subject, the (case-insensitive)
+/// regex cannot match and need not run at all.
+///
+/// The extractor is conservative: it bails (returns "") on alternation or
+/// groups, skips character classes and anchors, and drops a literal character
+/// again when a following quantifier makes it optional. Whatever survives is
+/// provably required.
+[[nodiscard]] std::string requiredLiteral(std::string_view pattern);
+
+}  // namespace urlf::util
+
+#endif  // URLF_UTIL_REGEX_H

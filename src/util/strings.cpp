@@ -21,6 +21,11 @@ std::string toLower(std::string_view s) {
   return out;
 }
 
+void toLowerInto(std::string_view s, std::string& out) {
+  out.resize(s.size());
+  std::transform(s.begin(), s.end(), out.begin(), lowerChar);
+}
+
 std::string toUpper(std::string_view s) {
   std::string out(s);
   std::transform(out.begin(), out.end(), out.begin(), upperChar);

@@ -10,6 +10,12 @@ namespace urlf::util {
 /// ASCII lowercase copy.
 [[nodiscard]] std::string toLower(std::string_view s);
 
+/// ASCII-lowercase `s` into `out`, replacing its contents. Reusing one
+/// buffer keeps repeated case-folding allocation-free once the buffer has
+/// grown to the largest subject seen (the classify hot path folds the whole
+/// fetch trace once per classification).
+void toLowerInto(std::string_view s, std::string& out);
+
 /// ASCII uppercase copy.
 [[nodiscard]] std::string toUpper(std::string_view s);
 

@@ -1,0 +1,266 @@
+// The fetch→classify fast path: requiredLiteral prefilter extraction, the
+// compiled pattern library vs the per-call reference classifier, and the
+// batched/memoized measurement client vs the serial one.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "measure/blockpage.h"
+#include "measure/client.h"
+#include "measure/pattern_library.h"
+#include "scenarios/paper_world.h"
+#include "util/regex.h"
+#include "util/rng.h"
+
+namespace urlf {
+namespace {
+
+using util::requiredLiteral;
+
+TEST(RequiredLiteral, PlainLiteralIsItselfLowercased) {
+  EXPECT_EQ(requiredLiteral("abc"), "abc");
+  EXPECT_EQ(requiredLiteral("AbC-Def"), "abc-def");
+}
+
+TEST(RequiredLiteral, AlternationAndGroupsBail) {
+  EXPECT_EQ(requiredLiteral("(a|b)c"), "");
+  EXPECT_EQ(requiredLiteral("foo(bar)"), "");
+  EXPECT_EQ(requiredLiteral("a|b"), "");
+}
+
+TEST(RequiredLiteral, ClassesDotsAndEscapedClassesBreakRuns) {
+  EXPECT_EQ(requiredLiteral("[0-9.]+:8080/webadmin/deny"),
+            ":8080/webadmin/deny");
+  EXPECT_EQ(requiredLiteral("Via:.*McAfee Web Gateway"), "mcafee web gateway");
+  EXPECT_EQ(requiredLiteral("\\d+foo"), "foo");
+}
+
+TEST(RequiredLiteral, QuantifiersDropOrEndRuns) {
+  // Optional char cannot be required; it splits the literal.
+  EXPECT_EQ(requiredLiteral("abx?cde"), "cde");
+  // '+' requires one occurrence but ends the run after it.
+  EXPECT_EQ(requiredLiteral("a+bc"), "bc");
+  EXPECT_EQ(requiredLiteral("colou*r"), "colo");
+}
+
+TEST(RequiredLiteral, EscapedPunctuationIsLiteral) {
+  EXPECT_EQ(requiredLiteral("www\\.cfauth\\.com/\\?cfru="),
+            "www.cfauth.com/?cfru=");
+}
+
+TEST(RequiredLiteral, BuiltinPatternsYieldUsefulPrefilters) {
+  // Every non-alternation builtin pattern must yield a literal — the library
+  // prefilter is only worth its fold when that holds.
+  for (const auto& pattern : measure::builtinBlockPagePatterns()) {
+    const std::string literal = requiredLiteral(pattern.regex);
+    if (pattern.name == "netsweeper-branding") {
+      EXPECT_EQ(literal, "") << pattern.name;  // alternation — no literal
+    } else {
+      EXPECT_GE(literal.size(), 7u) << pattern.name;
+    }
+  }
+}
+
+// --- compiled library vs reference classifier ------------------------------
+
+simnet::FetchResult resultWithBody(std::string body) {
+  simnet::FetchResult result;
+  result.response = http::Response::make(http::Status::kOk, std::move(body));
+  return result;
+}
+
+simnet::FetchResult redirectResult(const std::string& location) {
+  simnet::FetchResult result;
+  auto hop = http::Response::make(http::Status::kFound);
+  hop.headers.set("Location", location);
+  result.redirectChain.push_back(std::move(hop));
+  result.response = http::Response::make(http::Status::kOk, "<html/>");
+  return result;
+}
+
+std::vector<simnet::FetchResult> classifyCorpus() {
+  std::vector<simnet::FetchResult> corpus;
+  corpus.push_back(resultWithBody("<html><body>plain page</body></html>"));
+  corpus.push_back(
+      resultWithBody("<title>McAfee Web Gateway - Notification</title>"));
+  corpus.push_back(resultWithBody("<TITLE>WEBSENSE - Access denied</TITLE>"));
+  corpus.push_back(resultWithBody("Netsweeper WebAdmin deny page"));
+  corpus.push_back(
+      redirectResult("http://www.cfauth.com/?cfru=aHR0cDovL3guY29tLw"));
+  corpus.push_back(
+      redirectResult("http://10.0.0.2:8080/webadmin/deny.php?dpid=4"));
+  corpus.push_back(redirectResult(
+      "http://10.0.0.8:15871/cgi-bin/blockpage.cgi?ws-session=123"));
+  {  // SmartFilter Via header on an otherwise benign page
+    simnet::FetchResult result = resultWithBody("<html>proxied</html>");
+    result.response->headers.set("Via", "1.1 x (McAfee Web Gateway 7)");
+    corpus.push_back(std::move(result));
+  }
+  {  // failed fetch, empty chain: classified as nothing by the guard
+    simnet::FetchResult result;
+    result.outcome = simnet::FetchOutcome::kTimeout;
+    result.error = "timed out";
+    corpus.push_back(std::move(result));
+  }
+  // Near misses: the literal occurs but the full pattern must not match.
+  corpus.push_back(resultWithBody("the words mcafee web gateway in a body"));
+  corpus.push_back(resultWithBody("<title>not blue coat here</title>x"));
+  return corpus;
+}
+
+TEST(CompiledPatternLibrary, MatchesReferenceClassifierOnCorpus) {
+  const auto& patterns = measure::builtinBlockPagePatterns();
+  for (const auto& result : classifyCorpus()) {
+    const auto reference =
+        measure::classifyBlockPageReference(result, patterns);
+    const auto compiled = measure::classifyBlockPage(result);
+    const auto cached = measure::classifyBlockPage(result, patterns);
+    ASSERT_EQ(reference.has_value(), compiled.has_value());
+    ASSERT_EQ(reference.has_value(), cached.has_value());
+    if (!reference) continue;
+    EXPECT_EQ(reference->product, compiled->product);
+    EXPECT_EQ(reference->patternName, compiled->patternName);
+    EXPECT_EQ(reference->evidence, compiled->evidence);
+    EXPECT_EQ(reference->patternName, cached->patternName);
+    EXPECT_EQ(reference->evidence, cached->evidence);
+  }
+}
+
+TEST(CompiledPatternLibrary, MatchesReferenceOnRandomizedTraces) {
+  // Random noise around the vendor fragments: the prefilter must never
+  // change the outcome, only skip provably impossible patterns.
+  const auto& patterns = measure::builtinBlockPagePatterns();
+  const std::vector<std::string> fragments{
+      "McAfee Web Gateway",    "www.cfauth.com/?cfru=",
+      "webadmin/deny",         "blockpage.cgi?ws-session=",
+      "Netsweeper WebAdmin",   "<title>Websense</title>",
+      "harmless filler text",  "X-Filter: Netsweeper",
+  };
+  util::Rng rng(424242);
+  for (int i = 0; i < 200; ++i) {
+    std::string body;
+    const int parts = 1 + static_cast<int>(rng.uniform(0, 3));
+    for (int p = 0; p < parts; ++p) {
+      body += rng.pick(fragments);
+      body += ' ';
+      for (int f = 0; f < 10; ++f) body += static_cast<char>(rng.uniform(97, 122));
+      body += ' ';
+    }
+    const auto result = resultWithBody(body);
+    const auto reference =
+        measure::classifyBlockPageReference(result, patterns);
+    const auto compiled = measure::classifyBlockPage(result);
+    ASSERT_EQ(reference.has_value(), compiled.has_value()) << body;
+    if (reference) {
+      EXPECT_EQ(reference->patternName, compiled->patternName) << body;
+      EXPECT_EQ(reference->evidence, compiled->evidence) << body;
+    }
+  }
+}
+
+TEST(CompiledPatternLibrary, ClassifyTraceIsCaseInsensitive) {
+  const auto& library = measure::CompiledPatternLibrary::builtin();
+  const auto upper = library.classifyTrace(
+      "LOCATION: HTTP://WWW.CFAUTH.COM/?CFRU=ABC\r\n");
+  ASSERT_TRUE(upper.has_value());
+  EXPECT_EQ(upper->product, filters::ProductKind::kBlueCoat);
+  EXPECT_FALSE(library.classifyTrace("nothing to see here").has_value());
+}
+
+// --- batched client vs serial client ---------------------------------------
+
+std::vector<std::string> someGlobalUrls(const scenarios::PaperWorld& paper,
+                                        std::size_t count) {
+  std::vector<std::string> urls;
+  for (const auto& entry : paper.globalList().entries) {
+    urls.push_back(entry.url);
+    if (urls.size() == count) break;
+  }
+  return urls;
+}
+
+void expectSameResults(const std::vector<measure::UrlTestResult>& a,
+                       const std::vector<measure::UrlTestResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].url, b[i].url);
+    EXPECT_EQ(a[i].verdict, b[i].verdict) << a[i].url;
+    ASSERT_EQ(a[i].blockPage.has_value(), b[i].blockPage.has_value())
+        << a[i].url;
+    if (a[i].blockPage) {
+      EXPECT_EQ(a[i].blockPage->product, b[i].blockPage->product);
+      EXPECT_EQ(a[i].blockPage->patternName, b[i].blockPage->patternName);
+    }
+  }
+}
+
+TEST(BatchedClient, MatchesSerialClientAtEveryThreadCount) {
+  scenarios::PaperWorld paper;
+  scenarios::advanceClockTo(paper.world(), {2013, 4, 1});
+  const auto* field = paper.world().findVantage("field-etisalat");
+  const auto* lab = paper.world().findVantage("lab-toronto");
+  ASSERT_NE(field, nullptr);
+  ASSERT_NE(lab, nullptr);
+
+  const auto urls = someGlobalUrls(paper, 12);
+  ASSERT_FALSE(urls.empty());
+
+  measure::Client client(paper.world(), *field, *lab);
+  const auto serial = client.testList(urls);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{0}}) {
+    const auto batched = client.testListBatched(urls, threads);
+    expectSameResults(serial, batched);
+  }
+
+  // Reference classify mode must agree as well.
+  client.setClassifyMode(measure::ClassifyMode::kReference);
+  expectSameResults(serial, client.testListBatched(urls, 2));
+}
+
+TEST(VerdictMemo, HitsOnRepeatsAndInvalidatesOnClockAdvance) {
+  scenarios::PaperWorld paper;
+  scenarios::advanceClockTo(paper.world(), {2013, 4, 1});
+  const auto* field = paper.world().findVantage("field-etisalat");
+  const auto* lab = paper.world().findVantage("lab-toronto");
+  ASSERT_NE(field, nullptr);
+  ASSERT_NE(lab, nullptr);
+
+  const auto urls = someGlobalUrls(paper, 6);
+  measure::Client client(paper.world(), *field, *lab);
+  client.enableVerdictMemo(true);
+  // Etisalat's Blue Coat + SmartFilter tandem rolls no dice per exchange.
+  ASSERT_TRUE(client.verdictMemoActive());
+
+  const auto first = client.testList(urls);
+  EXPECT_EQ(client.verdictMemoHits(), 0u);
+  const auto second = client.testList(urls);
+  EXPECT_EQ(client.verdictMemoHits(), urls.size());
+  expectSameResults(first, second);
+
+  // Any clock movement moves the epoch: the memo must not serve stale
+  // verdicts (update lags are measured against the clock).
+  paper.world().clock().advanceHours(1);
+  const auto third = client.testList(urls);
+  EXPECT_EQ(client.verdictMemoHits(), urls.size());  // no new hits
+  expectSameResults(first, third);
+}
+
+TEST(VerdictMemo, RefusesNondeterministicChains) {
+  scenarios::PaperWorld paper;
+  scenarios::advanceClockTo(paper.world(), {2013, 4, 1});
+  const auto* field = paper.world().findVantage("field-yemennet");
+  const auto* lab = paper.world().findVantage("lab-toronto");
+  ASSERT_NE(field, nullptr);
+  ASSERT_NE(lab, nullptr);
+
+  // YemenNet's Netsweeper has offlineProbability > 0 (Challenge 2): every
+  // repeat must re-roll, so the memo must refuse to activate.
+  measure::Client client(paper.world(), *field, *lab);
+  client.enableVerdictMemo(true);
+  EXPECT_FALSE(client.verdictMemoActive());
+}
+
+}  // namespace
+}  // namespace urlf
