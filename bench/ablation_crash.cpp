@@ -1,0 +1,283 @@
+// Crash-recovery ablation: proves a journaled campaign killed at ANY record
+// boundary resumes into a bit-identical final report.
+//
+// For each scenario (clean pipeline; outage pipeline with vantage death,
+// middlebox silent-stop, DB-rollback window and circuit breakers armed) and
+// each classify-thread count (1 and 4):
+//
+//  1. run the full campaign once with a write-ahead journal, keeping the
+//     journal file and the report digest,
+//  2. for every record boundary k, craft the byte-exact prefix a crash
+//     between appends k and k+1 would have left (appends are flushed
+//     per-record, so a prefix at a line boundary IS the crash image),
+//     open it for resume, re-run the campaign, and require the digest to
+//     match the uninterrupted run and the resumed journal file to grow back
+//     byte-identical,
+//  3. repeat for torn-tail images (prefix + half of the next record) to
+//     exercise the truncate-and-recover path.
+//
+// Thread counts 1 and 4 must agree with each other as well — a journal
+// written at one thread count is resumed at the other in a final
+// cross-check. Results land in BENCH_crash.json; exit is non-zero on any
+// mismatch.
+//
+// Usage: ablation_crash [--quick] [--out PATH]
+//   --quick samples every 13th boundary instead of all of them (CI smoke).
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "report/json.h"
+#include "scenarios/campaign.h"
+
+namespace {
+
+using namespace urlf;
+using measure::CampaignJournal;
+using Clock = std::chrono::steady_clock;
+namespace fs = std::filesystem;
+
+struct Scenario {
+  const char* name;
+  scenarios::CampaignOptions options;
+};
+
+std::vector<Scenario> buildScenarios() {
+  std::vector<Scenario> out;
+
+  out.push_back({"clean", scenarios::CampaignOptions{}});
+
+  // Persistent failures + circuit breakers: field-nournet dies two days
+  // into its own case study (retests degrade via the breaker), the Ooredoo
+  // Netsweeper silently stops before the August characterization (fails
+  // open), and a vendor-feed rollback window reverts policy state across
+  // the April 2013 case studies.
+  scenarios::CampaignOptions outage;
+  outage.healthEnabled = true;
+  outage.breaker.failureThreshold = 5;
+  outage.breaker.cooldownHours = 24;
+  outage.outages.vantageDeaths.push_back({"field-nournet", {2013, 5, 8}});
+  outage.outages.middleboxStops.push_back(
+      {"Ooredoo Netsweeper", {2013, 8, 20}});
+  outage.outages.rollbacks.push_back(
+      {{2013, 4, 1}, {2013, 5, 1}, {2013, 1, 1}});
+  out.push_back({"outage", outage});
+
+  return out;
+}
+
+std::string readFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void writeFile(const fs::path& path, std::string_view text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+/// Resume from a crafted journal image and re-run; returns true when the
+/// resumed report digest matches `wantDigest` and the journal file grew
+/// back to `wantText`.
+bool resumeAndCheck(const fs::path& path, std::size_t threads,
+                    std::uint64_t wantDigest, const std::string& wantText,
+                    std::string& firstError) {
+  auto opened = CampaignJournal::open(path.string());
+  if (!opened) {
+    if (firstError.empty()) firstError = "open failed: " + opened.error();
+    return false;
+  }
+  auto adopted = scenarios::CampaignOptions::fromHeaderJson(opened->header());
+  if (!adopted) {
+    if (firstError.empty())
+      firstError = "header adoption failed: " + adopted.error();
+    return false;
+  }
+  adopted.value().classifyThreads = threads;
+  scenarios::CampaignReport resumed;
+  try {
+    resumed = scenarios::runPaperCampaign(adopted.value(), &opened.value());
+  } catch (const std::exception& e) {
+    if (firstError.empty())
+      firstError = "resume threw: " + std::string(e.what());
+    return false;
+  }
+  if (resumed.digest != wantDigest) {
+    if (firstError.empty())
+      firstError = "digest mismatch after resume at " + path.string();
+    return false;
+  }
+  if (readFile(path) != wantText) {
+    if (firstError.empty())
+      firstError = "journal bytes diverged after resume at " + path.string();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string outPath = "BENCH_crash.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      outPath = argv[++i];
+    } else {
+      std::cerr << "usage: ablation_crash [--quick] [--out PATH]\n";
+      return 2;
+    }
+  }
+
+  const fs::path tmpDir =
+      fs::temp_directory_path() /
+      ("urlf_crash_" + std::to_string(static_cast<unsigned>(
+                           std::chrono::steady_clock::now()
+                               .time_since_epoch()
+                               .count() &
+                           0xFFFFFF)));
+  fs::create_directories(tmpDir);
+
+  const std::vector<std::size_t> kThreads{1, 4};
+  const std::size_t stride = quick ? 13 : 1;
+
+  report::Json doc = report::Json::object();
+  report::Json scenariosJson = report::Json::array();
+  bool allEqual = true;
+  std::string firstError;
+
+  for (const auto& scenario : buildScenarios()) {
+    report::Json scenarioJson = report::Json::object();
+    scenarioJson["name"] = report::Json::string(scenario.name);
+    report::Json perThread = report::Json::array();
+
+    std::uint64_t scenarioDigest = 0;
+    bool scenarioDigestSet = false;
+    std::string fullTextAtT1;  // for the cross-thread resume check
+
+    for (const std::size_t threads : kThreads) {
+      const auto started = Clock::now();
+      auto options = scenario.options;
+      options.classifyThreads = threads;
+
+      // 1. Uninterrupted journaled run.
+      const fs::path fullPath =
+          tmpDir / (std::string(scenario.name) + "_t" +
+                    std::to_string(threads) + ".journal");
+      auto journal =
+          CampaignJournal::start(fullPath.string(), options.headerJson());
+      const auto full = scenarios::runPaperCampaign(options, &journal);
+      const std::string fullText = readFile(fullPath);
+      if (threads == kThreads.front()) fullTextAtT1 = fullText;
+
+      if (!scenarioDigestSet) {
+        scenarioDigest = full.digest;
+        scenarioDigestSet = true;
+      } else if (full.digest != scenarioDigest) {
+        allEqual = false;
+        if (firstError.empty())
+          firstError = std::string(scenario.name) +
+                       ": thread counts disagree on the full-run digest";
+      }
+
+      // 2. Kill-and-resume at record boundaries.
+      const auto boundaries = CampaignJournal::recordBoundaries(fullText);
+      const fs::path crashPath =
+          tmpDir / (std::string(scenario.name) + "_t" +
+                    std::to_string(threads) + "_crash.journal");
+      int tested = 0, mismatches = 0, tornTested = 0;
+      for (std::size_t k = 0; k < boundaries.size(); k += stride) {
+        writeFile(crashPath, std::string_view(fullText).substr(0, boundaries[k]));
+        ++tested;
+        if (!resumeAndCheck(crashPath, threads, full.digest, fullText,
+                            firstError))
+          ++mismatches;
+      }
+
+      // 3. Torn-tail images: boundary + half of the following record. The
+      //    open must shed the torn bytes and the resume must still agree.
+      for (std::size_t k = 0; k + 1 < boundaries.size(); k += stride * 4) {
+        const std::size_t torn =
+            boundaries[k] + (boundaries[k + 1] - boundaries[k]) / 2;
+        writeFile(crashPath, std::string_view(fullText).substr(0, torn));
+        ++tornTested;
+        if (!resumeAndCheck(crashPath, threads, full.digest, fullText,
+                            firstError))
+          ++mismatches;
+      }
+
+      if (mismatches > 0) allEqual = false;
+      const double millis =
+          std::chrono::duration<double, std::milli>(Clock::now() - started)
+              .count();
+
+      report::Json entry = report::Json::object();
+      entry["threads"] = report::Json::number(static_cast<std::int64_t>(threads));
+      entry["records"] =
+          report::Json::number(static_cast<std::int64_t>(journal.recordCount()));
+      entry["boundaries_tested"] = report::Json::number(std::int64_t{tested});
+      entry["torn_tested"] = report::Json::number(std::int64_t{tornTested});
+      entry["mismatches"] = report::Json::number(std::int64_t{mismatches});
+      entry["digest"] = report::Json::string(full.digestHex());
+      entry["confirmed_case_studies"] =
+          report::Json::number(std::int64_t{full.confirmedCaseStudies});
+      entry["degraded_rows"] =
+          report::Json::number(std::int64_t{full.degradedRows});
+      entry["wall_ms"] = report::Json::number(millis);
+      perThread.push(std::move(entry));
+
+      std::cerr << "crash[" << scenario.name << " t" << threads
+                << "]: records=" << journal.recordCount()
+                << " boundaries=" << tested << " torn=" << tornTested
+                << " mismatches=" << mismatches << " digest="
+                << full.digestHex() << " (" << millis << "ms)\n";
+    }
+
+    // 4. Cross-thread resume: a journal written at t1, truncated mid-way,
+    //    resumed at t4 — replay verification plus digest equality.
+    {
+      const auto boundaries = CampaignJournal::recordBoundaries(fullTextAtT1);
+      const fs::path crossPath =
+          tmpDir / (std::string(scenario.name) + "_cross.journal");
+      writeFile(crossPath, std::string_view(fullTextAtT1)
+                               .substr(0, boundaries[boundaries.size() / 2]));
+      if (!resumeAndCheck(crossPath, 4, scenarioDigest, fullTextAtT1,
+                          firstError))
+        allEqual = false;
+    }
+
+    scenarioJson["threads"] = std::move(perThread);
+    scenariosJson.push(std::move(scenarioJson));
+  }
+
+  fs::remove_all(tmpDir);
+
+  doc["scenarios"] = std::move(scenariosJson);
+  doc["all_equal"] = report::Json::boolean(allEqual);
+  doc["quick"] = report::Json::boolean(quick);
+  if (!firstError.empty())
+    doc["first_error"] = report::Json::string(firstError);
+
+  std::ofstream file(outPath);
+  if (!file) {
+    std::cerr << "ablation_crash: cannot open " << outPath << "\n";
+    return 1;
+  }
+  file << doc.dump(2) << "\n";
+  std::cout << doc.dump(2) << "\n";
+
+  if (!allEqual) {
+    std::cerr << "ablation_crash: FAIL — " << firstError << "\n";
+    return 1;
+  }
+  return 0;
+}

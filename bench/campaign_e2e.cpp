@@ -14,12 +14,13 @@
 // deliberately NOT hashed: Websense block pages embed a per-session nonce,
 // so equivalence is defined over verdicts and matches (see DESIGN.md §4.3).
 //
-// Results are merged into BENCH_fetch.json (written by micro_fetch) under
-// the "campaign" key.
+// The campaign itself lives in scenarios::runPaperCampaign (shared with the
+// crash-recovery harness in ablation_crash); this driver only loops the
+// pipeline modes and merges timings into BENCH_fetch.json (written by
+// micro_fetch) under the "campaign" key.
 //
 // Usage: campaign_e2e [--quick] [--out PATH]
 #include <chrono>
-#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -27,10 +28,8 @@
 #include <string>
 #include <vector>
 
-#include "core/characterizer.h"
-#include "core/confirmer.h"
 #include "report/json.h"
-#include "scenarios/paper_world.h"
+#include "scenarios/campaign.h"
 
 namespace {
 
@@ -50,134 +49,6 @@ const std::vector<Mode> kModes{
     {"fast-t1", measure::ClassifyMode::kCompiled, 1, true},
     {"fast-t2", measure::ClassifyMode::kCompiled, 2, true},
 };
-
-std::uint64_t fnv1a64(std::string_view s, std::uint64_t hash) {
-  for (const char c : s) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 0x100000001B3ULL;
-  }
-  return hash;
-}
-
-std::string hex(std::uint64_t v) {
-  char buf[17];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(v));
-  return buf;
-}
-
-/// Digest of one per-URL result: url, verdict, and the attributed block
-/// page (product + pattern name) when present. Traces are skipped — see the
-/// file comment.
-void digestResult(std::ostringstream& digest,
-                  const measure::UrlTestResult& result) {
-  digest << result.url << '|' << static_cast<int>(result.verdict) << '|';
-  if (result.blockPage)
-    digest << filters::toString(result.blockPage->product) << '/'
-           << result.blockPage->patternName;
-  else
-    digest << '-';
-  digest << '\n';
-}
-
-struct CampaignOutcome {
-  double millis = 0.0;
-  std::uint64_t digest = 0;
-  int confirmedCaseStudies = 0;
-  int probeBlockedCategories = 0;
-  int table4Blocked = 0;
-};
-
-/// The Table 3 + probe + Table 4 sequence, verbatim from the bench drivers,
-/// with the fetch→classify knobs of `mode` applied everywhere they exist.
-CampaignOutcome runCampaign(const Mode& mode) {
-  const auto start = Clock::now();
-  std::ostringstream digest;
-
-  scenarios::PaperWorld paper;
-  auto& world = paper.world();
-  core::Confirmer confirmer(world, paper.hosting(), paper.vendorSet());
-
-  // --- Table 3: the ten case studies, chronologically, with the §4.4
-  // Netsweeper probe interleaved in January 2013.
-  CampaignOutcome outcome;
-  bool categoryProbeDone = false;
-  for (const auto& caseStudy : paper.caseStudies()) {
-    if (!categoryProbeDone &&
-        caseStudy.startDate >= util::CivilDate{2013, 1, 1}) {
-      scenarios::advanceClockTo(world, {2013, 1, 14});
-      const auto probe =
-          confirmer.probeNetsweeperCategories("field-yemennet", "lab-toronto");
-      digest << "probe:";
-      for (const auto& p : probe) {
-        digest << p.category << '=' << (p.blocked ? '1' : '0') << ';';
-        if (p.blocked) ++outcome.probeBlockedCategories;
-      }
-      digest << '\n';
-      categoryProbeDone = true;
-    }
-    scenarios::advanceClockTo(world, caseStudy.startDate);
-
-    auto config = caseStudy.config;
-    config.classifyMode = mode.classifyMode;
-    config.classifyThreads = mode.classifyThreads;
-    config.memoizeVerdicts = mode.memoizeVerdicts;
-    const auto result = confirmer.run(config);
-    if (result.confirmed) ++outcome.confirmedCaseStudies;
-
-    digest << "case:" << filters::toString(config.product) << '|'
-           << config.ispName << '|' << result.dateLabel << '|'
-           << result.submittedRatio() << '|' << result.blockedRatio() << '|'
-           << (result.confirmed ? 'y' : 'n') << '|'
-           << result.pretestAccessibleCount << '|'
-           << result.attributedToProduct << '|' << result.controlBlocked
-           << '|' << result.notes << '\n';
-    for (const auto& r : result.finalResults) digestResult(digest, r);
-  }
-
-  // --- Table 4: characterize the four confirmed networks.
-  struct Network {
-    const char* vantage;
-    const char* alpha2;
-    util::CivilDate date;
-    int runs;
-  };
-  const std::vector<Network> networks{
-      {"field-etisalat", "AE", {2013, 5, 6}, 1},
-      {"field-yemennet", "YE", {2013, 4, 1}, 3},
-      {"field-du", "AE", {2013, 4, 1}, 1},
-      {"field-ooredoo", "QA", {2013, 8, 26}, 1},
-  };
-  core::Characterizer characterizer(world);
-  for (const auto& network : networks) {
-    scenarios::advanceClockTo(world, network.date);
-    core::CharacterizeOptions options;
-    options.runs = network.runs;
-    options.classifyMode = mode.classifyMode;
-    options.classifyThreads = mode.classifyThreads;
-    options.memoizeVerdicts = mode.memoizeVerdicts;
-    const auto result = characterizer.characterize(
-        network.vantage, "lab-toronto", paper.globalList(),
-        paper.localList(network.alpha2), options);
-
-    digest << "network:" << network.vantage << '|'
-           << (result.attributedProduct
-                   ? filters::toString(*result.attributedProduct)
-                   : "(none)");
-    for (const auto& [category, cell] : result.cells) {
-      digest << '|' << category << '=' << cell.tested << '/' << cell.blocked;
-      outcome.table4Blocked += cell.blocked;
-    }
-    digest << '\n';
-    for (const auto& r : result.results) digestResult(digest, r);
-  }
-
-  outcome.millis = std::chrono::duration<double, std::milli>(Clock::now() -
-                                                             start)
-                       .count();
-  outcome.digest = fnv1a64(digest.str(), 0xCBF29CE484222325ULL);
-  return outcome;
-}
 
 }  // namespace
 
@@ -207,30 +78,40 @@ int main(int argc, char** argv) {
 
   for (std::size_t i = 0; i < modeCount; ++i) {
     const auto& mode = kModes[i];
-    const auto outcome = runCampaign(mode);
+    scenarios::CampaignOptions options;
+    options.classifyMode = mode.classifyMode;
+    options.classifyThreads = mode.classifyThreads;
+    options.memoizeVerdicts = mode.memoizeVerdicts;
+
+    const auto start = Clock::now();
+    const auto report = scenarios::runPaperCampaign(options);
+    const double millis =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+
     if (i == 0) {
-      referenceDigest = outcome.digest;
-      referenceMs = outcome.millis;
+      referenceDigest = report.digest;
+      referenceMs = millis;
     } else {
-      if (outcome.digest != referenceDigest) allEqual = false;
-      if (std::strcmp(mode.name, "fast") == 0) fastMs = outcome.millis;
+      if (report.digest != referenceDigest) allEqual = false;
+      if (std::strcmp(mode.name, "fast") == 0) fastMs = millis;
     }
 
     report::Json entry = report::Json::object();
     entry["mode"] = report::Json::string(mode.name);
-    entry["wall_ms"] = report::Json::number(outcome.millis);
-    entry["digest"] = report::Json::string(hex(outcome.digest));
+    entry["wall_ms"] = report::Json::number(millis);
+    entry["digest"] = report::Json::string(report.digestHex());
     entry["confirmed_case_studies"] =
-        report::Json::number(std::int64_t{outcome.confirmedCaseStudies});
+        report::Json::number(std::int64_t{report.confirmedCaseStudies});
     entry["probe_blocked_categories"] =
-        report::Json::number(std::int64_t{outcome.probeBlockedCategories});
+        report::Json::number(std::int64_t{report.probeBlockedCategories});
     entry["table4_blocked"] =
-        report::Json::number(std::int64_t{outcome.table4Blocked});
+        report::Json::number(std::int64_t{report.table4Blocked});
     modes.push(std::move(entry));
 
-    std::cerr << "campaign[" << mode.name << "]: " << outcome.millis
-              << "ms digest=" << hex(outcome.digest)
-              << " confirmed=" << outcome.confirmedCaseStudies << "\n";
+    std::cerr << "campaign[" << mode.name << "]: " << millis
+              << "ms digest=" << report.digestHex()
+              << " confirmed=" << report.confirmedCaseStudies << "\n";
   }
 
   campaign["modes"] = std::move(modes);

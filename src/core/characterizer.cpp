@@ -64,15 +64,38 @@ CharacterizationResult Characterizer::characterize(
   measure::Client client(*world_, *field, *lab, options.fetchOptions);
   client.setClassifyMode(options.classifyMode);
   client.enableVerdictMemo(options.memoizeVerdicts);
+  client.setHealthRegistry(options.health);
   std::map<filters::ProductKind, int> productVotes;
+
+  if (options.journal != nullptr) {
+    report::Json e = measure::CampaignJournal::event("characterize-begin",
+                                                     world_->now());
+    e["vantage"] = report::Json::string(fieldVantage);
+    e["urls"] = report::Json::number(static_cast<std::int64_t>(
+        globalList.entries.size() + localList.entries.size()));
+    options.journal->sync(e);
+  }
 
   const auto tally = [&](measure::UrlTestResult result,
                          const std::string& oniCategory) {
     auto& cell = out.cells[oniCategory];
-    ++cell.tested;
+    if (result.provenance == measure::Provenance::kDegraded)
+      ++cell.untestable;  // never exchanged traffic — not "tested"
+    else
+      ++cell.tested;
     if (result.verdict == measure::Verdict::kBlocked && result.blockPage) {
       ++cell.blocked;
       ++productVotes[result.blockPage->product];
+    }
+    if (options.journal != nullptr) {
+      report::Json e =
+          measure::CampaignJournal::event("verdict", world_->now());
+      e["stage"] = report::Json::string("characterize");
+      e["url"] = report::Json::string(result.url);
+      e["verdict"] = report::Json::string(toString(result.verdict));
+      if (result.provenance != measure::Provenance::kConfirmed)
+        e["provenance"] = report::Json::string(toString(result.provenance));
+      options.journal->sync(e);
     }
     out.results.push_back(std::move(result));
   };
@@ -116,6 +139,22 @@ CharacterizationResult Characterizer::characterize(
     for (auto it = productVotes.begin(); it != productVotes.end(); ++it)
       if (it->second > best->second) best = it;
     out.attributedProduct = best->first;
+  }
+
+  if (options.journal != nullptr) {
+    int tested = 0, blocked = 0, untestable = 0;
+    for (const auto& [name, cell] : out.cells) {
+      tested += cell.tested;
+      blocked += cell.blocked;
+      untestable += cell.untestable;
+    }
+    report::Json e =
+        measure::CampaignJournal::event("characterize-end", world_->now());
+    e["tested"] = report::Json::number(std::int64_t{tested});
+    e["blocked"] = report::Json::number(std::int64_t{blocked});
+    if (untestable > 0)
+      e["untestable"] = report::Json::number(std::int64_t{untestable});
+    options.journal->sync(e);
   }
   return out;
 }

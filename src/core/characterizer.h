@@ -8,6 +8,8 @@
 
 #include "filters/category.h"
 #include "measure/client.h"
+#include "measure/health.h"
+#include "measure/journal.h"
 #include "measure/testlist.h"
 #include "simnet/world.h"
 
@@ -15,8 +17,9 @@ namespace urlf::core {
 
 /// Per-ONI-category tally of tested vs blocked URLs in one network.
 struct ContentCell {
-  int tested = 0;
-  int blocked = 0;  ///< blocked with a vendor-attributed block page
+  int tested = 0;      ///< URLs actually exchanged with the network
+  int blocked = 0;     ///< blocked with a vendor-attributed block page
+  int untestable = 0;  ///< skipped — vantage quarantined (kDegraded rows)
 };
 
 /// The §5 characterization of one network: which content categories the
@@ -51,6 +54,11 @@ struct CharacterizeOptions {
   /// Memoize verdicts for repeat fetches on deterministic chains (the memo
   /// auto-disables itself on chains that roll dice — see measure::Client).
   bool memoizeVerdicts = true;
+  /// Campaign write-ahead journal (nullptr = not journaled). Stage
+  /// boundaries and per-URL final verdicts are sync()ed.
+  measure::CampaignJournal* journal = nullptr;
+  /// Campaign-wide circuit breakers (nullptr = health tracking off).
+  measure::HealthRegistry* health = nullptr;
 };
 
 /// Runs the global + local URL lists through the measurement client from a

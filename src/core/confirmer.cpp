@@ -9,6 +9,34 @@
 
 namespace urlf::core {
 
+namespace {
+
+using measure::CampaignJournal;
+using report::Json;
+
+/// sync() an event if a journal is attached; no-op otherwise.
+void emit(const CampaignContext& ctx, Json event) {
+  if (ctx.journal != nullptr) ctx.journal->sync(event);
+}
+
+/// One journal record per URL verdict, in list order.
+void emitVerdicts(const CampaignContext& ctx, simnet::World& world,
+                  std::string_view stage,
+                  const std::vector<measure::UrlTestResult>& results) {
+  if (ctx.journal == nullptr) return;
+  for (const auto& r : results) {
+    Json e = CampaignJournal::event("verdict", world.now());
+    e["stage"] = Json::string(stage);
+    e["url"] = Json::string(r.url);
+    e["verdict"] = Json::string(toString(r.verdict));
+    if (r.provenance != measure::Provenance::kConfirmed)
+      e["provenance"] = Json::string(toString(r.provenance));
+    ctx.journal->sync(e);
+  }
+}
+
+}  // namespace
+
 filters::Vendor& VendorSet::get(filters::ProductKind kind) const {
   const auto it = vendors_.find(kind);
   if (it == vendors_.end())
@@ -31,7 +59,8 @@ Confirmer::Confirmer(simnet::World& world, simnet::HostingProvider& hosting,
                      VendorSet vendors)
     : world_(&world), hosting_(&hosting), vendors_(std::move(vendors)) {}
 
-CaseStudyResult Confirmer::run(const CaseStudyConfig& config) {
+CaseStudyResult Confirmer::run(const CaseStudyConfig& config,
+                               const CampaignContext& ctx) {
   if (config.sitesToSubmit <= 0 || config.sitesToSubmit > config.totalSites)
     throw std::invalid_argument("Confirmer: sitesToSubmit out of range");
 
@@ -50,11 +79,30 @@ CaseStudyResult Confirmer::run(const CaseStudyConfig& config) {
   CaseStudyResult result;
   result.config = config;
 
+  {
+    Json e = CampaignJournal::event("case-begin", world_->now());
+    e["product"] = Json::string(filters::toString(config.product));
+    e["vantage"] = Json::string(config.fieldVantage);
+    e["category"] = Json::string(config.categoryName);
+    e["total_sites"] = Json::number(std::int64_t{config.totalSites});
+    e["sites_to_submit"] = Json::number(std::int64_t{config.sitesToSubmit});
+    emit(ctx, std::move(e));
+  }
+
   // 1. Create fresh, never-categorized domains under our control.
   std::vector<simnet::HostedDomain> domains;
   domains.reserve(static_cast<std::size_t>(config.totalSites));
   for (int i = 0; i < config.totalSites; ++i)
     domains.push_back(hosting_->createFreshDomain(config.profile));
+  if (ctx.journal != nullptr) {
+    // Domain names come from the world RNG; journaling them makes a resume
+    // that drifted out of RNG sync fail loudly at the earliest boundary.
+    Json e = CampaignJournal::event("domains", world_->now());
+    Json hosts = Json::array();
+    for (const auto& d : domains) hosts.push(Json::string(d.hostname));
+    e["hosts"] = std::move(hosts);
+    ctx.journal->sync(e);
+  }
 
   // What we hand the vendor is the site root (their reviewers crawl the
   // index page); what the in-country testers fetch is, for the adult-image
@@ -76,15 +124,24 @@ CaseStudyResult Confirmer::run(const CaseStudyConfig& config) {
   measure::Client client(*world_, *field, *lab, config.fetchOptions);
   client.setClassifyMode(config.classifyMode);
   client.enableVerdictMemo(config.memoizeVerdicts);
+  client.setHealthRegistry(ctx.health);
 
   // 2. Pre-test: the methodology requires sites that are NOT already
   //    blocked. Skipped for Netsweeper (§4.4): the access itself queues the
   //    URL for categorization.
   if (config.pretestAccessible) {
     result.pretestAccessibleCount = 0;
-    for (const auto& r : client.testListBatched(urls, config.classifyThreads)) {
+    const auto pretest = client.testListBatched(urls, config.classifyThreads);
+    emitVerdicts(ctx, *world_, "pretest", pretest);
+    for (const auto& r : pretest) {
       if (r.verdict == measure::Verdict::kAccessible)
         ++result.pretestAccessibleCount;
+    }
+    {
+      Json e = CampaignJournal::event("pretest-done", world_->now());
+      e["accessible"] =
+          Json::number(std::int64_t{result.pretestAccessibleCount});
+      emit(ctx, std::move(e));
     }
     if (result.pretestAccessibleCount < config.totalSites)
       result.notes += "pre-test: " +
@@ -101,6 +158,7 @@ CaseStudyResult Confirmer::run(const CaseStudyConfig& config) {
           config.submitterPool.empty()
               ? config.submitterId
               : config.submitterPool[i % config.submitterPool.size()];
+      bool submissionOk = true;
       if (config.submitViaHttpPortal && !vendor.portalUrl().empty()) {
         // Over the wire, as the campaign did: GET the vendor's portal from
         // the (uncensored) lab network.
@@ -111,12 +169,22 @@ CaseStudyResult Confirmer::run(const CaseStudyConfig& config) {
                 "&category=" + std::to_string(category->id) +
                 "&submitter=" + identity,
             config.fetchOptions);
-        if (!response.ok() || !response.response->isSuccess())
+        if (!response.ok() || !response.response->isSuccess()) {
+          submissionOk = false;
           result.notes += "portal submission failed for " + submitUrls[i] +
                           " (" + response.error + "); ";
+        }
       } else {
         const auto url = net::Url::parse(submitUrls[i]);
         vendor.submitUrl(*url, category->id, identity);
+      }
+      {
+        Json e = CampaignJournal::event("submit", world_->now());
+        e["url"] = Json::string(submitUrls[i]);
+        e["category"] = Json::number(std::int64_t{category->id});
+        e["submitter"] = Json::string(identity);
+        if (!submissionOk) e["failed"] = Json::boolean(true);
+        emit(ctx, std::move(e));
       }
       result.submittedUrls.push_back(testUrls[i]);
     } else {
@@ -126,6 +194,11 @@ CaseStudyResult Confirmer::run(const CaseStudyConfig& config) {
 
   // 4. Wait out the vendor review latency ("After 3-5 days").
   world_->clock().advanceDays(config.waitDays);
+  {
+    Json e = CampaignJournal::event("wait", world_->now());
+    e["days"] = Json::number(std::int64_t{config.waitDays});
+    emit(ctx, std::move(e));
+  }
 
   // 5. Retest, possibly across several passes (Challenge 2: inconsistent
   //    blocking) — a URL counts as blocked if any pass blocked it.
@@ -133,7 +206,13 @@ CaseStudyResult Confirmer::run(const CaseStudyConfig& config) {
   std::set<std::string> attributedUrls;
   for (int run = 0; run < std::max(1, config.retestRuns); ++run) {
     if (run > 0) world_->clock().advanceHours(config.hoursBetweenRuns);
+    {
+      Json e = CampaignJournal::event("retest", world_->now());
+      e["run"] = Json::number(std::int64_t{run});
+      emit(ctx, std::move(e));
+    }
     result.finalResults = client.testListBatched(urls, config.classifyThreads);
+    emitVerdicts(ctx, *world_, "retest", result.finalResults);
     for (const auto& r : result.finalResults) {
       if (!r.blocked()) continue;
       blockedUrls.insert(r.url);
@@ -141,6 +220,22 @@ CaseStudyResult Confirmer::run(const CaseStudyConfig& config) {
         attributedUrls.insert(r.url);
     }
   }
+
+  // Degraded rows in the final pass were never fetched; surface them so a
+  // report can tell "tested and accessible" apart from "untestable".
+  for (const auto& r : result.finalResults) {
+    if (r.provenance != measure::Provenance::kDegraded) continue;
+    if (std::find(result.submittedUrls.begin(), result.submittedUrls.end(),
+                  r.url) != result.submittedUrls.end())
+      ++result.degradedSubmitted;
+    else
+      ++result.degradedControl;
+  }
+  if (result.degradedSubmitted + result.degradedControl > 0)
+    result.notes += "untestable (vantage quarantined): " +
+                    std::to_string(result.degradedSubmitted) +
+                    " submitted / " + std::to_string(result.degradedControl) +
+                    " control site(s); ";
 
   for (const auto& url : result.submittedUrls) {
     if (blockedUrls.contains(url)) ++result.submittedBlocked;
@@ -163,6 +258,20 @@ CaseStudyResult Confirmer::run(const CaseStudyConfig& config) {
   if (config.profile == simnet::ContentProfile::kAdultImage)
     for (const auto& d : domains) hosting_->sanitizeDomain(d);
 
+  {
+    Json e = CampaignJournal::event("case-end", world_->now());
+    e["confirmed"] = Json::boolean(result.confirmed);
+    e["submitted_blocked"] = Json::number(std::int64_t{result.submittedBlocked});
+    e["attributed"] = Json::number(std::int64_t{result.attributedToProduct});
+    e["control_blocked"] = Json::number(std::int64_t{result.controlBlocked});
+    if (result.degradedSubmitted + result.degradedControl > 0) {
+      e["degraded_submitted"] =
+          Json::number(std::int64_t{result.degradedSubmitted});
+      e["degraded_control"] = Json::number(std::int64_t{result.degradedControl});
+    }
+    emit(ctx, std::move(e));
+  }
+
   return result;
 }
 
@@ -175,7 +284,7 @@ bool Confirmer::decide(int submittedBlocked, int attributedToProduct,
 
 std::vector<CategoryProbeResult> Confirmer::probeNetsweeperCategories(
     const std::string& fieldVantage, const std::string& labVantage,
-    const simnet::FetchOptions& fetchOptions) {
+    const simnet::FetchOptions& fetchOptions, const CampaignContext& ctx) {
   auto* field = world_->findVantage(fieldVantage);
   auto* lab = world_->findVantage(labVantage);
   if (field == nullptr || lab == nullptr)
@@ -183,6 +292,14 @@ std::vector<CategoryProbeResult> Confirmer::probeNetsweeperCategories(
 
   const auto scheme = filters::netsweeperScheme();
   measure::Client client(*world_, *field, *lab, fetchOptions);
+  client.setHealthRegistry(ctx.health);
+
+  {
+    Json e = CampaignJournal::event("probe-begin", world_->now());
+    e["vantage"] = Json::string(fieldVantage);
+    e["categories"] = Json::number(static_cast<std::int64_t>(scheme.size()));
+    emit(ctx, std::move(e));
+  }
 
   // Batched: the 66 probes fetch serially in category order (identical to
   // the per-URL loop) and classify in parallel.
@@ -198,6 +315,14 @@ std::vector<CategoryProbeResult> Confirmer::probeNetsweeperCategories(
   for (std::size_t i = 0; i < scheme.categories().size(); ++i) {
     const auto& category = scheme.categories()[i];
     out.push_back({category.id, category.name, results[i].blocked()});
+    if (ctx.journal != nullptr) {
+      Json e = CampaignJournal::event("probe", world_->now());
+      e["category"] = Json::number(std::int64_t{category.id});
+      e["blocked"] = Json::boolean(results[i].blocked());
+      if (results[i].provenance != measure::Provenance::kConfirmed)
+        e["provenance"] = Json::string(toString(results[i].provenance));
+      ctx.journal->sync(e);
+    }
   }
   return out;
 }

@@ -8,10 +8,23 @@
 
 #include "filters/vendor.h"
 #include "measure/client.h"
+#include "measure/health.h"
+#include "measure/journal.h"
 #include "simnet/hosting.h"
 #include "simnet/world.h"
 
 namespace urlf::core {
+
+/// Campaign-wide crash-tolerance plumbing, threaded through every stage that
+/// does network work. Both pointers are optional and non-owning; a
+/// default-constructed context reproduces the historical behavior exactly.
+struct CampaignContext {
+  /// Write-ahead journal: every verdict, submission, clock wait, and state
+  /// transition is sync()ed — appended on a fresh run, verified on resume.
+  measure::CampaignJournal* journal = nullptr;
+  /// Per-vantage circuit breakers shared across the whole campaign.
+  measure::HealthRegistry* health = nullptr;
+};
 
 /// The set of vendors reachable for submissions — the methodology submits
 /// to the vendor matching the product under test.
@@ -88,6 +101,11 @@ struct CaseStudyResult {
   int pretestAccessibleCount = -1;
   int submittedBlocked = 0;  ///< submitted sites blocked at retest
   int controlBlocked = 0;    ///< unsubmitted sites blocked at retest
+  /// Rows from the final retest pass that were never actually fetched
+  /// because the field vantage was quarantined (Provenance::kDegraded).
+  /// They count as untestable, never as accessible or blocked.
+  int degradedSubmitted = 0;
+  int degradedControl = 0;
   /// How many blocked submitted sites carried a block page attributed to
   /// the product under test.
   int attributedToProduct = 0;
@@ -120,14 +138,27 @@ class Confirmer {
             VendorSet vendors);
 
   /// Run one case study end-to-end. Throws std::invalid_argument when the
-  /// config names unknown vantages/categories.
-  [[nodiscard]] CaseStudyResult run(const CaseStudyConfig& config);
+  /// config names unknown vantages/categories. With a journal in `ctx`,
+  /// every stage boundary and verdict is synced (append on a fresh run,
+  /// verify on resume); with a health registry, fetches are gated by the
+  /// field vantage's circuit breaker.
+  [[nodiscard]] CaseStudyResult run(const CaseStudyConfig& config,
+                                    const CampaignContext& ctx);
+  [[nodiscard]] CaseStudyResult run(const CaseStudyConfig& config) {
+    return run(config, CampaignContext{});
+  }
 
   /// Probe all 66 Netsweeper category-test URLs from a field vantage
   /// (denypagetests.netsweeper.com/category/catno/N, §4.4).
   [[nodiscard]] std::vector<CategoryProbeResult> probeNetsweeperCategories(
       const std::string& fieldVantage, const std::string& labVantage,
-      const simnet::FetchOptions& fetchOptions = {});
+      const simnet::FetchOptions& fetchOptions, const CampaignContext& ctx);
+  [[nodiscard]] std::vector<CategoryProbeResult> probeNetsweeperCategories(
+      const std::string& fieldVantage, const std::string& labVantage,
+      const simnet::FetchOptions& fetchOptions = {}) {
+    return probeNetsweeperCategories(fieldVantage, labVantage, fetchOptions,
+                                     CampaignContext{});
+  }
 
   /// The decision rule (§4.2): confirmed ⇔ at least two-thirds of the
   /// `sitesSubmitted` sites are blocked AND attributable to the product.

@@ -48,6 +48,13 @@ NetworkProfile profileNetwork(simnet::World& world,
   profile.ispName = field->isp != nullptr ? field->isp->name() : "(no ISP)";
   profile.countryAlpha2 = field->countryAlpha2;
 
+  if (sources.journal != nullptr) {
+    report::Json e =
+        measure::CampaignJournal::event("profile-begin", world.now());
+    e["vantage"] = report::Json::string(fieldVantage);
+    sources.journal->sync(e);
+  }
+
   // §3: installations visible in the network's country.
   Identifier identifier(world, *sources.index,
                         fingerprint::Engine::withBuiltinSignatures(),
@@ -72,10 +79,22 @@ NetworkProfile profileNetwork(simnet::World& world,
 
   // §5: what content is censored.
   Characterizer characterizer(world);
-  profile.characterization = characterizer.characterize(
-      fieldVantage, labVantage, *sources.globalList, *sources.localList,
-      sources.characterizationRuns, sources.fetchOptions);
+  CharacterizeOptions characterizeOptions;
+  characterizeOptions.runs = sources.characterizationRuns;
+  characterizeOptions.fetchOptions = sources.fetchOptions;
+  characterizeOptions.journal = sources.journal;
+  characterizeOptions.health = sources.health;
+  profile.characterization =
+      characterizer.characterize(fieldVantage, labVantage, *sources.globalList,
+                                 *sources.localList, characterizeOptions);
 
+  if (sources.journal != nullptr) {
+    report::Json e =
+        measure::CampaignJournal::event("profile-end", world.now());
+    e["installations"] = report::Json::number(
+        static_cast<std::int64_t>(profile.installationsInCountry.size()));
+    sources.journal->sync(e);
+  }
   return profile;
 }
 

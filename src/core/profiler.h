@@ -49,6 +49,11 @@ struct ProfilerSources {
   int characterizationRuns = 1;
   /// Redirect limits + retry/backoff for every measurement fetch.
   simnet::FetchOptions fetchOptions;
+  /// Campaign write-ahead journal (nullptr = not journaled). Stage
+  /// boundaries and characterization verdicts are sync()ed.
+  measure::CampaignJournal* journal = nullptr;
+  /// Campaign-wide circuit breakers (nullptr = health tracking off).
+  measure::HealthRegistry* health = nullptr;
 };
 
 /// One-call profiling of a network (composition of the §3/§4.3/§5/§7

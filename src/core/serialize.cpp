@@ -38,6 +38,11 @@ Json toJson(const CaseStudyResult& result) {
   out["sites_blocked"] = Json::string(result.blockedRatio());
   out["submitted_blocked"] = Json::number(std::int64_t{result.submittedBlocked});
   out["control_blocked"] = Json::number(std::int64_t{result.controlBlocked});
+  if (result.degradedSubmitted + result.degradedControl > 0) {
+    out["degraded_submitted"] =
+        Json::number(std::int64_t{result.degradedSubmitted});
+    out["degraded_control"] = Json::number(std::int64_t{result.degradedControl});
+  }
   out["attributed_to_product"] =
       Json::number(std::int64_t{result.attributedToProduct});
   out["confirmed"] = Json::boolean(result.confirmed);
@@ -65,6 +70,8 @@ Json toJson(const CharacterizationResult& result) {
     Json entry = Json::object();
     entry["tested"] = Json::number(std::int64_t{cell.tested});
     entry["blocked"] = Json::number(std::int64_t{cell.blocked});
+    if (cell.untestable > 0)
+      entry["untestable"] = Json::number(std::int64_t{cell.untestable});
     cells[category] = std::move(entry);
   }
   out["categories"] = std::move(cells);

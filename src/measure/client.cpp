@@ -15,6 +15,14 @@ std::string_view toString(Verdict verdict) {
   return "unknown";
 }
 
+std::string_view toString(Provenance provenance) {
+  switch (provenance) {
+    case Provenance::kConfirmed: return "confirmed";
+    case Provenance::kDegraded: return "degraded";
+  }
+  return "unknown";
+}
+
 Client::Client(simnet::World& world, const simnet::VantagePoint& field,
                const simnet::VantagePoint& lab,
                simnet::FetchOptions fetchOptions)
@@ -97,12 +105,40 @@ UrlTestResult Client::fetchAndClassify(const std::string& url) {
   result.url = url;
   result.field = transport_.fetchUrl(*field_, url, fetchOptions_);
   result.lab = transport_.fetchUrl(*lab_, url, fetchOptions_);
+  if (health_ != nullptr)
+    health_->of(field_->name).recordOutcome(result.field.outcome,
+                                            world_->now());
   result.blockPage = classify(result.field);
   result.verdict = compare(result.field, result.lab, result.blockPage);
   return result;
 }
 
+UrlTestResult Client::degradedResult(const std::string& url) const {
+  UrlTestResult result;
+  result.url = url;
+  result.provenance = Provenance::kDegraded;
+  const std::string reason = "skipped: vantage '" + field_->name +
+                             "' quarantined (circuit breaker open)";
+  result.field.outcome = simnet::FetchOutcome::kTimeout;
+  result.field.error = reason;
+  result.lab.outcome = simnet::FetchOutcome::kTimeout;
+  result.lab.error = reason;
+  result.verdict = Verdict::kError;  // untestable, not evidence of blocking
+  return result;
+}
+
 UrlTestResult Client::testUrl(const std::string& url) {
+  // Health gate comes BEFORE the memo: a quarantined vantage must not serve
+  // stale verdicts, and a half-open probe must reach the network.
+  bool probe = false;
+  if (health_ != nullptr) {
+    switch (health_->of(field_->name).decide(world_->now())) {
+      case HealthDecision::kQuarantined: return degradedResult(url);
+      case HealthDecision::kProbe: probe = true; break;
+      case HealthDecision::kProceed: break;
+    }
+  }
+
   if (!verdictMemoActive()) return fetchAndClassify(url);
 
   const MemoEpoch before = currentEpoch();
@@ -110,9 +146,11 @@ UrlTestResult Client::testUrl(const std::string& url) {
     memo_.clear();
     memoEpoch_ = before;
   }
-  if (const auto it = memo_.find(url); it != memo_.end()) {
-    ++memoHits_;
-    return it->second;
+  if (!probe) {
+    if (const auto it = memo_.find(url); it != memo_.end()) {
+      ++memoHits_;
+      return it->second;
+    }
   }
   UrlTestResult result = fetchAndClassify(url);
   // Insert-guard: memoize only when the fetch itself left the epoch alone.
@@ -145,22 +183,39 @@ std::vector<UrlTestResult> Client::testListBatched(
     after.reserve(urls.size());
   }
   for (std::size_t i = 0; i < urls.size(); ++i) {
+    // Health gate first (same contract as testUrl): quarantine skips the
+    // URL entirely, a half-open probe bypasses the memo lookup.
+    bool probe = false;
+    if (health_ != nullptr) {
+      switch (health_->of(field_->name).decide(world_->now())) {
+        case HealthDecision::kQuarantined:
+          out[i] = degradedResult(urls[i]);
+          continue;
+        case HealthDecision::kProbe: probe = true; break;
+        case HealthDecision::kProceed: break;
+      }
+    }
     if (memoActive) {
       const MemoEpoch epoch = currentEpoch();
       if (epoch != memoEpoch_) {
         memo_.clear();
         memoEpoch_ = epoch;
       }
-      if (const auto it = memo_.find(urls[i]); it != memo_.end()) {
-        ++memoHits_;
-        out[i] = it->second;
-        continue;
+      if (!probe) {
+        if (const auto it = memo_.find(urls[i]); it != memo_.end()) {
+          ++memoHits_;
+          out[i] = it->second;
+          continue;
+        }
       }
       before.push_back(epoch);
     }
     out[i].url = urls[i];
     out[i].field = transport_.fetchUrl(*field_, urls[i], fetchOptions_);
     out[i].lab = transport_.fetchUrl(*lab_, urls[i], fetchOptions_);
+    if (health_ != nullptr)
+      health_->of(field_->name).recordOutcome(out[i].field.outcome,
+                                              world_->now());
     fetched.push_back(i);
     if (memoActive) after.push_back(currentEpoch());
   }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "measure/blockpage.h"
+#include "measure/health.h"
 #include "simnet/transport.h"
 #include "simnet/world.h"
 
@@ -26,6 +27,17 @@ enum class Verdict {
 
 [[nodiscard]] std::string_view toString(Verdict verdict);
 
+/// How much a recorded row is worth as evidence. kConfirmed rows come from a
+/// real field+lab exchange; kDegraded rows were never fetched — the vantage
+/// was quarantined by its circuit breaker — so they mean "untestable", not
+/// "accessible" or "blocked".
+enum class Provenance {
+  kConfirmed,
+  kDegraded,
+};
+
+[[nodiscard]] std::string_view toString(Provenance provenance);
+
 /// Everything recorded about one URL in one run.
 struct UrlTestResult {
   std::string url;
@@ -33,6 +45,7 @@ struct UrlTestResult {
   simnet::FetchResult lab;
   Verdict verdict = Verdict::kError;
   std::optional<BlockPageMatch> blockPage;
+  Provenance provenance = Provenance::kConfirmed;
 
   [[nodiscard]] bool blocked() const {
     return verdict == Verdict::kBlocked || verdict == Verdict::kBlockedOther;
@@ -92,6 +105,18 @@ class Client {
   void clearVerdictMemo();
   [[nodiscard]] std::uint64_t verdictMemoHits() const { return memoHits_; }
 
+  /// Attach a campaign-scoped health registry (nullptr = health tracking
+  /// off, the historical behavior). With a registry attached, every test is
+  /// gated on the *field* vantage's circuit breaker BEFORE the verdict memo
+  /// is consulted: a quarantined vantage yields a kDegraded result without
+  /// touching the network or the memo, and a half-open probe bypasses the
+  /// memo so the breaker sees a live exchange. Only real fetches feed the
+  /// breaker — memo hits carry no health signal. The lab vantage is not
+  /// gated or tracked: a lab-side failure means the site is down, not that
+  /// the infrastructure is sick.
+  void setHealthRegistry(HealthRegistry* registry) { health_ = registry; }
+  [[nodiscard]] HealthRegistry* healthRegistry() const { return health_; }
+
   /// Classification mode: compiled pattern library (default) or per-call
   /// reference regex construction (equivalence baseline).
   void setClassifyMode(ClassifyMode mode) { classifyMode_ = mode; }
@@ -123,9 +148,12 @@ class Client {
   [[nodiscard]] bool chainsDeterministic() const;
 
   /// Fetch both sides and classify — the memo-oblivious core of testUrl.
+  /// Feeds the field outcome to the health registry when one is attached.
   [[nodiscard]] UrlTestResult fetchAndClassify(const std::string& url);
   [[nodiscard]] std::optional<BlockPageMatch> classify(
       const simnet::FetchResult& field) const;
+  /// The synthetic row recorded for a URL skipped under quarantine.
+  [[nodiscard]] UrlTestResult degradedResult(const std::string& url) const;
 
   simnet::World* world_;
   simnet::Transport transport_;
@@ -139,6 +167,7 @@ class Client {
   MemoEpoch memoEpoch_{};
   std::uint64_t memoHits_ = 0;
   std::unordered_map<std::string, UrlTestResult> memo_;
+  HealthRegistry* health_ = nullptr;
 };
 
 }  // namespace urlf::measure

@@ -1,0 +1,110 @@
+#include "measure/health.h"
+
+namespace urlf::measure {
+
+std::string_view toString(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+bool VantageHealth::hardFailure(simnet::FetchOutcome outcome) {
+  switch (outcome) {
+    case simnet::FetchOutcome::kTimeout:
+    case simnet::FetchOutcome::kReset:
+    case simnet::FetchOutcome::kDnsFailure:
+    case simnet::FetchOutcome::kConnectFailure:
+      return true;
+    case simnet::FetchOutcome::kOk:
+    case simnet::FetchOutcome::kBadUrl:
+      return false;
+  }
+  return false;
+}
+
+bool VantageHealth::ignored(simnet::FetchOutcome outcome) {
+  // A malformed URL never reaches the network: it says nothing about the
+  // vantage, so it must neither trip nor reset the breaker.
+  return outcome == simnet::FetchOutcome::kBadUrl;
+}
+
+HealthDecision VantageHealth::decide(util::SimTime now) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      ++allowed_;
+      return HealthDecision::kProceed;
+    case BreakerState::kHalfOpen:
+      // A probe is already owed (e.g. the caller asked again before
+      // reporting the probe's outcome) — keep offering it.
+      ++allowed_;
+      return HealthDecision::kProbe;
+    case BreakerState::kOpen:
+      if (now.hours() - openedAt_.hours() >= policy_.cooldownHours) {
+        state_ = BreakerState::kHalfOpen;
+        ++allowed_;
+        return HealthDecision::kProbe;
+      }
+      ++quarantined_;
+      return HealthDecision::kQuarantined;
+  }
+  ++allowed_;
+  return HealthDecision::kProceed;
+}
+
+void VantageHealth::recordOutcome(simnet::FetchOutcome outcome,
+                                  util::SimTime now) {
+  if (ignored(outcome)) return;
+
+  if (!hardFailure(outcome)) {
+    // Success (including a vendor block page — the vantage exchanged
+    // traffic): close the breaker from any state.
+    state_ = BreakerState::kClosed;
+    consecutiveFailures_ = 0;
+    return;
+  }
+
+  ++consecutiveFailures_;
+  switch (state_) {
+    case BreakerState::kHalfOpen:
+      // The probe failed — straight back to open and restart the cooldown.
+      open(now);
+      break;
+    case BreakerState::kClosed:
+      if (consecutiveFailures_ >= policy_.failureThreshold) open(now);
+      break;
+    case BreakerState::kOpen:
+      break;  // already quarantined; nothing more to do
+  }
+}
+
+void VantageHealth::open(util::SimTime now) {
+  state_ = BreakerState::kOpen;
+  openedAt_ = now;
+  ++timesOpened_;
+}
+
+VantageHealth& HealthRegistry::of(const std::string& vantageName) {
+  auto it = vantages_.find(vantageName);
+  if (it == vantages_.end())
+    it = vantages_.emplace(vantageName, VantageHealth{policy_}).first;
+  return it->second;
+}
+
+const VantageHealth* HealthRegistry::find(const std::string& vantageName) const {
+  const auto it = vantages_.find(vantageName);
+  return it == vantages_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<std::string, BreakerState>> HealthRegistry::snapshot()
+    const {
+  std::vector<std::pair<std::string, BreakerState>> out;
+  out.reserve(vantages_.size());
+  for (const auto& [name, health] : vantages_)
+    out.emplace_back(name, health.state());
+  return out;
+}
+
+}  // namespace urlf::measure

@@ -1,0 +1,114 @@
+#ifndef URLF_MEASURE_HEALTH_H
+#define URLF_MEASURE_HEALTH_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simnet/transport.h"
+#include "util/clock.h"
+
+namespace urlf::measure {
+
+/// Circuit-breaker state for one vantage point.
+enum class BreakerState {
+  kClosed,    ///< healthy — all requests flow
+  kOpen,      ///< quarantined — requests are skipped until the cooldown
+  kHalfOpen,  ///< cooldown elapsed — one probe request is let through
+};
+
+[[nodiscard]] std::string_view toString(BreakerState state);
+
+/// Tuning for the per-vantage circuit breaker.
+struct BreakerPolicy {
+  /// Consecutive hard failures that trip closed -> open.
+  int failureThreshold = 5;
+  /// Simulated-clock hours an open breaker waits before letting a half-open
+  /// probe through.
+  std::int64_t cooldownHours = 24;
+
+  bool operator==(const BreakerPolicy&) const = default;
+};
+
+/// What the breaker says about a fetch that is about to happen.
+enum class HealthDecision {
+  kProceed,      ///< breaker closed — fetch normally
+  kProbe,        ///< breaker half-open — fetch, but bypass the verdict memo
+  kQuarantined,  ///< breaker open and cooling down — skip the fetch
+};
+
+/// Health tracker for one vantage point: counts consecutive hard transport
+/// failures and runs the closed -> open -> half-open state machine on the
+/// simulated clock.
+///
+/// Outcome classification (pinned by tests/health_breaker_test.cpp):
+///  * kTimeout / kReset / kDnsFailure / kConnectFailure — hard failures;
+///    each increments the consecutive-failure count,
+///  * kOk — success; closes the breaker and resets the count (even a block
+///    page proves the vantage is alive and exchanging traffic),
+///  * kBadUrl — ignored entirely: the URL never parsed, no network activity
+///    happened, so it is evidence about the test list, not the vantage.
+class VantageHealth {
+ public:
+  explicit VantageHealth(BreakerPolicy policy = {}) : policy_(policy) {}
+
+  /// Gate a fetch at simulated time `now`. May transition open -> half-open
+  /// when the cooldown has elapsed (the caller is then expected to fetch).
+  [[nodiscard]] HealthDecision decide(util::SimTime now);
+
+  /// Record the final transport outcome of a fetch (after retries).
+  void recordOutcome(simnet::FetchOutcome outcome, util::SimTime now);
+
+  [[nodiscard]] BreakerState state() const { return state_; }
+  [[nodiscard]] int consecutiveFailures() const { return consecutiveFailures_; }
+  [[nodiscard]] util::SimTime openedAt() const { return openedAt_; }
+  [[nodiscard]] const BreakerPolicy& policy() const { return policy_; }
+
+  /// Lifetime tallies (reporting).
+  [[nodiscard]] std::uint64_t requestsAllowed() const { return allowed_; }
+  [[nodiscard]] std::uint64_t requestsQuarantined() const {
+    return quarantined_;
+  }
+  [[nodiscard]] std::uint64_t timesOpened() const { return timesOpened_; }
+
+  /// Does this outcome count as a hard failure for breaker purposes?
+  [[nodiscard]] static bool hardFailure(simnet::FetchOutcome outcome);
+  /// Is this outcome ignored by the breaker (no state change at all)?
+  [[nodiscard]] static bool ignored(simnet::FetchOutcome outcome);
+
+ private:
+  void open(util::SimTime now);
+
+  BreakerPolicy policy_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutiveFailures_ = 0;
+  util::SimTime openedAt_{};
+  std::uint64_t allowed_ = 0;
+  std::uint64_t quarantined_ = 0;
+  std::uint64_t timesOpened_ = 0;
+};
+
+/// Campaign-scoped registry of per-vantage health, keyed by vantage name.
+/// One registry spans every Client / case study in a campaign so that a
+/// vantage quarantined in one case study stays quarantined in the next.
+class HealthRegistry {
+ public:
+  explicit HealthRegistry(BreakerPolicy policy = {}) : policy_(policy) {}
+
+  [[nodiscard]] VantageHealth& of(const std::string& vantageName);
+  [[nodiscard]] const VantageHealth* find(const std::string& vantageName) const;
+  [[nodiscard]] const BreakerPolicy& policy() const { return policy_; }
+
+  /// (vantage name, state) for every vantage seen, name-sorted.
+  [[nodiscard]] std::vector<std::pair<std::string, BreakerState>> snapshot()
+      const;
+
+ private:
+  BreakerPolicy policy_;
+  std::map<std::string, VantageHealth> vantages_;
+};
+
+}  // namespace urlf::measure
+
+#endif  // URLF_MEASURE_HEALTH_H

@@ -1,0 +1,232 @@
+#include "measure/journal.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+
+#include "util/hash.h"
+
+namespace urlf::measure {
+
+namespace {
+
+constexpr std::string_view kMagic = "urlfj1";
+constexpr std::size_t kChecksumChars = 16;
+
+std::string checksumHex(std::string_view text) {
+  char buf[kChecksumChars + 1];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(util::fnv1a64(text)));
+  return std::string(buf, kChecksumChars);
+}
+
+bool isHex(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+}
+
+/// Validate "<16-hex> <json>" and return the parsed object, or nullopt.
+std::optional<report::Json> parseRecordBody(std::string_view body) {
+  if (body.size() < kChecksumChars + 2) return std::nullopt;
+  if (body[kChecksumChars] != ' ') return std::nullopt;
+  for (std::size_t i = 0; i < kChecksumChars; ++i)
+    if (!isHex(body[i])) return std::nullopt;
+  const std::string_view jsonText = body.substr(kChecksumChars + 1);
+  if (checksumHex(jsonText) != body.substr(0, kChecksumChars))
+    return std::nullopt;
+  auto json = report::Json::parse(jsonText);
+  if (!json || !json->isObject()) return std::nullopt;
+  return json;
+}
+
+struct ScannedJournal {
+  report::Json header;
+  std::vector<report::Json> records;
+  std::vector<std::string> recordTexts;
+  std::size_t validBytes = 0;  ///< length of the longest valid prefix
+  bool headerOk = false;
+};
+
+/// Walk journal text line by line, accepting the longest valid prefix.
+ScannedJournal scan(std::string_view text) {
+  ScannedJournal out;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) break;  // torn line — no newline yet
+    std::string_view line = text.substr(pos, nl - pos);
+    if (first) {
+      if (line.size() <= kMagic.size() + 1 ||
+          line.substr(0, kMagic.size()) != kMagic ||
+          line[kMagic.size()] != ' ')
+        break;
+      auto header = parseRecordBody(line.substr(kMagic.size() + 1));
+      if (!header) break;
+      out.header = std::move(*header);
+      out.headerOk = true;
+      first = false;
+    } else {
+      auto record = parseRecordBody(line);
+      if (!record) break;
+      out.recordTexts.emplace_back(line.substr(kChecksumChars + 1));
+      out.records.push_back(std::move(*record));
+    }
+    pos = nl + 1;
+    out.validBytes = pos;
+  }
+  return out;
+}
+
+std::optional<std::string> readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return text;
+}
+
+}  // namespace
+
+CampaignJournal CampaignJournal::start(const std::string& path,
+                                       const report::Json& header) {
+  CampaignJournal journal;
+  journal.path_ = path;
+  journal.header_ = header;
+  const std::string headerText = header.dump(0);
+  if (!path.empty()) {
+    journal.out_.open(path, std::ios::binary | std::ios::trunc);
+    if (!journal.out_)
+      throw std::runtime_error("cannot create journal: " + path);
+    journal.out_ << kMagic << ' ' << checksumHex(headerText) << ' '
+                 << headerText << '\n';
+    journal.out_.flush();
+  }
+  return journal;
+}
+
+util::Expected<CampaignJournal> CampaignJournal::open(const std::string& path) {
+  auto text = readFile(path);
+  if (!text)
+    return util::Expected<CampaignJournal>::failure(
+        "cannot resume: journal '" + path + "' does not exist");
+  if (text->empty())
+    return util::Expected<CampaignJournal>::failure(
+        "cannot resume: journal '" + path + "' is empty");
+
+  ScannedJournal scanned = scan(*text);
+  if (!scanned.headerOk)
+    return util::Expected<CampaignJournal>::failure(
+        "cannot resume: journal '" + path +
+        "' has a corrupt or unrecognized header");
+
+  CampaignJournal journal;
+  journal.path_ = path;
+  journal.header_ = std::move(scanned.header);
+  journal.records_ = std::move(scanned.records);
+  journal.recordTexts_ = std::move(scanned.recordTexts);
+  journal.stats_.loadedRecords = journal.records_.size();
+  journal.stats_.droppedBytes = text->size() - scanned.validBytes;
+  journal.stats_.tornTail = journal.stats_.droppedBytes > 0;
+
+  // Physically truncate a torn tail so future appends start on a clean
+  // record boundary (and a second open sees exactly the same prefix).
+  if (journal.stats_.tornTail) {
+    std::error_code ec;
+    std::filesystem::resize_file(path, scanned.validBytes, ec);
+    if (ec)
+      return util::Expected<CampaignJournal>::failure(
+          "cannot resume: journal '" + path +
+          "' has a torn tail that could not be truncated: " + ec.message());
+  }
+
+  journal.out_.open(path, std::ios::binary | std::ios::app);
+  if (!journal.out_)
+    return util::Expected<CampaignJournal>::failure(
+        "cannot resume: journal '" + path + "' is not writable");
+  return journal;
+}
+
+util::Expected<CampaignJournal> CampaignJournal::fromText(
+    std::string_view text) {
+  if (text.empty())
+    return util::Expected<CampaignJournal>::failure(
+        "cannot resume: journal text is empty");
+  ScannedJournal scanned = scan(text);
+  if (!scanned.headerOk)
+    return util::Expected<CampaignJournal>::failure(
+        "cannot resume: journal text has a corrupt or unrecognized header");
+  CampaignJournal journal;
+  journal.header_ = std::move(scanned.header);
+  journal.records_ = std::move(scanned.records);
+  journal.recordTexts_ = std::move(scanned.recordTexts);
+  journal.stats_.loadedRecords = journal.records_.size();
+  journal.stats_.droppedBytes = text.size() - scanned.validBytes;
+  journal.stats_.tornTail = journal.stats_.droppedBytes > 0;
+  return journal;
+}
+
+void CampaignJournal::appendLine(const std::string& line) {
+  if (path_.empty()) return;
+  out_ << line << '\n';
+  // Flush every record: the torn-write contract promises a crash loses at
+  // most the line currently being written, never a previously synced one.
+  out_.flush();
+}
+
+CampaignJournal::SyncAction CampaignJournal::sync(const report::Json& event) {
+  const std::string text = event.dump(0);
+
+  if (cursor_ < records_.size()) {
+    const std::string& stored = recordTexts_[cursor_];
+    if (stored != text)
+      throw JournalDivergence(
+          "journal divergence at record " + std::to_string(cursor_) +
+          ": stored " + stored + " vs regenerated " + text);
+    ++cursor_;
+    return SyncAction::kReplayed;
+  }
+
+  appendLine(checksumHex(text) + ' ' + text);
+  records_.push_back(event);
+  recordTexts_.push_back(text);
+  ++cursor_;
+  ++appends_;
+  if (crashBudget_ > 0 && --crashBudget_ == 0)
+    throw SimulatedCrash("simulated crash after journal record " +
+                         std::to_string(cursor_ - 1) + " (" + text + ")");
+  return SyncAction::kAppended;
+}
+
+report::Json CampaignJournal::event(std::string_view type, util::SimTime t) {
+  report::Json out = report::Json::object();
+  out["type"] = report::Json::string(type);
+  out["t"] = report::Json::number(t.hours());
+  return out;
+}
+
+std::vector<std::size_t> CampaignJournal::recordBoundaries(
+    std::string_view text) {
+  std::vector<std::size_t> boundaries;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) break;
+    const std::string_view line = text.substr(pos, nl - pos);
+    if (first) {
+      if (line.size() <= kMagic.size() + 1 ||
+          line.substr(0, kMagic.size()) != kMagic ||
+          line[kMagic.size()] != ' ' ||
+          !parseRecordBody(line.substr(kMagic.size() + 1)))
+        break;
+      first = false;
+    } else if (!parseRecordBody(line)) {
+      break;
+    }
+    pos = nl + 1;
+    boundaries.push_back(pos);
+  }
+  return boundaries;
+}
+
+}  // namespace urlf::measure

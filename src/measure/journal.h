@@ -1,0 +1,145 @@
+#ifndef URLF_MEASURE_JOURNAL_H
+#define URLF_MEASURE_JOURNAL_H
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "report/json.h"
+#include "util/clock.h"
+#include "util/expected.h"
+
+namespace urlf::measure {
+
+/// Thrown by CampaignJournal::sync when a replayed event does not match the
+/// journaled record — the resumed run has diverged from the original (wrong
+/// seed, different config, non-deterministic code path).
+class JournalDivergence : public std::runtime_error {
+ public:
+  explicit JournalDivergence(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Thrown by CampaignJournal::sync when a crash point armed with
+/// crashAfterAppends() fires. The record that triggered it IS durable: the
+/// crash models the process dying after the write hit the disk.
+class SimulatedCrash : public std::runtime_error {
+ public:
+  explicit SimulatedCrash(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Append-only, per-record-checksummed write-ahead journal for measurement
+/// campaigns (DESIGN.md §4.4).
+///
+/// File format — one record per line, text, greppable:
+///
+///   urlfj1 <16-hex fnv1a64 of json> <compact json header>\n
+///   <16-hex fnv1a64 of json> <compact json event>\n
+///   ...
+///
+/// A record is valid iff its line is newline-terminated, the checksum
+/// matches the byte-exact JSON text, and the JSON parses to an object.
+/// open() accepts the longest valid prefix and drops everything after the
+/// first torn or corrupt line (the torn-write contract: a crash mid-append
+/// loses at most the record being written).
+///
+/// The simulator is deterministic, so resume is replay-by-re-execution: a
+/// resumed campaign rebuilds the world from the journaled config and runs
+/// the same program. The journal's job during replay is verification — each
+/// sync() checks the regenerated event against the stored record and throws
+/// JournalDivergence on any mismatch — and once the stored records are
+/// exhausted, sync() switches to appending. The same driver code therefore
+/// runs fresh and resumed campaigns identically.
+class CampaignJournal {
+ public:
+  enum class SyncAction {
+    kReplayed,  ///< event matched the next stored record
+    kAppended,  ///< event was appended (and flushed, if file-backed)
+  };
+
+  struct Stats {
+    std::size_t loadedRecords = 0;  ///< valid records accepted by open()
+    std::size_t droppedBytes = 0;   ///< torn/corrupt tail bytes discarded
+    bool tornTail = false;          ///< droppedBytes > 0
+  };
+
+  /// Start a fresh journal: truncates `path` and writes the header record.
+  /// An empty path makes an in-memory journal (no file, same semantics).
+  [[nodiscard]] static CampaignJournal start(const std::string& path,
+                                             const report::Json& header);
+
+  /// Open an existing journal for resume. Fails (with a one-line reason)
+  /// when the file is missing, empty, or its header record is corrupt —
+  /// a resume against those must not silently start fresh. A torn or
+  /// corrupt *tail* is recovered: the file is physically truncated to the
+  /// longest valid prefix and every surviving record becomes replay state.
+  [[nodiscard]] static util::Expected<CampaignJournal> open(
+      const std::string& path);
+
+  /// open() on journal text instead of a file: same validation and prefix
+  /// recovery, but in-memory (nothing is written anywhere). For tests.
+  [[nodiscard]] static util::Expected<CampaignJournal> fromText(
+      std::string_view text);
+
+  /// Feed one event through the journal. While stored records remain this
+  /// verifies the event against the next one (JournalDivergence on
+  /// mismatch); afterwards it appends and flushes.
+  SyncAction sync(const report::Json& event);
+
+  /// Arm a crash point: the nth append after this call throws
+  /// SimulatedCrash *after* the record is flushed. n <= 0 disarms.
+  void crashAfterAppends(int n) { crashBudget_ = n; }
+
+  [[nodiscard]] const report::Json& header() const { return header_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  /// Records consumed or written so far this run.
+  [[nodiscard]] std::size_t position() const { return cursor_; }
+  /// Records currently stored (replayed-over + appended).
+  [[nodiscard]] std::size_t recordCount() const { return records_.size(); }
+  /// Stored records not yet replayed over.
+  [[nodiscard]] std::size_t replayRemaining() const {
+    return records_.size() - cursor_;
+  }
+  [[nodiscard]] std::size_t appendCount() const { return appends_; }
+  [[nodiscard]] const std::vector<report::Json>& records() const {
+    return records_;
+  }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Convenience: an event object with "type" and "t" (simulated hours)
+  /// already set; callers add their own fields before sync().
+  [[nodiscard]] static report::Json event(std::string_view type,
+                                          util::SimTime t);
+
+  /// Byte offsets of every record boundary in journal text: offset 0 is
+  /// "after the header line", offset k is "after the kth event record".
+  /// Crafting a file prefix at any of these simulates a crash exactly
+  /// between two appends. Scanning stops at the first invalid line.
+  [[nodiscard]] static std::vector<std::size_t> recordBoundaries(
+      std::string_view text);
+
+  CampaignJournal(CampaignJournal&&) = default;
+  CampaignJournal& operator=(CampaignJournal&&) = default;
+
+ private:
+  CampaignJournal() = default;
+
+  void appendLine(const std::string& line);
+
+  std::string path_;  ///< empty = in-memory
+  report::Json header_;
+  std::vector<report::Json> records_;
+  std::vector<std::string> recordTexts_;  ///< compact dumps, index-aligned
+  std::size_t cursor_ = 0;
+  std::size_t appends_ = 0;
+  int crashBudget_ = 0;
+  Stats stats_;
+  std::ofstream out_;
+};
+
+}  // namespace urlf::measure
+
+#endif  // URLF_MEASURE_JOURNAL_H

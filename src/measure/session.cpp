@@ -56,8 +56,8 @@ std::optional<simnet::FetchResult> fetchFromJson(const Json& json) {
   if (const auto* fault = json.find("injected_fault");
       fault && fault->asString()) {
     using FK = simnet::FaultKind;
-    for (const auto kind :
-         {FK::kDnsFlap, FK::kConnectFail, FK::kLoss, FK::kTimeout}) {
+    for (const auto kind : {FK::kDnsFlap, FK::kConnectFail, FK::kLoss,
+                            FK::kTimeout, FK::kOutage}) {
       if (*fault->asString() == simnet::toString(kind))
         fetch.injectedFault = kind;
     }
@@ -88,6 +88,8 @@ Json toJson(const UrlTestResult& result) {
   Json out = Json::object();
   out["url"] = Json::string(result.url);
   out["verdict"] = Json::string(toString(result.verdict));
+  if (result.provenance != Provenance::kConfirmed)
+    out["provenance"] = Json::string(toString(result.provenance));
   out["field"] = fetchToJson(result.field);
   out["lab"] = fetchToJson(result.lab);
   if (result.blockPage) {
@@ -116,6 +118,10 @@ std::optional<UrlTestResult> urlTestResultFromJson(const Json& json) {
   if (!parsedField || !parsedLab) return std::nullopt;
   result.field = std::move(*parsedField);
   result.lab = std::move(*parsedLab);
+  if (const auto* provenance = json.find("provenance");
+      provenance && provenance->asString() &&
+      *provenance->asString() == toString(Provenance::kDegraded))
+    result.provenance = Provenance::kDegraded;
 
   // Verdict and block page are derived data; recompute them so an imported
   // session is internally consistent even if the library changed.

@@ -1,0 +1,117 @@
+#ifndef URLF_SCENARIOS_CAMPAIGN_H
+#define URLF_SCENARIOS_CAMPAIGN_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "measure/health.h"
+#include "measure/journal.h"
+#include "report/json.h"
+#include "scenarios/paper_world.h"
+#include "simnet/outage.h"
+#include "util/expected.h"
+
+namespace urlf::scenarios {
+
+/// Parse "YYYY-MM-DD". Returns nullopt on malformed input.
+[[nodiscard]] std::optional<util::CivilDate> parseCivilDate(
+    std::string_view text);
+
+/// Declarative persistent-failure schedule for a campaign, in calendar
+/// dates; compiled into a simnet::OutagePlan at world-build time.
+struct OutageSpec {
+  struct VantageDeath {
+    std::string vantage;
+    util::CivilDate date;
+  };
+  struct MiddleboxStop {
+    std::string box;  ///< Middlebox::name(), e.g. "Ooredoo Netsweeper"
+    util::CivilDate date;
+  };
+  struct DbRollback {
+    util::CivilDate from;
+    util::CivilDate until;
+    util::CivilDate rollbackTo;
+  };
+
+  std::vector<VantageDeath> vantageDeaths;
+  std::vector<MiddleboxStop> middleboxStops;
+  std::vector<DbRollback> rollbacks;
+
+  [[nodiscard]] bool empty() const {
+    return vantageDeaths.empty() && middleboxStops.empty() &&
+           rollbacks.empty();
+  }
+  [[nodiscard]] simnet::OutagePlan toPlan(std::uint64_t seed) const;
+  [[nodiscard]] report::Json toJson() const;
+  [[nodiscard]] static std::optional<OutageSpec> fromJson(
+      const report::Json& json);
+};
+
+/// Everything that determines a paper campaign's observable output, plus
+/// the performance knobs that provably do not (classify mode / threads /
+/// memo — the campaign_e2e digest equivalence).
+struct CampaignOptions {
+  std::uint64_t seed = kPaperSeed;
+  PaperWorldOptions world;
+
+  // Fetch→classify fast-path knobs. NOT part of the journal header: any
+  // combination reproduces the same bytes, so a campaign journaled at one
+  // thread count may be resumed at another.
+  measure::ClassifyMode classifyMode = measure::ClassifyMode::kCompiled;
+  std::size_t classifyThreads = 0;
+  bool memoizeVerdicts = true;
+
+  /// Per-vantage circuit breakers (off by default — identical to the
+  /// historical pipeline).
+  bool healthEnabled = false;
+  measure::BreakerPolicy breaker;
+
+  /// Persistent failures to inject (empty = none).
+  OutageSpec outages;
+
+  /// The journal header: every field that affects observable output. A
+  /// resumed campaign adopts this wholesale, so a journal is self-contained.
+  [[nodiscard]] report::Json headerJson() const;
+  /// Rebuild options from a journal header (fails on unknown version or
+  /// malformed fields). Performance knobs keep their defaults.
+  [[nodiscard]] static util::Expected<CampaignOptions> fromHeaderJson(
+      const report::Json& header);
+};
+
+/// The observable outcome of one full paper campaign (Table 3 + §4.4 probe
+/// + Table 4), digested the same way bench/campaign_e2e does.
+struct CampaignReport {
+  std::uint64_t digest = 0;
+  int confirmedCaseStudies = 0;
+  int probeBlockedCategories = 0;
+  int table4Blocked = 0;
+  /// Rows recorded without a fetch (vantage quarantined) across all case
+  /// studies and characterizations.
+  int degradedRows = 0;
+  /// Final breaker state per vantage (empty when health tracking is off).
+  std::vector<std::pair<std::string, measure::BreakerState>> vantageHealth;
+
+  [[nodiscard]] std::string digestHex() const;
+  [[nodiscard]] report::Json toJson() const;
+};
+
+/// Run the full paper campaign: the ten Table 3 case studies in
+/// chronological order with the §4.4 Netsweeper category probe interleaved
+/// (January 2013), then the four Table 4 characterizations.
+///
+/// With a journal attached, every stage boundary and verdict is sync()ed:
+/// appended on a fresh run, verified on resume. Because the world is
+/// deterministic in `options`, resuming after a crash at ANY record
+/// boundary re-executes into an identical report (bit-for-bit digest) — the
+/// journal's record stream is the proof, and JournalDivergence the alarm.
+[[nodiscard]] CampaignReport runPaperCampaign(
+    const CampaignOptions& options,
+    measure::CampaignJournal* journal = nullptr);
+
+}  // namespace urlf::scenarios
+
+#endif  // URLF_SCENARIOS_CAMPAIGN_H

@@ -1,33 +1,12 @@
 #include "simnet/fault.h"
 
+#include "util/hash.h"
+
 namespace urlf::simnet {
 
-namespace {
-
-constexpr std::uint64_t splitmix64Next(std::uint64_t& x) noexcept {
-  x += 0x9E3779B97F4A7C15ULL;
-  std::uint64_t z = x;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
-}
-
-/// FNV-1a over a string, folded into the splitmix64 key schedule.
-constexpr std::uint64_t hashText(std::string_view text) noexcept {
-  std::uint64_t h = 0xCBF29CE484222325ULL;
-  for (const char c : text) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x00000100000001B3ULL;
-  }
-  return h;
-}
-
-/// Uniform double in [0, 1) from the keyed stream — mirrors Rng::uniform01.
-double keyedUniform01(std::uint64_t key) noexcept {
-  return static_cast<double>(splitmix64Next(key) >> 11) * 0x1.0p-53;
-}
-
-}  // namespace
+using util::fnv1a64;
+using util::keyedUniform01;
+using util::splitmix64Next;
 
 std::string_view toString(FaultKind kind) {
   switch (kind) {
@@ -36,6 +15,7 @@ std::string_view toString(FaultKind kind) {
     case FaultKind::kConnectFail: return "connect-fail";
     case FaultKind::kLoss: return "loss";
     case FaultKind::kTimeout: return "timeout";
+    case FaultKind::kOutage: return "outage";
   }
   return "unknown";
 }
@@ -59,9 +39,9 @@ FaultKind FaultPlan::roll(const VantagePoint& vantage, std::string_view url,
   // component advances the key so e.g. ("a", 1) and ("a1",) differ.
   std::uint64_t key = seed_;
   splitmix64Next(key);
-  key ^= hashText(vantage.name);
+  key ^= fnv1a64(vantage.name);
   splitmix64Next(key);
-  key ^= hashText(url);
+  key ^= fnv1a64(url);
   splitmix64Next(key);
   key ^= static_cast<std::uint64_t>(attempt) * 0x9E3779B97F4A7C15ULL;
 

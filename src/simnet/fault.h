@@ -18,6 +18,7 @@ enum class FaultKind {
   kConnectFail,  ///< SYN lost or refused under load
   kLoss,         ///< flow blackholed mid-transfer — client sees a timeout
   kTimeout,      ///< response delayed past the client deadline
+  kOutage,       ///< permanent vantage death (OutagePlan) — never transient
 };
 
 [[nodiscard]] std::string_view toString(FaultKind kind);

@@ -41,6 +41,20 @@ FetchResult Transport::fetchOnce(const VantagePoint& vantage,
                                  http::Request request, int attempt) {
   FetchResult result;
 
+  const OutagePlan* outages = world_->outagePlan();
+
+  // Permanent vantage death (OutagePlan) preempts everything, including
+  // transient fault injection: a dead vantage has no network activity at
+  // all, only client-side timeouts.
+  if (outages != nullptr && outages->vantageDead(vantage, world_->now())) {
+    result.outcome = FetchOutcome::kTimeout;
+    result.injectedFault = FaultKind::kOutage;
+    result.error = "vantage offline: " + vantage.name +
+                   " permanently dead since hour " +
+                   std::to_string(outages->deathTime(vantage.name)->hours());
+    return result;
+  }
+
   // Injected transient fault (FaultPlan, if the world carries one) preempts
   // the whole exchange. The decision is a pure function of
   // (plan seed, vantage, url, attempt) — see simnet/fault.h.
@@ -65,7 +79,9 @@ FetchResult Transport::fetchOnce(const VantagePoint& vantage,
           result.outcome = FetchOutcome::kTimeout;
           result.error = "injected timeout (response past deadline)";
           break;
-        case FaultKind::kNone: break;
+        case FaultKind::kNone:
+        case FaultKind::kOutage:  // never rolled by a FaultPlan
+          break;
       }
       return result;
     }
@@ -83,12 +99,21 @@ FetchResult Transport::fetchOnce(const VantagePoint& vantage,
     return result;
   }
 
-  InterceptContext ctx{world_->now(), vantage.isp, vantage.countryAlpha2,
+  // Middleboxes see the policy-effective time: normally `now`, but during an
+  // OutagePlan DB-rollback window the chain's view of mutable policy state
+  // (category databases, frozen snapshots) reverts to an earlier date.
+  const util::SimTime policyNow =
+      outages != nullptr ? outages->policyTime(world_->now()) : world_->now();
+  InterceptContext ctx{policyNow, vantage.isp, vantage.countryAlpha2,
                        &world_->rng()};
 
-  // Egress middlebox chain (field vantage points only).
+  // Egress middlebox chain (field vantage points only). A box the outage
+  // plan has silently stopped fails open: it neither intercepts nor
+  // post-processes, exactly as if unplugged.
   if (vantage.isp != nullptr) {
     for (Middlebox* box : vantage.isp->chain()) {
+      if (outages != nullptr && outages->middleboxStopped(*box, world_->now()))
+        continue;
       const auto action = box->intercept(request, ctx);
       if (!action) continue;
       switch (action->kind) {
@@ -121,8 +146,12 @@ FetchResult Transport::fetchOnce(const VantagePoint& vantage,
   // Return path through the chain, innermost middlebox last.
   if (vantage.isp != nullptr) {
     const auto& chain = vantage.isp->chain();
-    for (auto it = chain.rbegin(); it != chain.rend(); ++it)
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      if (outages != nullptr &&
+          outages->middleboxStopped(**it, world_->now()))
+        continue;
       (*it)->postProcess(request, response, ctx);
+    }
   }
 
   result.outcome = FetchOutcome::kOk;

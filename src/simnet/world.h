@@ -16,6 +16,7 @@
 #include "simnet/fault.h"
 #include "simnet/isp.h"
 #include "simnet/middlebox.h"
+#include "simnet/outage.h"
 #include "util/clock.h"
 #include "util/rng.h"
 
@@ -54,6 +55,15 @@ class World {
   void clearFaultPlan() { faultPlan_.reset(); }
   [[nodiscard]] const FaultPlan* faultPlan() const {
     return faultPlan_ ? &*faultPlan_ : nullptr;
+  }
+
+  /// Install (or replace) the persistent-failure model (vantage deaths,
+  /// middlebox silent-stops, DB rollback windows). Like the fault plan, an
+  /// empty plan is behaviourally identical to having none.
+  void setOutagePlan(OutagePlan plan) { outagePlan_ = std::move(plan); }
+  void clearOutagePlan() { outagePlan_.reset(); }
+  [[nodiscard]] const OutagePlan* outagePlan() const {
+    return outagePlan_ ? &*outagePlan_ : nullptr;
   }
 
   // --- topology -----------------------------------------------------------
@@ -174,6 +184,7 @@ class World {
   util::SimClock clock_;
   util::Rng rng_;
   std::optional<FaultPlan> faultPlan_;
+  std::optional<OutagePlan> outagePlan_;
   std::map<std::uint32_t, std::unique_ptr<AutonomousSystem>> ases_;
   std::vector<std::unique_ptr<Isp>> isps_;
   std::vector<std::unique_ptr<HttpEndpoint>> endpoints_;

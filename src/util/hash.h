@@ -1,0 +1,43 @@
+#ifndef URLF_UTIL_HASH_H
+#define URLF_UTIL_HASH_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace urlf::util {
+
+/// FNV-1a offset basis — the seed to start a fresh digest from.
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xCBF29CE484222325ULL;
+
+/// FNV-1a over a byte string, continuing from `hash`. The shared digest
+/// primitive: campaign report digests, journal record checksums, and the
+/// fault/outage key schedules all fold text through this.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(
+    std::string_view text, std::uint64_t hash = kFnvOffsetBasis) noexcept {
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x00000100000001B3ULL;
+  }
+  return hash;
+}
+
+/// One step of the splitmix64 sequence: advances `x` and returns the mixed
+/// output. Used to derive keyed, order-independent random draws from a seed
+/// plus hashed context (see simnet::FaultPlan / simnet::OutagePlan).
+constexpr std::uint64_t splitmix64Next(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Uniform double in [0, 1) from a keyed splitmix64 draw — mirrors
+/// Rng::uniform01 without consuming any shared stream state.
+[[nodiscard]] inline double keyedUniform01(std::uint64_t key) noexcept {
+  return static_cast<double>(splitmix64Next(key) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace urlf::util
+
+#endif  // URLF_UTIL_HASH_H

@@ -1,0 +1,196 @@
+// Crash-tolerant campaign tests (DESIGN.md §4.4): a journaled campaign
+// killed at any record boundary and restarted must reproduce the
+// uninterrupted run bit-for-bit. The exhaustive every-boundary sweep lives
+// in bench/ablation_crash; this suite keeps a fast, deterministic sample of
+// the same property in the tier-1 gate, plus the journal lifecycle
+// contracts resume depends on (pure replay, simulated crash points,
+// cross-thread resume).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "measure/journal.h"
+#include "scenarios/campaign.h"
+
+namespace {
+
+using namespace urlf;
+using measure::CampaignJournal;
+namespace fs = std::filesystem;
+
+std::string readFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void writeFile(const fs::path& path, std::string_view text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+/// Per-test temp directory, removed on teardown.
+class CampaignRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("urlf_recovery_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// An outage+breaker campaign: exercises degraded rows, breaker events
+  /// and OutagePlan state through the journal, not just the happy path.
+  static scenarios::CampaignOptions outageOptions() {
+    scenarios::CampaignOptions options;
+    options.healthEnabled = true;
+    options.breaker.failureThreshold = 5;
+    options.breaker.cooldownHours = 24;
+    options.outages.vantageDeaths.push_back({"field-nournet", {2013, 5, 8}});
+    return options;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CampaignRecoveryTest, SampledBoundaryResumeReproducesDigest) {
+  const auto options = outageOptions();
+  const fs::path fullPath = dir_ / "full.journal";
+  auto journal = CampaignJournal::start(fullPath.string(),
+                                        options.headerJson());
+  const auto full = scenarios::runPaperCampaign(options, &journal);
+  const std::string fullText = readFile(fullPath);
+  const auto boundaries = CampaignJournal::recordBoundaries(fullText);
+  ASSERT_GT(boundaries.size(), 10u);
+
+  // Sample the boundary space: the very start (nothing but the header), a
+  // spread of interior points, and the final boundary (pure replay).
+  const std::vector<std::size_t> sample{
+      0, boundaries.size() / 5, boundaries.size() / 2,
+      boundaries.size() - 2, boundaries.size() - 1};
+  const fs::path crashPath = dir_ / "crash.journal";
+  for (const std::size_t k : sample) {
+    SCOPED_TRACE("boundary " + std::to_string(k));
+    writeFile(crashPath, std::string_view(fullText).substr(0, boundaries[k]));
+
+    auto opened = CampaignJournal::open(crashPath.string());
+    ASSERT_TRUE(opened.ok()) << opened.error();
+    auto adopted =
+        scenarios::CampaignOptions::fromHeaderJson(opened->header());
+    ASSERT_TRUE(adopted.ok()) << adopted.error();
+
+    const auto resumed =
+        scenarios::runPaperCampaign(adopted.value(), &opened.value());
+    EXPECT_EQ(resumed.digest, full.digest);
+    EXPECT_EQ(resumed.confirmedCaseStudies, full.confirmedCaseStudies);
+    EXPECT_EQ(resumed.degradedRows, full.degradedRows);
+    // The resumed journal file must grow back byte-identical.
+    EXPECT_EQ(readFile(crashPath), fullText);
+  }
+}
+
+TEST_F(CampaignRecoveryTest, SimulatedCrashLeavesAValidResumableJournal) {
+  const auto options = outageOptions();
+  const fs::path path = dir_ / "crashed.journal";
+  auto journal = CampaignJournal::start(path.string(), options.headerJson());
+  journal.crashAfterAppends(37);
+  EXPECT_THROW(
+      { (void)scenarios::runPaperCampaign(options, &journal); },
+      measure::SimulatedCrash);
+
+  // The crash fired after the 37th append hit the disk; the file must be a
+  // well-formed journal holding exactly those records.
+  auto opened = CampaignJournal::open(path.string());
+  ASSERT_TRUE(opened.ok()) << opened.error();
+  EXPECT_EQ(opened->recordCount(), 37u);
+  EXPECT_FALSE(opened->stats().tornTail);
+
+  // And resuming it completes the campaign with the reference digest.
+  const auto reference = scenarios::runPaperCampaign(options);
+  auto adopted = scenarios::CampaignOptions::fromHeaderJson(opened->header());
+  ASSERT_TRUE(adopted.ok()) << adopted.error();
+  const auto resumed =
+      scenarios::runPaperCampaign(adopted.value(), &opened.value());
+  EXPECT_EQ(resumed.digest, reference.digest);
+}
+
+TEST_F(CampaignRecoveryTest, CompletedJournalResumesAsPureReplay) {
+  const scenarios::CampaignOptions options;  // clean campaign
+  const fs::path path = dir_ / "complete.journal";
+  auto journal = CampaignJournal::start(path.string(), options.headerJson());
+  const auto full = scenarios::runPaperCampaign(options, &journal);
+  const std::string bytesBefore = readFile(path);
+
+  auto opened = CampaignJournal::open(path.string());
+  ASSERT_TRUE(opened.ok()) << opened.error();
+  EXPECT_EQ(opened->replayRemaining(), opened->recordCount());
+
+  const auto adopted =
+      scenarios::CampaignOptions::fromHeaderJson(opened->header());
+  ASSERT_TRUE(adopted.ok()) << adopted.error();
+  const auto resumed =
+      scenarios::runPaperCampaign(adopted.value(), &opened.value());
+
+  // Nothing new was learned: zero appends, every record replayed over, and
+  // the file bytes are untouched.
+  EXPECT_EQ(opened->appendCount(), 0u);
+  EXPECT_EQ(opened->replayRemaining(), 0u);
+  EXPECT_EQ(resumed.digest, full.digest);
+  EXPECT_EQ(readFile(path), bytesBefore);
+}
+
+TEST_F(CampaignRecoveryTest, JournalFromOneThreadCountResumesAtAnother) {
+  // Performance knobs are deliberately NOT in the journal header: a
+  // campaign journaled serial must resume pooled (and vice versa) into the
+  // same bytes.
+  auto options = outageOptions();
+  options.classifyThreads = 1;
+  const fs::path path = dir_ / "t1.journal";
+  auto journal = CampaignJournal::start(path.string(), options.headerJson());
+  const auto full = scenarios::runPaperCampaign(options, &journal);
+  const std::string fullText = readFile(path);
+
+  const auto boundaries = CampaignJournal::recordBoundaries(fullText);
+  writeFile(path, std::string_view(fullText)
+                      .substr(0, boundaries[boundaries.size() / 2]));
+
+  auto opened = CampaignJournal::open(path.string());
+  ASSERT_TRUE(opened.ok()) << opened.error();
+  auto adopted = scenarios::CampaignOptions::fromHeaderJson(opened->header());
+  ASSERT_TRUE(adopted.ok()) << adopted.error();
+  adopted.value().classifyThreads = 4;
+
+  const auto resumed =
+      scenarios::runPaperCampaign(adopted.value(), &opened.value());
+  EXPECT_EQ(resumed.digest, full.digest);
+  EXPECT_EQ(readFile(path), fullText);
+}
+
+TEST_F(CampaignRecoveryTest, DivergentConfigIsCaughtNotSilentlyAccepted) {
+  // Resume whose re-execution disagrees with the journaled records must die
+  // loudly with JournalDivergence — never blend two campaigns' histories.
+  const scenarios::CampaignOptions clean;
+  const fs::path path = dir_ / "divergent.journal";
+  auto journal = CampaignJournal::start(path.string(), clean.headerJson());
+  (void)scenarios::runPaperCampaign(clean, &journal);
+
+  auto opened = CampaignJournal::open(path.string());
+  ASSERT_TRUE(opened.ok()) << opened.error();
+  // Deliberately ignore the journal header and replay with a different
+  // world configuration.
+  scenarios::CampaignOptions tampered;
+  tampered.seed = scenarios::kPaperSeed + 1;
+  EXPECT_THROW(
+      { (void)scenarios::runPaperCampaign(tampered, &opened.value()); },
+      measure::JournalDivergence);
+}
+
+}  // namespace

@@ -1,0 +1,263 @@
+// Vantage health / circuit breaker tests (DESIGN.md §4.4):
+//
+//  * pins which FetchOutcomes count as hard failures, which are ignored,
+//    and which close the breaker — the contract the measurement pipeline
+//    and the OutagePlan harness both rely on,
+//  * the closed -> open -> half-open state machine on the simulated clock,
+//  * breaker + OutagePlan integration through measure::Client: a dead
+//    vantage trips the breaker and later rows degrade (recorded, skipped,
+//    kDegraded provenance) instead of wedging the campaign,
+//  * campaign-level outage semantics: middlebox silent-stop fails open and
+//    a category-DB rollback window changes policy decisions.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "measure/client.h"
+#include "measure/health.h"
+#include "scenarios/campaign.h"
+#include "scenarios/paper_world.h"
+#include "simnet/outage.h"
+#include "util/clock.h"
+
+namespace {
+
+using namespace urlf;
+using measure::BreakerPolicy;
+using measure::BreakerState;
+using measure::HealthDecision;
+using measure::HealthRegistry;
+using measure::VantageHealth;
+using simnet::FetchOutcome;
+using util::SimTime;
+
+constexpr SimTime t(std::int64_t hours) { return SimTime{hours}; }
+
+// --- outcome classification (regression-pins the breaker's inputs) --------
+
+TEST(BreakerOutcomes, HardFailuresArePinned) {
+  EXPECT_TRUE(VantageHealth::hardFailure(FetchOutcome::kTimeout));
+  EXPECT_TRUE(VantageHealth::hardFailure(FetchOutcome::kReset));
+  EXPECT_TRUE(VantageHealth::hardFailure(FetchOutcome::kDnsFailure));
+  EXPECT_TRUE(VantageHealth::hardFailure(FetchOutcome::kConnectFailure));
+  EXPECT_FALSE(VantageHealth::hardFailure(FetchOutcome::kOk));
+  EXPECT_FALSE(VantageHealth::hardFailure(FetchOutcome::kBadUrl));
+}
+
+TEST(BreakerOutcomes, OnlyBadUrlIsIgnored) {
+  EXPECT_TRUE(VantageHealth::ignored(FetchOutcome::kBadUrl));
+  EXPECT_FALSE(VantageHealth::ignored(FetchOutcome::kOk));
+  EXPECT_FALSE(VantageHealth::ignored(FetchOutcome::kTimeout));
+  EXPECT_FALSE(VantageHealth::ignored(FetchOutcome::kReset));
+  EXPECT_FALSE(VantageHealth::ignored(FetchOutcome::kDnsFailure));
+  EXPECT_FALSE(VantageHealth::ignored(FetchOutcome::kConnectFailure));
+}
+
+TEST(BreakerOutcomes, BadUrlNeverTripsAndNeverResets) {
+  VantageHealth health({.failureThreshold = 3, .cooldownHours = 24});
+  // A flood of unparseable URLs is evidence about the test list, not the
+  // vantage: no state change at all.
+  for (int i = 0; i < 10; ++i)
+    health.recordOutcome(FetchOutcome::kBadUrl, t(0));
+  EXPECT_EQ(health.state(), BreakerState::kClosed);
+  EXPECT_EQ(health.consecutiveFailures(), 0);
+
+  // And a kBadUrl interleaved in a failure streak must not break the
+  // streak either — the vantage produced no counter-evidence.
+  health.recordOutcome(FetchOutcome::kTimeout, t(1));
+  health.recordOutcome(FetchOutcome::kBadUrl, t(1));
+  health.recordOutcome(FetchOutcome::kReset, t(2));
+  EXPECT_EQ(health.consecutiveFailures(), 2);
+  health.recordOutcome(FetchOutcome::kDnsFailure, t(3));
+  EXPECT_EQ(health.state(), BreakerState::kOpen);
+}
+
+TEST(BreakerOutcomes, SuccessResetsTheStreak) {
+  VantageHealth health({.failureThreshold = 3, .cooldownHours = 24});
+  health.recordOutcome(FetchOutcome::kTimeout, t(0));
+  health.recordOutcome(FetchOutcome::kTimeout, t(1));
+  EXPECT_EQ(health.consecutiveFailures(), 2);
+  health.recordOutcome(FetchOutcome::kOk, t(2));
+  EXPECT_EQ(health.consecutiveFailures(), 0);
+  EXPECT_EQ(health.state(), BreakerState::kClosed);
+}
+
+// --- state machine --------------------------------------------------------
+
+TEST(BreakerStateMachine, OpensExactlyAtThreshold) {
+  VantageHealth health({.failureThreshold = 5, .cooldownHours = 24});
+  for (int i = 0; i < 4; ++i)
+    health.recordOutcome(FetchOutcome::kTimeout, t(i));
+  EXPECT_EQ(health.state(), BreakerState::kClosed);
+  EXPECT_EQ(health.decide(t(4)), HealthDecision::kProceed);
+  health.recordOutcome(FetchOutcome::kTimeout, t(4));
+  EXPECT_EQ(health.state(), BreakerState::kOpen);
+  EXPECT_EQ(health.timesOpened(), 1u);
+}
+
+TEST(BreakerStateMachine, QuarantinesUntilCooldownThenProbes) {
+  VantageHealth health({.failureThreshold = 2, .cooldownHours = 24});
+  health.recordOutcome(FetchOutcome::kReset, t(100));
+  health.recordOutcome(FetchOutcome::kReset, t(100));
+  ASSERT_EQ(health.state(), BreakerState::kOpen);
+  EXPECT_EQ(health.openedAt(), t(100));
+
+  EXPECT_EQ(health.decide(t(100)), HealthDecision::kQuarantined);
+  EXPECT_EQ(health.decide(t(123)), HealthDecision::kQuarantined);
+  // Cooldown elapsed: exactly one probe is let through.
+  EXPECT_EQ(health.decide(t(124)), HealthDecision::kProbe);
+  EXPECT_EQ(health.state(), BreakerState::kHalfOpen);
+}
+
+TEST(BreakerStateMachine, ProbeSuccessCloses) {
+  VantageHealth health({.failureThreshold = 2, .cooldownHours = 24});
+  health.recordOutcome(FetchOutcome::kTimeout, t(0));
+  health.recordOutcome(FetchOutcome::kTimeout, t(0));
+  ASSERT_EQ(health.decide(t(24)), HealthDecision::kProbe);
+  health.recordOutcome(FetchOutcome::kOk, t(24));
+  EXPECT_EQ(health.state(), BreakerState::kClosed);
+  EXPECT_EQ(health.consecutiveFailures(), 0);
+  EXPECT_EQ(health.decide(t(24)), HealthDecision::kProceed);
+}
+
+TEST(BreakerStateMachine, ProbeFailureReopensAndRestartsCooldown) {
+  VantageHealth health({.failureThreshold = 2, .cooldownHours = 24});
+  health.recordOutcome(FetchOutcome::kTimeout, t(0));
+  health.recordOutcome(FetchOutcome::kTimeout, t(0));
+  ASSERT_EQ(health.decide(t(30)), HealthDecision::kProbe);
+  health.recordOutcome(FetchOutcome::kTimeout, t(30));
+  EXPECT_EQ(health.state(), BreakerState::kOpen);
+  EXPECT_EQ(health.openedAt(), t(30));  // cooldown restarts at the probe
+  EXPECT_EQ(health.timesOpened(), 2u);
+  EXPECT_EQ(health.decide(t(53)), HealthDecision::kQuarantined);
+  EXPECT_EQ(health.decide(t(54)), HealthDecision::kProbe);
+}
+
+// --- OutagePlan primitives ------------------------------------------------
+
+TEST(OutagePlan, VantageDeathIsPermanentFromItsDeathTime) {
+  scenarios::PaperWorld paper(scenarios::kPaperSeed);
+  const auto* vantage = paper.world().findVantage("field-etisalat");
+  ASSERT_NE(vantage, nullptr);
+
+  simnet::OutagePlan plan;
+  plan.killVantage("field-etisalat", t(1000));
+  EXPECT_FALSE(plan.vantageDead(*vantage, t(999)));
+  EXPECT_TRUE(plan.vantageDead(*vantage, t(1000)));
+  EXPECT_TRUE(plan.vantageDead(*vantage, t(100000)));
+
+  const auto* other = paper.world().findVantage("field-yemennet");
+  ASSERT_NE(other, nullptr);
+  EXPECT_FALSE(plan.vantageDead(*other, t(100000)));
+}
+
+TEST(OutagePlan, RollbackWindowRevertsPolicyTimeHalfOpenInterval) {
+  simnet::OutagePlan plan;
+  plan.addDbRollback(t(100), t(200), t(10));
+  EXPECT_EQ(plan.policyTime(t(99)), t(99));
+  EXPECT_EQ(plan.policyTime(t(100)), t(10));
+  EXPECT_EQ(plan.policyTime(t(199)), t(10));
+  EXPECT_EQ(plan.policyTime(t(200)), t(200));
+}
+
+// --- Client integration: quarantine + degraded provenance -----------------
+
+TEST(ClientHealth, DeadVantageTripsBreakerAndDegradesLaterRows) {
+  scenarios::PaperWorld paper(scenarios::kPaperSeed);
+  auto& world = paper.world();
+  const auto* field = world.findVantage("field-etisalat");
+  const auto* lab = world.findVantage("lab-toronto");
+  ASSERT_NE(field, nullptr);
+  ASSERT_NE(lab, nullptr);
+
+  simnet::OutagePlan plan;
+  plan.killVantage("field-etisalat", SimTime::fromDate({2013, 1, 1}));
+  world.setOutagePlan(plan);
+  scenarios::advanceClockTo(world, {2013, 1, 10});
+
+  HealthRegistry registry({.failureThreshold = 3, .cooldownHours = 24});
+  measure::Client client(world, *field, *lab);
+  client.setHealthRegistry(&registry);
+
+  const std::string url = paper.globalList().urls().front();
+
+  // The first `failureThreshold` tests really fetch — and time out.
+  for (int i = 0; i < 3; ++i) {
+    const auto result = client.testUrl(url);
+    EXPECT_EQ(result.field.outcome, FetchOutcome::kTimeout);
+    EXPECT_EQ(result.provenance, measure::Provenance::kConfirmed);
+  }
+  ASSERT_EQ(registry.of("field-etisalat").state(), BreakerState::kOpen);
+
+  // From now on rows degrade: no fetch, kError verdict, explicit reason.
+  const auto degraded = client.testUrl(url);
+  EXPECT_EQ(degraded.provenance, measure::Provenance::kDegraded);
+  EXPECT_EQ(degraded.verdict, measure::Verdict::kError);
+  EXPECT_NE(degraded.field.error.find("quarantined"), std::string::npos);
+  EXPECT_GE(registry.of("field-etisalat").requestsQuarantined(), 1u);
+
+  // After the cooldown a half-open probe really fetches — the vantage is
+  // still dead, so the breaker reopens rather than closing.
+  scenarios::advanceClockTo(world, {2013, 1, 12});
+  const auto probe = client.testUrl(url);
+  EXPECT_EQ(probe.provenance, measure::Provenance::kConfirmed);
+  EXPECT_EQ(probe.field.outcome, FetchOutcome::kTimeout);
+  EXPECT_EQ(registry.of("field-etisalat").state(), BreakerState::kOpen);
+  EXPECT_EQ(registry.of("field-etisalat").timesOpened(), 2u);
+
+  // The lab side is never tracked: only the field vantage appears.
+  EXPECT_EQ(registry.find("lab-toronto"), nullptr);
+}
+
+// --- campaign-level outage semantics --------------------------------------
+
+TEST(CampaignOutages, MiddleboxSilentStopFailsOpen) {
+  scenarios::CampaignOptions clean;
+  const auto baseline = scenarios::runPaperCampaign(clean);
+
+  // The Ooredoo Netsweeper stops intercepting before the August 2013
+  // characterization: blocked cells must DROP (fail open), never rise.
+  scenarios::CampaignOptions stopped;
+  stopped.outages.middleboxStops.push_back(
+      {"Ooredoo Netsweeper", {2013, 8, 20}});
+  const auto failedOpen = scenarios::runPaperCampaign(stopped);
+
+  EXPECT_LT(failedOpen.table4Blocked, baseline.table4Blocked);
+  EXPECT_NE(failedOpen.digest, baseline.digest);
+}
+
+TEST(CampaignOutages, DbRollbackWindowChangesVerdicts) {
+  scenarios::CampaignOptions clean;
+  const auto baseline = scenarios::runPaperCampaign(clean);
+
+  // April 2013 holds four case studies' submit/retest schedules; rolling
+  // the category DBs back to January reverts fresh categorizations, so the
+  // campaign must observe different verdicts.
+  scenarios::CampaignOptions rolled;
+  rolled.outages.rollbacks.push_back(
+      {{2013, 4, 1}, {2013, 5, 1}, {2013, 1, 1}});
+  const auto rolledBack = scenarios::runPaperCampaign(rolled);
+
+  EXPECT_NE(rolledBack.digest, baseline.digest);
+  // A rollback changes policy state, not vantage reachability: nothing
+  // should degrade.
+  EXPECT_EQ(rolledBack.degradedRows, 0);
+}
+
+TEST(CampaignOutages, VantageDeathWithBreakerDegradesInsteadOfWedging) {
+  scenarios::CampaignOptions options;
+  options.healthEnabled = true;
+  options.breaker.failureThreshold = 5;
+  options.breaker.cooldownHours = 24;
+  options.outages.vantageDeaths.push_back({"field-nournet", {2013, 5, 8}});
+  const auto report = scenarios::runPaperCampaign(options);
+
+  EXPECT_GT(report.degradedRows, 0);
+  bool sawOpenNournet = false;
+  for (const auto& [vantage, state] : report.vantageHealth)
+    if (vantage == "field-nournet") sawOpenNournet = (state == BreakerState::kOpen);
+  EXPECT_TRUE(sawOpenNournet);
+}
+
+}  // namespace

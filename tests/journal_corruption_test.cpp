@@ -1,0 +1,200 @@
+// Journal corruption fuzz suite (DESIGN.md §4.4): CampaignJournal::open /
+// fromText must never throw on damaged input. Any truncation or bit flip
+// either recovers the longest valid record prefix or fails with a one-line
+// reason (missing/empty/corrupt header) — and recovery is idempotent: a
+// second open of a repaired file drops nothing.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "measure/journal.h"
+#include "report/json.h"
+#include "util/clock.h"
+
+namespace {
+
+using namespace urlf;
+using measure::CampaignJournal;
+namespace fs = std::filesystem;
+
+std::string readFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void writeFile(const fs::path& path, std::string_view text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+/// Builds one realistic journal (varied record shapes, written through the
+/// real append path) and exposes its text + boundary offsets.
+class JournalCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("urlf_corrupt_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+
+    report::Json header = report::Json::object();
+    header["type"] = report::Json::string("campaign-config");
+    header["seed"] = report::Json::string("20131023");
+
+    const fs::path path = dir_ / "seed.journal";
+    auto journal = CampaignJournal::start(path.string(), header);
+    for (int i = 0; i < 10; ++i) {
+      auto event = CampaignJournal::event("verdict", util::SimTime{i * 7});
+      event["url"] = report::Json::string("http://site-" + std::to_string(i) +
+                                          ".example/path?q=" +
+                                          std::to_string(i * i));
+      event["verdict"] =
+          report::Json::string(i % 3 == 0 ? "blocked" : "accessible");
+      (void)journal.sync(event);
+      events_.push_back(std::move(event));
+    }
+    text_ = readFile(path);
+    boundaries_ = CampaignJournal::recordBoundaries(text_);
+    ASSERT_EQ(boundaries_.size(), events_.size() + 1);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// Number of complete event records in a prefix of length `len`:
+  /// boundaries_[k] is the offset just after the kth event record.
+  [[nodiscard]] std::size_t completeRecords(std::size_t len) const {
+    std::size_t count = 0;
+    for (std::size_t k = 1; k < boundaries_.size(); ++k)
+      if (boundaries_[k] <= len) count = k;
+    return count;
+  }
+
+  fs::path dir_;
+  std::string text_;
+  std::vector<std::size_t> boundaries_;
+  std::vector<report::Json> events_;
+};
+
+TEST_F(JournalCorruptionTest, EveryTruncationRecoversTheValidPrefix) {
+  for (std::size_t len = 0; len <= text_.size(); ++len) {
+    SCOPED_TRACE("truncated to " + std::to_string(len) + " bytes");
+    util::Expected<CampaignJournal> opened =
+        CampaignJournal::fromText(std::string_view(text_).substr(0, len));
+
+    if (len < boundaries_[0]) {
+      // Not even a whole header line survived: resume must refuse.
+      EXPECT_FALSE(opened.ok());
+      continue;
+    }
+    ASSERT_TRUE(opened.ok()) << opened.error();
+    const std::size_t want = completeRecords(len);
+    EXPECT_EQ(opened->recordCount(), want);
+    // The recovered records are a prefix of the originals, byte-for-byte.
+    for (std::size_t i = 0; i < want; ++i)
+      EXPECT_EQ(opened->records()[i].dump(0), events_[i].dump(0));
+    EXPECT_EQ(opened->stats().droppedBytes, len - boundaries_[want]);
+  }
+}
+
+TEST_F(JournalCorruptionTest, EveryBitFlipStopsAtTheDamagedLine) {
+  // Flip one bit at a time (cycling through bit positions) across the whole
+  // file. The checksum must reject the damaged line and recovery must keep
+  // exactly the records before it.
+  for (std::size_t pos = 0; pos < text_.size(); ++pos) {
+    SCOPED_TRACE("bit flip at byte " + std::to_string(pos));
+    std::string corrupted = text_;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ (1u << (pos % 8)));
+
+    util::Expected<CampaignJournal> opened =
+        CampaignJournal::fromText(corrupted);
+    if (pos < boundaries_[0]) {
+      // Damage inside the header line: the journal is unusable.
+      EXPECT_FALSE(opened.ok());
+      continue;
+    }
+    // Damage inside event record k: records 0..k-1 survive, k and
+    // everything after are dropped (scan stops at the first invalid line).
+    std::size_t damaged = 0;
+    while (damaged + 1 < boundaries_.size() && boundaries_[damaged + 1] <= pos)
+      ++damaged;
+    ASSERT_TRUE(opened.ok()) << opened.error();
+    EXPECT_EQ(opened->recordCount(), damaged);
+    EXPECT_TRUE(opened->stats().tornTail);
+  }
+}
+
+TEST_F(JournalCorruptionTest, OpenTruncatesTornTailOnDiskIdempotently) {
+  // A torn tail (half an appended record) is physically removed on open so
+  // a subsequent append never interleaves with garbage.
+  const std::size_t torn =
+      boundaries_[6] + (boundaries_[7] - boundaries_[6]) / 2;
+  const fs::path path = dir_ / "torn.journal";
+  writeFile(path, std::string_view(text_).substr(0, torn));
+
+  auto first = CampaignJournal::open(path.string());
+  ASSERT_TRUE(first.ok()) << first.error();
+  EXPECT_EQ(first->recordCount(), 6u);
+  EXPECT_TRUE(first->stats().tornTail);
+  EXPECT_EQ(first->stats().droppedBytes, torn - boundaries_[6]);
+  EXPECT_EQ(fs::file_size(path), boundaries_[6]);
+
+  // Second open: the repair already happened, nothing further is dropped.
+  auto second = CampaignJournal::open(path.string());
+  ASSERT_TRUE(second.ok()) << second.error();
+  EXPECT_EQ(second->recordCount(), 6u);
+  EXPECT_FALSE(second->stats().tornTail);
+  EXPECT_EQ(second->stats().droppedBytes, 0u);
+}
+
+TEST_F(JournalCorruptionTest, ReplayAfterRecoveryIsIdempotent) {
+  auto opened = CampaignJournal::fromText(text_);
+  ASSERT_TRUE(opened.ok()) << opened.error();
+  ASSERT_EQ(opened->replayRemaining(), events_.size());
+
+  // Re-feeding the same event stream replays without appending...
+  for (const auto& event : events_)
+    EXPECT_EQ(opened.value().sync(event), CampaignJournal::SyncAction::kReplayed);
+  EXPECT_EQ(opened->appendCount(), 0u);
+  EXPECT_EQ(opened->replayRemaining(), 0u);
+
+  // ...and the first genuinely new event switches to appending.
+  auto fresh = CampaignJournal::event("case-end", util::SimTime{999});
+  EXPECT_EQ(opened.value().sync(fresh), CampaignJournal::SyncAction::kAppended);
+  EXPECT_EQ(opened->recordCount(), events_.size() + 1);
+}
+
+TEST_F(JournalCorruptionTest, DivergentReplayThrowsWithBothRecords) {
+  auto opened = CampaignJournal::fromText(text_);
+  ASSERT_TRUE(opened.ok()) << opened.error();
+  auto wrong = CampaignJournal::event("verdict", util::SimTime{0});
+  wrong["url"] = report::Json::string("http://not-the-journaled-site.example/");
+  EXPECT_THROW((void)opened.value().sync(wrong), measure::JournalDivergence);
+}
+
+TEST(JournalOpenErrors, MissingEmptyAndHeaderlessAllFailOneLine) {
+  const auto missing = CampaignJournal::open("/nonexistent/never.journal");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.error().find("does not exist"), std::string::npos);
+
+  const auto empty = CampaignJournal::fromText("");
+  ASSERT_FALSE(empty.ok());
+  EXPECT_NE(empty.error().find("empty"), std::string::npos);
+
+  const auto garbage = CampaignJournal::fromText("this is not a journal\n");
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_NE(garbage.error().find("header"), std::string::npos);
+
+  // Every error is a single line — the CLI prints it verbatim.
+  for (const auto* error :
+       {&missing.error(), &empty.error(), &garbage.error()})
+    EXPECT_EQ(error->find('\n'), std::string::npos);
+}
+
+}  // namespace

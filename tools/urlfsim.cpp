@@ -23,9 +23,11 @@
 #include "core/profiler.h"
 #include "core/proxy_detect.h"
 #include "core/serialize.h"
+#include "measure/journal.h"
 #include "measure/mining.h"
 #include "measure/session.h"
 #include "scan/serialize.h"
+#include "scenarios/campaign.h"
 #include "scenarios/paper_world.h"
 
 namespace {
@@ -44,6 +46,12 @@ struct Options {
   int retries = 1;
   bool viaPortal = false;
   scenarios::PaperWorldOptions worldOptions;
+
+  // campaign: write-ahead journal, resume, and injected persistent failures.
+  std::optional<std::string> journalPath;
+  bool resume = false;
+  std::optional<int> breakerThreshold;
+  scenarios::OutageSpec outages;
 
   /// Transport options derived from --retries (applied to every fetch the
   /// selected command performs).
@@ -66,7 +74,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: urlfsim <identify|confirm|characterize|probe|scout|proxy-detect"
-      "|profile|record|export-scan> [options]\n"
+      "|profile|record|export-scan|campaign> [options]\n"
       "       urlfsim diff <baseline.json> <current.json>\n"
       "       urlfsim reanalyze <session.json> [--mine]\n"
       "  --seed N            world seed (default %llu)\n"
@@ -79,9 +87,27 @@ int usage() {
       "  --portal            confirm: submit via the vendor Web portal\n"
       "  --faults R          inject transient faults at rate R per process\n"
       "  --retries N         transport retry budget (simulated backoff)\n"
-      "  --hide-surfaces --strip-branding --disregard-submitter\n",
+      "  --hide-surfaces --strip-branding --disregard-submitter\n"
+      "  --journal PATH      campaign: write-ahead journal file\n"
+      "  --resume            campaign: resume from --journal (config is\n"
+      "                      adopted from the journal header)\n"
+      "  --kill V@DATE       campaign: vantage V dies permanently on DATE\n"
+      "  --stop-box B@DATE   campaign: middlebox B silently stops on DATE\n"
+      "  --rollback F..U@T   campaign: category DBs revert to date T during\n"
+      "                      the window [F, U)\n"
+      "  --breaker N         campaign: open circuit after N hard failures\n",
       static_cast<unsigned long long>(scenarios::kPaperSeed));
   return 2;
+}
+
+/// Split "name@YYYY-MM-DD" into its two halves.
+std::optional<std::pair<std::string, util::CivilDate>> parseNameAtDate(
+    const std::string& text) {
+  const auto at = text.rfind('@');
+  if (at == std::string::npos || at == 0) return std::nullopt;
+  const auto date = scenarios::parseCivilDate(text.substr(at + 1));
+  if (!date) return std::nullopt;
+  return std::make_pair(text.substr(0, at), *date);
 }
 
 std::optional<Options> parseArgs(int argc, char** argv) {
@@ -96,6 +122,43 @@ std::optional<Options> parseArgs(int argc, char** argv) {
     };
     if (arg == "--json") {
       options.json = true;
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else if (arg == "--journal") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      options.journalPath = *value;
+    } else if (arg == "--kill") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      const auto parsed = parseNameAtDate(*value);
+      if (!parsed) return std::nullopt;
+      options.outages.vantageDeaths.push_back({parsed->first, parsed->second});
+    } else if (arg == "--stop-box") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      const auto parsed = parseNameAtDate(*value);
+      if (!parsed) return std::nullopt;
+      options.outages.middleboxStops.push_back(
+          {parsed->first, parsed->second});
+    } else if (arg == "--rollback") {
+      // FROM..UNTIL@TO, e.g. 2013-04-10..2013-04-25@2013-01-01
+      const auto value = next();
+      if (!value) return std::nullopt;
+      const auto dots = value->find("..");
+      const auto at = value->rfind('@');
+      if (dots == std::string::npos || at == std::string::npos || at < dots)
+        return std::nullopt;
+      const auto from = scenarios::parseCivilDate(value->substr(0, dots));
+      const auto until =
+          scenarios::parseCivilDate(value->substr(dots + 2, at - dots - 2));
+      const auto to = scenarios::parseCivilDate(value->substr(at + 1));
+      if (!from || !until || !to) return std::nullopt;
+      options.outages.rollbacks.push_back({*from, *until, *to});
+    } else if (arg == "--breaker") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      options.breakerThreshold = std::stoi(*value);
     } else if (arg == "--all") {
       options.all = true;
     } else if (arg == "--portal") {
@@ -496,6 +559,79 @@ int runProfile(const Options& options) {
   return 0;
 }
 
+int runCampaign(const Options& options) {
+  // Full paper campaign (Table 3 + §4.4 probe + Table 4), optionally
+  // journaled for crash tolerance. On --resume, every configuration knob is
+  // adopted from the journal header: the journal is self-contained, and the
+  // command line only supplies the file.
+  scenarios::CampaignOptions campaign;
+  std::optional<measure::CampaignJournal> journal;
+
+  if (options.resume) {
+    if (!options.journalPath) {
+      std::fprintf(stderr, "urlfsim: --resume requires --journal PATH\n");
+      return 1;
+    }
+    auto opened = measure::CampaignJournal::open(*options.journalPath);
+    if (!opened) {
+      std::fprintf(stderr, "urlfsim: %s\n", opened.error().c_str());
+      return 1;
+    }
+    auto adopted =
+        scenarios::CampaignOptions::fromHeaderJson(opened->header());
+    if (!adopted) {
+      std::fprintf(stderr, "urlfsim: cannot resume: %s\n",
+                   adopted.error().c_str());
+      return 1;
+    }
+    campaign = std::move(adopted.value());
+    journal = std::move(opened.value());
+    const auto& stats = journal->stats();
+    std::fprintf(stderr,
+                 "resuming: %zu journaled record(s)%s, %zu torn byte(s) "
+                 "discarded\n",
+                 stats.loadedRecords, stats.tornTail ? " (torn tail)" : "",
+                 stats.droppedBytes);
+  } else {
+    campaign.seed = options.seed;
+    campaign.world = options.worldOptions;
+    campaign.outages = options.outages;
+    if (options.breakerThreshold) {
+      campaign.healthEnabled = true;
+      campaign.breaker.failureThreshold = *options.breakerThreshold;
+    }
+    if (options.journalPath)
+      journal = measure::CampaignJournal::start(*options.journalPath,
+                                                campaign.headerJson());
+  }
+
+  scenarios::CampaignReport result;
+  try {
+    result = scenarios::runPaperCampaign(
+        campaign, journal ? &journal.value() : nullptr);
+  } catch (const measure::JournalDivergence& e) {
+    std::fprintf(stderr, "urlfsim: cannot resume: %s\n", e.what());
+    return 1;
+  }
+
+  if (options.json) {
+    std::printf("%s\n", result.toJson().dump(2).c_str());
+    return 0;
+  }
+  std::printf("campaign digest: %s\n", result.digestHex().c_str());
+  std::printf("confirmed case studies: %d\n", result.confirmedCaseStudies);
+  std::printf("probe blocked categories: %d\n",
+              result.probeBlockedCategories);
+  std::printf("table 4 blocked cells: %d\n", result.table4Blocked);
+  if (result.degradedRows > 0)
+    std::printf("degraded rows (vantage quarantined): %d\n",
+                result.degradedRows);
+  for (const auto& [vantage, state] : result.vantageHealth)
+    std::printf("  breaker %-18s %s\n", vantage.c_str(),
+                std::string(measure::toString(state)).c_str());
+  return 0;
+}
+
 int runExportScan(const Options& options) {
   scenarios::PaperWorld paper(options.seed, options.worldOptions);
   const auto geo = paper.world().buildGeoDatabase();
@@ -529,5 +665,6 @@ int main(int argc, char** argv) {
   if (options->command == "profile") return runProfile(*options);
   if (options->command == "record") return runRecord(*options);
   if (options->command == "export-scan") return runExportScan(*options);
+  if (options->command == "campaign") return runCampaign(*options);
   return usage();
 }
