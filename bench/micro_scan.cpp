@@ -1,14 +1,23 @@
 // Scan→identify hot-path benchmark: linear-reference vs indexed
-// BannerIndex::searchAll (the §3.1 keyword×country fan-out) and serial vs
-// parallel Identifier::identifyAll, on RandomWorld at several host counts.
+// BannerIndex::searchAll (the §3.1 keyword×country fan-out), serial vs
+// parallel crawl and Identifier::identifyAll on RandomWorld, and the
+// million-host streamed pipeline (crawlStream → ShardedBannerIndex) with
+// peak-RSS accounting against a documented budget.
 // Emits BENCH_scan.json so later PRs have a perf trajectory.
+//
+// The streamed rows run FIRST: VmHWM is monotone, so their peak-RSS column
+// reflects the streaming pipeline alone, not the eager worlds built later.
 //
 // Usage: micro_scan [--quick] [--out PATH]
 #include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/identifier.h"
@@ -16,13 +25,21 @@
 #include "net/cctld.h"
 #include "report/json.h"
 #include "scan/banner_index.h"
+#include "scan/serialize.h"
 #include "scenarios/random_world.h"
+#include "simnet/world_stream.h"
+#include "util/hash.h"
 #include "util/thread_pool.h"
 
 namespace {
 
 using namespace urlf;
 using Clock = std::chrono::steady_clock;
+
+/// The peak-RSS ceiling (MiB) the streamed rows must stay under — the
+/// tentpole's "1M hosts within a fixed memory budget" contract. Also
+/// documented in README.md and DESIGN.md §4.5.
+constexpr double kPeakRssBudgetMb = 512.0;
 
 double millisSince(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
@@ -40,6 +57,45 @@ double bestOf(int reps, Fn&& fn) {
     if (best < 0.0 || elapsed < best) best = elapsed;
   }
   return best;
+}
+
+/// Best-of-`reps` for an A/B pair, alternating A and B within each rep so
+/// both sides see the same allocator and cache state instead of whichever
+/// the other side left behind. Returns {bestA, bestB}.
+template <typename FnA, typename FnB>
+std::pair<double, double> bestOfPaired(int reps, FnA&& a, FnB&& b) {
+  double bestA = -1.0, bestB = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    auto start = Clock::now();
+    a();
+    const double elapsedA = millisSince(start);
+    if (bestA < 0.0 || elapsedA < bestA) bestA = elapsedA;
+    start = Clock::now();
+    b();
+    const double elapsedB = millisSince(start);
+    if (bestB < 0.0 || elapsedB < bestB) bestB = elapsedB;
+  }
+  return {bestA, bestB};
+}
+
+/// "VmHWM" (peak RSS) or "VmRSS" (current RSS) from /proc/self/status, in
+/// MiB; -1 when unavailable (non-Linux).
+double procStatusMb(const char* key) {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind(key, 0) != 0) continue;
+    const auto digits = line.find_first_of("0123456789");
+    if (digits == std::string::npos) return -1.0;
+    return std::stod(line.substr(digits)) / 1024.0;  // kB -> MiB
+  }
+  return -1.0;
+}
+
+std::string hexDigest(std::uint64_t value) {
+  std::ostringstream out;
+  out << std::hex << value;
+  return out.str();
 }
 
 std::vector<scan::Query> fullFanOut() {
@@ -65,6 +121,140 @@ core::Identifier makeIdentifier(scenarios::RandomWorld& world,
                           world.world().buildAsnDatabase(), config);
 }
 
+// --- streamed pipeline ------------------------------------------------------
+
+simnet::ProceduralHostConfig streamConfig(std::uint64_t hosts) {
+  simnet::ProceduralHostConfig config;
+  config.hosts = hosts;
+  config.countries = 20;
+  config.baitFraction = 0.01;
+  return config;
+}
+
+/// One million-host-class row: streamed generation → sharded index →
+/// search/identify, with RSS columns. The world never holds the host set.
+report::Json benchStreamedAtSize(std::uint64_t hosts) {
+  simnet::World world(424242);
+  auto stream = std::make_shared<simnet::ProceduralHostStream>(
+      777, streamConfig(hosts));
+  stream->announceInto(world);
+  world.attachHostStream(std::move(stream));
+  const auto geo = world.buildGeoDatabase();
+
+  report::Json out = report::Json::object();
+  out["hosts"] = report::Json::number(static_cast<std::int64_t>(hosts));
+
+  auto start = Clock::now();
+  const auto index = scan::crawlStream(world, geo);
+  const double crawlMs = millisSince(start);
+  out["crawl_stream_ms"] = report::Json::number(crawlMs);
+  out["docs"] = report::Json::number(std::int64_t{index.docCount()});
+  out["shards"] = report::Json::number(
+      static_cast<std::int64_t>(index.shardCount()));
+  out["vocabulary"] = report::Json::number(
+      static_cast<std::int64_t>(index.vocabularySize()));
+  out["index_mb"] = report::Json::number(
+      static_cast<double>(index.memoryBytes()) / (1024.0 * 1024.0));
+
+  // Content digest of the serialized index: any cross-machine or
+  // cross-revision divergence in the streamed pipeline shows up here.
+  start = Clock::now();
+  const auto blob = scan::exportShardedIndex(index);
+  out["export_ms"] = report::Json::number(millisSince(start));
+  out["export_bytes"] = report::Json::number(
+      static_cast<std::int64_t>(blob.size()));
+  out["digest"] = report::Json::string(hexDigest(util::fnv1a64(blob)));
+
+  const auto queries = fullFanOut();
+  std::vector<std::uint32_t> hits;
+  start = Clock::now();
+  hits = index.searchAll(queries);
+  out["search_all_ms"] = report::Json::number(millisSince(start));
+  out["search_all_hits"] = report::Json::number(
+      static_cast<std::int64_t>(hits.size()));
+
+  const core::Identifier identifier(
+      world, index, fingerprint::Engine::withBuiltinSignatures(), geo,
+      world.buildAsnDatabase());
+  start = Clock::now();
+  const auto found = identifier.identifyAll();
+  out["identify_all_ms"] = report::Json::number(millisSince(start));
+  std::size_t installations = 0;
+  for (const auto& [product, list] : found) installations += list.size();
+  out["installations"] = report::Json::number(
+      static_cast<std::int64_t>(installations));
+
+  out["peak_rss_mb"] = report::Json::number(procStatusMb("VmHWM"));
+  out["rss_now_mb"] = report::Json::number(procStatusMb("VmRSS"));
+
+  std::cerr << "streamed hosts=" << hosts << " docs=" << index.docCount()
+            << " crawl=" << crawlMs << "ms index=" << out["index_mb"].dump()
+            << "MB peakRSS=" << out["peak_rss_mb"].dump() << "MB\n";
+  return out;
+}
+
+/// Streamed ≡ eager spot-check at a size where the eager twin fits easily:
+/// the property suite proves the equivalence per commit; this records it in
+/// the benchmark artifact alongside the large rows that rely on it.
+report::Json streamedReferenceCheck(std::uint64_t hosts) {
+  const auto config = streamConfig(hosts);
+
+  simnet::World streamedWorld(515151);
+  auto stream = std::make_shared<simnet::ProceduralHostStream>(777, config);
+  stream->announceInto(streamedWorld);
+  streamedWorld.attachHostStream(stream);
+  const auto geoStreamed = streamedWorld.buildGeoDatabase();
+  const auto sharded = scan::crawlStream(streamedWorld, geoStreamed);
+
+  simnet::World eagerWorld(515151);
+  stream->announceInto(eagerWorld);
+  stream->materializeInto(eagerWorld);
+  const auto geoEager = eagerWorld.buildGeoDatabase();
+  scan::BannerIndex reference;
+  reference.crawl(eagerWorld, geoEager);
+
+  std::vector<scan::BannerRecord> fetched;
+  fetched.reserve(sharded.docCount());
+  for (std::uint32_t doc = 0; doc < sharded.docCount(); ++doc)
+    fetched.push_back(sharded.fetchRecord(doc));
+  const bool recordsEqual =
+      sharded.docCount() == reference.size() &&
+      scan::exportRecords(fetched, 0) == scan::exportRecords(reference.records(), 0);
+
+  const auto queries = fullFanOut();
+  const auto shardedDocs = sharded.searchAll(queries);
+  const auto referenceHits = reference.searchAll(queries);
+  bool searchEqual = shardedDocs.size() == referenceHits.size();
+  for (std::size_t i = 0; searchEqual && i < shardedDocs.size(); ++i) {
+    const auto surface = sharded.surface(shardedDocs[i]);
+    searchEqual = surface.ip.value() == referenceHits[i]->ip.value() &&
+                  surface.port == referenceHits[i]->port;
+  }
+
+  const core::Identifier viaStream(
+      streamedWorld, sharded, fingerprint::Engine::withBuiltinSignatures(),
+      geoStreamed, streamedWorld.buildAsnDatabase());
+  const core::Identifier viaEager(
+      eagerWorld, reference, fingerprint::Engine::withBuiltinSignatures(),
+      geoEager, eagerWorld.buildAsnDatabase());
+  const bool identifyEqual =
+      core::toJson(viaStream.identifyAll()).dump() ==
+      core::toJson(viaEager.identifyAll()).dump();
+
+  report::Json out = report::Json::object();
+  out["hosts"] = report::Json::number(static_cast<std::int64_t>(hosts));
+  out["records_equal"] = report::Json::boolean(recordsEqual);
+  out["search_results_equal"] = report::Json::boolean(searchEqual);
+  out["identify_results_identical"] = report::Json::boolean(identifyEqual);
+  std::cerr << "streamed-vs-eager check hosts=" << hosts
+            << " records=" << (recordsEqual ? "equal" : "DIFFER")
+            << " search=" << (searchEqual ? "equal" : "DIFFER")
+            << " identify=" << (identifyEqual ? "equal" : "DIFFER") << "\n";
+  return out;
+}
+
+// --- eager pipeline ---------------------------------------------------------
+
 report::Json benchAtSize(int hosts, int reps) {
   scenarios::RandomWorldConfig config;
   config.countries = 30;
@@ -78,12 +268,10 @@ report::Json benchAtSize(int hosts, int reps) {
 
   // --- crawl: serial vs parallel (identical index either way) ------------
   scan::BannerIndex index;
-  const double crawlSerialMs = bestOf(reps, [&] {
-    index.crawl(world.world(), geo, 2048, /*threadLimit=*/1);
-  });
-  const double crawlParallelMs = bestOf(reps, [&] {
-    index.crawl(world.world(), geo, 2048, /*threadLimit=*/0);
-  });
+  const auto [crawlSerialMs, crawlParallelMs] = bestOfPaired(
+      reps,
+      [&] { index.crawl(world.world(), geo, 2048, /*threadLimit=*/1); },
+      [&] { index.crawl(world.world(), geo, 2048, /*threadLimit=*/0); });
   out["records"] = report::Json::number(
       static_cast<std::int64_t>(index.size()));
   out["vocabulary"] = report::Json::number(
@@ -117,16 +305,15 @@ report::Json benchAtSize(int hosts, int reps) {
   out["search_results_equal"] =
       report::Json::boolean(referenceHits == indexedHits);
 
-  // --- identifyAll: serial vs parallel validation ------------------------
+  // --- identifyAll: serial reference vs fast validation wave -------------
   const auto serialIdentifier = makeIdentifier(world, index, 1);
   const auto parallelIdentifier = makeIdentifier(world, index, 0);
 
   std::map<filters::ProductKind, std::vector<core::Installation>> serialRun;
-  const double identifySerialMs =
-      bestOf(reps, [&] { serialRun = serialIdentifier.identifyAll(); });
   std::map<filters::ProductKind, std::vector<core::Installation>> parallelRun;
-  const double identifyParallelMs =
-      bestOf(reps, [&] { parallelRun = parallelIdentifier.identifyAll(); });
+  const auto [identifySerialMs, identifyParallelMs] = bestOfPaired(
+      reps, [&] { serialRun = serialIdentifier.identifyAll(); },
+      [&] { parallelRun = parallelIdentifier.identifyAll(); });
 
   std::size_t installations = 0;
   for (const auto& [product, found] : serialRun) installations += found.size();
@@ -140,7 +327,9 @@ report::Json benchAtSize(int hosts, int reps) {
       core::toJson(serialRun).dump() == core::toJson(parallelRun).dump());
 
   std::cerr << "hosts=" << hosts << " records=" << index.size()
-            << " searchAll ref=" << searchReferenceMs
+            << " crawl serial=" << crawlSerialMs << "ms parallel="
+            << crawlParallelMs << "ms (" << crawlSerialMs / crawlParallelMs
+            << "x)  searchAll ref=" << searchReferenceMs
             << "ms idx=" << searchIndexedMs << "ms ("
             << searchReferenceMs / searchIndexedMs
             << "x)  identifyAll serial=" << identifySerialMs
@@ -165,6 +354,9 @@ int main(int argc, char** argv) {
     }
   }
 
+  const std::vector<std::uint64_t> streamedSizes =
+      quick ? std::vector<std::uint64_t>{100000}
+            : std::vector<std::uint64_t>{100000, 1000000};
   const std::vector<int> sizes =
       quick ? std::vector<int>{1000} : std::vector<int>{1000, 5000, 20000};
   const int reps = quick ? 1 : 3;
@@ -174,6 +366,23 @@ int main(int argc, char** argv) {
   root["pool_threads"] = report::Json::number(static_cast<std::int64_t>(
       urlf::util::ThreadPool::shared().threadCount()));
   root["reps"] = report::Json::number(std::int64_t{reps});
+  root["peak_rss_budget_mb"] = report::Json::number(kPeakRssBudgetMb);
+
+  // Streamed rows first: VmHWM is monotone, so this peak belongs to the
+  // streaming pipeline alone.
+  report::Json streamedRuns = report::Json::array();
+  for (const auto hosts : streamedSizes)
+    streamedRuns.push(benchStreamedAtSize(hosts));
+  root["streamed_runs"] = std::move(streamedRuns);
+
+  const double streamedPeakMb = procStatusMb("VmHWM");
+  root["peak_rss_after_streamed_mb"] = report::Json::number(streamedPeakMb);
+  const bool budgetOk =
+      streamedPeakMb < 0.0 || streamedPeakMb <= kPeakRssBudgetMb;
+  root["peak_rss_within_budget"] = report::Json::boolean(budgetOk);
+
+  root["streamed_reference_check"] =
+      streamedReferenceCheck(quick ? 5000 : 20000);
 
   report::Json runs = report::Json::array();
   for (const int hosts : sizes) runs.push(benchAtSize(hosts, reps));
@@ -186,5 +395,11 @@ int main(int argc, char** argv) {
   }
   file << root.dump(2) << "\n";
   std::cout << root.dump(2) << "\n";
+
+  if (!budgetOk) {
+    std::cerr << "micro_scan: streamed peak RSS " << streamedPeakMb
+              << " MB exceeds the " << kPeakRssBudgetMb << " MB budget\n";
+    return 1;
+  }
   return 0;
 }

@@ -1,6 +1,8 @@
 #include "core/identifier.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
 
 #include "net/cctld.h"
 #include "util/thread_pool.h"
@@ -14,6 +16,17 @@ Identifier::Identifier(simnet::World& world, const scan::BannerIndex& index,
                        geo::AsnDatabase whois, IdentifierConfig config)
     : world_(&world),
       index_(&index),
+      engine_(std::move(engine)),
+      geo_(std::move(geo)),
+      whois_(std::move(whois)),
+      config_(config) {}
+
+Identifier::Identifier(simnet::World& world,
+                       const scan::ShardedBannerIndex& index,
+                       fingerprint::Engine engine, geo::GeoDatabase geo,
+                       geo::AsnDatabase whois, IdentifierConfig config)
+    : world_(&world),
+      sharded_(&index),
       engine_(std::move(engine)),
       geo_(std::move(geo)),
       whois_(std::move(whois)),
@@ -34,8 +47,7 @@ std::vector<std::string> Identifier::shodanKeywords(ProductKind product) {
   return {};
 }
 
-std::vector<const scan::BannerRecord*> Identifier::locateCandidates(
-    ProductKind product) const {
+std::vector<scan::Query> Identifier::productQueries(ProductKind product) const {
   std::vector<scan::Query> queries;
   for (const auto& keyword : shodanKeywords(product)) {
     queries.push_back({keyword, std::nullopt});
@@ -44,7 +56,43 @@ std::vector<const scan::BannerRecord*> Identifier::locateCandidates(
         queries.push_back({keyword, std::string(country.alpha2)});
     }
   }
-  return index_->searchAll(queries);
+  return queries;
+}
+
+std::vector<const scan::BannerRecord*> Identifier::locateCandidates(
+    ProductKind product) const {
+  if (index_ == nullptr)
+    throw std::logic_error(
+        "locateCandidates: sharded source holds no records; use "
+        "locateCandidateDocs");
+  return index_->searchAll(productQueries(product));
+}
+
+std::vector<std::uint32_t> Identifier::locateCandidateDocs(
+    ProductKind product) const {
+  if (sharded_ == nullptr)
+    throw std::logic_error(
+        "locateCandidateDocs: monolithic source; use locateCandidates");
+  return sharded_->searchAll(productQueries(product));
+}
+
+std::vector<Identifier::Candidate> Identifier::locate(
+    ProductKind product) const {
+  std::vector<Candidate> out;
+  if (index_ != nullptr) {
+    const auto records = index_->searchAll(productQueries(product));
+    out.reserve(records.size());
+    for (const auto* record : records)
+      out.push_back({record->ip, record->port, record, 0});
+  } else {
+    const auto docs = sharded_->searchAll(productQueries(product));
+    out.reserve(docs.size());
+    for (const auto doc : docs) {
+      const auto surface = sharded_->surface(doc);
+      out.push_back({surface.ip, surface.port, nullptr, doc});
+    }
+  }
+  return out;
 }
 
 namespace {
@@ -61,116 +109,192 @@ fingerprint::Observation toObservation(const scan::BannerRecord& record) {
   return obs;
 }
 
-}  // namespace
-
-Identifier::ValidateFn Identifier::activeValidator() const {
-  return [this](const scan::BannerRecord& candidate) {
-    return engine_.probe(*world_, candidate.ip, candidate.port);
-  };
+/// toObservation into a reused observation: string/field capacity kept.
+void observationInto(const scan::BannerRecord& record,
+                     fingerprint::Observation& out) {
+  out.ip = record.ip;
+  out.port = record.port;
+  out.statusCode = record.statusCode;
+  out.headers = record.headers;
+  out.body = record.body;
+  out.title = record.title;
 }
 
-Identifier::ValidateFn Identifier::passiveValidator() const {
-  return [this](const scan::BannerRecord& candidate) {
-    return engine_.evaluate(toObservation(candidate));
-  };
+}  // namespace
+
+void Identifier::validateReference(const Candidate& candidate,
+                                   ValidationMode mode,
+                                   std::vector<fingerprint::Match>& out) const {
+  if (mode == ValidationMode::kActive) {
+    out = engine_.probe(*world_, candidate.ip, candidate.port);
+    return;
+  }
+  const scan::BannerRecord* record = candidate.record;
+  scan::BannerRecord fetched;
+  if (record == nullptr) {
+    fetched = sharded_->fetchRecord(candidate.doc);
+    record = &fetched;
+  }
+  out = engine_.evaluate(toObservation(*record));
+}
+
+void Identifier::validateLean(const Candidate& candidate, ValidationMode mode,
+                              fingerprint::EvalScratch& scratch,
+                              std::vector<fingerprint::Match>& out) const {
+  if (mode == ValidationMode::kActive) {
+    engine_.probeInto(*world_, candidate.ip, candidate.port, scratch, out);
+    return;
+  }
+  if (candidate.record != nullptr) {
+    observationInto(*candidate.record, scratch.observation);
+  } else {
+    auto fetched = sharded_->fetchRecord(candidate.doc);
+    scratch.observation.ip = fetched.ip;
+    scratch.observation.port = fetched.port;
+    scratch.observation.statusCode = fetched.statusCode;
+    scratch.observation.headers = std::move(fetched.headers);
+    scratch.observation.body = std::move(fetched.body);
+    scratch.observation.title = std::move(fetched.title);
+  }
+  engine_.evaluateInto(scratch.observation, scratch.view, out);
+}
+
+Identifier::ValidationWave Identifier::validateWave(
+    const std::vector<std::vector<Candidate>>& perProduct,
+    ValidationMode mode) const {
+  ValidationWave wave;
+  wave.slot.resize(perProduct.size());
+
+  if (config_.threads == 1) {
+    // Reference serial path: every (product, candidate) pair validated in
+    // order through the allocating entry points — no dedup, no scratch.
+    std::size_t next = 0;
+    for (std::size_t p = 0; p < perProduct.size(); ++p) {
+      wave.slot[p].resize(perProduct[p].size());
+      for (std::size_t i = 0; i < perProduct[p].size(); ++i) {
+        wave.results.emplace_back();
+        validateReference(perProduct[p][i], mode, wave.results.back());
+        wave.slot[p][i] = next++;
+      }
+    }
+    return wave;
+  }
+
+  // Fast path. Validation depends only on the candidate surface, never on
+  // the product whose keywords located it, so each distinct candidate
+  // (record pointer / doc id identity) is validated exactly once and its
+  // verdict shared across products. Jobs run in chunked waves; each chunk
+  // reuses one scratch observation, so steady-state validation allocates
+  // only for evidence on actual hits.
+  std::unordered_map<std::uint64_t, std::size_t> slotOf;
+  std::vector<const Candidate*> distinct;
+  for (std::size_t p = 0; p < perProduct.size(); ++p) {
+    wave.slot[p].resize(perProduct[p].size());
+    for (std::size_t i = 0; i < perProduct[p].size(); ++i) {
+      const auto& candidate = perProduct[p][i];
+      const std::uint64_t key =
+          candidate.record != nullptr
+              ? static_cast<std::uint64_t>(
+                    reinterpret_cast<std::uintptr_t>(candidate.record))
+              : candidate.doc;
+      const auto [it, inserted] = slotOf.emplace(key, distinct.size());
+      if (inserted) distinct.push_back(&candidate);
+      wave.slot[p][i] = it->second;
+    }
+  }
+
+  wave.results.resize(distinct.size());
+  util::parallelForChunks(
+      distinct.size(),
+      [&](std::size_t begin, std::size_t end) {
+        fingerprint::EvalScratch scratch;
+        for (std::size_t k = begin; k < end; ++k)
+          validateLean(*distinct[k], mode, scratch, wave.results[k]);
+      },
+      config_.threads, 8);
+  return wave;
 }
 
 std::vector<Installation> Identifier::selectInstallations(
-    ProductKind product,
-    const std::vector<const scan::BannerRecord*>& candidates,
-    const std::vector<std::vector<fingerprint::Match>>& matches) const {
+    ProductKind product, const std::vector<Candidate>& candidates,
+    const std::vector<std::vector<fingerprint::Match>>& results,
+    const std::vector<std::size_t>& slot) const {
   std::vector<Installation> out;
   std::set<std::uint32_t> seenIps;
 
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    const auto* candidate = candidates[i];
+    const auto& candidate = candidates[i];
+    const auto& matches = results[slot[i]];
     // One installation per IP: validate each scanned port but report the IP
     // once, keeping the strongest validation.
-    const auto hit = std::find_if(
-        matches[i].begin(), matches[i].end(), [&](const auto& m) {
+    const auto hit =
+        std::find_if(matches.begin(), matches.end(), [&](const auto& m) {
           return m.product == product && m.certainty >= config_.minCertainty;
         });
-    if (hit == matches[i].end()) continue;
-    if (!seenIps.insert(candidate->ip.value()).second) continue;
+    if (hit == matches.end()) continue;
+    if (!seenIps.insert(candidate.ip.value()).second) continue;
 
     Installation inst;
     inst.product = product;
-    inst.ip = candidate->ip;
-    inst.port = candidate->port;
+    inst.ip = candidate.ip;
+    inst.port = candidate.port;
     inst.certainty = hit->certainty;
     inst.evidence = hit->evidence;
-    inst.countryAlpha2 = geo_.lookup(candidate->ip).value_or("??");
-    inst.asn = whois_.lookup(candidate->ip);
+    inst.countryAlpha2 = geo_.lookup(candidate.ip).value_or("??");
+    inst.asn = whois_.lookup(candidate.ip);
     out.push_back(std::move(inst));
   }
   return out;
 }
 
-std::vector<Installation> Identifier::identifyWith(
-    ProductKind product, const ValidateFn& validate) const {
-  const auto candidates = locateCandidates(product);
-  std::vector<std::vector<fingerprint::Match>> matches(candidates.size());
-  util::parallelFor(
-      candidates.size(),
-      [&](std::size_t i) { matches[i] = validate(*candidates[i]); },
-      config_.threads);
-  return selectInstallations(product, candidates, matches);
+std::vector<Installation> Identifier::identifyWith(ProductKind product,
+                                                   ValidationMode mode) const {
+  std::vector<std::vector<Candidate>> perProduct(1);
+  perProduct[0] = locate(product);
+  const auto wave = validateWave(perProduct, mode);
+  return selectInstallations(product, perProduct[0], wave.results,
+                             wave.slot[0]);
 }
 
 std::map<ProductKind, std::vector<Installation>> Identifier::identifyAllWith(
-    const ValidateFn& validate) const {
+    ValidationMode mode) const {
   const auto& products = filters::allProducts();
 
   // Locate every product's candidates first (fast: indexed search), then
-  // validate the whole flattened (product, candidate) set in one parallel
-  // wave — wider than four sequential per-product fan-outs.
-  std::vector<std::vector<const scan::BannerRecord*>> candidates(
-      products.size());
+  // validate the flattened candidate set in one wave — wider than four
+  // sequential per-product fan-outs, and deduplicated across products on
+  // the fast path.
+  std::vector<std::vector<Candidate>> candidates(products.size());
   for (std::size_t p = 0; p < products.size(); ++p)
-    candidates[p] = locateCandidates(products[p]);
+    candidates[p] = locate(products[p]);
 
-  std::vector<std::pair<std::size_t, std::size_t>> jobs;  // (product, slot)
-  for (std::size_t p = 0; p < products.size(); ++p)
-    for (std::size_t i = 0; i < candidates[p].size(); ++i)
-      jobs.emplace_back(p, i);
-
-  std::vector<std::vector<std::vector<fingerprint::Match>>> matches(
-      products.size());
-  for (std::size_t p = 0; p < products.size(); ++p)
-    matches[p].resize(candidates[p].size());
-
-  util::parallelFor(
-      jobs.size(),
-      [&](std::size_t j) {
-        const auto [p, i] = jobs[j];
-        matches[p][i] = validate(*candidates[p][i]);
-      },
-      config_.threads);
+  const auto wave = validateWave(candidates, mode);
 
   std::map<ProductKind, std::vector<Installation>> out;
   for (std::size_t p = 0; p < products.size(); ++p)
     out.emplace(products[p],
-                selectInstallations(products[p], candidates[p], matches[p]));
+                selectInstallations(products[p], candidates[p], wave.results,
+                                    wave.slot[p]));
   return out;
 }
 
 std::vector<Installation> Identifier::identify(ProductKind product) const {
-  return identifyWith(product, activeValidator());
+  return identifyWith(product, ValidationMode::kActive);
 }
 
 std::vector<Installation> Identifier::identifyPassive(
     ProductKind product) const {
-  return identifyWith(product, passiveValidator());
+  return identifyWith(product, ValidationMode::kPassive);
 }
 
 std::map<ProductKind, std::vector<Installation>> Identifier::identifyAllPassive()
     const {
-  return identifyAllWith(passiveValidator());
+  return identifyAllWith(ValidationMode::kPassive);
 }
 
 std::map<ProductKind, std::vector<Installation>> Identifier::identifyAll()
     const {
-  return identifyAllWith(activeValidator());
+  return identifyAllWith(ValidationMode::kActive);
 }
 
 std::map<ProductKind, std::set<std::string>> Identifier::countriesByProduct(

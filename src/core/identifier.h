@@ -2,7 +2,6 @@
 #define URLF_CORE_IDENTIFIER_H
 
 #include <cstddef>
-#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -35,9 +34,11 @@ struct IdentifierConfig {
   /// §3.1 does with the ccTLDs "to maximize the set of results".
   bool expandByCountry = true;
   /// Validation fan-out width: 0 uses the full shared thread pool, 1 forces
-  /// the serial reference path. Output is byte-identical for any value —
-  /// candidates are validated into per-candidate slots and the selection
-  /// pass runs sequentially in candidate order (DESIGN.md §4.1).
+  /// the serial reference path (every (product, candidate) pair validated in
+  /// order through the allocating entry points). Output is byte-identical
+  /// for any value — the fast path validates each distinct candidate once
+  /// in chunked waves, and the selection pass runs sequentially in candidate
+  /// order (DESIGN.md §4.1).
   std::size_t threads = 0;
 };
 
@@ -49,13 +50,25 @@ struct IdentifierConfig {
 /// The pipeline deliberately over-collects at step 1 ("we are not
 /// conservative, and rely on the following step to confirm", §3.1).
 ///
-/// Validation probes run concurrently on the shared thread pool (active
-/// probes are anonymous `GET /` exchanges against externally visible
-/// surfaces, which are pure request handlers), so `identifyAll` fans out
-/// across every (product, candidate) pair at once.
+/// Works over either banner source: the monolithic BannerIndex (records
+/// resident) or the ShardedBannerIndex (compressed postings only; passive
+/// validation re-fetches banners through the index's RecordFetcher). Active
+/// probes go through World::probeExternal, so streamed hosts that were never
+/// bound still answer.
+///
+/// Validation is a function of the candidate surface alone, never of the
+/// product whose keywords located it — so the fast path validates each
+/// distinct candidate once and shares the verdict across products, in
+/// chunked waves with per-chunk scratch buffers (see IdentifierConfig).
 class Identifier {
  public:
   Identifier(simnet::World& world, const scan::BannerIndex& index,
+             fingerprint::Engine engine, geo::GeoDatabase geo,
+             geo::AsnDatabase whois, IdentifierConfig config = {});
+
+  /// Sharded source: candidates are doc ids. Passive validation and
+  /// candidate fetches require the index to have a RecordFetcher attached.
+  Identifier(simnet::World& world, const scan::ShardedBannerIndex& index,
              fingerprint::Engine engine, geo::GeoDatabase geo,
              geo::AsnDatabase whois, IdentifierConfig config = {});
 
@@ -88,39 +101,69 @@ class Identifier {
       const std::map<filters::ProductKind, std::vector<Installation>>& all);
 
   /// Candidates located by keyword search (before validation) — exposed so
-  /// precision/recall of the validation step can be evaluated.
+  /// precision/recall of the validation step can be evaluated. Monolithic
+  /// source only; throws std::logic_error on a sharded source.
   [[nodiscard]] std::vector<const scan::BannerRecord*> locateCandidates(
       filters::ProductKind product) const;
 
+  /// Sharded-source counterpart of locateCandidates: candidate doc ids in
+  /// first-match order. Throws std::logic_error on a monolithic source.
+  [[nodiscard]] std::vector<std::uint32_t> locateCandidateDocs(
+      filters::ProductKind product) const;
+
  private:
-  /// Validate one candidate: fingerprint matches from a live probe (active)
-  /// or the stored banner (passive).
-  using ValidateFn =
-      std::function<std::vector<fingerprint::Match>(const scan::BannerRecord&)>;
+  enum class ValidationMode { kActive, kPassive };
 
-  /// candidates -> parallel validation -> sequential selection. The
-  /// selection pass walks candidates in index order (one installation per
-  /// IP, first qualifying port wins), so output is order-deterministic.
+  /// One located candidate, source-agnostic: the surface plus its identity
+  /// in the backing index (record pointer or doc id).
+  struct Candidate {
+    net::Ipv4Addr ip;
+    std::uint16_t port = 80;
+    const scan::BannerRecord* record = nullptr;  ///< monolithic source
+    std::uint32_t doc = 0;                       ///< sharded source
+  };
+
+  /// One validation wave over every product's candidate list: results for
+  /// each validated job, and per (product, candidate) the slot holding its
+  /// verdict (the fast path maps duplicate candidates to one slot).
+  struct ValidationWave {
+    std::vector<std::vector<fingerprint::Match>> results;
+    std::vector<std::vector<std::size_t>> slot;
+  };
+
+  [[nodiscard]] std::vector<scan::Query> productQueries(
+      filters::ProductKind product) const;
+  [[nodiscard]] std::vector<Candidate> locate(
+      filters::ProductKind product) const;
+
+  /// Reference validation: the allocating entry points, one candidate.
+  void validateReference(const Candidate& candidate, ValidationMode mode,
+                         std::vector<fingerprint::Match>& out) const;
+  /// Allocation-lean validation through reused scratch buffers; results are
+  /// identical to validateReference.
+  void validateLean(const Candidate& candidate, ValidationMode mode,
+                    fingerprint::EvalScratch& scratch,
+                    std::vector<fingerprint::Match>& out) const;
+
+  [[nodiscard]] ValidationWave validateWave(
+      const std::vector<std::vector<Candidate>>& perProduct,
+      ValidationMode mode) const;
+
   [[nodiscard]] std::vector<Installation> identifyWith(
-      filters::ProductKind product, const ValidateFn& validate) const;
-
-  /// Shared fan-out for identifyAll/identifyAllPassive: flattens every
-  /// (product, candidate) pair into one parallel validation wave instead of
-  /// four sequential per-product waves.
+      filters::ProductKind product, ValidationMode mode) const;
   [[nodiscard]] std::map<filters::ProductKind, std::vector<Installation>>
-  identifyAllWith(const ValidateFn& validate) const;
+  identifyAllWith(ValidationMode mode) const;
 
-  /// The sequential selection pass shared by all identify flavours.
+  /// The sequential selection pass shared by all identify flavours; matches
+  /// for candidates[i] live in results[slot[i]].
   [[nodiscard]] std::vector<Installation> selectInstallations(
-      filters::ProductKind product,
-      const std::vector<const scan::BannerRecord*>& candidates,
-      const std::vector<std::vector<fingerprint::Match>>& matches) const;
-
-  [[nodiscard]] ValidateFn activeValidator() const;
-  [[nodiscard]] ValidateFn passiveValidator() const;
+      filters::ProductKind product, const std::vector<Candidate>& candidates,
+      const std::vector<std::vector<fingerprint::Match>>& results,
+      const std::vector<std::size_t>& slot) const;
 
   simnet::World* world_;
-  const scan::BannerIndex* index_;
+  const scan::BannerIndex* index_ = nullptr;
+  const scan::ShardedBannerIndex* sharded_ = nullptr;
   fingerprint::Engine engine_;
   geo::GeoDatabase geo_;
   geo::AsnDatabase whois_;

@@ -73,11 +73,8 @@ Engine Engine::withBuiltinSignatures() {
   return engine;
 }
 
-std::vector<Match> Engine::evaluate(const Observation& obs) const {
-  // Case-fold the observation once; every signature rule then probes the
-  // prepared view instead of re-lowercasing body/title per matcher.
-  const PreparedObservation view(obs);
-  std::vector<Match> out;
+void Engine::evaluatePrepared(const PreparedObservation& view,
+                              std::vector<Match>& out) const {
   for (const auto& signature : signatures_) {
     Match match;
     match.product = signature.product;
@@ -90,25 +87,55 @@ std::vector<Match> Engine::evaluate(const Observation& obs) const {
     }
     if (match.certainty >= signature.threshold) out.push_back(std::move(match));
   }
+}
+
+std::vector<Match> Engine::evaluate(const Observation& obs) const {
+  // Case-fold the observation once; every signature rule then probes the
+  // prepared view instead of re-lowercasing body/title per matcher.
+  const PreparedObservation view(obs);
+  std::vector<Match> out;
+  evaluatePrepared(view, out);
   return out;
+}
+
+void Engine::evaluateInto(const Observation& obs, PreparedObservation& view,
+                          std::vector<Match>& out) const {
+  view.assign(obs);
+  out.clear();
+  evaluatePrepared(view, out);
+}
+
+bool Engine::observeInto(simnet::World& world, net::Ipv4Addr ip,
+                         std::uint16_t port, Observation& out) {
+  http::Request request;
+  return observeInto(world, ip, port, out, request);
+}
+
+bool Engine::observeInto(simnet::World& world, net::Ipv4Addr ip,
+                         std::uint16_t port, Observation& out,
+                         http::Request& request) {
+  net::Url url{"http", ip.toString(), port, "/", ""};
+  if (request.headers.empty())
+    request = http::Request::get(url);
+  else
+    request.retarget(std::move(url));
+  auto response = world.probeExternal(ip, port, request);
+  if (!response) return false;
+
+  out.ip = ip;
+  out.port = port;
+  out.statusCode = response->statusCode;
+  out.headers = std::move(response->headers);
+  out.title = http::extractTitle(response->body);
+  out.body = std::move(response->body);
+  return true;
 }
 
 std::optional<Observation> Engine::observe(simnet::World& world,
                                            net::Ipv4Addr ip,
                                            std::uint16_t port) {
-  auto* endpoint = world.externalEndpointAt(ip, port);
-  if (endpoint == nullptr) return std::nullopt;
-
-  net::Url url{"http", ip.toString(), port, "/", ""};
-  const auto response = endpoint->handle(http::Request::get(url), world.now());
-
   Observation obs;
-  obs.ip = ip;
-  obs.port = port;
-  obs.statusCode = response.statusCode;
-  obs.headers = response.headers;
-  obs.body = response.body;
-  obs.title = http::extractTitle(response.body);
+  if (!observeInto(world, ip, port, obs)) return std::nullopt;
   return obs;
 }
 
@@ -117,6 +144,15 @@ std::vector<Match> Engine::probe(simnet::World& world, net::Ipv4Addr ip,
   const auto obs = observe(world, ip, port);
   if (!obs) return {};
   return evaluate(*obs);
+}
+
+void Engine::probeInto(simnet::World& world, net::Ipv4Addr ip,
+                       std::uint16_t port, EvalScratch& scratch,
+                       std::vector<Match>& out) const {
+  out.clear();
+  if (!observeInto(world, ip, port, scratch.observation, scratch.probeRequest))
+    return;
+  evaluateInto(scratch.observation, scratch.view, out);
 }
 
 }  // namespace urlf::fingerprint

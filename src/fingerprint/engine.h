@@ -7,6 +7,7 @@
 
 #include "filters/category.h"
 #include "fingerprint/matcher.h"
+#include "http/message.h"
 #include "simnet/world.h"
 
 namespace urlf::fingerprint {
@@ -35,6 +36,18 @@ struct Match {
   std::vector<std::string> evidence;  ///< one entry per fired rule
 };
 
+/// Reusable buffers for the allocation-lean validation hot path: one
+/// observation whose strings keep their capacity across probes, one
+/// prepared view re-pointed at it per candidate, and one GET request
+/// retargeted per probe instead of rebuilt (four headers and a URL per
+/// build otherwise). Verdicts are byte-identical to the scratch-free entry
+/// points.
+struct EvalScratch {
+  Observation observation;
+  PreparedObservation view;
+  http::Request probeRequest;
+};
+
 /// The WhatWeb stand-in: validates that a candidate IP really hosts the
 /// suspected product (§3.1, "Validating URL filter installations").
 class Engine {
@@ -49,22 +62,50 @@ class Engine {
   /// Evaluate all signatures against a stored observation (passive mode).
   [[nodiscard]] std::vector<Match> evaluate(const Observation& obs) const;
 
+  /// evaluate() into caller-owned storage: `view` is re-pointed at `obs`
+  /// (capacity reused) and `out` is cleared first. Identical results.
+  void evaluateInto(const Observation& obs, PreparedObservation& view,
+                    std::vector<Match>& out) const;
+
   /// Actively probe (ip, port) from outside — GET / without following
-  /// redirects, so signature Location headers stay observable. Returns
+  /// redirects, so signature Location headers stay observable. Reaches both
+  /// bound endpoints and streamed hosts via World::probeExternal. Returns
   /// nullopt when nothing externally reachable answers.
   [[nodiscard]] static std::optional<Observation> observe(simnet::World& world,
                                                           net::Ipv4Addr ip,
                                                           std::uint16_t port);
 
+  /// observe() into a reused Observation (string capacity preserved across
+  /// calls). Returns false when nothing externally reachable answers.
+  [[nodiscard]] static bool observeInto(simnet::World& world, net::Ipv4Addr ip,
+                                        std::uint16_t port, Observation& out);
+
+  /// observeInto() that also reuses the probe request: `request` is primed by
+  /// Request::get on first use and retargeted in place afterwards, so the
+  /// wire-visible request stays field-for-field identical while the probe
+  /// loop stops rebuilding headers per endpoint.
+  [[nodiscard]] static bool observeInto(simnet::World& world, net::Ipv4Addr ip,
+                                        std::uint16_t port, Observation& out,
+                                        http::Request& request);
+
   /// observe + evaluate (aggressive mode).
   [[nodiscard]] std::vector<Match> probe(simnet::World& world, net::Ipv4Addr ip,
                                          std::uint16_t port) const;
+
+  /// probe() through scratch buffers: `out` is cleared, then filled with
+  /// exactly what probe() would return. The validation fan-out uses one
+  /// scratch per worker chunk.
+  void probeInto(simnet::World& world, net::Ipv4Addr ip, std::uint16_t port,
+                 EvalScratch& scratch, std::vector<Match>& out) const;
 
   [[nodiscard]] const std::vector<Signature>& signatures() const {
     return signatures_;
   }
 
  private:
+  void evaluatePrepared(const PreparedObservation& view,
+                        std::vector<Match>& out) const;
+
   std::vector<Signature> signatures_;
 };
 

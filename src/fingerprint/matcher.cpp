@@ -6,14 +6,18 @@
 
 namespace urlf::fingerprint {
 
-PreparedObservation::PreparedObservation(const Observation& observation)
-    : obs(&observation),
-      loweredBody(util::toLower(observation.body)),
-      loweredTitle(util::toLower(observation.title)) {
+void PreparedObservation::assign(const Observation& observation) {
+  obs = &observation;
+  util::toLowerInto(observation.body, loweredBody);
+  util::toLowerInto(observation.title, loweredTitle);
   if (const auto value = observation.headers.get("Location")) {
     hasLocation = true;
-    location = std::string(*value);
-    loweredLocation = util::toLower(location);
+    location.assign(*value);
+    util::toLowerInto(location, loweredLocation);
+  } else {
+    hasLocation = false;
+    location.clear();
+    loweredLocation.clear();
   }
 }
 

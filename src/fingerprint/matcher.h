@@ -30,9 +30,19 @@ struct Observation {
 /// rule probe. The view borrows the observation — keep the Observation
 /// alive for the view's lifetime.
 struct PreparedObservation {
-  explicit PreparedObservation(const Observation& observation);
+  /// An empty view; `assign` before use. Lets validation hot loops keep one
+  /// view alive and re-point it per candidate, reusing the lowered buffers'
+  /// capacity instead of reallocating them thousands of times.
+  PreparedObservation() = default;
+  explicit PreparedObservation(const Observation& observation) {
+    assign(observation);
+  }
 
-  const Observation* obs;
+  /// Re-point the view at `observation`, rebuilding the case-folded fields
+  /// in place. Verdicts are identical to a freshly constructed view.
+  void assign(const Observation& observation);
+
+  const Observation* obs = nullptr;
   std::string loweredBody;
   std::string loweredTitle;
   bool hasLocation = false;

@@ -17,6 +17,16 @@ void HeaderMap::set(std::string_view name, std::string_view value) {
   add(name, value);
 }
 
+void HeaderMap::replaceValue(std::string_view name, std::string_view value) {
+  for (auto& f : fields_) {
+    if (util::iequals(f.name, name)) {
+      f.value.assign(value);
+      return;
+    }
+  }
+  add(name, value);
+}
+
 std::size_t HeaderMap::remove(std::string_view name) {
   const auto before = fields_.size();
   std::erase_if(fields_, [&](const Field& f) {

@@ -29,6 +29,11 @@ class HeaderMap {
   /// Replace all fields of this name with a single field.
   void set(std::string_view name, std::string_view value);
 
+  /// Overwrite the first field of this name in place (keeping its position
+  /// and the value string's capacity); append when absent. The reuse-friendly
+  /// variant of `set` for hot loops that re-point one header per iteration.
+  void replaceValue(std::string_view name, std::string_view value);
+
   /// Remove every field with this name. Returns the number removed.
   std::size_t remove(std::string_view name);
 

@@ -23,6 +23,11 @@ Request Request::get(std::string_view urlText) {
   return get(*url);
 }
 
+void Request::retarget(net::Url newUrl) {
+  url = std::move(newUrl);
+  headers.replaceValue("Host", url.host());
+}
+
 std::string Request::requestLine() const {
   return method + " " + url.requestTarget() + " HTTP/1.1";
 }

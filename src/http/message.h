@@ -24,6 +24,12 @@ struct Request {
   /// std::invalid_argument on malformed URLs.
   static Request get(std::string_view urlText);
 
+  /// Re-point an already-built GET at a new target: swaps the url and
+  /// rewrites the Host header in place. On a request primed by `get()` the
+  /// result is field-for-field identical to `get(url)` — probe loops reuse
+  /// one request instead of rebuilding four headers per endpoint.
+  void retarget(net::Url url);
+
   /// Request line, e.g. "GET /path?q HTTP/1.1".
   [[nodiscard]] std::string requestLine() const;
 };

@@ -1,11 +1,12 @@
 #include "scan/banner_index.h"
 
 #include <algorithm>
-#include <cctype>
 #include <set>
+#include <stdexcept>
 #include <string_view>
 
 #include "http/html.h"
+#include "simnet/world_stream.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 
@@ -33,23 +34,26 @@ BannerRecord probeEndpoint(simnet::HttpEndpoint& endpoint, net::Ipv4Addr ip,
   return record;
 }
 
-bool isTokenChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0;
-}
+/// probeEndpoint into a reused record: response storage is moved, not
+/// copied, and the body is truncated in place. Field-for-field identical to
+/// probeEndpoint (the title is extracted from the full body first).
+void probeEndpointInto(simnet::HttpEndpoint& endpoint, net::Ipv4Addr ip,
+                       std::uint16_t port, const geo::GeoDatabase& geo,
+                       util::SimTime now, std::size_t bodySnippetLimit,
+                       BannerRecord& out) {
+  net::Url url{"http", ip.toString(), port, "/", ""};
+  auto response = endpoint.handle(http::Request::get(url), now);
 
-/// Maximal alphanumeric runs of `text`. Both banners and keywords are
-/// tokenized with the same character class, so a keyword with no separator
-/// can only ever occur inside a single banner token.
-std::vector<std::string_view> tokenize(std::string_view text) {
-  std::vector<std::string_view> out;
-  std::size_t i = 0;
-  while (i < text.size()) {
-    while (i < text.size() && !isTokenChar(text[i])) ++i;
-    const std::size_t start = i;
-    while (i < text.size() && isTokenChar(text[i])) ++i;
-    if (i > start) out.push_back(text.substr(start, i - start));
-  }
-  return out;
+  out.ip = ip;
+  out.port = port;
+  out.statusCode = response.statusCode;
+  out.headers = std::move(response.headers);
+  out.title = http::extractTitle(response.body);
+  if (response.body.size() > bodySnippetLimit)
+    response.body.resize(bodySnippetLimit);
+  out.body = std::move(response.body);
+  out.countryAlpha2 = geo.lookup(ip).value_or("");
+  out.observedAt = now;
 }
 
 void mergeSortedUnique(std::vector<std::uint32_t>& ids) {
@@ -68,12 +72,19 @@ std::vector<std::uint32_t> intersectSorted(
 
 }  // namespace
 
+void BannerRecord::appendSearchableText(std::string& out) const {
+  out += "HTTP/1.1 ";
+  out += std::to_string(statusCode);
+  out += "\r\n";
+  out += headers.serialize();
+  out += title;
+  out += "\r\n";
+  out += body;
+}
+
 std::string BannerRecord::searchableText() const {
-  std::string text = "HTTP/1.1 " + std::to_string(statusCode) + "\r\n";
-  text += headers.serialize();
-  text += title;
-  text += "\r\n";
-  text += body;
+  std::string text;
+  appendSearchableText(text);
   return text;
 }
 
@@ -83,6 +94,14 @@ const std::string& BannerRecord::searchableTextLower() const {
     searchLowerReady_ = true;
   }
   return searchLower_;
+}
+
+void BannerRecord::primeSearchText(std::string& scratch) const {
+  if (searchLowerReady_) return;
+  scratch.clear();
+  appendSearchableText(scratch);
+  util::toLowerInto(scratch, searchLower_);
+  searchLowerReady_ = true;
 }
 
 void BannerIndex::crawl(simnet::World& world, const geo::GeoDatabase& geo,
@@ -96,19 +115,38 @@ void BannerIndex::crawl(simnet::World& world, const geo::GeoDatabase& geo,
   countryBuckets_.clear();
   records_.resize(surfaces.size());
 
-  // Each probe writes only its own slot, so the records land in binding
-  // order — the same index a serial crawl builds.
-  util::parallelFor(
-      surfaces.size(),
-      [&](std::size_t i) {
-        const auto& surface = surfaces[i];
-        records_[i] = probeEndpoint(*surface.endpoint, surface.ip,
-                                    surface.port, geo, now, bodySnippetLimit);
-        records_[i].primeSearchText();
-      },
-      threadLimit);
+  if (threadLimit == 1) {
+    // Reference serial crawl: one probe at a time, copying response storage.
+    for (std::size_t i = 0; i < surfaces.size(); ++i) {
+      const auto& surface = surfaces[i];
+      records_[i] = probeEndpoint(*surface.endpoint, surface.ip, surface.port,
+                                  geo, now, bodySnippetLimit);
+      records_[i].primeSearchText();
+    }
+  } else {
+    // Fast path: chunked dispatch over the surfaces. Each chunk moves
+    // response storage into its slot and primes the lowered-text cache
+    // through one reused staging buffer. Every probe writes only its own
+    // slot, so the records land in binding order — byte-identical to the
+    // serial crawl.
+    util::parallelForChunks(
+        surfaces.size(),
+        [&](std::size_t begin, std::size_t end) {
+          std::string scratch;
+          for (std::size_t i = begin; i < end; ++i) {
+            const auto& surface = surfaces[i];
+            probeEndpointInto(*surface.endpoint, surface.ip, surface.port, geo,
+                              now, bodySnippetLimit, records_[i]);
+            records_[i].primeSearchText(scratch);
+          }
+        },
+        threadLimit, 64);
+  }
 
-  indexRange(0);
+  if (threadLimit == 1)
+    indexRange(0);
+  else
+    indexRangeLean(0);
 }
 
 BannerIndex BannerIndex::fromRecords(std::vector<BannerRecord> records) {
@@ -121,30 +159,67 @@ void BannerIndex::addRecords(std::vector<BannerRecord> records) {
   const std::size_t begin = records_.size();
   records_.insert(records_.end(), std::make_move_iterator(records.begin()),
                   std::make_move_iterator(records.end()));
-  util::parallelFor(records_.size() - begin, [&](std::size_t i) {
-    records_[begin + i].primeSearchText();
-  });
-  indexRange(begin);
+  util::parallelForChunks(records_.size() - begin,
+                          [&](std::size_t lo, std::size_t hi) {
+                            std::string scratch;
+                            for (std::size_t i = lo; i < hi; ++i)
+                              records_[begin + i].primeSearchText(scratch);
+                          });
+  indexRangeLean(begin);
 }
 
 void BannerIndex::indexRange(std::size_t begin) {
   // Ids are appended in ascending order, so every posting list and country
-  // bucket stays sorted and unique without a final sort pass.
+  // bucket stays sorted and unique without a final sort pass. The token
+  // scratch and the transparent map lookups keep the loop from allocating
+  // per (record, token).
+  std::vector<std::string_view> tokens;
   for (std::size_t id = begin; id < records_.size(); ++id) {
     const auto& record = records_[id];
-    auto tokens = tokenize(record.searchableTextLower());
+    tokens.clear();
+    tokenizeAlnum(record.searchableTextLower(), tokens);
     std::sort(tokens.begin(), tokens.end());
     tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
-    for (const auto token : tokens)
-      postings_[std::string(token)].push_back(static_cast<std::uint32_t>(id));
+    for (const auto token : tokens) {
+      auto it = postings_.find(token);
+      if (it == postings_.end())
+        it = postings_.emplace(std::string(token), std::vector<std::uint32_t>{})
+                 .first;
+      it->second.push_back(static_cast<std::uint32_t>(id));
+    }
     countryBuckets_[util::toUpper(record.countryAlpha2)].push_back(
         static_cast<std::uint32_t>(id));
   }
 }
 
+void BannerIndex::indexRangeLean(std::size_t begin) {
+  // Same output as indexRange, without the per-record sort+unique: ids only
+  // ever append in ascending order, so a repeated token inside one record is
+  // exactly the case where its list already ends in this id. The occasional
+  // extra map probe for a repeated token costs less than sorting every
+  // record's token views.
+  std::vector<std::string_view> tokens;
+  for (std::size_t id = begin; id < records_.size(); ++id) {
+    const auto& record = records_[id];
+    const auto doc = static_cast<std::uint32_t>(id);
+    tokens.clear();
+    tokenizeAlnum(record.searchableTextLower(), tokens);
+    for (const auto token : tokens) {
+      auto it = postings_.find(token);
+      if (it == postings_.end())
+        it = postings_.emplace(std::string(token), std::vector<std::uint32_t>{})
+                 .first;
+      auto& ids = it->second;
+      if (ids.empty() || ids.back() != doc) ids.push_back(doc);
+    }
+    countryBuckets_[util::toUpper(record.countryAlpha2)].push_back(doc);
+  }
+}
+
 std::vector<std::uint32_t> BannerIndex::keywordCandidates(
     const std::string& loweredKeyword) const {
-  const auto keywordTokens = tokenize(loweredKeyword);
+  std::vector<std::string_view> keywordTokens;
+  tokenizeAlnum(loweredKeyword, keywordTokens);
 
   std::vector<std::uint32_t> candidates;
   if (keywordTokens.empty()) {
@@ -243,16 +318,25 @@ std::vector<const BannerRecord*> BannerIndex::searchAll(
       perKeyword[k] = keywordCandidates(keywords[k]);
     });
 
+    // Partition each keyword's candidates by record country in one pass.
+    // The fan-out asks for the same keyword under every country facet, so
+    // answering those from the partition replaces one sorted intersection
+    // per (keyword, country) pair with a single walk per keyword; each
+    // partition bucket is ascending because the candidate list is.
+    std::vector<std::unordered_map<std::string, std::vector<std::uint32_t>>>
+        byCountry(keywords.size());
+    for (std::size_t k = 0; k < keywords.size(); ++k)
+      for (const auto id : perKeyword[k])
+        byCountry[k][util::toUpper(records_[id].countryAlpha2)].push_back(id);
+
+    static const std::vector<std::uint32_t> kNoIds;
     for (std::size_t q = 0; q < queries.size(); ++q) {
       const std::vector<std::uint32_t>* ids = &perKeyword[querySlot[q]];
-      std::vector<std::uint32_t> restricted;
       if (queries[q].countryAlpha2) {
+        const auto& partition = byCountry[querySlot[q]];
         const auto bucket =
-            countryBuckets_.find(util::toUpper(*queries[q].countryAlpha2));
-        restricted = bucket == countryBuckets_.end()
-                         ? std::vector<std::uint32_t>{}
-                         : intersectSorted(*ids, bucket->second);
-        ids = &restricted;
+            partition.find(util::toUpper(*queries[q].countryAlpha2));
+        ids = bucket == partition.end() ? &kNoIds : &bucket->second;
       }
       perQuery[q].reserve(ids->size());
       for (const auto id : *ids) perQuery[q].push_back(&records_[id]);
@@ -274,6 +358,319 @@ std::vector<const BannerRecord*> BannerIndex::searchAll(
     }
   }
   return out;
+}
+
+// --- ShardedBannerIndex -----------------------------------------------------
+
+void ShardedBannerIndex::beginShard(std::string label) {
+  if (openShard_) throw std::logic_error("beginShard: shard already open");
+  openShard_ = std::make_unique<PostingShard::Builder>(
+      std::move(label), static_cast<std::uint32_t>(ips_.size()));
+}
+
+void ShardedBannerIndex::addRecord(const BannerRecord& record) {
+  if (!openShard_) throw std::logic_error("addRecord: no open shard");
+  const auto doc = static_cast<std::uint32_t>(ips_.size());
+  textScratch_.clear();
+  record.appendSearchableText(textScratch_);
+  util::toLowerInto(textScratch_, loweredScratch_);
+  openShard_->addDocument(loweredScratch_);
+  ips_.push_back(record.ip.value());
+  ports_.push_back(record.port);
+  countryBuckets_[util::toUpper(record.countryAlpha2)].append(doc);
+}
+
+void ShardedBannerIndex::endShard() {
+  if (!openShard_) throw std::logic_error("endShard: no open shard");
+  shards_.push_back(std::move(*openShard_).finish());
+  openShard_.reset();
+}
+
+ShardedBannerIndex ShardedBannerIndex::fromIndex(const BannerIndex& index,
+                                                 std::size_t shardTargetDocs) {
+  if (shardTargetDocs == 0) shardTargetDocs = 1;
+  ShardedBannerIndex out;
+  const auto& records = index.records();
+  for (std::size_t begin = 0; begin < records.size();
+       begin += shardTargetDocs) {
+    const std::size_t end = std::min(records.size(), begin + shardTargetDocs);
+    out.beginShard("mono#" + std::to_string(begin / shardTargetDocs));
+    for (std::size_t i = begin; i < end; ++i) out.addRecord(records[i]);
+    out.endShard();
+  }
+  if (records.empty()) {
+    out.beginShard("mono#0");
+    out.endShard();
+  }
+  out.setRecordFetcher(
+      [&index](std::uint32_t doc) { return index.records()[doc]; });
+  return out;
+}
+
+ShardedBannerIndex ShardedBannerIndex::fromRecords(
+    std::vector<BannerRecord> records, std::size_t shardTargetDocs) {
+  if (shardTargetDocs == 0) shardTargetDocs = 1;
+  auto retained = std::make_shared<const std::vector<BannerRecord>>(
+      std::move(records));
+  ShardedBannerIndex out;
+  const auto& source = *retained;
+  for (std::size_t begin = 0; begin < source.size();
+       begin += shardTargetDocs) {
+    const std::size_t end = std::min(source.size(), begin + shardTargetDocs);
+    out.beginShard("records#" + std::to_string(begin / shardTargetDocs));
+    for (std::size_t i = begin; i < end; ++i) out.addRecord(source[i]);
+    out.endShard();
+  }
+  if (source.empty()) {
+    out.beginShard("records#0");
+    out.endShard();
+  }
+  out.retained_ = retained;
+  out.setRecordFetcher(
+      [retained](std::uint32_t doc) { return (*retained)[doc]; });
+  return out;
+}
+
+ShardedBannerIndex ShardedBannerIndex::fromParts(
+    std::vector<std::uint32_t> ips, std::vector<std::uint16_t> ports,
+    std::map<std::string, DeltaIdList> countryBuckets,
+    std::vector<PostingShard> shards) {
+  if (ips.size() != ports.size())
+    throw std::invalid_argument("fromParts: ip/port table size mismatch");
+  std::uint64_t running = 0;
+  for (const auto& shard : shards) {
+    if (shard.docBase() != running)
+      throw std::invalid_argument("fromParts: shard doc ranges not contiguous");
+    running += shard.docCount();
+  }
+  if (running != ips.size())
+    throw std::invalid_argument("fromParts: shard doc count != table size");
+  std::uint64_t bucketed = 0;
+  for (const auto& [alpha2, bucket] : countryBuckets) bucketed += bucket.count();
+  if (bucketed != ips.size())
+    throw std::invalid_argument("fromParts: country buckets don't cover docs");
+
+  ShardedBannerIndex out;
+  out.ips_ = std::move(ips);
+  out.ports_ = std::move(ports);
+  out.countryBuckets_ = std::move(countryBuckets);
+  out.shards_ = std::move(shards);
+  return out;
+}
+
+BannerRecord ShardedBannerIndex::fetchRecord(std::uint32_t doc) const {
+  if (!fetcher_)
+    throw std::logic_error(
+        "ShardedBannerIndex: record fetch required but no fetcher attached "
+        "(separator/no-token keywords and passive identification need one)");
+  return fetcher_(doc);
+}
+
+std::vector<std::uint32_t> ShardedBannerIndex::decodeCountryBucket(
+    const std::string& upperAlpha2) const {
+  std::vector<std::uint32_t> out;
+  const auto bucket = countryBuckets_.find(upperAlpha2);
+  if (bucket != countryBuckets_.end()) bucket->second.decodeInto(out);
+  return out;
+}
+
+std::vector<std::uint32_t> ShardedBannerIndex::keywordCandidates(
+    const std::string& loweredKeyword) const {
+  std::vector<std::string_view> keywordTokens;
+  tokenizeAlnum(loweredKeyword, keywordTokens);
+
+  std::vector<std::uint32_t> candidates;
+  if (keywordTokens.empty()) {
+    // No alphanumeric core: the banners are not resident, so re-materialize
+    // every document through the fetcher — the correctness path, not the
+    // fast path (product keywords always have tokens).
+    const auto docs = docCount();
+    for (std::uint32_t doc = 0; doc < docs; ++doc) {
+      if (fetchRecord(doc).searchableTextLower().find(loweredKeyword) !=
+          std::string::npos)
+        candidates.push_back(doc);
+    }
+    return candidates;
+  }
+
+  const std::string_view longest = *std::max_element(
+      keywordTokens.begin(), keywordTokens.end(),
+      [](std::string_view a, std::string_view b) { return a.size() < b.size(); });
+  // Shard vocabularies are disjointly scanned; the union across shards is
+  // exactly the monolithic vocabulary pre-filter.
+  for (const auto& shard : shards_) shard.appendCandidates(longest, candidates);
+  mergeSortedUnique(candidates);
+
+  if (loweredKeyword == longest) return candidates;
+  std::vector<std::uint32_t> verified;
+  verified.reserve(candidates.size());
+  for (const auto doc : candidates) {
+    if (fetchRecord(doc).searchableTextLower().find(loweredKeyword) !=
+        std::string::npos)
+      verified.push_back(doc);
+  }
+  return verified;
+}
+
+std::vector<std::uint32_t> ShardedBannerIndex::search(
+    const Query& query) const {
+  std::vector<std::uint32_t> ids =
+      keywordCandidates(util::toLower(query.keyword));
+  if (query.countryAlpha2) {
+    const auto bucket = decodeCountryBucket(util::toUpper(*query.countryAlpha2));
+    ids = intersectSorted(ids, bucket);
+  }
+  return ids;
+}
+
+std::vector<std::uint32_t> ShardedBannerIndex::searchAll(
+    const std::vector<Query>& queries) const {
+  std::vector<std::string> keywords;
+  std::unordered_map<std::string, std::size_t> keywordSlot;
+  std::vector<std::size_t> querySlot(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const std::string lowered = util::toLower(queries[q].keyword);
+    const auto [it, inserted] = keywordSlot.emplace(lowered, keywords.size());
+    if (inserted) keywords.push_back(lowered);
+    querySlot[q] = it->second;
+  }
+
+  std::vector<std::vector<std::uint32_t>> perKeyword(keywords.size());
+  util::parallelFor(keywords.size(), [&](std::size_t k) {
+    perKeyword[k] = keywordCandidates(keywords[k]);
+  });
+
+  // Decode each referenced country bucket once per searchAll, not once per
+  // (keyword, country) combination.
+  std::map<std::string, std::vector<std::uint32_t>> decoded;
+  for (const auto& query : queries) {
+    if (!query.countryAlpha2) continue;
+    auto key = util::toUpper(*query.countryAlpha2);
+    if (!decoded.contains(key))
+      decoded.emplace(std::move(key), decodeCountryBucket(
+                                          util::toUpper(*query.countryAlpha2)));
+  }
+
+  std::vector<std::uint32_t> out;
+  std::set<std::uint64_t> seen;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const std::vector<std::uint32_t>* ids = &perKeyword[querySlot[q]];
+    std::vector<std::uint32_t> restricted;
+    if (queries[q].countryAlpha2) {
+      restricted =
+          intersectSorted(*ids, decoded.at(util::toUpper(*queries[q].countryAlpha2)));
+      ids = &restricted;
+    }
+    for (const auto doc : *ids) {
+      const auto s = surface(doc);
+      const std::uint64_t key = (std::uint64_t{s.ip.value()} << 16) | s.port;
+      if (seen.insert(key).second) out.push_back(doc);
+    }
+  }
+  return out;
+}
+
+std::size_t ShardedBannerIndex::vocabularySize() const {
+  std::size_t count = 0;
+  forEachDistinctToken(
+      shards_,
+      [&count](std::string_view,
+               std::span<const std::pair<std::uint32_t, std::uint32_t>>) {
+        ++count;
+      });
+  return count;
+}
+
+std::size_t ShardedBannerIndex::memoryBytes() const {
+  std::size_t total = ips_.capacity() * sizeof(std::uint32_t) +
+                      ports_.capacity() * sizeof(std::uint16_t);
+  for (const auto& shard : shards_) total += shard.memoryBytes();
+  for (const auto& [alpha2, bucket] : countryBuckets_)
+    total += alpha2.size() + bucket.byteSize() + sizeof(DeltaIdList);
+  return total;
+}
+
+// --- crawlStream ------------------------------------------------------------
+
+ShardedBannerIndex crawlStream(simnet::World& world,
+                               const geo::GeoDatabase& geo,
+                               StreamCrawlOptions options) {
+  auto surfaces = world.externalSurfaces();
+  const auto now = world.now();
+  const auto* stream = world.hostStream();
+  const auto eagerCount = static_cast<std::uint32_t>(surfaces.size());
+
+  ShardedBannerIndex index;
+
+  // Probe a batch of already-materialized work into per-slot records.
+  const auto probeBatch = [&](std::size_t count, const auto& probeOne) {
+    if (options.threadLimit == 1) {
+      for (std::size_t i = 0; i < count; ++i) probeOne(i);
+    } else {
+      util::parallelForChunks(
+          count,
+          [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) probeOne(i);
+          },
+          options.threadLimit, 64);
+    }
+  };
+
+  // Eagerly bound surfaces lead, in binding order, so doc ids line up with
+  // BannerIndex::crawl over the fully materialized reference world.
+  {
+    std::vector<BannerRecord> batch(surfaces.size());
+    probeBatch(surfaces.size(), [&](std::size_t i) {
+      const auto& surface = surfaces[i];
+      probeEndpointInto(*surface.endpoint, surface.ip, surface.port, geo, now,
+                        options.bodySnippetLimit, batch[i]);
+    });
+    index.beginShard("eager/bindings");
+    for (const auto& record : batch) index.addRecord(record);
+    index.endShard();
+  }
+
+  // Stream shards: materialize, probe, index, discard — peak memory is one
+  // shard's worth of banners, never the whole world.
+  if (stream != nullptr) {
+    const auto hostsPerShard =
+        options.hostsPerShard == 0 ? std::uint64_t{8192} : options.hostsPerShard;
+    std::vector<BannerRecord> batch;
+    for (const auto& shard : stream->shards(hostsPerShard)) {
+      const auto count = static_cast<std::size_t>(shard.end - shard.begin);
+      batch.clear();
+      batch.resize(count);  // fresh records: no stale lowered-text caches
+      probeBatch(count, [&](std::size_t i) {
+        const auto host = stream->host(shard.begin + i);
+        const auto server = simnet::WorldStream::materializeEndpoint(host);
+        probeEndpointInto(*server, host.ip, host.port, geo, now,
+                          options.bodySnippetLimit, batch[i]);
+      });
+      index.beginShard(shard.label);
+      for (const auto& record : batch) index.addRecord(record);
+      index.endShard();
+    }
+  }
+
+  // The fetcher re-probes on demand: eager docs through their bound
+  // endpoints, streamed docs by re-materializing the pure host function —
+  // byte-identical to what the crawl indexed.
+  index.setRecordFetcher([&world, &geo, surfaces = std::move(surfaces), now,
+                          limit = options.bodySnippetLimit,
+                          eagerCount](std::uint32_t doc) {
+    if (doc < eagerCount) {
+      const auto& surface = surfaces[doc];
+      return probeEndpoint(*surface.endpoint, surface.ip, surface.port, geo,
+                           now, limit);
+    }
+    const auto* attached = world.hostStream();
+    if (attached == nullptr)
+      throw std::logic_error("crawlStream fetcher: host stream detached");
+    const auto host = attached->host(doc - eagerCount);
+    const auto server = simnet::WorldStream::materializeEndpoint(host);
+    return probeEndpoint(*server, host.ip, host.port, geo, now, limit);
+  });
+  return index;
 }
 
 std::vector<BannerRecord> CensusScanner::sweep(

@@ -2,6 +2,9 @@
 #define URLF_SCAN_BANNER_INDEX_H
 
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -10,6 +13,7 @@
 #include "geo/geodb.h"
 #include "http/header_map.h"
 #include "net/ipv4.h"
+#include "scan/postings.h"
 #include "simnet/world.h"
 #include "util/clock.h"
 
@@ -39,6 +43,13 @@ struct BannerRecord {
 
   /// Build the lowered-text cache now (idempotent).
   void primeSearchText() const { (void)searchableTextLower(); }
+
+  /// primeSearchText through a caller-owned scratch buffer, so bulk crawls
+  /// reuse one staging allocation per worker instead of one per record.
+  void primeSearchText(std::string& scratch) const;
+
+  /// Append the searchable text to `out` without clearing it.
+  void appendSearchableText(std::string& out) const;
 
  private:
   mutable std::string searchLower_;
@@ -130,16 +141,173 @@ class BannerIndex {
   [[nodiscard]] std::vector<const BannerRecord*> searchReference(
       const Query& query) const;
 
-  /// Tokenize + bucket records_[begin..end) into the index structures.
+  /// Tokenize + bucket records_[begin..end) into the index structures —
+  /// reference form: sort + unique the token scratch per record, then append
+  /// each distinct token's id.
   void indexRange(std::size_t begin);
+  /// indexRange without the per-record sort: ids append in ascending order,
+  /// so a posting list already ending in the current id marks a repeated
+  /// token. Identical postings, measurably cheaper; the fast crawl path and
+  /// bulk addRecords use this form.
+  void indexRangeLean(std::size_t begin);
 
   SearchMode mode_ = SearchMode::kIndexed;
   std::vector<BannerRecord> records_;
-  /// lowercased token -> record ids (ascending, unique).
-  std::unordered_map<std::string, std::vector<std::uint32_t>> postings_;
+  /// lowercased token -> record ids (ascending, unique). Transparent hashing
+  /// keeps the indexing loop from allocating a key string per (doc, token).
+  std::unordered_map<std::string, std::vector<std::uint32_t>, TokenHash,
+                     std::equal_to<>>
+      postings_;
   /// UPPERCASED alpha2 -> record ids (ascending, unique).
   std::unordered_map<std::string, std::vector<std::uint32_t>> countryBuckets_;
 };
+
+/// The million-host banner index: country/prefix shards of compressed
+/// posting lists over an interned vocabulary (scan::PostingShard), plus
+/// per-document (ip, port) tables and delta-coded country buckets.
+///
+/// Documents are identified by dense uint32 doc ids in insertion order; the
+/// banners themselves are NOT stored. Queries that must look at full banner
+/// text (separator keywords, keywords with no alphanumeric token, passive
+/// identification) re-materialize records through the attached
+/// RecordFetcher — for a streamed crawl that is a deterministic re-probe of
+/// the pure host function, so fetched records are byte-identical to what the
+/// crawl saw.
+///
+/// Search semantics mirror BannerIndex::searchIndexed exactly (the property
+/// tests enforce sharded ≡ monolithic ≡ reference); shards are built one at
+/// a time so peak build memory is O(shard), and cross-shard results merge by
+/// concatenation because shard doc ranges are ascending and disjoint (the
+/// degenerate k-way merge; the token-level k-way merge drives
+/// vocabularySize() and other cross-shard vocabulary consumers).
+class ShardedBannerIndex {
+ public:
+  /// Re-materialize one document's full banner record.
+  using RecordFetcher = std::function<BannerRecord(std::uint32_t)>;
+
+  ShardedBannerIndex() = default;
+  ShardedBannerIndex(ShardedBannerIndex&&) = default;
+  ShardedBannerIndex& operator=(ShardedBannerIndex&&) = default;
+  ShardedBannerIndex(const ShardedBannerIndex&) = delete;
+  ShardedBannerIndex& operator=(const ShardedBannerIndex&) = delete;
+
+  // --- streaming build ----------------------------------------------------
+
+  /// Open a new shard; records added until endShard() belong to it. Doc ids
+  /// keep ascending across shards.
+  void beginShard(std::string label);
+  /// Index one record into the open shard (tokens, country bucket, surface
+  /// tables). The record itself is not retained.
+  void addRecord(const BannerRecord& record);
+  /// Seal the open shard (empty shards are kept — they serialize and query
+  /// as no-ops).
+  void endShard();
+
+  /// Shard an existing monolithic index (docs in record order, chunked at
+  /// `shardTargetDocs`). The fetcher reads from `index`, which must outlive
+  /// the returned sharded view.
+  [[nodiscard]] static ShardedBannerIndex fromIndex(
+      const BannerIndex& index, std::size_t shardTargetDocs = 8192);
+
+  /// Build from owned records (retained internally as the fetch source).
+  [[nodiscard]] static ShardedBannerIndex fromRecords(
+      std::vector<BannerRecord> records, std::size_t shardTargetDocs = 8192);
+
+  /// Reassemble from serialized parts (see scan/serialize.h). Throws
+  /// std::invalid_argument when the parts are inconsistent.
+  [[nodiscard]] static ShardedBannerIndex fromParts(
+      std::vector<std::uint32_t> ips, std::vector<std::uint16_t> ports,
+      std::map<std::string, DeltaIdList> countryBuckets,
+      std::vector<PostingShard> shards);
+
+  void setRecordFetcher(RecordFetcher fetcher) { fetcher_ = std::move(fetcher); }
+  [[nodiscard]] bool hasRecordFetcher() const { return fetcher_ != nullptr; }
+  /// Fetch one document's record; throws std::logic_error without a fetcher.
+  [[nodiscard]] BannerRecord fetchRecord(std::uint32_t doc) const;
+
+  // --- queries ------------------------------------------------------------
+
+  struct DocSurface {
+    net::Ipv4Addr ip;
+    std::uint16_t port = 80;
+  };
+  [[nodiscard]] DocSurface surface(std::uint32_t doc) const {
+    return {net::Ipv4Addr{ips_[doc]}, ports_[doc]};
+  }
+
+  /// Doc ids matching the query, ascending — the same set
+  /// BannerIndex::search returns for the same corpus.
+  [[nodiscard]] std::vector<std::uint32_t> search(const Query& query) const;
+
+  /// Union across queries, de-duplicated by (ip, port), ordered by first
+  /// match — BannerIndex::searchAll semantics on doc ids. Distinct keywords
+  /// resolve once, in parallel; country buckets decode once per searchAll.
+  [[nodiscard]] std::vector<std::uint32_t> searchAll(
+      const std::vector<Query>& queries) const;
+
+  [[nodiscard]] std::uint32_t docCount() const {
+    return static_cast<std::uint32_t>(ips_.size());
+  }
+  [[nodiscard]] std::size_t shardCount() const { return shards_.size(); }
+  [[nodiscard]] const std::vector<PostingShard>& shards() const {
+    return shards_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& ips() const { return ips_; }
+  [[nodiscard]] const std::vector<std::uint16_t>& ports() const {
+    return ports_;
+  }
+  [[nodiscard]] const std::map<std::string, DeltaIdList>& countryBuckets()
+      const {
+    return countryBuckets_;
+  }
+
+  /// Distinct tokens across all shards (k-way merged, so shared vocabulary
+  /// is counted once — comparable to BannerIndex::vocabularySize()).
+  [[nodiscard]] std::size_t vocabularySize() const;
+
+  /// Approximate resident footprint of the index structures, in bytes.
+  [[nodiscard]] std::size_t memoryBytes() const;
+
+ private:
+  [[nodiscard]] std::vector<std::uint32_t> keywordCandidates(
+      const std::string& loweredKeyword) const;
+  [[nodiscard]] std::vector<std::uint32_t> decodeCountryBucket(
+      const std::string& upperAlpha2) const;
+
+  std::vector<PostingShard> shards_;
+  std::unique_ptr<PostingShard::Builder> openShard_;
+  std::vector<std::uint32_t> ips_;
+  std::vector<std::uint16_t> ports_;
+  /// UPPERCASED alpha2 -> delta-coded doc ids (std::map: deterministic
+  /// serialization order).
+  std::map<std::string, DeltaIdList> countryBuckets_;
+  RecordFetcher fetcher_;
+  /// fromRecords keeps its source here so the default fetcher stays valid
+  /// across moves.
+  std::shared_ptr<const std::vector<BannerRecord>> retained_;
+  /// Staging buffers reused across addRecord calls (build is single-writer).
+  std::string textScratch_;
+  std::string loweredScratch_;
+};
+
+/// Options for crawlStream.
+struct StreamCrawlOptions {
+  std::size_t bodySnippetLimit = 2048;
+  std::size_t threadLimit = 0;     ///< 1 forces serial probing
+  std::uint64_t hostsPerShard = 8192;  ///< stream shard granularity
+};
+
+/// Crawl a world that may carry an attached host stream, building a
+/// ShardedBannerIndex within O(shard) memory: eagerly bound surfaces form
+/// the leading shard (binding order), then each stream shard is
+/// materialized, probed, indexed, and discarded. Doc order equals the
+/// binding order of the eager reference world (materializeInto), so the
+/// result is byte-identical to crawling that world with BannerIndex::crawl.
+/// The returned index's fetcher re-probes on demand and captures `world` and
+/// `geo` by reference — both must outlive the index.
+[[nodiscard]] ShardedBannerIndex crawlStream(simnet::World& world,
+                                             const geo::GeoDatabase& geo,
+                                             StreamCrawlOptions options = {});
 
 /// Internet Census-style exhaustive scanner [10]: probes *every address* in
 /// every announced prefix on a port list, not just known-visible surfaces.

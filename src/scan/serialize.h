@@ -24,6 +24,19 @@ namespace urlf::scan {
 [[nodiscard]] std::optional<std::vector<BannerRecord>> importRecords(
     std::string_view text);
 
+/// Binary export of a sharded index: magic "URLFSIDX1\n", varint-framed
+/// surface tables, country buckets, and posting shards, then an fnv1a64
+/// checksum of everything before it. Compact enough to ship a million-host
+/// index as a few tens of megabytes; no banner text is included (records are
+/// re-fetched on demand, see ShardedBannerIndex::RecordFetcher).
+[[nodiscard]] std::string exportShardedIndex(const ShardedBannerIndex& index);
+
+/// Inverse of exportShardedIndex. Returns nullopt on malformed input (bad
+/// magic, truncation, checksum mismatch, inconsistent parts). The imported
+/// index has no record fetcher attached.
+[[nodiscard]] std::optional<ShardedBannerIndex> importShardedIndex(
+    std::string_view data);
+
 }  // namespace urlf::scan
 
 #endif  // URLF_SCAN_SERIALIZE_H

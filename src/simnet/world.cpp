@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "simnet/world_stream.h"
 #include "util/strings.h"
 
 namespace urlf::simnet {
@@ -106,6 +107,20 @@ HttpEndpoint* World::externalEndpointAt(net::Ipv4Addr ip,
   if (it == bindingIndex_.end()) return nullptr;
   const Binding& b = bindings_[it->second];
   return b.externallyVisible ? b.endpoint : nullptr;
+}
+
+std::optional<http::Response> World::probeExternal(
+    net::Ipv4Addr ip, std::uint16_t port, const http::Request& request) const {
+  if (auto* endpoint = externalEndpointAt(ip, port))
+    return endpoint->handle(request, clock_.now());
+  if (hostStream_) {
+    if (const auto id = hostStream_->hostAt(ip, port)) {
+      const auto server =
+          WorldStream::materializeEndpoint(hostStream_->host(*id));
+      return server->handle(request, clock_.now());
+    }
+  }
+  return std::nullopt;
 }
 
 std::vector<const AutonomousSystem*> World::allAses() const {

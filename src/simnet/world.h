@@ -22,6 +22,8 @@
 
 namespace urlf::simnet {
 
+class WorldStream;
+
 /// An externally reachable (ip, port) with the endpoint behind it — the unit
 /// a banner scanner enumerates.
 struct Surface {
@@ -151,6 +153,30 @@ class World {
   /// All registered autonomous systems (ascending ASN).
   [[nodiscard]] std::vector<const AutonomousSystem*> allAses() const;
 
+  // --- streamed hosts -----------------------------------------------------
+
+  /// Attach a host stream: procedurally generated hosts the world never
+  /// holds resident. Streamed hosts are not bound — they never appear in
+  /// externalSurfaces() — but they answer through probeExternal and are
+  /// enumerated shard-by-shard by scan::crawlStream. Pass nullptr to detach.
+  /// (WorldStream::materializeInto is the eager reference mode that binds
+  /// every streamed host as a regular endpoint instead.)
+  void attachHostStream(std::shared_ptr<const WorldStream> stream) {
+    hostStream_ = std::move(stream);
+  }
+  [[nodiscard]] const WorldStream* hostStream() const {
+    return hostStream_.get();
+  }
+
+  /// Probe (ip, port) as an external client would: a bound, externally
+  /// visible endpoint answers first; otherwise an attached host stream
+  /// materializes the host on demand (a pure function of the stream seed and
+  /// host id, so repeated probes are byte-identical). Returns nullopt when
+  /// nothing externally reachable answers.
+  [[nodiscard]] std::optional<http::Response> probeExternal(
+      net::Ipv4Addr ip, std::uint16_t port,
+      const http::Request& request) const;
+
   // --- vantage points -----------------------------------------------------
 
   VantagePoint& createVantage(std::string name, std::string countryAlpha2,
@@ -193,6 +219,7 @@ class World {
   std::map<std::string, net::Ipv4Addr> dns_;
   std::map<std::uint64_t, std::size_t> bindingIndex_;  ///< key -> bindings_ slot
   std::vector<Binding> bindings_;                      ///< insertion order kept
+  std::shared_ptr<const WorldStream> hostStream_;
 };
 
 }  // namespace urlf::simnet

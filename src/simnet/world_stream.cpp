@@ -1,0 +1,189 @@
+#include "simnet/world_stream.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "net/cctld.h"
+#include "simnet/world.h"
+#include "util/hash.h"
+#include "util/strings.h"
+
+namespace urlf::simnet {
+
+std::unique_ptr<OriginServer> WorldStream::materializeEndpoint(
+    const StreamedHost& host) {
+  auto server = std::make_unique<OriginServer>(host.hostname,
+                                               host.serverHeader);
+  server->setPage("/", host.page);
+  return server;
+}
+
+void WorldStream::materializeInto(World& world) const {
+  const std::uint64_t count = hostCount();
+  for (std::uint64_t id = 0; id < count; ++id) {
+    const auto spec = host(id);
+    auto& server =
+        world.makeEndpoint<OriginServer>(spec.hostname, spec.serverHeader);
+    server.setPage("/", spec.page);
+    world.bind(spec.ip, spec.port, server, /*externallyVisible=*/true);
+    world.registerHostname(spec.hostname, spec.ip);
+  }
+}
+
+namespace {
+
+/// Bait phrases mirror the RandomWorld decoys: banners that trip the Table 2
+/// Shodan keywords but fail active validation.
+constexpr std::string_view kBaits[] = {
+    "webadmin tutorial",
+    "proxysg review",
+    "url blocked faq",
+    "blockpage.cgi clone",
+};
+constexpr std::string_view kTopics[] = {
+    "gardening tips",
+    "weather report",
+    "local news digest",
+    "cooking recipes",
+};
+constexpr std::string_view kServers[] = {
+    "Apache/2.2.22 (Unix)",
+    "nginx/1.2.1",
+    "lighttpd/1.4.28",
+    "Microsoft-IIS/6.0",
+};
+
+/// Addresses usable inside one /12 block (network address reserved, like
+/// AutonomousSystem::allocateAddress does).
+constexpr std::uint64_t kBlockCapacity = (1ULL << 20) - 1;
+
+}  // namespace
+
+ProceduralHostStream::ProceduralHostStream(std::uint64_t seed,
+                                           ProceduralHostConfig config)
+    : seed_(seed), config_(config) {
+  if (config_.countries <= 0)
+    throw std::invalid_argument("ProceduralHostStream: countries must be > 0");
+  const auto registry = net::allCountries();
+  if (static_cast<std::size_t>(config_.countries) > registry.size())
+    throw std::invalid_argument(
+        "ProceduralHostStream: more countries than the registry has");
+  for (int c = 0; c < config_.countries; ++c)
+    if (blockSize(c) > kBlockCapacity)
+      throw std::invalid_argument(
+          "ProceduralHostStream: a country block exceeds its /12 prefix");
+}
+
+std::uint64_t ProceduralHostStream::blockStart(int country) const {
+  const auto c = static_cast<std::uint64_t>(country);
+  const auto n = static_cast<std::uint64_t>(config_.countries);
+  const std::uint64_t q = config_.hosts / n;
+  const std::uint64_t r = config_.hosts % n;
+  return c * q + std::min<std::uint64_t>(c, r);
+}
+
+std::uint64_t ProceduralHostStream::blockSize(int country) const {
+  const auto c = static_cast<std::uint64_t>(country);
+  const auto n = static_cast<std::uint64_t>(config_.countries);
+  return config_.hosts / n + (c < config_.hosts % n ? 1 : 0);
+}
+
+int ProceduralHostStream::countryOf(std::uint64_t id) const {
+  const auto n = static_cast<std::uint64_t>(config_.countries);
+  const std::uint64_t q = config_.hosts / n;
+  const std::uint64_t r = config_.hosts % n;
+  // The first r blocks have q+1 hosts, the rest q.
+  if (q == 0) return static_cast<int>(id);
+  if (id < (q + 1) * r) return static_cast<int>(id / (q + 1));
+  return static_cast<int>(r + (id - (q + 1) * r) / q);
+}
+
+std::uint32_t ProceduralHostStream::prefixBase(int country) const {
+  const auto c = static_cast<std::uint32_t>(country);
+  // Marching /12s from 100.0.0.0 — disjoint from the 70.x RandomWorld
+  // prefixes and any in-tree scenario space.
+  return ((100u + c / 16u) << 24) | ((c % 16u) << 20);
+}
+
+std::string_view ProceduralHostStream::alpha2(int country) const {
+  return net::allCountries()[static_cast<std::size_t>(country)].alpha2;
+}
+
+StreamedHost ProceduralHostStream::host(std::uint64_t id) const {
+  if (id >= config_.hosts)
+    throw std::out_of_range("ProceduralHostStream::host: id out of range");
+  const int c = countryOf(id);
+  const std::uint64_t offset = id - blockStart(c);
+  const std::string cc(alpha2(c));
+
+  StreamedHost out;
+  out.id = id;
+  out.ip = net::Ipv4Addr{
+      static_cast<std::uint32_t>(prefixBase(c) + 1 + offset)};
+  out.port = config_.port;
+  out.countryAlpha2 = cc;
+  out.hostname =
+      "h" + std::to_string(id) + "." + util::toLower(cc) + ".stream.example";
+
+  // Keyed draws: no shared stream, so generation order never matters.
+  std::uint64_t key = seed_ ^ (0x57EA4D5EEDULL + id * 0x9E3779B97F4A7C15ULL);
+  const std::uint64_t pick = util::splitmix64Next(key);
+  const double baitDraw = util::keyedUniform01(key);
+  out.serverHeader = std::string(kServers[pick % std::size(kServers)]);
+
+  const bool bait = baitDraw < config_.baitFraction;
+  const auto phrase = bait ? kBaits[(pick >> 8) % std::size(kBaits)]
+                           : kTopics[(pick >> 8) % std::size(kTopics)];
+  out.page.title = "Host " + std::to_string(id) + " - " + std::string(phrase);
+  out.page.body = "<h1>" + std::string(phrase) + "</h1><p>served by " +
+                  out.hostname + "</p>";
+  return out;
+}
+
+std::optional<std::uint64_t> ProceduralHostStream::hostAt(
+    net::Ipv4Addr ip, std::uint16_t port) const {
+  if (port != config_.port) return std::nullopt;
+  const std::uint32_t value = ip.value();
+  const std::uint32_t a = value >> 24;
+  if (a < 100) return std::nullopt;
+  const std::uint32_t c = (a - 100) * 16 + ((value >> 20) & 0xF);
+  if (c >= static_cast<std::uint32_t>(config_.countries)) return std::nullopt;
+  const std::uint32_t low = value & 0xFFFFF;
+  if (low == 0) return std::nullopt;  // network address never assigned
+  const std::uint64_t offset = low - 1;
+  if (offset >= blockSize(static_cast<int>(c))) return std::nullopt;
+  return blockStart(static_cast<int>(c)) + offset;
+}
+
+std::vector<HostShard> ProceduralHostStream::shards(
+    std::uint64_t targetHostsPerShard) const {
+  if (targetHostsPerShard == 0) targetHostsPerShard = 1;
+  std::vector<HostShard> out;
+  for (int c = 0; c < config_.countries; ++c) {
+    const std::uint64_t start = blockStart(c);
+    const std::uint64_t size = blockSize(c);
+    const auto base = net::Ipv4Addr{prefixBase(c)};
+    for (std::uint64_t chunk = 0, begin = 0; begin < size;
+         ++chunk, begin += targetHostsPerShard) {
+      const std::uint64_t end = std::min(size, begin + targetHostsPerShard);
+      HostShard shard;
+      shard.label = std::string(alpha2(c)) + "/" + base.toString() + "/12#" +
+                    std::to_string(chunk);
+      shard.begin = start + begin;
+      shard.end = start + end;
+      out.push_back(std::move(shard));
+    }
+  }
+  return out;
+}
+
+void ProceduralHostStream::announceInto(World& world) const {
+  for (int c = 0; c < config_.countries; ++c) {
+    const std::string cc(alpha2(c));
+    world.createAs(config_.baseAsn + static_cast<std::uint32_t>(c),
+                   "STREAM-AS-" + cc, "Streamed hosts of " + cc, cc,
+                   {net::IpPrefix{net::Ipv4Addr{prefixBase(c)}, 12}});
+  }
+}
+
+}  // namespace urlf::simnet

@@ -1,0 +1,132 @@
+#ifndef URLF_SIMNET_WORLD_STREAM_H
+#define URLF_SIMNET_WORLD_STREAM_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "simnet/origin_server.h"
+
+namespace urlf::simnet {
+
+class World;
+
+/// One on-demand host: everything needed to materialize its origin server,
+/// derived as a pure function of (stream seed, host id). Two calls for the
+/// same id always yield byte-identical fields, so a streamed host can be
+/// re-materialized at any time (crawl, record re-fetch, active validation)
+/// without storing it.
+struct StreamedHost {
+  std::uint64_t id = 0;
+  std::string hostname;
+  net::Ipv4Addr ip;
+  std::uint16_t port = 80;
+  std::string countryAlpha2;  ///< ground truth (the geo DB derives from it)
+  std::string serverHeader;
+  Page page;  ///< the page served at "/"
+};
+
+/// A contiguous id range of streamed hosts sharing a country and an address
+/// prefix — the unit scan::crawlStream materializes, probes, indexes, and
+/// discards, so peak memory is O(shard) rather than O(world).
+struct HostShard {
+  std::string label;        ///< e.g. "SA/100.0.16.0/20#0"
+  std::uint64_t begin = 0;  ///< first host id (inclusive)
+  std::uint64_t end = 0;    ///< one past the last host id
+};
+
+/// A source of procedurally generated hosts the world never holds resident.
+///
+/// Contract: `host(id)` is a pure function of (stream seed, id); `hostAt` is
+/// its exact inverse on (ip, port); ids are dense in [0, hostCount()) and
+/// ordered so that every shard returned by `shards()` is a contiguous id
+/// range. `announceInto` registers the stream's address space (ASes and
+/// prefixes) in a world so geolocation/whois databases cover streamed hosts;
+/// it binds nothing.
+///
+/// `materializeInto` is the eager reference mode: it binds every streamed
+/// host as a regular world endpoint (in id order), producing a world that is
+/// observationally identical to the streamed one — the equivalence the
+/// property tests pin down.
+class WorldStream {
+ public:
+  virtual ~WorldStream() = default;
+
+  [[nodiscard]] virtual std::uint64_t hostCount() const = 0;
+  [[nodiscard]] virtual StreamedHost host(std::uint64_t id) const = 0;
+
+  /// Inverse of host(): the id listening at (ip, port), if any.
+  [[nodiscard]] virtual std::optional<std::uint64_t> hostAt(
+      net::Ipv4Addr ip, std::uint16_t port) const = 0;
+
+  /// Country/prefix shards of at most `targetHostsPerShard` hosts each,
+  /// covering [0, hostCount()) in ascending id order without gaps.
+  [[nodiscard]] virtual std::vector<HostShard> shards(
+      std::uint64_t targetHostsPerShard) const = 0;
+
+  /// Register the stream's ASes/prefixes in `world` (no bindings).
+  virtual void announceInto(World& world) const = 0;
+
+  /// Build the origin server a streamed host answers as. Pure: the returned
+  /// server's responses depend only on the host fields.
+  [[nodiscard]] static std::unique_ptr<OriginServer> materializeEndpoint(
+      const StreamedHost& host);
+
+  /// Eager reference mode: bind and DNS-register every streamed host in id
+  /// order. Call after all other world construction so binding order matches
+  /// the streamed doc order (`announceInto` must already have run).
+  void materializeInto(World& world) const;
+};
+
+/// Configuration of the procedural host stream.
+struct ProceduralHostConfig {
+  std::uint64_t hosts = 0;
+  /// Countries drawn from the front of net::allCountries(); hosts are laid
+  /// out in contiguous per-country id blocks, one /12 prefix and one AS per
+  /// country (max ~1M hosts per country).
+  int countries = 8;
+  /// Fraction of hosts whose page carries product-keyword bait that the
+  /// identification pipeline must locate and then reject — the needles that
+  /// make million-host scans meaningful.
+  double baitFraction = 0.01;
+  std::uint32_t baseAsn = 64600;  ///< AS numbers baseAsn + countryIndex
+  std::uint16_t port = 80;
+};
+
+/// The default WorldStream: hosts generated arithmetically from the seed.
+/// Host ids map to (country block, offset); the address is prefix + offset;
+/// page content and server header come from keyed splitmix64 draws — no
+/// shared RNG stream, so access order never matters.
+class ProceduralHostStream final : public WorldStream {
+ public:
+  ProceduralHostStream(std::uint64_t seed, ProceduralHostConfig config);
+
+  [[nodiscard]] std::uint64_t hostCount() const override {
+    return config_.hosts;
+  }
+  [[nodiscard]] StreamedHost host(std::uint64_t id) const override;
+  [[nodiscard]] std::optional<std::uint64_t> hostAt(
+      net::Ipv4Addr ip, std::uint16_t port) const override;
+  [[nodiscard]] std::vector<HostShard> shards(
+      std::uint64_t targetHostsPerShard) const override;
+  void announceInto(World& world) const override;
+
+  [[nodiscard]] const ProceduralHostConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] std::uint64_t blockStart(int country) const;
+  [[nodiscard]] std::uint64_t blockSize(int country) const;
+  [[nodiscard]] int countryOf(std::uint64_t id) const;
+  [[nodiscard]] std::uint32_t prefixBase(int country) const;
+  [[nodiscard]] std::string_view alpha2(int country) const;
+
+  std::uint64_t seed_ = 0;
+  ProceduralHostConfig config_;
+};
+
+}  // namespace urlf::simnet
+
+#endif  // URLF_SIMNET_WORLD_STREAM_H

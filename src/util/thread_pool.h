@@ -20,7 +20,9 @@ namespace urlf::util {
 class ThreadPool {
  public:
   /// `threadCount == 0` sizes the pool to the hardware concurrency.
-  explicit ThreadPool(std::size_t threadCount = 0);
+  /// `widthForced` records that the width was chosen explicitly (see
+  /// widthForced()).
+  explicit ThreadPool(std::size_t threadCount = 0, bool widthForced = false);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -41,6 +43,11 @@ class ThreadPool {
   /// nested parallel sections inline instead of deadlocking on the queue.
   [[nodiscard]] bool onWorkerThread() const;
 
+  /// True when the shared pool's width came from URLF_THREADS rather than
+  /// the hardware. Fan-outs honor a forced width even on hosts where it
+  /// oversubscribes the cores.
+  [[nodiscard]] bool widthForced() const { return widthForced_; }
+
  private:
   void workerLoop();
 
@@ -49,6 +56,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   bool stopping_ = false;
+  bool widthForced_ = false;
 };
 
 /// Run `body(i)` for every `i` in `[0, n)` and block until all complete.
@@ -56,7 +64,8 @@ class ThreadPool {
 /// Work is split into contiguous index shards processed by the shared pool;
 /// because each index owns its output slot, results are gathered in index
 /// order and the outcome is byte-identical to the serial loop. The first
-/// exception thrown by any `body(i)` is rethrown in the caller.
+/// exception thrown by any `body(i)` is rethrown in the caller (once a chunk
+/// has thrown, remaining chunks may be skipped).
 ///
 /// `threadLimit == 1` forces the plain serial loop (reference mode for
 /// benchmarks and equivalence tests); `0` uses the full shared pool. Calls
@@ -64,6 +73,28 @@ class ThreadPool {
 /// serial instead of deadlocking.
 void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
                  std::size_t threadLimit = 0);
+
+/// Run `body(begin, end)` over contiguous chunks that exactly cover [0, n)
+/// and block until all complete.
+///
+/// This is the chunked engine behind `parallelFor`, exposed for hot loops
+/// that want to hoist per-item work (scratch buffers, std::function calls)
+/// out to once per chunk. Chunks are claimed from a shared atomic cursor; the
+/// calling thread participates instead of blocking idle, so small fan-outs do
+/// not pay a handoff to the pool just to wait for it. When `n <= minChunk`,
+/// the pool has a single worker, or the caller is already a pool worker, the
+/// whole range runs inline as one `body(0, n)` call — the serial fallback
+/// that keeps tiny inputs off the queue entirely.
+///
+/// Determinism contract: chunk boundaries depend on pool width, so `body`
+/// must treat every index identically (per-index output slots, no
+/// chunk-spanning state other than scratch capacity). Under that contract the
+/// result is byte-identical for any thread count, including the inline path.
+/// The first exception thrown by any chunk is rethrown in the caller;
+/// remaining chunks may be skipped once a chunk has thrown.
+void parallelForChunks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t threadLimit = 0, std::size_t minChunk = 256);
 
 }  // namespace urlf::util
 

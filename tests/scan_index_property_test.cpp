@@ -198,6 +198,177 @@ TEST(ScanIndexProperty, ParallelIdentifyAllPassiveIsByteIdenticalToSerial) {
   EXPECT_EQ(core::toJson(serial).dump(2), core::toJson(parallel).dump(2));
 }
 
+std::vector<std::pair<std::uint32_t, std::uint16_t>> surfacesOf(
+    const std::vector<const BannerRecord*>& hits) {
+  std::vector<std::pair<std::uint32_t, std::uint16_t>> out;
+  out.reserve(hits.size());
+  for (const auto* record : hits) out.emplace_back(record->ip.value(), record->port);
+  return out;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint16_t>> surfacesOf(
+    const ShardedBannerIndex& index, const std::vector<std::uint32_t>& docs) {
+  std::vector<std::pair<std::uint32_t, std::uint16_t>> out;
+  out.reserve(docs.size());
+  for (const auto doc : docs) {
+    const auto surface = index.surface(doc);
+    out.emplace_back(surface.ip.value(), surface.port);
+  }
+  return out;
+}
+
+TEST(ScanIndexProperty, ShardedSearchMatchesMonolithicAndReference) {
+  for (const std::uint64_t seed : {101u, 202u}) {
+    RandomWorld world(seed, mediumWorld());
+    const auto geo = world.world().buildGeoDatabase();
+    BannerIndex index;
+    index.crawl(world.world(), geo);
+
+    // Small shard target so the corpus spans many shards.
+    const auto sharded = ShardedBannerIndex::fromIndex(index, 16);
+    ASSERT_EQ(sharded.docCount(), index.size());
+    EXPECT_EQ(sharded.vocabularySize(), index.vocabularySize());
+
+    util::Rng rng(seed + 5);
+    for (const auto& query : randomQueries(rng, index, 150)) {
+      const auto viaSharded = surfacesOf(sharded, sharded.search(query));
+      const auto viaIndexed = surfacesOf(
+          searchInMode(index, BannerIndex::SearchMode::kIndexed, query));
+      const auto viaReference = surfacesOf(
+          searchInMode(index, BannerIndex::SearchMode::kReference, query));
+      ASSERT_EQ(viaSharded, viaIndexed)
+          << "seed=" << seed << " keyword=\"" << query.keyword << "\"";
+      ASSERT_EQ(viaSharded, viaReference)
+          << "seed=" << seed << " keyword=\"" << query.keyword << "\"";
+    }
+
+    util::Rng rngAll(seed + 6);
+    const auto queries = randomQueries(rngAll, index, 120);
+    index.setSearchMode(BannerIndex::SearchMode::kIndexed);
+    EXPECT_EQ(surfacesOf(sharded, sharded.searchAll(queries)),
+              surfacesOf(index.searchAll(queries)));
+  }
+}
+
+TEST(ScanIndexProperty, DeltaIdListRoundTripsRandomAscendingSequences) {
+  util::Rng rng(8080);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::uint32_t> ids;
+    std::uint32_t next = rng.index(1000);
+    const int count = static_cast<int>(rng.index(200));
+    for (int i = 0; i < count; ++i) {
+      ids.push_back(next);
+      next += 1 + static_cast<std::uint32_t>(rng.index(100000));
+    }
+
+    DeltaIdList list;
+    for (const auto id : ids) list.append(id);
+    ASSERT_EQ(list.count(), ids.size());
+
+    std::vector<std::uint32_t> decoded;
+    list.decodeInto(decoded);
+    EXPECT_EQ(decoded, ids);
+
+    // Raw-parts round trip (the import path).
+    const auto rebuilt = DeltaIdList::fromRaw(list.count(), list.bytes());
+    std::vector<std::uint32_t> redecoded;
+    rebuilt.decodeInto(redecoded);
+    EXPECT_EQ(redecoded, ids);
+  }
+  // Non-ascending appends are rejected.
+  DeltaIdList list;
+  list.append(5);
+  EXPECT_THROW(list.append(5), std::invalid_argument);
+  EXPECT_THROW(list.append(4), std::invalid_argument);
+}
+
+TEST(ScanIndexProperty, ShardedIndexSurvivesExportImportRoundTrip) {
+  RandomWorld world(606, mediumWorld());
+  const auto geo = world.world().buildGeoDatabase();
+  BannerIndex index;
+  index.crawl(world.world(), geo);
+  const auto sharded = ShardedBannerIndex::fromIndex(index, 16);
+
+  const auto blob = exportShardedIndex(sharded);
+  const auto imported = importShardedIndex(blob);
+  ASSERT_TRUE(imported.has_value());
+  EXPECT_EQ(imported->docCount(), sharded.docCount());
+  EXPECT_EQ(imported->shardCount(), sharded.shardCount());
+  EXPECT_EQ(imported->vocabularySize(), sharded.vocabularySize());
+  EXPECT_FALSE(imported->hasRecordFetcher());
+  EXPECT_EQ(exportShardedIndex(*imported), blob);
+
+  // Token-only keywords resolve without a record fetcher; results agree
+  // with the fetcher-backed original.
+  for (const std::string keyword :
+       {"proxysg", "netsweeper", "webadmin", "apache", "html"}) {
+    for (const auto country :
+         {std::optional<std::string>{}, std::optional<std::string>{"SA"}}) {
+      const Query query{keyword, country};
+      EXPECT_EQ(imported->search(query), sharded.search(query))
+          << "keyword=" << keyword;
+    }
+  }
+
+  // Corruption is detected: flip one byte in the middle.
+  auto corrupted = blob;
+  corrupted[corrupted.size() / 2] =
+      static_cast<char>(corrupted[corrupted.size() / 2] ^ 0x20);
+  EXPECT_FALSE(importShardedIndex(corrupted).has_value());
+  // Truncation is detected.
+  EXPECT_FALSE(
+      importShardedIndex(std::string_view(blob).substr(0, blob.size() / 2))
+          .has_value());
+}
+
+TEST(ScanIndexProperty, ShardedIndexHandlesEmptyAndSingleDocShards) {
+  // Empty corpus: zero docs, queries return nothing, round trip holds.
+  const auto empty = ShardedBannerIndex::fromRecords({});
+  EXPECT_EQ(empty.docCount(), 0u);
+  EXPECT_TRUE(empty.search({"proxysg", std::nullopt}).empty());
+  EXPECT_TRUE(empty.searchAll({{"proxysg", std::nullopt}}).empty());
+  const auto emptyImported = importShardedIndex(exportShardedIndex(empty));
+  ASSERT_TRUE(emptyImported.has_value());
+  EXPECT_EQ(emptyImported->docCount(), 0u);
+
+  // One document per shard — the degenerate sharding — still matches the
+  // monolithic index on every query.
+  RandomWorld world(707, mediumWorld());
+  const auto geo = world.world().buildGeoDatabase();
+  BannerIndex index;
+  index.crawl(world.world(), geo);
+  const auto singletons = ShardedBannerIndex::fromIndex(index, 1);
+  ASSERT_EQ(singletons.shardCount(), index.size());
+
+  util::Rng rng(11);
+  for (const auto& query : randomQueries(rng, index, 60)) {
+    EXPECT_EQ(surfacesOf(singletons, singletons.search(query)),
+              surfacesOf(
+                  searchInMode(index, BannerIndex::SearchMode::kIndexed, query)))
+        << "keyword=\"" << query.keyword << "\"";
+  }
+}
+
+TEST(ScanIndexProperty, ShardedIdentifyAllMatchesMonolithic) {
+  RandomWorld world(909, mediumWorld());
+  const auto geo = world.world().buildGeoDatabase();
+  BannerIndex index;
+  index.crawl(world.world(), geo);
+  const auto sharded = ShardedBannerIndex::fromIndex(index, 16);
+
+  const core::Identifier viaMonolithic(
+      world.world(), index, fingerprint::Engine::withBuiltinSignatures(),
+      world.world().buildGeoDatabase(), world.world().buildAsnDatabase());
+  const core::Identifier viaSharded(
+      world.world(), sharded, fingerprint::Engine::withBuiltinSignatures(),
+      world.world().buildGeoDatabase(), world.world().buildAsnDatabase());
+
+  EXPECT_EQ(core::toJson(viaMonolithic.identifyAll()).dump(2),
+            core::toJson(viaSharded.identifyAll()).dump(2));
+  EXPECT_EQ(core::toJson(viaMonolithic.identifyAllPassive()).dump(2),
+            core::toJson(viaSharded.identifyAllPassive()).dump(2));
+}
+
 TEST(ScanIndexProperty, AddRecordsKeepsIndexConsistent) {
   RandomWorld world(31337, mediumWorld());
   const auto geo = world.world().buildGeoDatabase();
