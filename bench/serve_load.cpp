@@ -1,0 +1,292 @@
+// Closed-loop load generator for the resident campaign server (DESIGN.md
+// §4.6). Three experiments, all over the wire-format event loop:
+//
+//   qps        N ∈ {1,4,16,64} client threads, each with its own connection,
+//              issuing query sessions back-to-back (closed loop, one
+//              outstanding request per client). Reports sustained QPS and
+//              p50/p99 latency per fan-in; nothing may shed (the queue is
+//              sized for the burst).
+//   digests    K concurrent campaign sessions racing on the worker pool;
+//              every digest must equal the solo runPaperCampaign digest.
+//   admission  a burst of hold sessions against a deliberately tiny server
+//              (2 workers, 1 queue slot): exactly burst-3 must shed, every
+//              time — admission decisions are taken synchronously at submit.
+//
+// Results merge into BENCH_serve.json at the repo root.
+//
+// Usage: serve_load [--quick] [--out PATH]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "report/json.h"
+#include "scenarios/campaign.h"
+#include "serve/channel.h"
+#include "serve/loop.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace urlf;
+using Clock = std::chrono::steady_clock;
+using report::Json;
+
+http::Request post(const std::string& path, const Json& body) {
+  http::Request request;
+  request.method = "POST";
+  request.url = *net::Url::parse("http://campaigns.sim" + path);
+  request.body = body.dump();
+  return request;
+}
+
+/// The query workload: five global-list URLs with mixed verdicts from
+/// Bayanat Al-Oula (Saudi SmartFilter).
+Json queryBody() {
+  Json body = Json::object();
+  body["kind"] = Json::string("query");
+  body["snapshot"] = Json::string("paper");
+  body["vantage"] = Json::string("field-bayanat");
+  body["date"] = Json::string("2013-05-06");
+  Json urls = Json::array();
+  for (const char* url :
+       {"http://adultvideosite.com/", "http://humanrightsmonitor.org/",
+        "http://mediafreedomwatch.org/", "http://freeproxyhub.com/",
+        "http://lgbtvoices.org/"})
+    urls.push(Json::string(url));
+  body["urls"] = std::move(urls);
+  return body;
+}
+
+struct QpsRow {
+  std::size_t clients = 0;
+  std::size_t requests = 0;
+  double seconds = 0;
+  double qps = 0;
+  double p50Ms = 0;
+  double p99Ms = 0;
+  std::uint64_t shed = 0;
+};
+
+QpsRow runQps(std::size_t clients, std::size_t itersPerClient) {
+  serve::ServerConfig config;
+  config.workers = 8;
+  config.maxQueued = 256;  // absorb the whole closed-loop fan-in
+  serve::CampaignServer server(config);
+  server.addSnapshot("paper");
+  serve::ServerLoop loop(server);
+
+  const Json body = queryBody();
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+
+  const auto begin = Clock::now();
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto connection = loop.connect();
+      auto& mine = latencies[c];
+      mine.reserve(itersPerClient);
+      for (std::size_t i = 0; i < itersPerClient; ++i) {
+        const auto start = Clock::now();
+        const auto response = connection->roundTrip(post("/v1/session", body));
+        const auto stop = Clock::now();
+        if (!response.ok() || response.value().statusCode != 200) {
+          failures.fetch_add(1);
+          continue;
+        }
+        mine.push_back(
+            std::chrono::duration<double, std::milli>(stop - start).count());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - begin).count();
+  loop.stop();
+
+  std::vector<double> all;
+  for (const auto& mine : latencies) all.insert(all.end(), mine.begin(), mine.end());
+  std::sort(all.begin(), all.end());
+
+  QpsRow row;
+  row.clients = clients;
+  row.requests = all.size();
+  row.seconds = seconds;
+  row.qps = seconds > 0 ? static_cast<double>(all.size()) / seconds : 0;
+  if (!all.empty()) {
+    row.p50Ms = all[all.size() / 2];
+    row.p99Ms = all[std::min(all.size() - 1, all.size() * 99 / 100)];
+  }
+  row.shed = server.stats().admission.shed;
+  if (failures.load() != 0)
+    std::cerr << "serve_load: " << failures.load() << " failed queries at N="
+              << clients << "\n";
+  return row;
+}
+
+bool runDigestRace(std::size_t sessions, const std::string& soloDigest) {
+  serve::CampaignServer server({.workers = 4, .maxQueued = sessions});
+  server.addSnapshot("paper");
+
+  Json body = Json::object();
+  body["kind"] = Json::string("campaign");
+  body["snapshot"] = Json::string("paper");
+
+  std::vector<std::promise<http::Response>> slots(sessions);
+  std::vector<std::future<http::Response>> futures;
+  for (auto& slot : slots) futures.push_back(slot.get_future());
+  for (std::size_t i = 0; i < sessions; ++i)
+    server.submit(post("/v1/session", body),
+                  [&slot = slots[i]](http::Response response) {
+                    slot.set_value(std::move(response));
+                  });
+
+  bool equal = true;
+  for (auto& future : futures) {
+    const auto response = future.get();
+    const auto parsed = Json::parse(response.body);
+    const auto* digest = parsed ? parsed->find("digest") : nullptr;
+    if (response.statusCode != 200 || digest == nullptr ||
+        !digest->asString() || *digest->asString() != soloDigest)
+      equal = false;
+  }
+  server.drain();
+  return equal;
+}
+
+struct BurstResult {
+  std::size_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  bool deterministic = false;
+};
+
+BurstResult runAdmissionBurst(std::size_t burst, int rounds) {
+  BurstResult result;
+  result.submitted = burst;
+  result.deterministic = true;
+  for (int round = 0; round < rounds; ++round) {
+    serve::CampaignServer server({.workers = 2, .maxQueued = 1});
+    std::vector<std::promise<http::Response>> slots(burst);
+    std::vector<std::future<http::Response>> futures;
+    for (auto& slot : slots) futures.push_back(slot.get_future());
+
+    for (std::size_t i = 0; i < burst; ++i) {
+      Json body = Json::object();
+      body["kind"] = Json::string("hold");
+      body["token"] = Json::string("t" + std::to_string(i));
+      server.submit(post("/v1/session", body),
+                    [&slot = slots[i]](http::Response response) {
+                      slot.set_value(std::move(response));
+                    });
+    }
+    for (std::size_t i = 0; i < burst; ++i)
+      server.releaseHold("t" + std::to_string(i));
+    for (auto& future : futures) (void)future.get();
+    server.drain();
+
+    const auto stats = server.stats().admission;
+    if (round == 0) {
+      result.admitted = stats.admitted;
+      result.shed = stats.shed;
+    } else if (stats.admitted != result.admitted ||
+               stats.shed != result.shed) {
+      result.deterministic = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string outPath = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      outPath = argv[++i];
+    } else {
+      std::cerr << "usage: serve_load [--quick] [--out PATH]\n";
+      return 2;
+    }
+  }
+
+  const std::vector<std::size_t> fanIns =
+      quick ? std::vector<std::size_t>{1, 4}
+            : std::vector<std::size_t>{1, 4, 16, 64};
+  const std::size_t iters = quick ? 20 : 100;
+  const std::size_t raceSessions = quick ? 2 : 4;
+  const int burstRounds = quick ? 2 : 5;
+
+  const std::string soloDigest =
+      scenarios::runPaperCampaign(scenarios::CampaignOptions{}).digestHex();
+  const bool digestsEqual = runDigestRace(raceSessions, soloDigest);
+  std::cout << "campaign race   " << raceSessions << " sessions, digests "
+            << (digestsEqual ? "identical" : "DIVERGED") << "\n";
+
+  Json rows = Json::array();
+  for (const std::size_t clients : fanIns) {
+    const auto row = runQps(clients, iters);
+    std::cout << "qps             N=" << clients << "  " << row.requests
+              << " reqs in " << row.seconds << " s  " << row.qps
+              << " qps  p50 " << row.p50Ms << " ms  p99 " << row.p99Ms
+              << " ms  shed " << row.shed << "\n";
+    Json entry = Json::object();
+    entry["clients"] = Json::number(static_cast<std::int64_t>(row.clients));
+    entry["requests"] = Json::number(static_cast<std::int64_t>(row.requests));
+    entry["seconds"] = Json::number(row.seconds);
+    entry["qps"] = Json::number(row.qps);
+    entry["p50_ms"] = Json::number(row.p50Ms);
+    entry["p99_ms"] = Json::number(row.p99Ms);
+    entry["shed"] = Json::number(static_cast<std::int64_t>(row.shed));
+    rows.push(std::move(entry));
+  }
+
+  const auto burst = runAdmissionBurst(quick ? 8 : 32, burstRounds);
+  std::cout << "admission burst " << burst.submitted << " holds -> "
+            << burst.admitted << " admitted, " << burst.shed << " shed ("
+            << (burst.deterministic ? "deterministic" : "UNSTABLE") << " over "
+            << burstRounds << " rounds)\n";
+
+  Json serveJson = Json::object();
+  serveJson["digests_equal"] = Json::boolean(digestsEqual);
+  serveJson["race_sessions"] =
+      Json::number(static_cast<std::int64_t>(raceSessions));
+  serveJson["qps"] = std::move(rows);
+  Json burstJson = Json::object();
+  burstJson["submitted"] =
+      Json::number(static_cast<std::int64_t>(burst.submitted));
+  burstJson["admitted"] =
+      Json::number(static_cast<std::int64_t>(burst.admitted));
+  burstJson["shed"] = Json::number(static_cast<std::int64_t>(burst.shed));
+  burstJson["rounds"] = Json::number(std::int64_t{burstRounds});
+  burstJson["deterministic"] = Json::boolean(burst.deterministic);
+  serveJson["admission_burst"] = std::move(burstJson);
+
+  // Merge under the "serve" key, preserving anything else in the file.
+  Json root = Json::object();
+  {
+    std::ifstream in(outPath);
+    if (in) {
+      std::string text((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+      if (auto existing = Json::parse(text); existing && existing->isObject())
+        root = std::move(*existing);
+    }
+  }
+  root["serve"] = std::move(serveJson);
+  std::ofstream out(outPath);
+  out << root.dump(2) << "\n";
+  std::cout << "wrote " << outPath << "\n";
+
+  return digestsEqual && burst.deterministic ? 0 : 1;
+}

@@ -65,6 +65,7 @@ CharacterizationResult Characterizer::characterize(
   client.setClassifyMode(options.classifyMode);
   client.enableVerdictMemo(options.memoizeVerdicts);
   client.setHealthRegistry(options.health);
+  client.attachSharedMemo(options.sharedMemo, options.memoScope);
   std::map<filters::ProductKind, int> productVotes;
 
   if (options.journal != nullptr) {

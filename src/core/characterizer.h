@@ -59,6 +59,9 @@ struct CharacterizeOptions {
   measure::CampaignJournal* journal = nullptr;
   /// Campaign-wide circuit breakers (nullptr = health tracking off).
   measure::HealthRegistry* health = nullptr;
+  /// Cross-session verdict store (nullptr = per-client memo only).
+  measure::SharedVerdictStore* sharedMemo = nullptr;
+  std::uint64_t memoScope = 0;
 };
 
 /// Runs the global + local URL lists through the measurement client from a

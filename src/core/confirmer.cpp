@@ -125,6 +125,7 @@ CaseStudyResult Confirmer::run(const CaseStudyConfig& config,
   client.setClassifyMode(config.classifyMode);
   client.enableVerdictMemo(config.memoizeVerdicts);
   client.setHealthRegistry(ctx.health);
+  client.attachSharedMemo(ctx.sharedMemo, ctx.memoScope);
 
   // 2. Pre-test: the methodology requires sites that are NOT already
   //    blocked. Skipped for Netsweeper (§4.4): the access itself queues the

@@ -24,6 +24,11 @@ struct CampaignContext {
   measure::CampaignJournal* journal = nullptr;
   /// Per-vantage circuit breakers shared across the whole campaign.
   measure::HealthRegistry* health = nullptr;
+  /// Cross-session verdict store (nullptr = per-client memo only). Attached
+  /// to every Client under `memoScope`; the client itself re-checks the
+  /// determinism and side-effect gates per vantage pair.
+  measure::SharedVerdictStore* sharedMemo = nullptr;
+  std::uint64_t memoScope = 0;
 };
 
 /// The set of vendors reachable for submissions — the methodology submits

@@ -32,6 +32,13 @@ class BlueCoatProxySG : public Deployment {
   void postProcess(const http::Request& request, http::Response& response,
                    const simnet::InterceptContext& ctx) override;
 
+  /// The tandem delegates filtering, so the engine's side effects (e.g. a
+  /// queue-on-access Netsweeper) are this box's side effects too.
+  [[nodiscard]] bool interceptHasSideEffects() const override {
+    return Deployment::interceptHasSideEffects() ||
+           (engine_ != nullptr && engine_->interceptHasSideEffects());
+  }
+
  protected:
   simnet::InterceptAction buildBlockAction(
       const http::Request& request, const std::set<CategoryId>& blockedCategories,

@@ -55,6 +55,12 @@ class Deployment : public simnet::Middlebox {
   /// presence itself flips which DB is consulted).
   [[nodiscard]] std::uint64_t stateEpoch() const override;
 
+  /// Queue-on-access deployments (§4.4) mutate the vendor crawl queue per
+  /// fetch; their verdicts must not be shared across session worlds.
+  [[nodiscard]] bool interceptHasSideEffects() const override {
+    return policy().queueAccessedUrls;
+  }
+
   /// False when this deployment rolls dice per exchange (offlineProbability)
   /// — its verdicts must be re-drawn, never memoized or replay-skipped.
   [[nodiscard]] bool deterministicIntercept() const override;

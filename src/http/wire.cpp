@@ -152,4 +152,47 @@ std::optional<Request> parseRequest(std::string_view wire) {
   return req;
 }
 
+Frame messageFrame(std::string_view buffer) {
+  // One whole line must be buffered before we can even reject the stream.
+  const std::size_t eol = buffer.find("\r\n");
+  if (eol == std::string_view::npos)
+    // Bound the damage a never-terminating first line can do.
+    return {buffer.size() > 64 * 1024 ? Frame::State::kBad
+                                      : Frame::State::kIncomplete,
+            0};
+  const std::size_t headerEnd = buffer.find("\r\n\r\n", eol);
+  if (headerEnd == std::string_view::npos)
+    return {Frame::State::kIncomplete, 0};
+
+  // Scan the header block for Content-Length (case-insensitive name match,
+  // same tolerance as HeaderMap).
+  std::size_t bodyLen = 0;
+  std::string_view block = buffer.substr(eol + 2, headerEnd - eol);
+  while (!block.empty()) {
+    const std::size_t lineEnd = block.find("\r\n");
+    const std::string_view line =
+        lineEnd == std::string_view::npos ? block : block.substr(0, lineEnd);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      const std::string_view name = util::trim(line.substr(0, colon));
+      if (util::toLower(std::string(name)) == "content-length") {
+        const std::string_view value = util::trim(line.substr(colon + 1));
+        if (value.empty()) return {Frame::State::kBad, 0};
+        bodyLen = 0;
+        for (const char c : value) {
+          if (!std::isdigit(static_cast<unsigned char>(c)))
+            return {Frame::State::kBad, 0};
+          bodyLen = bodyLen * 10 + static_cast<std::size_t>(c - '0');
+        }
+      }
+    }
+    if (lineEnd == std::string_view::npos) break;
+    block.remove_prefix(lineEnd + 2);
+  }
+
+  const std::size_t total = headerEnd + 4 + bodyLen;
+  if (buffer.size() < total) return {Frame::State::kIncomplete, 0};
+  return {Frame::State::kComplete, total};
+}
+
 }  // namespace urlf::http

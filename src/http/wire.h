@@ -34,6 +34,26 @@ void serializeTo(const Response& resp, std::string& out);
 /// to reconstruct the absolute URL). Returns nullopt when malformed.
 [[nodiscard]] std::optional<Request> parseRequest(std::string_view wire);
 
+/// Incremental framing over a byte stream carrying back-to-back messages
+/// (either direction: the request and status lines frame identically). A
+/// message is complete once its header block and `Content-Length` body bytes
+/// are buffered; a missing Content-Length frames as an empty body, so
+/// streamed peers must set it explicitly on every message they send.
+struct Frame {
+  enum class State {
+    kIncomplete,  ///< need more bytes
+    kComplete,    ///< first `size` bytes hold one whole message
+    kBad,         ///< stream is unparseable — close the connection
+  };
+  State state = State::kIncomplete;
+  std::size_t size = 0;  ///< set when state == kComplete
+};
+
+/// Frame the first message in `buffer`. Never consumes bytes: callers slice
+/// off `size` bytes on kComplete and hand them to parseRequest /
+/// parseResponse.
+[[nodiscard]] Frame messageFrame(std::string_view buffer);
+
 }  // namespace urlf::http
 
 #endif  // URLF_HTTP_WIRE_H

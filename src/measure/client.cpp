@@ -1,5 +1,6 @@
 #include "measure/client.h"
 
+#include "measure/shared_memo.h"
 #include "util/thread_pool.h"
 
 namespace urlf::measure {
@@ -75,8 +76,53 @@ bool Client::chainsDeterministic() const {
   return true;
 }
 
+bool Client::chainsSideEffectFree() const {
+  for (const auto* vantage : {field_, lab_}) {
+    if (vantage->isp == nullptr) continue;  // lab: no chain
+    for (const auto* box : vantage->isp->chain())
+      if (box->interceptHasSideEffects()) return false;
+  }
+  return true;
+}
+
 Client::MemoEpoch Client::currentEpoch() const {
   return MemoEpoch{world_->middleboxStateEpoch(), world_->now().hours()};
+}
+
+void Client::attachSharedMemo(SharedVerdictStore* store, std::uint64_t scope) {
+  shared_ = store;
+  sharedScope_ = scope;
+  // A shared hit skips this world's fetch entirely, so beyond determinism
+  // (the per-client memo's bar) every box must also be side-effect free.
+  sharedSafe_ =
+      store != nullptr && chainsDeterministic() && chainsSideEffectFree();
+}
+
+std::optional<UrlTestResult> Client::sharedLookup(const std::string& url,
+                                                  const MemoEpoch& epoch) {
+  const SharedVerdictStore::Key key{sharedScope_,
+                                    epoch.boxes,
+                                    epoch.now,
+                                    field_->name,
+                                    lab_->name,
+                                    url};
+  auto hit = shared_->lookup(key);
+  if (hit) {
+    ++sharedHits_;
+    // Promote to the local memo so repeats stay off the shard lock.
+    memo_.emplace(url, *hit);
+  }
+  return hit;
+}
+
+void Client::sharedInsert(const UrlTestResult& result, const MemoEpoch& epoch) {
+  const SharedVerdictStore::Key key{sharedScope_,
+                                    epoch.boxes,
+                                    epoch.now,
+                                    field_->name,
+                                    lab_->name,
+                                    result.url};
+  shared_->insert(key, result);
 }
 
 void Client::enableVerdictMemo(bool enabled) {
@@ -146,17 +192,24 @@ UrlTestResult Client::testUrl(const std::string& url) {
     memo_.clear();
     memoEpoch_ = before;
   }
+  const bool sharedActive = sharedMemoActive();
   if (!probe) {
     if (const auto it = memo_.find(url); it != memo_.end()) {
       ++memoHits_;
       return it->second;
+    }
+    if (sharedActive) {
+      if (auto hit = sharedLookup(url, before)) return *hit;
     }
   }
   UrlTestResult result = fetchAndClassify(url);
   // Insert-guard: memoize only when the fetch itself left the epoch alone.
   // A fetch that advanced the clock (retry backoff) or mutated a database
   // (queue-triggered categorization) would not replay identically.
-  if (currentEpoch() == before) memo_.emplace(url, result);
+  if (currentEpoch() == before) {
+    memo_.emplace(url, result);
+    if (sharedActive) sharedInsert(result, before);
+  }
   return result;
 }
 
@@ -207,6 +260,12 @@ std::vector<UrlTestResult> Client::testListBatched(
           out[i] = it->second;
           continue;
         }
+        if (sharedMemoActive()) {
+          if (auto hit = sharedLookup(urls[i], epoch)) {
+            out[i] = *hit;
+            continue;
+          }
+        }
       }
       before.push_back(epoch);
     }
@@ -240,9 +299,12 @@ std::vector<UrlTestResult> Client::testListBatched(
       memo_.clear();
       memoEpoch_ = finalEpoch;
     }
+    const bool sharedActive = sharedMemoActive();
     for (std::size_t k = 0; k < fetched.size(); ++k) {
-      if (before[k] == finalEpoch && after[k] == finalEpoch)
+      if (before[k] == finalEpoch && after[k] == finalEpoch) {
         memo_.emplace(out[fetched[k]].url, out[fetched[k]]);
+        if (sharedActive) sharedInsert(out[fetched[k]], finalEpoch);
+      }
     }
   }
   return out;

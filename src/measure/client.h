@@ -15,6 +15,8 @@
 
 namespace urlf::measure {
 
+class SharedVerdictStore;
+
 /// Verdict for one URL after comparing the field and lab accesses (§4.1).
 enum class Verdict {
   kAccessible,    ///< field matches the lab's view of the page
@@ -105,6 +107,21 @@ class Client {
   void clearVerdictMemo();
   [[nodiscard]] std::uint64_t verdictMemoHits() const { return memoHits_; }
 
+  /// Attach a cross-session verdict store under `scope` (nullptr detaches).
+  /// On top of the per-client memo's gating, the store is consulted only
+  /// when every middlebox on both vantages' chains is deterministic AND
+  /// side-effect free (Middlebox::interceptHasSideEffects): a shared hit
+  /// skips this world's fetch entirely, which is sound only if the skipped
+  /// fetch would have mutated nothing. Shared lookups/inserts additionally
+  /// require the per-client memo to be active (enableVerdictMemo), and key
+  /// on (scope, middlebox state epoch, clock, vantage pair, url) so entries
+  /// can never replay across policy epochs or vantages.
+  void attachSharedMemo(SharedVerdictStore* store, std::uint64_t scope);
+  [[nodiscard]] bool sharedMemoActive() const {
+    return shared_ != nullptr && sharedSafe_ && verdictMemoActive();
+  }
+  [[nodiscard]] std::uint64_t sharedMemoHits() const { return sharedHits_; }
+
   /// Attach a campaign-scoped health registry (nullptr = health tracking
   /// off, the historical behavior). With a registry attached, every test is
   /// gated on the *field* vantage's circuit breaker BEFORE the verdict memo
@@ -146,6 +163,12 @@ class Client {
   };
   [[nodiscard]] MemoEpoch currentEpoch() const;
   [[nodiscard]] bool chainsDeterministic() const;
+  [[nodiscard]] bool chainsSideEffectFree() const;
+  /// Shared-store lookup for `url` at `epoch`; populates the local memo on
+  /// a hit. Only call when sharedMemoActive().
+  [[nodiscard]] std::optional<UrlTestResult> sharedLookup(
+      const std::string& url, const MemoEpoch& epoch);
+  void sharedInsert(const UrlTestResult& result, const MemoEpoch& epoch);
 
   /// Fetch both sides and classify — the memo-oblivious core of testUrl.
   /// Feeds the field outcome to the health registry when one is attached.
@@ -168,6 +191,11 @@ class Client {
   std::uint64_t memoHits_ = 0;
   std::unordered_map<std::string, UrlTestResult> memo_;
   HealthRegistry* health_ = nullptr;
+
+  SharedVerdictStore* shared_ = nullptr;
+  std::uint64_t sharedScope_ = 0;
+  bool sharedSafe_ = false;
+  std::uint64_t sharedHits_ = 0;
 };
 
 }  // namespace urlf::measure

@@ -1,0 +1,96 @@
+#include "measure/shared_memo.h"
+
+#include "util/hash.h"
+
+namespace urlf::measure {
+
+std::string SharedVerdictStore::keyText(const Key& key) {
+  std::string text;
+  text.reserve(64 + key.field.size() + key.lab.size() + key.url.size());
+  text += std::to_string(key.scope);
+  text += '|';
+  text += std::to_string(key.boxes);
+  text += '|';
+  text += std::to_string(key.now);
+  text += '|';
+  text += key.field;
+  text += '|';
+  text += key.lab;
+  text += '|';
+  text += key.url;
+  return text;
+}
+
+SharedVerdictStore::Shard& SharedVerdictStore::shardFor(
+    const std::string& text) {
+  return shards_[util::fnv1a64(text) % kShards];
+}
+
+const SharedVerdictStore::Shard& SharedVerdictStore::shardFor(
+    const std::string& text) const {
+  return shards_[util::fnv1a64(text) % kShards];
+}
+
+std::optional<UrlTestResult> SharedVerdictStore::lookup(const Key& key) const {
+  const std::string text = keyText(key);
+  const Shard& shard = shardFor(text);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.map.find(text);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.result;
+}
+
+void SharedVerdictStore::insert(const Key& key, const UrlTestResult& result) {
+  const std::string text = keyText(key);
+  Shard& shard = shardFor(text);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.map.emplace(text, Entry{key.scope, result}).second)
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SharedVerdictStore::invalidateScope(std::uint64_t scope) {
+  std::uint64_t erased = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.map.begin(); it != shard.map.end();) {
+      if (it->second.scope == scope) {
+        it = shard.map.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+  }
+  invalidated_.fetch_add(erased, std::memory_order_relaxed);
+}
+
+void SharedVerdictStore::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map.clear();
+  }
+}
+
+std::size_t SharedVerdictStore::size() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    n += shard.map.size();
+  }
+  return n;
+}
+
+SharedVerdictStore::Stats SharedVerdictStore::stats() const {
+  Stats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.inserts = inserts_.load(std::memory_order_relaxed);
+  out.invalidated = invalidated_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace urlf::measure

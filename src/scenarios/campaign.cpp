@@ -258,9 +258,17 @@ Json CampaignReport::toJson() const {
 
 CampaignReport runPaperCampaign(const CampaignOptions& options,
                                 measure::CampaignJournal* journal) {
+  PaperWorld paper(options.seed, options.world);
+  CampaignRunContext run;
+  run.journal = journal;
+  return runPaperCampaign(paper, options, run);
+}
+
+CampaignReport runPaperCampaign(PaperWorld& paper,
+                                const CampaignOptions& options,
+                                const CampaignRunContext& run) {
   std::ostringstream digest;
 
-  PaperWorld paper(options.seed, options.world);
   auto& world = paper.world();
   if (!options.outages.empty())
     world.setOutagePlan(options.outages.toPlan(options.seed));
@@ -269,8 +277,10 @@ CampaignReport runPaperCampaign(const CampaignOptions& options,
   if (options.healthEnabled) health.emplace(options.breaker);
 
   core::CampaignContext ctx;
-  ctx.journal = journal;
+  ctx.journal = run.journal;
   ctx.health = health ? &*health : nullptr;
+  ctx.sharedMemo = run.sharedMemo;
+  ctx.memoScope = run.memoScope;
 
   core::Confirmer confirmer(world, paper.hosting(), paper.vendorSet());
 
@@ -335,6 +345,8 @@ CampaignReport runPaperCampaign(const CampaignOptions& options,
     characterizeOptions.memoizeVerdicts = options.memoizeVerdicts;
     characterizeOptions.journal = ctx.journal;
     characterizeOptions.health = ctx.health;
+    characterizeOptions.sharedMemo = ctx.sharedMemo;
+    characterizeOptions.memoScope = ctx.memoScope;
     const auto result = characterizer.characterize(
         network.vantage, "lab-toronto", paper.globalList(),
         paper.localList(network.alpha2), characterizeOptions);
@@ -359,12 +371,12 @@ CampaignReport runPaperCampaign(const CampaignOptions& options,
   report.digest = util::fnv1a64(digest.str());
   if (health) report.vantageHealth = health->snapshot();
 
-  if (journal != nullptr) {
+  if (run.journal != nullptr) {
     Json e = CampaignJournal::event("campaign-end", world.now());
     e["digest"] = Json::string(report.digestHex());
     e["confirmed"] = Json::number(std::int64_t{report.confirmedCaseStudies});
     e["degraded_rows"] = Json::number(std::int64_t{report.degradedRows});
-    journal->sync(e);
+    run.journal->sync(e);
   }
   return report;
 }

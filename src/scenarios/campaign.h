@@ -14,6 +14,10 @@
 #include "simnet/outage.h"
 #include "util/expected.h"
 
+namespace urlf::measure {
+class SharedVerdictStore;
+}
+
 namespace urlf::scenarios {
 
 /// Parse "YYYY-MM-DD". Returns nullopt on malformed input.
@@ -111,6 +115,27 @@ struct CampaignReport {
 [[nodiscard]] CampaignReport runPaperCampaign(
     const CampaignOptions& options,
     measure::CampaignJournal* journal = nullptr);
+
+/// Cross-cutting services a resident server threads into a session's
+/// campaign run. All pointers optional and non-owning; a default-constructed
+/// context reproduces the standalone behavior.
+struct CampaignRunContext {
+  measure::CampaignJournal* journal = nullptr;
+  /// Cross-session verdict store + its scope key (serve::WorldSnapshot
+  /// derives the scope from snapshot name, config header, and epoch).
+  measure::SharedVerdictStore* sharedMemo = nullptr;
+  std::uint64_t memoScope = 0;
+};
+
+/// Run the campaign against a caller-owned world replica (the resident
+/// server materializes one PaperWorld per session from a shared snapshot
+/// spec). The world must be freshly built from `options.seed` /
+/// `options.world` — the campaign mutates it (clock, RNG, vendor queues) and
+/// is deterministic only from that initial state. Outage plans from
+/// `options` are applied here, exactly as the standalone entry point does.
+[[nodiscard]] CampaignReport runPaperCampaign(PaperWorld& paper,
+                                              const CampaignOptions& options,
+                                              const CampaignRunContext& run);
 
 }  // namespace urlf::scenarios
 

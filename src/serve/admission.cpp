@@ -1,0 +1,40 @@
+#include "serve/admission.h"
+
+namespace urlf::serve {
+
+AdmissionController::Decision AdmissionController::tryAdmit() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stats_.inFlight < maxInFlight_) {
+    ++stats_.inFlight;
+    ++stats_.admitted;
+    return Decision::kRun;
+  }
+  if (stats_.queued < maxQueued_) {
+    ++stats_.queued;
+    ++stats_.admitted;
+    return Decision::kQueue;
+  }
+  ++stats_.shed;
+  return Decision::kShed;
+}
+
+void AdmissionController::onStart() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stats_.queued > 0) {
+    --stats_.queued;
+    ++stats_.inFlight;
+  }
+}
+
+void AdmissionController::onComplete() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stats_.inFlight > 0) --stats_.inFlight;
+  ++stats_.completed;
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace urlf::serve

@@ -1,0 +1,57 @@
+#ifndef URLF_SERVE_ADMISSION_H
+#define URLF_SERVE_ADMISSION_H
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace urlf::serve {
+
+/// Admission control for session work (DESIGN.md §4.6): at most
+/// `maxInFlight` sessions admitted to run plus `maxQueued` waiting behind
+/// them; everything beyond that is shed immediately (the 503 path). All
+/// decisions happen under one lock at submit time, on the caller's thread —
+/// the controller never waits on the worker pool, so a given sequence of
+/// admit/complete calls yields the same decisions at any pool width.
+class AdmissionController {
+ public:
+  enum class Decision {
+    kRun,    ///< admitted against an in-flight slot
+    kQueue,  ///< admitted against a queue slot (runs when a slot frees)
+    kShed,   ///< rejected — both in-flight and queue are full
+  };
+
+  struct Stats {
+    std::size_t inFlight = 0;
+    std::size_t queued = 0;
+    std::uint64_t admitted = 0;   ///< kRun + kQueue decisions
+    std::uint64_t shed = 0;       ///< kShed decisions
+    std::uint64_t completed = 0;  ///< onComplete calls
+  };
+
+  AdmissionController(std::size_t maxInFlight, std::size_t maxQueued)
+      : maxInFlight_(maxInFlight == 0 ? 1 : maxInFlight),
+        maxQueued_(maxQueued) {}
+
+  [[nodiscard]] Decision tryAdmit();
+
+  /// A kQueue session began executing: its slot moves queued -> in-flight.
+  void onStart();
+
+  /// An admitted session finished (however it ended).
+  void onComplete();
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t maxInFlight() const { return maxInFlight_; }
+  [[nodiscard]] std::size_t maxQueued() const { return maxQueued_; }
+
+ private:
+  const std::size_t maxInFlight_;
+  const std::size_t maxQueued_;
+  mutable std::mutex mutex_;
+  Stats stats_;
+};
+
+}  // namespace urlf::serve
+
+#endif  // URLF_SERVE_ADMISSION_H

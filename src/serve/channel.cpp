@@ -1,0 +1,100 @@
+#include "serve/channel.h"
+
+#include "http/wire.h"
+
+namespace urlf::serve {
+
+void ByteStream::write(std::string_view bytes) {
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
+    buffer_.append(bytes);
+    hook = onActivity_;
+  }
+  cv_.notify_all();
+  if (hook) hook();
+}
+
+void ByteStream::close() {
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    hook = onActivity_;
+  }
+  cv_.notify_all();
+  if (hook) hook();
+}
+
+bool ByteStream::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t ByteStream::drain(std::string& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t moved = buffer_.size();
+  out.append(buffer_);
+  buffer_.clear();
+  return moved;
+}
+
+bool ByteStream::waitForData(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return cv_.wait_for(lock, timeout,
+                      [this] { return !buffer_.empty() || closed_; });
+}
+
+void ByteStream::setOnActivity(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  onActivity_ = std::move(hook);
+}
+
+void Connection::sendRequest(http::Request request) {
+  // Guarantee wire-validity: parseRequest needs a Host header to rebuild
+  // the absolute URL, and messageFrame needs Content-Length to frame the
+  // body (serialize adds neither).
+  if (!request.headers.get("Host"))
+    request.headers.set("Host", request.url.host());
+  request.headers.set("Content-Length", std::to_string(request.body.size()));
+  toServer_.write(http::serialize(request));
+}
+
+util::Expected<http::Response> Connection::awaitResponse(
+    std::chrono::milliseconds timeout) {
+  using Result = util::Expected<http::Response>;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    toClient_.drain(clientBuffer_);
+    const auto frame = http::messageFrame(clientBuffer_);
+    if (frame.state == http::Frame::State::kBad)
+      return Result::failure("unparseable response stream");
+    if (frame.state == http::Frame::State::kComplete) {
+      auto response = http::parseResponse(
+          std::string_view(clientBuffer_).substr(0, frame.size));
+      clientBuffer_.erase(0, frame.size);
+      if (!response) return Result::failure("malformed response");
+      return std::move(*response);
+    }
+    if (toClient_.closed() && frame.state == http::Frame::State::kIncomplete)
+      return Result::failure("connection closed mid-response");
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return Result::failure("response timed out");
+    toClient_.waitForData(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now));
+  }
+}
+
+util::Expected<http::Response> Connection::roundTrip(
+    http::Request request, std::chrono::milliseconds timeout) {
+  sendRequest(std::move(request));
+  return awaitResponse(timeout);
+}
+
+void Connection::close() {
+  toServer_.close();
+  toClient_.close();
+}
+
+}  // namespace urlf::serve

@@ -1,0 +1,75 @@
+#ifndef URLF_SERVE_CHANNEL_H
+#define URLF_SERVE_CHANNEL_H
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "http/message.h"
+#include "util/expected.h"
+
+namespace urlf::serve {
+
+/// One direction of an in-process connection: an ordered byte buffer with
+/// producer/consumer locking. Writers append whole serialized messages (the
+/// buffer preserves byte order, so interleaving at message granularity is
+/// the writer's job); the consumer drains whatever has arrived and frames it
+/// with http::messageFrame.
+class ByteStream {
+ public:
+  void write(std::string_view bytes);
+  void close();
+  [[nodiscard]] bool closed() const;
+
+  /// Move all buffered bytes onto the end of `out`; returns bytes moved.
+  std::size_t drain(std::string& out);
+
+  /// Block until data is buffered or the stream closes. False on timeout.
+  bool waitForData(std::chrono::milliseconds timeout);
+
+  /// Hook invoked (outside the lock) after every write/close — the server
+  /// loop uses it to wake its scan. Set once, before traffic starts.
+  void setOnActivity(std::function<void()> hook);
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::string buffer_;
+  bool closed_ = false;
+  std::function<void()> onActivity_;
+};
+
+/// A full-duplex in-process connection between a client and the server
+/// loop. The client half offers blocking request/response helpers that set
+/// Content-Length explicitly (http::serialize does not) so both directions
+/// frame cleanly. One request should be outstanding per connection at a
+/// time — responses to pipelined requests complete in whatever order the
+/// worker pool finishes them.
+class Connection {
+ public:
+  [[nodiscard]] ByteStream& toServer() { return toServer_; }
+  [[nodiscard]] ByteStream& toClient() { return toClient_; }
+
+  void sendRequest(http::Request request);
+  [[nodiscard]] util::Expected<http::Response> awaitResponse(
+      std::chrono::milliseconds timeout = std::chrono::seconds(120));
+
+  /// sendRequest + awaitResponse.
+  [[nodiscard]] util::Expected<http::Response> roundTrip(
+      http::Request request,
+      std::chrono::milliseconds timeout = std::chrono::seconds(120));
+
+  void close();
+
+ private:
+  ByteStream toServer_;
+  ByteStream toClient_;
+  std::string clientBuffer_;  ///< client-side reassembly of toClient_
+};
+
+}  // namespace urlf::serve
+
+#endif  // URLF_SERVE_CHANNEL_H

@@ -1,0 +1,118 @@
+#include "serve/loop.h"
+
+#include <chrono>
+
+#include "http/wire.h"
+
+namespace urlf::serve {
+
+ServerLoop::ServerLoop(CampaignServer& server) : server_(&server) {
+  thread_ = std::thread([this] { run(); });
+}
+
+ServerLoop::~ServerLoop() { stop(); }
+
+std::shared_ptr<Connection> ServerLoop::connect() {
+  auto connection = std::make_shared<Connection>();
+  connection->toServer().setOnActivity([this] {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      activity_ = true;
+    }
+    wake_.notify_all();
+  });
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    peers_.push_back(std::make_unique<Peer>(Peer{connection, {}}));
+    activity_ = true;
+  }
+  wake_.notify_all();
+  return connection;
+}
+
+void ServerLoop::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::vector<std::unique_ptr<Peer>> peers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    peers.swap(peers_);
+  }
+  for (auto& peer : peers) peer->connection->close();
+}
+
+std::size_t ServerLoop::connectionCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peers_.size();
+}
+
+void ServerLoop::run() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait_for(lock, std::chrono::milliseconds(50),
+                     [this] { return activity_ || stopping_; });
+      if (stopping_) return;
+      activity_ = false;
+    }
+
+    // Snapshot the peer pointers, pump each outside the lock (pump may
+    // parse and dispatch), then drop the ones that went bad or hung up.
+    // Only the loop thread reads or erases entries; connect() appends new
+    // ones, which the next wakeup picks up.
+    std::vector<Peer*> scan;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      scan.reserve(peers_.size());
+      for (const auto& peer : peers_) scan.push_back(peer.get());
+    }
+    std::vector<Peer*> dead;
+    for (Peer* peer : scan)
+      if (!pump(*peer)) dead.push_back(peer);
+    if (!dead.empty()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (Peer* gone : dead) {
+        gone->connection->toClient().close();
+        for (std::size_t i = 0; i < peers_.size(); ++i) {
+          if (peers_[i].get() == gone) {
+            peers_.erase(peers_.begin() + static_cast<std::ptrdiff_t>(i));
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+bool ServerLoop::pump(Peer& peer) {
+  peer.connection->toServer().drain(peer.inbox);
+
+  while (true) {
+    const auto frame = http::messageFrame(peer.inbox);
+    if (frame.state == http::Frame::State::kBad) return false;
+    if (frame.state == http::Frame::State::kIncomplete) break;
+
+    auto request = http::parseRequest(
+        std::string_view(peer.inbox).substr(0, frame.size));
+    peer.inbox.erase(0, frame.size);
+    if (!request) return false;
+
+    // Capture the connection, not the Peer (the peers_ vector reallocates).
+    auto connection = peer.connection;
+    server_->submit(std::move(*request), [connection](http::Response response) {
+      response.headers.set("Content-Length",
+                           std::to_string(response.body.size()));
+      connection->toClient().write(http::serialize(response));
+    });
+  }
+
+  // A hung-up peer is dropped once every buffered request has been framed.
+  return !(peer.connection->toServer().closed() && peer.inbox.empty());
+}
+
+}  // namespace urlf::serve

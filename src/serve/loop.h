@@ -1,0 +1,62 @@
+#ifndef URLF_SERVE_LOOP_H
+#define URLF_SERVE_LOOP_H
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/channel.h"
+#include "serve/server.h"
+
+namespace urlf::serve {
+
+/// A small single-threaded event loop in front of a CampaignServer: accepts
+/// in-process connections, frames their byte streams with
+/// http::messageFrame, and dispatches complete requests. Admin requests are
+/// answered from the loop thread; session requests go through
+/// CampaignServer::submit, so their responses are written back from worker
+/// threads while the loop keeps serving other connections — one slow
+/// campaign cannot stall the accept path.
+class ServerLoop {
+ public:
+  explicit ServerLoop(CampaignServer& server);
+  ~ServerLoop();
+
+  ServerLoop(const ServerLoop&) = delete;
+  ServerLoop& operator=(const ServerLoop&) = delete;
+
+  /// Open a new connection served by the loop.
+  [[nodiscard]] std::shared_ptr<Connection> connect();
+
+  /// Stop the loop thread and close every connection.
+  void stop();
+
+  [[nodiscard]] std::size_t connectionCount() const;
+
+ private:
+  struct Peer {
+    std::shared_ptr<Connection> connection;
+    std::string inbox;  ///< loop-side reassembly of toServer bytes
+  };
+
+  void run();
+  /// Returns false when the peer went bad and must be dropped.
+  bool pump(Peer& peer);
+
+  CampaignServer* server_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  /// unique_ptr entries keep Peer addresses stable while the loop thread
+  /// works outside the lock and connect() appends concurrently.
+  std::vector<std::unique_ptr<Peer>> peers_;
+  bool stopping_ = false;
+  bool activity_ = false;
+  std::thread thread_;
+};
+
+}  // namespace urlf::serve
+
+#endif  // URLF_SERVE_LOOP_H

@@ -1,0 +1,141 @@
+#ifndef URLF_SERVE_SERVER_H
+#define URLF_SERVE_SERVER_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "http/message.h"
+#include "measure/shared_memo.h"
+#include "serve/admission.h"
+#include "serve/protocol.h"
+#include "serve/snapshot.h"
+#include "util/thread_pool.h"
+
+namespace urlf::serve {
+
+struct ServerConfig {
+  /// Worker threads for session execution — also the in-flight admission
+  /// capacity, so admitted kRun sessions never wait behind each other.
+  std::size_t workers = 4;
+  /// Sessions allowed to wait behind the in-flight ones; beyond this the
+  /// server sheds with 503.
+  std::size_t maxQueued = 8;
+  /// Default classify-thread limit for sessions that do not pin their own
+  /// (1 keeps per-session classification serial — concurrency comes from
+  /// running whole sessions in parallel, which benchmarks far better than
+  /// nesting fan-outs).
+  std::size_t classifyThreads = 1;
+  /// Share verdicts across sessions through one SharedVerdictStore.
+  bool shareVerdicts = true;
+};
+
+struct ServerStats {
+  std::uint64_t campaignsCompleted = 0;
+  std::uint64_t queriesCompleted = 0;
+  std::uint64_t holdsCompleted = 0;
+  std::uint64_t crashes = 0;       ///< SimulatedCrash caught (500)
+  std::uint64_t divergences = 0;   ///< JournalDivergence caught (409)
+  std::uint64_t badRequests = 0;   ///< 4xx responses
+  AdmissionController::Stats admission;
+  measure::SharedVerdictStore::Stats memo;
+  std::size_t pooledWorlds = 0;
+
+  [[nodiscard]] report::Json toJson() const;
+};
+
+/// The resident campaign server (DESIGN.md §4.6): holds named world
+/// snapshots, runs many concurrent sessions over private deterministic
+/// replicas on its own util::ThreadPool, shares one verdict store across
+/// sessions (scope-keyed to snapshot + config + epoch), and sheds load past
+/// its admission capacity. Thread-safe throughout; `handle` may be called
+/// from any thread and `submit` callbacks fire on worker threads.
+class CampaignServer {
+ public:
+  explicit CampaignServer(ServerConfig config = {});
+  ~CampaignServer();
+
+  CampaignServer(const CampaignServer&) = delete;
+  CampaignServer& operator=(const CampaignServer&) = delete;
+
+  WorldSnapshot& addSnapshot(std::string name,
+                             scenarios::CampaignOptions base = {});
+  [[nodiscard]] WorldSnapshot* findSnapshot(const std::string& name);
+
+  /// Synchronous dispatch: admin/status inline; session requests go through
+  /// admission (shed -> 503) and run on the CALLING thread. The transport
+  /// loop and tests that want one-call semantics use this.
+  [[nodiscard]] http::Response handle(const http::Request& request);
+
+  /// Asynchronous dispatch: admin/status answered before returning; session
+  /// requests are shed (503, immediate callback) or admitted onto the
+  /// worker pool (callback from the worker when the session completes).
+  void submit(http::Request request,
+              std::function<void(http::Response)> done);
+
+  /// Release a parked hold session (also pre-releases: a hold arriving
+  /// after its release returns immediately).
+  void releaseHold(const std::string& token);
+
+  /// Block until every admitted session has completed.
+  void drain();
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] measure::SharedVerdictStore& sharedStore() { return store_; }
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+
+ private:
+  /// Route one request; session kinds run inline (admission already done by
+  /// the caller).
+  [[nodiscard]] http::Response dispatch(const http::Request& request);
+  [[nodiscard]] http::Response runSession(const SessionRequest& request);
+  [[nodiscard]] http::Response runCampaignSession(const SessionRequest& request);
+  [[nodiscard]] http::Response runQuerySession(const SessionRequest& request);
+  [[nodiscard]] http::Response runHoldSession(const SessionRequest& request);
+  [[nodiscard]] http::Response handleStatus();
+  [[nodiscard]] http::Response handleSnapshots();
+  [[nodiscard]] http::Response handleRecategorize(const http::Request& request);
+  [[nodiscard]] http::Response handleRelease(const http::Request& request);
+
+  /// World pool for query sessions: replicas are reusable only while their
+  /// clock has not passed the requested date (worlds only move forward).
+  [[nodiscard]] std::unique_ptr<scenarios::PaperWorld> acquireWorld(
+      const SnapshotSpec& spec, const util::CivilDate& date);
+  void returnWorld(const SnapshotSpec& spec,
+                   std::unique_ptr<scenarios::PaperWorld> world);
+
+  void noteCompletion(int statusCode, SessionRequest::Kind kind);
+
+  ServerConfig config_;
+  util::ThreadPool pool_;
+  AdmissionController admission_;
+  measure::SharedVerdictStore store_;
+
+  mutable std::mutex snapshotsMutex_;
+  std::map<std::string, std::unique_ptr<WorldSnapshot>> snapshots_;
+
+  mutable std::mutex worldsMutex_;
+  std::map<std::uint64_t, std::vector<std::unique_ptr<scenarios::PaperWorld>>>
+      worldPool_;  ///< keyed by SnapshotSpec::scopeKey()
+
+  mutable std::mutex holdsMutex_;
+  std::condition_variable holdsCv_;
+  std::set<std::string> releasedTokens_;
+
+  mutable std::mutex statsMutex_;
+  ServerStats stats_;
+
+  mutable std::mutex drainMutex_;
+  std::condition_variable drainCv_;
+  std::size_t live_ = 0;  ///< admitted sessions not yet completed
+};
+
+}  // namespace urlf::serve
+
+#endif  // URLF_SERVE_SERVER_H

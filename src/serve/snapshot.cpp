@@ -1,0 +1,110 @@
+#include "serve/snapshot.h"
+
+#include "util/hash.h"
+
+namespace urlf::serve {
+
+using report::Json;
+
+Json Recategorization::toJson() const {
+  Json out = Json::object();
+  out["product"] = Json::string(filters::toString(product));
+  out["host"] = Json::string(host);
+  out["category"] = Json::string(category);
+  return out;
+}
+
+std::optional<Recategorization> Recategorization::fromJson(const Json& json) {
+  if (!json.isObject()) return std::nullopt;
+  const auto* productText = json.find("product");
+  const auto* host = json.find("host");
+  const auto* category = json.find("category");
+  if (productText == nullptr || !productText->asString() || host == nullptr ||
+      !host->asString() || category == nullptr || !category->asString())
+    return std::nullopt;
+  const auto product = productFromString(*productText->asString());
+  if (!product || host->asString()->empty() || category->asString()->empty())
+    return std::nullopt;
+  return Recategorization{*product, *host->asString(), *category->asString()};
+}
+
+std::optional<filters::ProductKind> productFromString(std::string_view name) {
+  for (const auto kind : filters::allProducts())
+    if (filters::toString(kind) == name) return kind;
+  return std::nullopt;
+}
+
+std::uint64_t SnapshotSpec::scopeKey() const {
+  std::string text = name;
+  text += '|';
+  text += options.headerJson().dump();
+  text += '|';
+  text += std::to_string(epoch);
+  return util::fnv1a64(text);
+}
+
+Json SnapshotSpec::overlayJson() const {
+  Json out = Json::array();
+  for (const auto& edit : overlay) out.push(edit.toJson());
+  return out;
+}
+
+util::Expected<std::vector<Recategorization>> SnapshotSpec::overlayFromJson(
+    const Json& json) {
+  using Result = util::Expected<std::vector<Recategorization>>;
+  if (!json.isArray()) return Result::failure("overlay is not an array");
+  std::vector<Recategorization> overlay;
+  for (const auto& entry : *json.asArray()) {
+    auto edit = Recategorization::fromJson(entry);
+    if (!edit) return Result::failure("malformed overlay entry");
+    overlay.push_back(std::move(*edit));
+  }
+  return overlay;
+}
+
+std::unique_ptr<scenarios::PaperWorld> SnapshotSpec::materialize(
+    const SnapshotSpec& spec) {
+  auto paper = std::make_unique<scenarios::PaperWorld>(spec.options.seed,
+                                                       spec.options.world);
+  for (const auto& edit : spec.overlay) {
+    auto& vendor = paper->vendor(edit.product);
+    const auto category = vendor.scheme().byName(edit.category);
+    if (!category)
+      throw std::invalid_argument("snapshot overlay names unknown category '" +
+                                  edit.category + "'");
+    vendor.masterDb().addHost(edit.host, category->id);
+  }
+  return paper;
+}
+
+std::uint64_t WorldSnapshot::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+std::size_t WorldSnapshot::overlaySize() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return overlay_.size();
+}
+
+SnapshotSpec WorldSnapshot::capture() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return SnapshotSpec{name_, base_, overlay_, epoch_};
+}
+
+util::Expected<std::uint64_t> WorldSnapshot::recategorize(
+    Recategorization edit) {
+  using Result = util::Expected<std::uint64_t>;
+  if (edit.host.empty()) return Result::failure("recategorize: empty host");
+  const auto scheme = filters::schemeFor(edit.product);
+  if (!scheme.byName(edit.category))
+    return Result::failure("recategorize: unknown " +
+                           std::string(filters::toString(edit.product)) +
+                           " category '" + edit.category + "'");
+  std::lock_guard<std::mutex> lock(mutex_);
+  overlay_.push_back(std::move(edit));
+  ++epoch_;
+  return epoch_;
+}
+
+}  // namespace urlf::serve

@@ -1,0 +1,97 @@
+#ifndef URLF_SERVE_SNAPSHOT_H
+#define URLF_SERVE_SNAPSHOT_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "filters/category.h"
+#include "report/json.h"
+#include "scenarios/campaign.h"
+#include "scenarios/paper_world.h"
+#include "util/expected.h"
+
+namespace urlf::serve {
+
+/// One live category-database edit layered on top of a snapshot's base
+/// world: `host` gains `category` (a vendor-scheme category name) in
+/// `product`'s master database. This is how an operator models the vendor
+/// recategorizing a site while the server is resident.
+struct Recategorization {
+  filters::ProductKind product = filters::ProductKind::kSmartFilter;
+  std::string host;
+  std::string category;
+
+  [[nodiscard]] report::Json toJson() const;
+  [[nodiscard]] static std::optional<Recategorization> fromJson(
+      const report::Json& json);
+};
+
+/// Parse a product name as produced by filters::toString. Case-sensitive.
+[[nodiscard]] std::optional<filters::ProductKind> productFromString(
+    std::string_view name);
+
+/// An immutable point-in-time view of a snapshot, captured under the
+/// snapshot lock. Sessions materialize their private world replica from the
+/// spec, so a recategorization that lands after capture() cannot perturb
+/// them — only sessions captured afterwards see the new epoch.
+struct SnapshotSpec {
+  std::string name;
+  scenarios::CampaignOptions options;
+  std::vector<Recategorization> overlay;
+  std::uint64_t epoch = 0;
+
+  /// Scope key for the cross-session verdict store: folds in everything
+  /// that selects the world program — the snapshot name, the full campaign
+  /// config header (seed, world knobs, health, outages), and the epoch.
+  /// Two specs with equal scope keys materialize byte-identical worlds.
+  [[nodiscard]] std::uint64_t scopeKey() const;
+
+  [[nodiscard]] report::Json overlayJson() const;
+  [[nodiscard]] static util::Expected<std::vector<Recategorization>>
+  overlayFromJson(const report::Json& json);
+
+  /// Build a fresh deterministic world replica: base PaperWorld from
+  /// (options.seed, options.world), then the overlay applied in order.
+  /// Campaign-level concerns (outage plans, health) are applied by
+  /// runPaperCampaign, not here.
+  [[nodiscard]] static std::unique_ptr<scenarios::PaperWorld> materialize(
+      const SnapshotSpec& spec);
+};
+
+/// A named, shared, mutable world snapshot held by the campaign server.
+/// Reads (capture) and writes (recategorize) are serialized by an internal
+/// mutex; the epoch counts recategorizations and retires the verdict-store
+/// scope of every prior generation.
+class WorldSnapshot {
+ public:
+  WorldSnapshot(std::string name, scenarios::CampaignOptions base)
+      : name_(std::move(name)), base_(std::move(base)) {}
+
+  WorldSnapshot(const WorldSnapshot&) = delete;
+  WorldSnapshot& operator=(const WorldSnapshot&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t epoch() const;
+  [[nodiscard]] std::size_t overlaySize() const;
+  [[nodiscard]] SnapshotSpec capture() const;
+
+  /// Validate against the product's category scheme, append to the overlay,
+  /// and bump the epoch. Returns the new epoch, or the validation error.
+  [[nodiscard]] util::Expected<std::uint64_t> recategorize(
+      Recategorization edit);
+
+ private:
+  mutable std::mutex mutex_;
+  std::string name_;
+  scenarios::CampaignOptions base_;
+  std::vector<Recategorization> overlay_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace urlf::serve
+
+#endif  // URLF_SERVE_SNAPSHOT_H

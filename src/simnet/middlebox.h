@@ -78,6 +78,13 @@ class Middlebox {
   /// (license overload, §4.4) must return false so callers neither memoize
   /// their verdicts nor skip replays that would consume RNG draws.
   [[nodiscard]] virtual bool deterministicIntercept() const { return true; }
+
+  /// True when intercept() mutates state beyond its own statistics — e.g.
+  /// queueing uncategorized URLs for vendor categorization (§4.4). A
+  /// cross-session verdict store (measure::SharedVerdictStore) must never
+  /// skip a fetch through such a box: the skipped world would miss the
+  /// mutation the solo run performed. Pure classifiers keep the default.
+  [[nodiscard]] virtual bool interceptHasSideEffects() const { return false; }
 };
 
 }  // namespace urlf::simnet

@@ -1,0 +1,242 @@
+// Epoch-based invalidation and verdict-store hygiene for the resident
+// campaign server (DESIGN.md §4.6). A category-DB recategorization while the
+// server is live must (a) flip verdicts for sessions that start AFTER the
+// edit, (b) leave sessions that captured BEFORE the edit byte-identical, and
+// (c) never let the shared verdict store leak a verdict across vantages or
+// across epochs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "http/message.h"
+#include "report/json.h"
+#include "scenarios/campaign.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+
+namespace {
+
+using namespace urlf;
+using report::Json;
+
+// humanrightsmonitor.org carries ONLY a Netsweeper categorization in the
+// seeded world, so Bayanat Al-Oula (Saudi SmartFilter blocking only
+// "Pornography") lets it through — until the vendor recategorizes it.
+constexpr const char* kFlipHost = "humanrightsmonitor.org";
+constexpr const char* kFlipUrl = "http://humanrightsmonitor.org/";
+// mediafreedomwatch.org is SmartFilter "General News": blocked on Etisalat
+// (blocks id 8), accessible on Bayanat (blocks only id 1).
+constexpr const char* kSplitUrl = "http://mediafreedomwatch.org/";
+constexpr const char* kDate = "2013-05-06";
+
+http::Request post(const std::string& path, const Json& body) {
+  http::Request request;
+  request.method = "POST";
+  request.url = *net::Url::parse("http://campaigns.sim" + path);
+  request.headers.set("Content-Type", "application/json");
+  request.body = body.dump();
+  return request;
+}
+
+http::Request get(const std::string& path) {
+  http::Request request;
+  request.method = "GET";
+  request.url = *net::Url::parse("http://campaigns.sim" + path);
+  return request;
+}
+
+Json queryBody(const std::string& vantage, const std::string& url) {
+  Json body = Json::object();
+  body["kind"] = Json::string("query");
+  body["snapshot"] = Json::string("paper");
+  body["vantage"] = Json::string(vantage);
+  body["date"] = Json::string(kDate);
+  Json urls = Json::array();
+  urls.push(Json::string(url));
+  body["urls"] = std::move(urls);
+  return body;
+}
+
+Json recategorizeBody(const std::string& host, const std::string& category) {
+  Json body = Json::object();
+  body["snapshot"] = Json::string("paper");
+  body["product"] = Json::string("McAfee SmartFilter");
+  body["host"] = Json::string(host);
+  body["category"] = Json::string(category);
+  return body;
+}
+
+/// Verdict of the single row in a query response, or "<status NNN>".
+std::string verdictOf(const http::Response& response) {
+  if (response.statusCode != 200)
+    return "<status " + std::to_string(response.statusCode) + ">";
+  const auto body = Json::parse(response.body);
+  if (!body) return "<unparseable>";
+  const auto* results = body->find("results");
+  if (results == nullptr || !results->asArray() || results->asArray()->empty())
+    return "<no rows>";
+  const auto* verdict = (*results->asArray())[0].find("verdict");
+  if (verdict == nullptr || !verdict->asString()) return "<no verdict>";
+  return *verdict->asString();
+}
+
+double numberField(const http::Response& response, const std::string& field) {
+  const auto body = Json::parse(response.body);
+  if (!body) return -1;
+  const auto* value = body->find(field);
+  if (value == nullptr || !value->asNumber()) return -1;
+  return *value->asNumber();
+}
+
+TEST(ServeInvalidationTest, RecategorizationFlipsNewSessionsOnly) {
+  serve::CampaignServer server({.workers = 2});
+  server.addSnapshot("paper");
+
+  // Pre-edit: accessible from Bayanat, and the verdict lands in the shared
+  // store under the epoch-0 scope.
+  const auto before =
+      server.handle(post("/v1/session", queryBody("field-bayanat", kFlipUrl)));
+  ASSERT_EQ(before.statusCode, 200) << before.body;
+  EXPECT_EQ(verdictOf(before), "accessible");
+  EXPECT_EQ(numberField(before, "epoch"), 0);
+  ASSERT_GT(server.stats().memo.inserts, 0u);
+
+  // An in-flight session captures its spec now, before the edit lands.
+  auto* snapshot = server.findSnapshot("paper");
+  ASSERT_NE(snapshot, nullptr);
+  const serve::SnapshotSpec inFlight = snapshot->capture();
+
+  const auto edit = server.handle(post(
+      "/v1/admin/recategorize", recategorizeBody(kFlipHost, "Pornography")));
+  ASSERT_EQ(edit.statusCode, 200) << edit.body;
+  EXPECT_EQ(numberField(edit, "epoch"), 1);
+
+  // The old generation's verdicts are purged, not just orphaned.
+  EXPECT_GT(server.stats().memo.invalidated, 0u);
+
+  // New sessions capture epoch 1: the verdict flips, attributed to the
+  // SmartFilter install. Had the pre-edit "accessible" leaked across the
+  // epoch boundary, this would still report accessible.
+  const auto after =
+      server.handle(post("/v1/session", queryBody("field-bayanat", kFlipUrl)));
+  ASSERT_EQ(after.statusCode, 200) << after.body;
+  EXPECT_EQ(verdictOf(after), "blocked");
+  EXPECT_EQ(numberField(after, "epoch"), 1);
+
+  // The in-flight session still runs against its pre-edit capture and
+  // reproduces the solo epoch-0 digest exactly.
+  const auto soloDigest =
+      scenarios::runPaperCampaign(scenarios::CampaignOptions{}).digestHex();
+  auto inFlightWorld = serve::SnapshotSpec::materialize(inFlight);
+  const auto inFlightReport = scenarios::runPaperCampaign(
+      *inFlightWorld, inFlight.options, scenarios::CampaignRunContext{});
+  EXPECT_EQ(inFlightReport.digestHex(), soloDigest);
+
+  // A campaign session started after the edit sees the new database: its
+  // digest matches a direct run over the post-edit spec, and differs from
+  // the epoch-0 digest (the recategorized host changes Table 4 rows).
+  const serve::SnapshotSpec postEdit = snapshot->capture();
+  auto postEditWorld = serve::SnapshotSpec::materialize(postEdit);
+  const auto postEditReport = scenarios::runPaperCampaign(
+      *postEditWorld, postEdit.options, scenarios::CampaignRunContext{});
+  Json campaign = Json::object();
+  campaign["kind"] = Json::string("campaign");
+  campaign["snapshot"] = Json::string("paper");
+  const auto session = server.handle(post("/v1/session", campaign));
+  ASSERT_EQ(session.statusCode, 200) << session.body;
+  const auto sessionBody = Json::parse(session.body);
+  ASSERT_TRUE(sessionBody.has_value());
+  const auto* digest = sessionBody->find("digest");
+  ASSERT_NE(digest, nullptr);
+  EXPECT_EQ(*digest->asString(), postEditReport.digestHex());
+  EXPECT_NE(*digest->asString(), soloDigest);
+
+  // /v1/snapshots reports the bumped epoch and overlay depth.
+  const auto listing = server.handle(get("/v1/snapshots"));
+  ASSERT_EQ(listing.statusCode, 200);
+  const auto listingBody = Json::parse(listing.body);
+  ASSERT_TRUE(listingBody.has_value());
+  const auto* snapshots = listingBody->find("snapshots");
+  ASSERT_NE(snapshots, nullptr);
+  ASSERT_TRUE(snapshots->asArray());
+  ASSERT_EQ(snapshots->asArray()->size(), 1u);
+  const auto& entry = (*snapshots->asArray())[0];
+  EXPECT_EQ(*entry.find("epoch")->asNumber(), 1);
+  EXPECT_EQ(*entry.find("overlay")->asNumber(), 1);
+}
+
+TEST(ServeInvalidationTest, SharedStoreNeverLeaksAcrossVantages) {
+  serve::CampaignServer server({.workers = 2, .shareVerdicts = true});
+  server.addSnapshot("paper");
+
+  // Etisalat blocks the SmartFilter "General News" site; its verdict is
+  // inserted into the shared store first.
+  const auto etisalat = server.handle(
+      post("/v1/session", queryBody("field-etisalat", kSplitUrl)));
+  ASSERT_EQ(etisalat.statusCode, 200) << etisalat.body;
+  EXPECT_EQ(verdictOf(etisalat), "blocked");
+
+  // Bayanat then queries the SAME url in the SAME scope and epoch. The
+  // store key carries the field vantage, so the Etisalat verdict must not
+  // surface here.
+  const auto bayanat = server.handle(
+      post("/v1/session", queryBody("field-bayanat", kSplitUrl)));
+  ASSERT_EQ(bayanat.statusCode, 200) << bayanat.body;
+  EXPECT_EQ(verdictOf(bayanat), "accessible");
+
+  // And the converse refresh: Etisalat again, now served from the store.
+  const auto again = server.handle(
+      post("/v1/session", queryBody("field-etisalat", kSplitUrl)));
+  ASSERT_EQ(again.statusCode, 200);
+  EXPECT_EQ(verdictOf(again), "blocked");
+  EXPECT_GT(numberField(again, "shared_hits"), 0);
+}
+
+TEST(ServeInvalidationTest, RepeatQueriesReuseStoreAndPooledWorlds) {
+  serve::CampaignServer server({.workers = 2});
+  server.addSnapshot("paper");
+
+  const auto first =
+      server.handle(post("/v1/session", queryBody("field-bayanat", kSplitUrl)));
+  ASSERT_EQ(first.statusCode, 200);
+  EXPECT_EQ(numberField(first, "shared_hits"), 0);
+  EXPECT_EQ(server.stats().pooledWorlds, 1u);
+
+  const auto second =
+      server.handle(post("/v1/session", queryBody("field-bayanat", kSplitUrl)));
+  ASSERT_EQ(second.statusCode, 200);
+  EXPECT_GT(numberField(second, "shared_hits"), 0);
+
+  // Same scope, same date, same urls: the digests must agree whether the
+  // verdicts came from fetches or the shared store.
+  const auto firstBody = Json::parse(first.body);
+  const auto secondBody = Json::parse(second.body);
+  ASSERT_TRUE(firstBody.has_value() && secondBody.has_value());
+  EXPECT_EQ(*firstBody->find("digest")->asString(),
+            *secondBody->find("digest")->asString());
+}
+
+TEST(ServeInvalidationTest, RecategorizeValidation) {
+  serve::CampaignServer server({.workers = 1});
+  server.addSnapshot("paper");
+
+  // Unknown category name for the product's scheme.
+  auto bad = recategorizeBody(kFlipHost, "No Such Category");
+  EXPECT_EQ(server.handle(post("/v1/admin/recategorize", bad)).statusCode, 400);
+
+  // Unknown product.
+  bad = recategorizeBody(kFlipHost, "Pornography");
+  bad["product"] = Json::string("NotAVendor");
+  EXPECT_EQ(server.handle(post("/v1/admin/recategorize", bad)).statusCode, 400);
+
+  // Unknown snapshot.
+  bad = recategorizeBody(kFlipHost, "Pornography");
+  bad["snapshot"] = Json::string("nope");
+  EXPECT_EQ(server.handle(post("/v1/admin/recategorize", bad)).statusCode, 404);
+
+  // Nothing above may have bumped the epoch.
+  EXPECT_EQ(server.findSnapshot("paper")->epoch(), 0u);
+}
+
+}  // namespace

@@ -29,6 +29,8 @@
 #include "scan/serialize.h"
 #include "scenarios/campaign.h"
 #include "scenarios/paper_world.h"
+#include "serve/loop.h"
+#include "serve/server.h"
 
 namespace {
 
@@ -74,7 +76,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: urlfsim <identify|confirm|characterize|probe|scout|proxy-detect"
-      "|profile|record|export-scan|campaign> [options]\n"
+      "|profile|record|export-scan|campaign|serve> [options]\n"
       "       urlfsim diff <baseline.json> <current.json>\n"
       "       urlfsim reanalyze <session.json> [--mine]\n"
       "  --seed N            world seed (default %llu)\n"
@@ -641,6 +643,123 @@ int runExportScan(const Options& options) {
   return 0;
 }
 
+int runServe(const Options& options) {
+  // Resident campaign server demo (DESIGN.md §4.6): spin up the server and
+  // its event loop, then drive it the way tenants would — two concurrent
+  // campaigns over the wire format, queries before and after a live
+  // recategorization — and finish with the server's own status report.
+  // Exits 1 if any session misbehaves or a digest disagrees with solo.
+  scenarios::CampaignOptions base;
+  base.seed = options.seed;
+  base.world = options.worldOptions;
+  const std::string soloDigest = scenarios::runPaperCampaign(base).digestHex();
+
+  serve::ServerConfig config;
+  config.workers = 4;
+  config.maxQueued = 8;
+  serve::CampaignServer server(config);
+  server.addSnapshot("paper", base);
+  serve::ServerLoop loop(server);
+
+  auto post = [](const std::string& path, const report::Json& body) {
+    http::Request request;
+    request.method = "POST";
+    request.url = *net::Url::parse("http://campaigns.sim" + path);
+    request.body = body.dump();
+    return request;
+  };
+  auto field = [](const http::Response& response, const char* name) {
+    const auto body = report::Json::parse(response.body);
+    if (!body) return std::string("<unparseable>");
+    const auto* value = body->find(name);
+    if (value == nullptr) return std::string("<missing>");
+    if (value->asString()) return *value->asString();
+    return value->dump();
+  };
+
+  report::Json campaign = report::Json::object();
+  campaign["kind"] = report::Json::string("campaign");
+  campaign["snapshot"] = report::Json::string("paper");
+
+  report::Json query = report::Json::object();
+  query["kind"] = report::Json::string("query");
+  query["snapshot"] = report::Json::string("paper");
+  query["vantage"] = report::Json::string("field-bayanat");
+  query["date"] = report::Json::string("2013-05-06");
+  report::Json urls = report::Json::array();
+  urls.push(report::Json::string("http://humanrightsmonitor.org/"));
+  query["urls"] = std::move(urls);
+
+  report::Json edit = report::Json::object();
+  edit["snapshot"] = report::Json::string("paper");
+  edit["product"] = report::Json::string("McAfee SmartFilter");
+  edit["host"] = report::Json::string("humanrightsmonitor.org");
+  edit["category"] = report::Json::string("Pornography");
+
+  // Two tenants race full campaigns while a third runs the cheap query.
+  auto alpha = loop.connect();
+  auto beta = loop.connect();
+  auto gamma = loop.connect();
+  alpha->sendRequest(post("/v1/session", campaign));
+  beta->sendRequest(post("/v1/session", campaign));
+  const auto preEdit = gamma->roundTrip(post("/v1/session", query));
+  const auto fromAlpha = alpha->awaitResponse();
+  const auto fromBeta = beta->awaitResponse();
+
+  bool ok = true;
+  for (const auto* result : {&fromAlpha, &fromBeta}) {
+    if (!result->ok() || result->value().statusCode != 200 ||
+        field(result->value(), "digest") != soloDigest) {
+      std::fprintf(stderr, "urlfsim: campaign session diverged from solo\n");
+      ok = false;
+    }
+  }
+  if (!preEdit.ok() || preEdit.value().statusCode != 200) {
+    std::fprintf(stderr, "urlfsim: query session failed\n");
+    ok = false;
+  }
+
+  // Live recategorization: the verdict flips for sessions that start later.
+  const auto edited = gamma->roundTrip(post("/v1/admin/recategorize", edit));
+  const auto postEdit = gamma->roundTrip(post("/v1/session", query));
+  if (!edited.ok() || edited.value().statusCode != 200 || !postEdit.ok() ||
+      postEdit.value().statusCode != 200) {
+    std::fprintf(stderr, "urlfsim: recategorization round failed\n");
+    ok = false;
+  }
+
+  http::Request status;
+  status.url = *net::Url::parse("http://campaigns.sim/v1/status");
+  const auto statusResponse = gamma->roundTrip(status);
+  loop.stop();
+
+  if (options.json) {
+    report::Json out = report::Json::object();
+    out["solo_digest"] = report::Json::string(soloDigest);
+    out["campaign_digests_equal"] = report::Json::boolean(ok);
+    if (preEdit.ok())
+      out["query_before_edit"] = *report::Json::parse(preEdit.value().body);
+    if (postEdit.ok())
+      out["query_after_edit"] = *report::Json::parse(postEdit.value().body);
+    if (statusResponse.ok())
+      out["status"] = *report::Json::parse(statusResponse.value().body);
+    std::printf("%s\n", out.dump(2).c_str());
+  } else {
+    std::printf("solo digest          %s\n", soloDigest.c_str());
+    std::printf("campaign sessions    2 concurrent, digests %s\n",
+                ok ? "identical" : "DIVERGED");
+    if (preEdit.ok() && postEdit.ok())
+      std::printf("query flip           epoch %s -> epoch %s after "
+                  "recategorization\n",
+                  field(preEdit.value(), "epoch").c_str(),
+                  field(postEdit.value(), "epoch").c_str());
+    if (statusResponse.ok())
+      std::printf("server status        %s\n",
+                  statusResponse.value().body.c_str());
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -666,5 +785,6 @@ int main(int argc, char** argv) {
   if (options->command == "record") return runRecord(*options);
   if (options->command == "export-scan") return runExportScan(*options);
   if (options->command == "campaign") return runCampaign(*options);
+  if (options->command == "serve") return runServe(*options);
   return usage();
 }
