@@ -278,6 +278,76 @@ std::map<ProductKind, std::vector<Installation>> Identifier::identifyAllWith(
   return out;
 }
 
+std::map<ProductKind, std::vector<Installation>> Identifier::identifyAllCached(
+    ValidationCache& cache, const SurfaceEpochFn& surfaceEpoch) const {
+  const auto& products = filters::allProducts();
+
+  std::vector<std::vector<Candidate>> candidates(products.size());
+  for (std::size_t p = 0; p < products.size(); ++p)
+    candidates[p] = locate(products[p]);
+
+  // Dedup across products by surface identity — validation is a pure
+  // function of (ip, port) content in active mode, so the cache key and the
+  // dedup key coincide.
+  std::unordered_map<std::uint64_t, std::size_t> slotOf;
+  std::vector<const Candidate*> distinct;
+  std::vector<std::vector<std::size_t>> slot(products.size());
+  for (std::size_t p = 0; p < products.size(); ++p) {
+    slot[p].resize(candidates[p].size());
+    for (std::size_t i = 0; i < candidates[p].size(); ++i) {
+      const auto& candidate = candidates[p][i];
+      const std::uint64_t key =
+          (std::uint64_t{candidate.ip.value()} << 16) | candidate.port;
+      const auto [it, inserted] = slotOf.emplace(key, distinct.size());
+      if (inserted) distinct.push_back(&candidate);
+      slot[p][i] = it->second;
+    }
+  }
+
+  std::vector<std::vector<fingerprint::Match>> results(distinct.size());
+  std::vector<std::uint64_t> epochs(distinct.size());
+  std::vector<std::size_t> misses;
+  for (std::size_t k = 0; k < distinct.size(); ++k) {
+    const auto& candidate = *distinct[k];
+    epochs[k] = surfaceEpoch(candidate.ip, candidate.port);
+    const auto* entry = cache.find(candidate.ip, candidate.port);
+    if (entry != nullptr && entry->epoch == epochs[k]) {
+      results[k] = entry->matches;
+      cache.tallyHit();
+    } else {
+      misses.push_back(k);
+      cache.tallyMiss();
+    }
+  }
+
+  // Validate the misses in the same chunked wave identifyAll uses; slot
+  // writes are per-index, so output is byte-identical at any thread count.
+  if (config_.threads == 1) {
+    for (const auto k : misses)
+      validateReference(*distinct[k], ValidationMode::kActive, results[k]);
+  } else {
+    util::parallelForChunks(
+        misses.size(),
+        [&](std::size_t begin, std::size_t end) {
+          fingerprint::EvalScratch scratch;
+          for (std::size_t j = begin; j < end; ++j) {
+            const auto k = misses[j];
+            validateLean(*distinct[k], ValidationMode::kActive, scratch,
+                         results[k]);
+          }
+        },
+        config_.threads, 8);
+  }
+  for (const auto k : misses)
+    cache.store(distinct[k]->ip, distinct[k]->port, epochs[k], results[k]);
+
+  std::map<ProductKind, std::vector<Installation>> out;
+  for (std::size_t p = 0; p < products.size(); ++p)
+    out.emplace(products[p], selectInstallations(products[p], candidates[p],
+                                                 results, slot[p]));
+  return out;
+}
+
 std::vector<Installation> Identifier::identify(ProductKind product) const {
   return identifyWith(product, ValidationMode::kActive);
 }

@@ -2,10 +2,12 @@
 #define URLF_CORE_IDENTIFIER_H
 
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "filters/category.h"
@@ -94,6 +96,61 @@ class Identifier {
   /// All four products (Table 1 order).
   [[nodiscard]] std::map<filters::ProductKind, std::vector<Installation>>
   identifyAll() const;
+
+  /// Cross-run cache of active-validation results, keyed by candidate
+  /// surface (ip, port). Sound because active validation is a pure function
+  /// of the surface's current content: an entry may be reused at a later run
+  /// if and only if the caller proves (via the epoch) that the surface
+  /// content is unchanged since the entry was stored. The longitudinal
+  /// monitor derives epochs from its deterministic churn feed.
+  class ValidationCache {
+   public:
+    struct Entry {
+      std::uint64_t epoch = 0;
+      std::vector<fingerprint::Match> matches;
+    };
+
+    [[nodiscard]] const Entry* find(net::Ipv4Addr ip,
+                                    std::uint16_t port) const {
+      const auto it = entries_.find(key(ip, port));
+      return it == entries_.end() ? nullptr : &it->second;
+    }
+    void store(net::Ipv4Addr ip, std::uint16_t port, std::uint64_t epoch,
+               std::vector<fingerprint::Match> matches) {
+      entries_[key(ip, port)] = Entry{epoch, std::move(matches)};
+    }
+    void clear() { entries_.clear(); }
+    [[nodiscard]] std::size_t size() const { return entries_.size(); }
+    [[nodiscard]] std::uint64_t hits() const { return hits_; }
+    [[nodiscard]] std::uint64_t misses() const { return misses_; }
+    void tallyHit() { ++hits_; }
+    void tallyMiss() { ++misses_; }
+
+   private:
+    static std::uint64_t key(net::Ipv4Addr ip, std::uint16_t port) {
+      return (std::uint64_t{ip.value()} << 16) | port;
+    }
+    std::unordered_map<std::uint64_t, Entry> entries_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+  };
+
+  /// The surface-content epoch a cache entry is validated against: any
+  /// monotone value that changes whenever the surface at (ip, port) may have
+  /// changed content.
+  using SurfaceEpochFn =
+      std::function<std::uint64_t(net::Ipv4Addr, std::uint16_t)>;
+
+  /// identifyAll with validation results cached across runs: candidates
+  /// whose cache entry carries the current surface epoch reuse their stored
+  /// matches; the rest are validated (in the same chunked parallel wave as
+  /// identifyAll — byte-identical output at any thread count) and stored.
+  /// Selection and geolocation run exactly as in identifyAll, so the output
+  /// is identical to a fresh identifyAll whenever the epoch function is
+  /// truthful.
+  [[nodiscard]] std::map<filters::ProductKind, std::vector<Installation>>
+  identifyAllCached(ValidationCache& cache,
+                    const SurfaceEpochFn& surfaceEpoch) const;
 
   /// Figure 1 data: product -> set of countries with >= 1 installation.
   [[nodiscard]] static std::map<filters::ProductKind, std::set<std::string>>

@@ -1,32 +1,61 @@
 #include "core/monitor.h"
 
-#include <set>
+#include <algorithm>
 
 namespace urlf::core {
+namespace {
+
+/// Pointers into `run`, IP-ascending, one per distinct IP (first occurrence
+/// in run order wins, matching the identifier's own per-IP dedup).
+std::vector<const Installation*> sortedUniqueByIp(
+    const std::vector<Installation>& run) {
+  std::vector<const Installation*> out;
+  out.reserve(run.size());
+  for (const auto& installation : run) out.push_back(&installation);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Installation* a, const Installation* b) {
+                     return a->ip.value() < b->ip.value();
+                   });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Installation* a, const Installation* b) {
+                          return a->ip.value() == b->ip.value();
+                        }),
+            out.end());
+  return out;
+}
+
+}  // namespace
 
 InstallationDiff diffInstallations(const std::vector<Installation>& baseline,
                                    const std::vector<Installation>& current) {
   InstallationDiff diff;
+  const auto base = sortedUniqueByIp(baseline);
+  const auto now = sortedUniqueByIp(current);
 
-  std::map<std::uint32_t, const Installation*> baselineByIp;
-  for (const auto& installation : baseline)
-    baselineByIp.emplace(installation.ip.value(), &installation);
+  diff.appeared.reserve(now.size());
+  diff.vanished.reserve(base.size());
+  diff.persisted.reserve(std::min(base.size(), now.size()));
 
-  std::set<std::uint32_t> seen;
-  for (const auto& installation : current) {
-    if (!seen.insert(installation.ip.value()).second) continue;
-    const auto it = baselineByIp.find(installation.ip.value());
-    if (it == baselineByIp.end()) {
-      diff.appeared.push_back(installation);
-    } else if (it->second->countryAlpha2 != installation.countryAlpha2) {
-      diff.relocated.emplace_back(*it->second, installation);
+  std::size_t b = 0;
+  std::size_t c = 0;
+  while (b < base.size() && c < now.size()) {
+    const std::uint32_t baseIp = base[b]->ip.value();
+    const std::uint32_t nowIp = now[c]->ip.value();
+    if (baseIp < nowIp) {
+      diff.vanished.push_back(*base[b++]);
+    } else if (nowIp < baseIp) {
+      diff.appeared.push_back(*now[c++]);
     } else {
-      diff.persisted.push_back(installation);
+      if (base[b]->countryAlpha2 != now[c]->countryAlpha2)
+        diff.relocated.emplace_back(base[b], now[c]);
+      else
+        diff.persisted.push_back(now[c]);
+      ++b;
+      ++c;
     }
   }
-  for (const auto& installation : baseline)
-    if (!seen.contains(installation.ip.value()))
-      diff.vanished.push_back(installation);
+  for (; b < base.size(); ++b) diff.vanished.push_back(*base[b]);
+  for (; c < now.size(); ++c) diff.appeared.push_back(*now[c]);
   return diff;
 }
 

@@ -11,6 +11,12 @@ namespace urlf::core {
 /// The longitudinal view the paper motivates ("it is important that we have
 /// techniques for monitoring the use of specific technologies for
 /// censorship", §1): differences between two identification runs.
+///
+/// Every list is IP-ascending. `appeared` and `vanished` carry copies (they
+/// outlive either input run); `persisted` and `relocated` are pointers into
+/// the *caller's* vectors — persisted into `current`, relocated pairs into
+/// (baseline, current) — so diffing two large runs never copies the
+/// installations both runs share.
 struct InstallationDiff {
   /// Present now, absent in the baseline — new deployments (or newly
   /// exposed ones).
@@ -18,18 +24,21 @@ struct InstallationDiff {
   /// Present in the baseline, absent now — decommissioned or newly hidden
   /// (Table 5 evasion #1 shows up here).
   std::vector<Installation> vanished;
-  /// Present in both runs (current observation kept).
-  std::vector<Installation> persisted;
+  /// Present in both runs; pointers into `current` (current observation).
+  std::vector<const Installation*> persisted;
   /// Present in both but geolocated to a different country now (geo DB
-  /// churn or address reassignment). Pairs of (baseline, current).
-  std::vector<std::pair<Installation, Installation>> relocated;
+  /// churn or address reassignment). Pointer pairs (baseline, current).
+  std::vector<std::pair<const Installation*, const Installation*>> relocated;
 
   [[nodiscard]] bool empty() const {
     return appeared.empty() && vanished.empty() && relocated.empty();
   }
 };
 
-/// Diff two identification runs of one product, keyed by installation IP.
+/// Diff two identification runs of one product by installation IP, as a
+/// sorted two-pointer merge. Duplicate IPs within a run collapse to the
+/// first occurrence (the identifier's own dedup rule). The inputs must stay
+/// alive as long as the diff's `persisted`/`relocated` pointers are used.
 [[nodiscard]] InstallationDiff diffInstallations(
     const std::vector<Installation>& baseline,
     const std::vector<Installation>& current);

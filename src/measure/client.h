@@ -145,6 +145,17 @@ class Client {
     return fetchOptions_;
   }
 
+  /// True when a verdict recorded by this client can be replayed later
+  /// without re-fetching, as long as no category DB, policy, or clock-lag
+  /// boundary moved in between: every middlebox on both vantages' paths is
+  /// deterministic (no per-exchange dice) AND side-effect free (no vendor
+  /// queue writes). This is the same gate the shared verdict store applies;
+  /// the longitudinal monitor consults it before reusing cached verdicts
+  /// across ticks.
+  [[nodiscard]] bool cacheableChains() const {
+    return chainsDeterministic() && chainsSideEffectFree();
+  }
+
   /// The pure comparison rule (§4.1): derive the verdict from the two
   /// fetches and the block-page classification. Public so recorded sessions
   /// can be re-classified offline with a different pattern library.

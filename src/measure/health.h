@@ -72,6 +72,21 @@ class VantageHealth {
   }
   [[nodiscard]] std::uint64_t timesOpened() const { return timesOpened_; }
 
+  /// Restore a previously snapshotted breaker verbatim (monitor checkpoint
+  /// resume). The policy stays whatever this instance was constructed with —
+  /// the caller rebuilds the registry from the same options that produced
+  /// the snapshot.
+  void restore(BreakerState state, int consecutiveFailures,
+               util::SimTime openedAt, std::uint64_t allowed,
+               std::uint64_t quarantined, std::uint64_t timesOpened) {
+    state_ = state;
+    consecutiveFailures_ = consecutiveFailures;
+    openedAt_ = openedAt;
+    allowed_ = allowed;
+    quarantined_ = quarantined;
+    timesOpened_ = timesOpened;
+  }
+
   /// Does this outcome count as a hard failure for breaker purposes?
   [[nodiscard]] static bool hardFailure(simnet::FetchOutcome outcome);
   /// Is this outcome ignored by the breaker (no state change at all)?
@@ -103,6 +118,12 @@ class HealthRegistry {
   /// (vantage name, state) for every vantage seen, name-sorted.
   [[nodiscard]] std::vector<std::pair<std::string, BreakerState>> snapshot()
       const;
+
+  /// Full per-vantage breaker records, name-sorted (checkpoint
+  /// serialization; restore with of(name).restore(...)).
+  [[nodiscard]] const std::map<std::string, VantageHealth>& entries() const {
+    return vantages_;
+  }
 
  private:
   BreakerPolicy policy_;

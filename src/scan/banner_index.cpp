@@ -12,10 +12,6 @@
 
 namespace urlf::scan {
 
-namespace {
-
-/// Probe one reachable endpoint the way a banner crawler does: a plain GET /
-/// addressed to the bare IP.
 BannerRecord probeEndpoint(simnet::HttpEndpoint& endpoint, net::Ipv4Addr ip,
                            std::uint16_t port, const geo::GeoDatabase& geo,
                            util::SimTime now, std::size_t bodySnippetLimit) {
@@ -34,9 +30,6 @@ BannerRecord probeEndpoint(simnet::HttpEndpoint& endpoint, net::Ipv4Addr ip,
   return record;
 }
 
-/// probeEndpoint into a reused record: response storage is moved, not
-/// copied, and the body is truncated in place. Field-for-field identical to
-/// probeEndpoint (the title is extracted from the full body first).
 void probeEndpointInto(simnet::HttpEndpoint& endpoint, net::Ipv4Addr ip,
                        std::uint16_t port, const geo::GeoDatabase& geo,
                        util::SimTime now, std::size_t bodySnippetLimit,
@@ -55,6 +48,8 @@ void probeEndpointInto(simnet::HttpEndpoint& endpoint, net::Ipv4Addr ip,
   out.countryAlpha2 = geo.lookup(ip).value_or("");
   out.observedAt = now;
 }
+
+namespace {
 
 void mergeSortedUnique(std::vector<std::uint32_t>& ids) {
   std::sort(ids.begin(), ids.end());

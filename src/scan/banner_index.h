@@ -290,6 +290,24 @@ class ShardedBannerIndex {
   std::string loweredScratch_;
 };
 
+/// Probe one reachable endpoint the way a banner crawler does: a plain GET /
+/// addressed to the bare IP. This is the single probe primitive every crawl
+/// flavour (eager, streamed, incremental) shares, so their records are
+/// field-for-field identical for the same endpoint state.
+[[nodiscard]] BannerRecord probeEndpoint(simnet::HttpEndpoint& endpoint,
+                                         net::Ipv4Addr ip, std::uint16_t port,
+                                         const geo::GeoDatabase& geo,
+                                         util::SimTime now,
+                                         std::size_t bodySnippetLimit);
+
+/// probeEndpoint into a reused record: response storage is moved, not
+/// copied, and the body is truncated in place. Field-for-field identical to
+/// probeEndpoint (the title is extracted from the full body first).
+void probeEndpointInto(simnet::HttpEndpoint& endpoint, net::Ipv4Addr ip,
+                       std::uint16_t port, const geo::GeoDatabase& geo,
+                       util::SimTime now, std::size_t bodySnippetLimit,
+                       BannerRecord& out);
+
 /// Options for crawlStream.
 struct StreamCrawlOptions {
   std::size_t bodySnippetLimit = 2048;

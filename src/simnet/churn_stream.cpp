@@ -1,0 +1,113 @@
+#include "simnet/churn_stream.h"
+
+#include <cstddef>
+
+#include "util/hash.h"
+
+namespace urlf::simnet {
+
+namespace {
+
+// Rebrand content pools. Deliberately overlapping with the identification
+// keywords (the bait entries) so churn moves hosts in and out of the
+// candidate population, not just in and out of the index.
+constexpr std::string_view kChurnBaits[] = {
+    "proxysg review part 2",
+    "webadmin tutorial refresh",
+    "url blocked faq 2013",
+    "blockpage.cgi archive",
+};
+constexpr std::string_view kChurnTopics[] = {
+    "seasonal recipes",
+    "city marathon results",
+    "open data portal",
+    "community radio schedule",
+    "hiking trail conditions",
+    "secondhand bookstore",
+};
+constexpr std::string_view kChurnServers[] = {
+    "nginx/1.4.1",
+    "Apache/2.4.6",
+    "lighttpd/1.4.32",
+    "cherokee/1.2.102",
+};
+
+constexpr std::uint64_t kRebrandSalt = 0x5EBA11D0C0FFEEULL;
+constexpr std::uint64_t kParkSalt = 0x9A12CEDB10C4ADULL;
+
+std::uint64_t churnKey(std::uint64_t seed, std::uint64_t salt,
+                       std::uint64_t id, std::uint64_t tick) {
+  return seed ^ (salt + id * 0x9E3779B97F4A7C15ULL +
+                 tick * 0xD1B54A32D192ED03ULL);
+}
+
+}  // namespace
+
+ChurnHostStream::ChurnHostStream(std::shared_ptr<const WorldStream> base,
+                                 std::uint64_t seed, ChurnConfig config)
+    : base_(std::move(base)), seed_(seed), config_(config) {}
+
+bool ChurnHostStream::rebrandEventAt(std::uint64_t id,
+                                     std::uint64_t tick) const {
+  if (tick == 0 || config_.rebrandRate <= 0.0) return false;
+  return util::keyedUniform01(churnKey(seed_, kRebrandSalt, id, tick)) <
+         config_.rebrandRate;
+}
+
+bool ChurnHostStream::parkedAt(std::uint64_t id, std::uint64_t tick) const {
+  if (tick == 0 || config_.parkRate <= 0.0) return false;
+  return util::keyedUniform01(churnKey(seed_, kParkSalt, id, tick)) <
+         config_.parkRate;
+}
+
+bool ChurnHostStream::dirtyAt(std::uint64_t id, std::uint64_t tick) const {
+  if (tick == 0) return false;
+  if (parkedAt(id, tick) != parkedAt(id, tick - 1)) return true;
+  // While parked the rendered page ignores branding, so a rebrand event only
+  // dirties a host that is actually visible. Unparking re-reveals whatever
+  // branding accumulated, which the park-state flip above already caught.
+  return !parkedAt(id, tick) && rebrandEventAt(id, tick);
+}
+
+std::uint64_t ChurnHostStream::lastRebrandTick(std::uint64_t id,
+                                               std::uint64_t tick) const {
+  for (std::uint64_t t = tick; t >= 1; --t)
+    if (rebrandEventAt(id, t)) return t;
+  return 0;
+}
+
+std::uint64_t ChurnHostStream::lastContentChange(std::uint64_t id) const {
+  for (std::uint64_t t = tick_; t >= 1; --t)
+    if (dirtyAt(id, t)) return t;
+  return 0;
+}
+
+StreamedHost ChurnHostStream::host(std::uint64_t id) const {
+  StreamedHost out = base_->host(id);
+  if (parkedAt(id, tick_)) {
+    out.serverHeader = "parking-ns/1.0";
+    out.page.title = "Domain parked - " + out.hostname;
+    out.page.body =
+        "<h1>domain parked</h1><p>" + out.hostname +
+        " is registered and parked. Contact the registrar to acquire it.</p>";
+    return out;
+  }
+  const std::uint64_t rebrand = lastRebrandTick(id, tick_);
+  if (rebrand == 0) return out;
+
+  std::uint64_t key = churnKey(seed_, kRebrandSalt ^ 0xA5A5A5A5ULL, id, rebrand);
+  const std::uint64_t pick = util::splitmix64Next(key);
+  const double baitDraw = util::keyedUniform01(key);
+  out.serverHeader = std::string(kChurnServers[pick % std::size(kChurnServers)]);
+  const bool bait = baitDraw < config_.baitFraction;
+  const auto phrase = bait ? kChurnBaits[(pick >> 8) % std::size(kChurnBaits)]
+                           : kChurnTopics[(pick >> 8) % std::size(kChurnTopics)];
+  out.page.title =
+      "Host " + std::to_string(id) + " - " + std::string(phrase);
+  out.page.body = "<h1>" + std::string(phrase) + "</h1><p>served by " +
+                  out.hostname + " (generation " + std::to_string(rebrand) +
+                  ")</p>";
+  return out;
+}
+
+}  // namespace urlf::simnet

@@ -1,0 +1,94 @@
+#ifndef URLF_SIMNET_CHURN_STREAM_H
+#define URLF_SIMNET_CHURN_STREAM_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simnet/world_stream.h"
+
+namespace urlf::simnet {
+
+/// Per-tick churn rates over a base host stream. All draws are pure keyed
+/// hashes of (seed, host id, tick) — no shared RNG stream — so any host's
+/// state at any tick can be recomputed independently and in any order.
+struct ChurnConfig {
+  /// Per-host per-tick probability of a content redraw (new server header,
+  /// new page phrase, fresh bait roll) — a hosting migration or rebrand.
+  double rebrandRate = 0.0;
+  /// Per-host per-tick probability of serving a registrar parking page
+  /// instead of its content — birth/death churn without address churn.
+  double parkRate = 0.0;
+  /// Bait probability of a rebrand redraw (matches the base stream's
+  /// ProceduralHostConfig::baitFraction so the keyword population stays
+  /// stationary while individual members churn).
+  double baitFraction = 0.01;
+};
+
+/// A deterministic churn overlay over another WorldStream: the monitor's
+/// change feed. `setTick` selects the simulation epoch; `host(id)` then
+/// applies the overlay for that tick on top of the base host. Addresses,
+/// ports, hostnames, countries, and shard layout never change — only the
+/// served content does — so doc-id layout stays stable across ticks and an
+/// incremental index rebuild touches exactly the cells holding dirty hosts.
+///
+/// `dirtyAt(id, tick)` is the change-feed predicate: true when the host's
+/// observable content at `tick` differs from `tick - 1`. It is exact (not an
+/// over-approximation): parked state is a fresh keyed draw per tick and
+/// rebrand events redraw content keyed on the event tick, so content is a
+/// pure function of (seed, id, last rebrand tick, parked-now).
+class ChurnHostStream final : public WorldStream {
+ public:
+  ChurnHostStream(std::shared_ptr<const WorldStream> base, std::uint64_t seed,
+                  ChurnConfig config);
+
+  /// Select the epoch `host()` renders. Ticks start at 0 (= pristine base
+  /// stream; no churn draws apply at tick 0).
+  void setTick(std::uint64_t tick) { tick_ = tick; }
+  [[nodiscard]] std::uint64_t tick() const { return tick_; }
+  [[nodiscard]] const ChurnConfig& config() const { return config_; }
+
+  /// Did a rebrand event fire for this host at exactly `tick`?
+  [[nodiscard]] bool rebrandEventAt(std::uint64_t id, std::uint64_t tick) const;
+  /// Is this host serving the parking page at `tick`?
+  [[nodiscard]] bool parkedAt(std::uint64_t id, std::uint64_t tick) const;
+  /// Did this host's observable content change between tick-1 and tick?
+  [[nodiscard]] bool dirtyAt(std::uint64_t id, std::uint64_t tick) const;
+  /// Largest t <= current tick at which the host's content changed; 0 when
+  /// it has never churned. Monotone per host — the incremental identifier
+  /// uses it as the surface epoch for validation-cache invalidation.
+  [[nodiscard]] std::uint64_t lastContentChange(std::uint64_t id) const;
+
+  // --- WorldStream --------------------------------------------------------
+  [[nodiscard]] std::uint64_t hostCount() const override {
+    return base_->hostCount();
+  }
+  [[nodiscard]] StreamedHost host(std::uint64_t id) const override;
+  [[nodiscard]] std::optional<std::uint64_t> hostAt(
+      net::Ipv4Addr ip, std::uint16_t port) const override {
+    return base_->hostAt(ip, port);
+  }
+  [[nodiscard]] std::vector<HostShard> shards(
+      std::uint64_t targetHostsPerShard) const override {
+    return base_->shards(targetHostsPerShard);
+  }
+  void announceInto(World& world) const override {
+    base_->announceInto(world);
+  }
+
+ private:
+  /// Last rebrand event at or before `tick` (0 = never).
+  [[nodiscard]] std::uint64_t lastRebrandTick(std::uint64_t id,
+                                              std::uint64_t tick) const;
+
+  std::shared_ptr<const WorldStream> base_;
+  std::uint64_t seed_ = 0;
+  ChurnConfig config_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace urlf::simnet
+
+#endif  // URLF_SIMNET_CHURN_STREAM_H

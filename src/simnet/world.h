@@ -110,6 +110,15 @@ class World {
     return ref;
   }
 
+  /// Every middlebox the world owns, in creation order. Exposed so
+  /// cross-cutting drivers (the longitudinal monitor) can enumerate
+  /// deployments — e.g. to normalize policies or compute update-lag bounds —
+  /// without holding references to each one.
+  [[nodiscard]] const std::vector<std::unique_ptr<Middlebox>>& middleboxes()
+      const {
+    return middleboxes_;
+  }
+
   /// Sum of every owned middlebox's stateEpoch(): changes whenever any
   /// mutable filtering input (category databases, frozen snapshots) changes.
   /// Together with the clock this keys verdict memoization — see

@@ -44,7 +44,8 @@ TEST(DiffTest, AppearedVanishedPersisted) {
   ASSERT_EQ(diff.vanished.size(), 1u);
   EXPECT_EQ(diff.vanished[0].ip.toString(), "10.0.0.1");
   ASSERT_EQ(diff.persisted.size(), 1u);
-  EXPECT_EQ(diff.persisted[0].ip.toString(), "10.0.0.2");
+  EXPECT_EQ(diff.persisted[0]->ip.toString(), "10.0.0.2");
+  EXPECT_EQ(diff.persisted[0], &current[0]);  // pointer into `current`
   EXPECT_FALSE(diff.empty());
 }
 
@@ -55,8 +56,8 @@ TEST(DiffTest, RelocationDetected) {
       makeInstallation(ProductKind::kBlueCoat, "10.0.0.1", "LB")};
   const auto diff = diffInstallations(baseline, current);
   ASSERT_EQ(diff.relocated.size(), 1u);
-  EXPECT_EQ(diff.relocated[0].first.countryAlpha2, "SY");
-  EXPECT_EQ(diff.relocated[0].second.countryAlpha2, "LB");
+  EXPECT_EQ(diff.relocated[0].first->countryAlpha2, "SY");
+  EXPECT_EQ(diff.relocated[0].second->countryAlpha2, "LB");
   EXPECT_TRUE(diff.persisted.empty());
   EXPECT_FALSE(diff.empty());
 }
@@ -67,6 +68,26 @@ TEST(DiffTest, IdenticalRunsAreQuiet) {
   const auto diff = diffInstallations(run, run);
   EXPECT_TRUE(diff.empty());
   EXPECT_EQ(diff.persisted.size(), 1u);
+}
+
+TEST(DiffTest, OutputIsIpAscendingAndDeduped) {
+  const std::vector<Installation> baseline{
+      makeInstallation(ProductKind::kNetsweeper, "10.0.0.9", "YE"),
+      makeInstallation(ProductKind::kNetsweeper, "10.0.0.1", "YE"),
+  };
+  const std::vector<Installation> current{
+      makeInstallation(ProductKind::kNetsweeper, "10.0.0.8", "QA"),
+      makeInstallation(ProductKind::kNetsweeper, "10.0.0.2", "AE"),
+      makeInstallation(ProductKind::kNetsweeper, "10.0.0.2", "SA"),
+  };
+  const auto diff = diffInstallations(baseline, current);
+  ASSERT_EQ(diff.appeared.size(), 2u);
+  EXPECT_EQ(diff.appeared[0].ip.toString(), "10.0.0.2");
+  EXPECT_EQ(diff.appeared[0].countryAlpha2, "AE");  // first occurrence wins
+  EXPECT_EQ(diff.appeared[1].ip.toString(), "10.0.0.8");
+  ASSERT_EQ(diff.vanished.size(), 2u);
+  EXPECT_EQ(diff.vanished[0].ip.toString(), "10.0.0.1");
+  EXPECT_EQ(diff.vanished[1].ip.toString(), "10.0.0.9");
 }
 
 TEST(DiffTest, DiffAllCoversProductsInEitherRun) {

@@ -28,6 +28,7 @@
 #include "measure/session.h"
 #include "scan/serialize.h"
 #include "scenarios/campaign.h"
+#include "scenarios/monitor.h"
 #include "scenarios/paper_world.h"
 #include "serve/loop.h"
 #include "serve/server.h"
@@ -55,6 +56,15 @@ struct Options {
   std::optional<int> breakerThreshold;
   scenarios::OutageSpec outages;
 
+  // monitor: longitudinal re-scan/re-test campaign.
+  std::uint64_t monitorHosts = 20000;
+  int monitorTicks = 6;
+  std::int64_t tickHours = 720;
+  scenarios::MonitorMode monitorMode = scenarios::MonitorMode::kIncremental;
+  std::size_t threads = 0;
+  scenarios::MonitorChurn monitorChurn;
+  std::optional<std::string> checkpointPath;
+
   /// Transport options derived from --retries (applied to every fetch the
   /// selected command performs).
   [[nodiscard]] simnet::FetchOptions fetchOptions() const {
@@ -76,7 +86,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: urlfsim <identify|confirm|characterize|probe|scout|proxy-detect"
-      "|profile|record|export-scan|campaign|serve> [options]\n"
+      "|profile|record|export-scan|campaign|monitor|serve> [options]\n"
       "       urlfsim diff <baseline.json> <current.json>\n"
       "       urlfsim reanalyze <session.json> [--mine]\n"
       "  --seed N            world seed (default %llu)\n"
@@ -93,6 +103,16 @@ int usage() {
       "  --journal PATH      campaign: write-ahead journal file\n"
       "  --resume            campaign: resume from --journal (config is\n"
       "                      adopted from the journal header)\n"
+      "                      monitor: resume from --checkpoint\n"
+      "  --hosts N           monitor: streamed background hosts\n"
+      "  --ticks N           monitor: churn ticks after the baseline\n"
+      "  --tick-hours N      monitor: simulated hours per tick\n"
+      "  --mode M            monitor: full|incremental pipeline\n"
+      "  --threads N         monitor: worker threads (0 = auto)\n"
+      "  --rebrand R         monitor: per-host per-tick rebrand rate\n"
+      "  --park R            monitor: per-host per-tick parking rate\n"
+      "  --db-churn N        monitor: vendor DB mutations per tick\n"
+      "  --checkpoint PATH   monitor: snapshot after every tick\n"
       "  --kill V@DATE       campaign: vantage V dies permanently on DATE\n"
       "  --stop-box B@DATE   campaign: middlebox B silently stops on DATE\n"
       "  --rollback F..U@T   campaign: category DBs revert to date T during\n"
@@ -161,6 +181,47 @@ std::optional<Options> parseArgs(int argc, char** argv) {
       const auto value = next();
       if (!value) return std::nullopt;
       options.breakerThreshold = std::stoi(*value);
+    } else if (arg == "--hosts") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      options.monitorHosts = std::stoull(*value);
+    } else if (arg == "--ticks") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      options.monitorTicks = std::stoi(*value);
+    } else if (arg == "--tick-hours") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      options.tickHours = std::stoll(*value);
+    } else if (arg == "--mode") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      if (*value == "full")
+        options.monitorMode = scenarios::MonitorMode::kFull;
+      else if (*value == "incremental")
+        options.monitorMode = scenarios::MonitorMode::kIncremental;
+      else
+        return std::nullopt;
+    } else if (arg == "--threads") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      options.threads = static_cast<std::size_t>(std::stoul(*value));
+    } else if (arg == "--rebrand") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      options.monitorChurn.rebrandRate = std::stod(*value);
+    } else if (arg == "--park") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      options.monitorChurn.parkRate = std::stod(*value);
+    } else if (arg == "--db-churn") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      options.monitorChurn.dbMutationsPerTick = std::stoi(*value);
+    } else if (arg == "--checkpoint") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      options.checkpointPath = *value;
     } else if (arg == "--all") {
       options.all = true;
     } else if (arg == "--portal") {
@@ -404,8 +465,11 @@ int runDiff(const Options& options, const std::string& baselinePath,
                                 whois);
   core::Identifier fromCurrent(paper.world(), currentIndex, engine, geo,
                                whois);
-  const auto diffs = core::diffAll(fromBaseline.identifyAllPassive(),
-                                   fromCurrent.identifyAllPassive());
+  // Keep both runs alive: the diff's persisted/relocated entries are
+  // pointers into them.
+  const auto baselineRun = fromBaseline.identifyAllPassive();
+  const auto currentRun = fromCurrent.identifyAllPassive();
+  const auto diffs = core::diffAll(baselineRun, currentRun);
 
   for (const auto& [product, diff] : diffs) {
     if (diff.empty()) continue;
@@ -418,8 +482,8 @@ int runDiff(const Options& options, const std::string& baselinePath,
                   inst.countryAlpha2.c_str());
     for (const auto& [before, after] : diff.relocated)
       std::printf("  ~ relocated %s (%s -> %s)\n",
-                  after.ip.toString().c_str(), before.countryAlpha2.c_str(),
-                  after.countryAlpha2.c_str());
+                  after->ip.toString().c_str(), before->countryAlpha2.c_str(),
+                  after->countryAlpha2.c_str());
   }
   return 0;
 }
@@ -634,6 +698,86 @@ int runCampaign(const Options& options) {
   return 0;
 }
 
+int runMonitorCommand(const Options& options) {
+  // Longitudinal monitoring (DESIGN.md §4.7): a resident campaign re-runs
+  // scan → identify → re-test each tick, reporting what changed. Fresh runs
+  // execute the baseline plus --ticks churn ticks; --resume picks a
+  // checkpointed campaign back up (config adopted from the checkpoint
+  // header, --ticks further ticks are executed).
+  std::unique_ptr<scenarios::MonitorSession> session;
+  if (options.resume) {
+    if (!options.checkpointPath) {
+      std::fprintf(stderr, "urlfsim: --resume requires --checkpoint PATH\n");
+      return 1;
+    }
+    auto resumed = scenarios::MonitorSession::resume(
+        *options.checkpointPath, options.monitorMode, options.threads);
+    if (!resumed) {
+      std::fprintf(stderr, "urlfsim: %s\n", resumed.error().c_str());
+      return 1;
+    }
+    session = std::move(resumed.value());
+    std::fprintf(stderr, "resuming at tick %d (%s mode)\n", session->tick(),
+                 std::string(toString(options.monitorMode)).c_str());
+  } else {
+    scenarios::MonitorOptions monitor;
+    monitor.seed = options.seed;
+    monitor.world = options.worldOptions;
+    monitor.streamHosts = options.monitorHosts;
+    monitor.ticks = options.monitorTicks;
+    monitor.tickHours = options.tickHours;
+    monitor.churn = options.monitorChurn;
+    monitor.mode = options.monitorMode;
+    monitor.threads = options.threads;
+    if (options.breakerThreshold) {
+      monitor.healthEnabled = true;
+      monitor.breaker.failureThreshold = *options.breakerThreshold;
+    }
+    session = scenarios::MonitorSession::create(monitor);
+  }
+
+  const int firstTick = session->tick() + 1;
+  const int lastTick = options.resume
+                           ? session->tick() + options.monitorTicks
+                           : options.monitorTicks;
+  report::Json ticksJson = report::Json::array();
+  for (int t = firstTick; t <= lastTick; ++t) {
+    const auto tick = session->runTick();
+    if (options.checkpointPath)
+      session->writeCheckpoint(*options.checkpointPath);
+    if (options.json) {
+      ticksJson.push(tick.toJson());
+      continue;
+    }
+    std::printf(
+        "tick %2d (t+%5lldh): +%d -%d ~%d installations, %d verdict "
+        "flip(s), %zu/%zu URLs fetched, %zu/%zu cells rebuilt, digest %s\n",
+        tick.tick, static_cast<long long>(tick.atHours), tick.newlyConfirmed,
+        tick.decommissioned, tick.relocated, tick.verdictFlips,
+        tick.urlsTested, tick.urlsTested + tick.urlsReused, tick.cellsRebuilt,
+        tick.cellCount, tick.digestHex().c_str());
+    for (const auto& note : tick.notes)
+      std::printf("    %s\n", note.c_str());
+  }
+
+  if (options.json) {
+    report::Json out = report::Json::object();
+    out["mode"] =
+        report::Json::string(std::string(toString(options.monitorMode)));
+    out["ticks"] = std::move(ticksJson);
+    out["chain_digest"] = report::Json::string(
+        scenarios::TickReport{.digest = session->chainDigest()}.digestHex());
+    std::printf("%s\n", out.dump(2).c_str());
+  } else {
+    std::printf("chain digest: %016llx\n",
+                static_cast<unsigned long long>(session->chainDigest()));
+    if (options.checkpointPath)
+      std::printf("checkpoint: %s (tick %d)\n",
+                  options.checkpointPath->c_str(), session->tick());
+  }
+  return 0;
+}
+
 int runExportScan(const Options& options) {
   scenarios::PaperWorld paper(options.seed, options.worldOptions);
   const auto geo = paper.world().buildGeoDatabase();
@@ -785,6 +929,7 @@ int main(int argc, char** argv) {
   if (options->command == "record") return runRecord(*options);
   if (options->command == "export-scan") return runExportScan(*options);
   if (options->command == "campaign") return runCampaign(*options);
+  if (options->command == "monitor") return runMonitorCommand(*options);
   if (options->command == "serve") return runServe(*options);
   return usage();
 }
