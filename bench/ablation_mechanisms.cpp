@@ -1,0 +1,261 @@
+// Confusion-matrix ablation for the §4.8 mechanism classifier: fault rate
+// x evidence budget.
+//
+// A dedicated world carries four hosts per ground-truth blocking class —
+// DNS poisoning (NXDOMAIN), stateful TCP RST injection, SNI filtering
+// (HTTPS), null-routing — plus four unfiltered hosts, all behind one field
+// vantage. For each (per-process fault rate, trial budget) cell a fresh
+// world is built and every host classified; the cell reports the full
+// confusion matrix, the mechanism accuracy over censored hosts, the
+// inconclusive rate, and the headline robustness number: how many
+// *unfiltered* hosts were handed a censorship verdict (false censorship).
+// The evidence budget exists so that number is 0 at budget >= 3 for
+// realistic fault rates.
+//
+// Emits BENCH_mechanisms.json. Everything is deterministic: same seed,
+// same matrix.
+//
+// Usage: ablation_mechanisms [--quick] [--out PATH]
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "measure/mechanism.h"
+#include "report/json.h"
+#include "simnet/fault.h"
+#include "simnet/origin_server.h"
+#include "simnet/packet_filter.h"
+#include "simnet/world.h"
+
+namespace {
+
+using namespace urlf;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t kSeed = 20130813;
+constexpr int kHostsPerClass = 4;
+
+double millisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct GroundTruthHost {
+  std::string url;
+  measure::Mechanism truth = measure::Mechanism::kNone;
+};
+
+struct MechanismWorld {
+  std::unique_ptr<simnet::World> world;
+  std::vector<GroundTruthHost> hosts;
+  const simnet::VantagePoint* field = nullptr;
+  const simnet::VantagePoint* lab = nullptr;
+};
+
+MechanismWorld buildWorld(double faultRate) {
+  MechanismWorld out;
+  out.world = std::make_unique<simnet::World>(kSeed);
+  auto& world = *out.world;
+  if (faultRate > 0.0)
+    world.setFaultPlan(simnet::FaultPlan(
+        kSeed ^ 0xFA017FA017ULL, simnet::FaultRates::uniform(faultRate)));
+
+  world.createAs(64500, "TESTNET", "Testland Telecom", "TL",
+                 {net::IpPrefix{net::Ipv4Addr{std::uint32_t{10} << 24}, 16}});
+  auto& isp = world.createIsp("Testland Telecom", "TL", {64500});
+  out.field = &world.createVantage("field-testland", "TL", &isp);
+  out.lab = &world.createVantage("lab-control", "CA", nullptr);
+
+  const auto addSite = [&](const std::string& host, std::uint16_t port) {
+    auto& server = world.makeEndpoint<simnet::OriginServer>(host);
+    simnet::Page page;
+    page.title = host;
+    page.body = "<h1>" + host + "</h1><p>benign content</p>";
+    page.contentLabel = "benign";
+    server.setPage("/", std::move(page));
+    const auto ip = world.allocateAddress(64500);
+    world.bind(ip, port, server, /*externallyVisible=*/true);
+    world.registerHostname(host, ip);
+  };
+
+  auto& poisoner = world.makePacketFilter<simnet::DnsPoisoner>(
+      "tl-dns-poisoner", simnet::DnsTamper::Kind::kNxdomain);
+  std::vector<std::string> rstKeywords;
+  std::vector<std::string> sniHosts;
+  std::vector<std::string> nullHosts;
+
+  for (int i = 0; i < kHostsPerClass; ++i) {
+    const std::string suffix = std::to_string(i) + ".example";
+
+    const std::string dnsHost = "dns" + suffix;
+    addSite(dnsHost, 80);
+    poisoner.poisonZone(dnsHost);
+    out.hosts.push_back(
+        {"http://" + dnsHost + "/", measure::Mechanism::kDnsPoisoning});
+
+    const std::string rstHost = "rst" + suffix;
+    addSite(rstHost, 80);
+    rstKeywords.push_back(rstHost);
+    out.hosts.push_back(
+        {"http://" + rstHost + "/", measure::Mechanism::kTcpInjection});
+
+    const std::string sniHost = "sni" + suffix;
+    addSite(sniHost, 443);
+    sniHosts.push_back(sniHost);
+    out.hosts.push_back(
+        {"https://" + sniHost + "/", measure::Mechanism::kSniFiltering});
+
+    const std::string nullHost = "null" + suffix;
+    addSite(nullHost, 80);
+    nullHosts.push_back(nullHost);
+    out.hosts.push_back(
+        {"http://" + nullHost + "/", measure::Mechanism::kNullRouting});
+
+    const std::string openHost = "open" + suffix;
+    addSite(openHost, 80);
+    out.hosts.push_back(
+        {"http://" + openHost + "/", measure::Mechanism::kNone});
+  }
+
+  auto& injector = world.makePacketFilter<simnet::RstInjector>(
+      "tl-rst-injector", std::move(rstKeywords), /*holdDownHours=*/24);
+  auto& sniFilter = world.makePacketFilter<simnet::SniFilter>(
+      "tl-sni-filter", std::move(sniHosts));
+  auto& blackhole = world.makePacketFilter<simnet::NullRouteFilter>(
+      "tl-null-route", std::move(nullHosts));
+  isp.attachPacketFilter(poisoner);
+  isp.attachPacketFilter(injector);
+  isp.attachPacketFilter(sniFilter);
+  isp.attachPacketFilter(blackhole);
+  return out;
+}
+
+bool isCensorshipVerdict(measure::Mechanism mechanism) {
+  return mechanism != measure::Mechanism::kNone &&
+         mechanism != measure::Mechanism::kInconclusive;
+}
+
+struct CellStats {
+  /// truth name -> verdict name -> count.
+  std::map<std::string, std::map<std::string, int>> confusion;
+  int falseCensorship = 0;   ///< unfiltered hosts given a censorship verdict
+  int inconclusive = 0;
+  int censoredCorrect = 0;   ///< censored hosts with the exact mechanism
+  int censoredTotal = 0;
+  int fetches = 0;
+};
+
+CellStats runCell(double rate, int budget) {
+  auto mw = buildWorld(rate);
+  measure::MechanismOptions options;
+  options.trialBudget = budget;
+  measure::MechanismClassifier classifier(*mw.world, *mw.field, *mw.lab,
+                                          options);
+  CellStats stats;
+  for (const auto& host : mw.hosts) {
+    const auto verdict = classifier.classify(host.url);
+    ++stats.confusion[std::string(toString(host.truth))]
+                     [std::string(toString(verdict.mechanism))];
+    stats.fetches += verdict.trials;
+    if (verdict.mechanism == measure::Mechanism::kInconclusive)
+      ++stats.inconclusive;
+    if (host.truth == measure::Mechanism::kNone) {
+      if (isCensorshipVerdict(verdict.mechanism)) ++stats.falseCensorship;
+    } else {
+      ++stats.censoredTotal;
+      if (verdict.mechanism == host.truth) ++stats.censoredCorrect;
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string outPath = "BENCH_mechanisms.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      outPath = argv[++i];
+  }
+
+  const std::vector<double> rates =
+      quick ? std::vector<double>{0.0, 0.05}
+            : std::vector<double>{0.0, 0.01, 0.05, 0.10};
+  const std::vector<int> budgets =
+      quick ? std::vector<int>{1, 3} : std::vector<int>{1, 3, 5};
+
+  const int totalHosts = kHostsPerClass * 5;
+
+  report::Json out = report::Json::object();
+  out["bench"] = report::Json::string("ablation_mechanisms");
+  out["quick"] = report::Json::boolean(quick);
+  out["seed"] = report::Json::number(static_cast<std::int64_t>(kSeed));
+  out["hosts"] = report::Json::number(std::int64_t{totalHosts});
+  out["hosts_per_class"] =
+      report::Json::number(std::int64_t{kHostsPerClass});
+
+  report::Json cells = report::Json::array();
+  int falseCensorshipAtBudget3 = 0;  // across rates <= 0.05
+
+  for (const int budget : budgets) {
+    for (const double rate : rates) {
+      std::cerr << "ablation_mechanisms: rate " << rate << " budget "
+                << budget << "...\n";
+      const auto start = Clock::now();
+      const auto stats = runCell(rate, budget);
+      const double elapsed = millisSince(start);
+
+      if (budget >= 3 && rate <= 0.05)
+        falseCensorshipAtBudget3 += stats.falseCensorship;
+
+      report::Json cell = report::Json::object();
+      cell["rate"] = report::Json::number(rate);
+      cell["budget"] = report::Json::number(std::int64_t{budget});
+      report::Json confusion = report::Json::object();
+      for (const auto& [truth, verdicts] : stats.confusion) {
+        report::Json row = report::Json::object();
+        for (const auto& [verdict, count] : verdicts)
+          row[verdict] = report::Json::number(std::int64_t{count});
+        confusion[truth] = std::move(row);
+      }
+      cell["confusion"] = std::move(confusion);
+      cell["false_censorship"] =
+          report::Json::number(std::int64_t{stats.falseCensorship});
+      cell["inconclusive_rate"] = report::Json::number(
+          static_cast<double>(stats.inconclusive) / totalHosts);
+      cell["mechanism_accuracy"] = report::Json::number(
+          stats.censoredTotal > 0
+              ? static_cast<double>(stats.censoredCorrect) /
+                    stats.censoredTotal
+              : 1.0);
+      cell["fetches"] = report::Json::number(std::int64_t{stats.fetches});
+      cell["ms"] = report::Json::number(elapsed);
+      cells.push(std::move(cell));
+    }
+  }
+  out["cells"] = std::move(cells);
+  // The headline: summed false-censorship verdicts over every swept cell
+  // with budget >= 3 and rate <= 0.05. The evidence budget's contract is
+  // that this is zero.
+  out["false_censorship_at_budget3"] =
+      report::Json::number(std::int64_t{falseCensorshipAtBudget3});
+
+  const std::string text = out.dump(2);
+  std::ofstream file(outPath);
+  file << text << '\n';
+  std::cout << text << '\n';
+  std::cerr << "ablation_mechanisms: wrote " << outPath << '\n';
+
+  if (falseCensorshipAtBudget3 != 0) {
+    std::cerr << "ablation_mechanisms: FALSE CENSORSHIP at budget >= 3\n";
+    return 1;
+  }
+  return 0;
+}

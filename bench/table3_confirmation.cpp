@@ -31,7 +31,7 @@ int main() {
 
   report::TextTable table({"Product", "Country", "ISP", "Date",
                            "Sites submitted", "Category", "Sites blocked",
-                           "Confirmed?"});
+                           "Confirmed?", "Mechanism"});
 
   // §4.4's alternative validation runs in January 2013, between the 2012 and
   // 2013 case studies.
@@ -59,7 +59,8 @@ int main() {
                   result.dateLabel, result.submittedRatio(),
                   cfg.categoryLabel.empty() ? cfg.categoryName
                                             : cfg.categoryLabel,
-                  result.blockedRatio(), result.confirmed ? "yes" : "no"});
+                  result.blockedRatio(), result.confirmed ? "yes" : "no",
+                  result.dominantMechanism()});
     if (!result.notes.empty())
       std::printf("  note [%s/%s]: %s\n",
                   std::string(filters::toString(cfg.product)).c_str(),

@@ -4,11 +4,16 @@
 // identification (§3), validation (§3.1), and confirmation (§4).
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/confirmer.h"
 #include "core/identifier.h"
 #include "report/table.h"
 #include "scenarios/paper_world.h"
+#include "simnet/origin_server.h"
+#include "simnet/packet_filter.h"
+#include "simnet/transport.h"
+#include "simnet/world.h"
 
 namespace {
 
@@ -73,6 +78,91 @@ StageOutcomes evaluate(const urlf::scenarios::PaperWorldOptions& options,
   return outcomes;
 }
 
+/// Client-side evasion of the packet-level mechanisms (DESIGN.md §4.8):
+/// unlike the vendor tactics above, these are moves the *measured user*
+/// can make against the wire-level blocking the paper's products do not
+/// employ. A tiny purpose-built world keeps the two demonstrations exact.
+void packetEvasionSection() {
+  using namespace urlf;
+
+  simnet::World world(20130813);
+  world.createAs(64500, "TESTNET", "Testland Telecom", "TL",
+                 {net::IpPrefix{net::Ipv4Addr{std::uint32_t{10} << 24}, 16}});
+  auto& isp = world.createIsp("Testland Telecom", "TL", {64500});
+  const auto& field = world.createVantage("field-testland", "TL", &isp);
+
+  const auto addSite = [&](const std::string& host, std::uint16_t port) {
+    auto& server = world.makeEndpoint<simnet::OriginServer>(host);
+    simnet::Page page;
+    page.title = host;
+    server.setPage("*", std::move(page));
+    const auto ip = world.allocateAddress(64500);
+    world.bind(ip, port, server, /*externallyVisible=*/true);
+    world.registerHostname(host, ip);
+  };
+  addSite("tls.example", 443);
+  addSite("forum.example", 80);
+
+  // An SNI filter on the TLS host and a *stateful* keyword injector whose
+  // keyword lives in the URL path, so innocuous paths on the same host are
+  // collateral only while the hold-down is armed.
+  auto& sniFilter = world.makePacketFilter<simnet::SniFilter>(
+      "tl-sni-filter", std::vector<std::string>{"tls.example"});
+  auto& injector = world.makePacketFilter<simnet::RstInjector>(
+      "tl-rst-injector", std::vector<std::string>{"banned-topic"},
+      /*holdDownHours=*/24);
+  isp.attachPacketFilter(sniFilter);
+  isp.attachPacketFilter(injector);
+
+  simnet::Transport transport(world);
+  const auto describe = [](const simnet::FetchResult& result) {
+    return result.ok() ? std::string("accessible")
+                       : "BLOCKED (" +
+                             std::string(simnet::toString(result.signature)) +
+                             ")";
+  };
+
+  std::printf("%s", report::sectionBanner(
+                        "Packet-level mechanisms: client-side evasion")
+                        .c_str());
+  report::TextTable table(
+      {"Mechanism", "Probe", "Without evasion", "Evasion", "With evasion"});
+
+  // Row 1: SNI omission fails the filter open (ESNI/ECH).
+  const auto sniBlocked = transport.fetchUrl(field, "https://tls.example/");
+  simnet::FetchOptions omit;
+  omit.omitSni = true;
+  const auto sniEvaded =
+      transport.fetchUrl(field, "https://tls.example/", omit);
+  table.addRow({"SNI filtering", "https://tls.example/",
+                describe(sniBlocked), "omit SNI from ClientHello",
+                describe(sniEvaded)});
+
+  // Row 2: the stateful injector's hold-down makes innocuous paths on the
+  // destination collateral damage — until the client waits out the window.
+  const auto trigger =
+      transport.fetchUrl(field, "http://forum.example/banned-topic");
+  const auto collateral =
+      transport.fetchUrl(field, "http://forum.example/news");
+  world.clock().advanceHours(injector.holdDownHours() + 1);
+  const auto pastWindow =
+      transport.fetchUrl(field, "http://forum.example/news");
+  table.addRow({"Stateful RST injection",
+                "http://forum.example/banned-topic", describe(trigger),
+                "-", "-"});
+  table.addRow({"  residual hold-down (24h)", "http://forum.example/news",
+                describe(collateral), "retry past the window",
+                describe(pastWindow)});
+  std::printf("%s", table.render().c_str());
+
+  std::printf(
+      "\nThe SNI filter fails open when the ClientHello names no server "
+      "(%llu flows\npassed); the injector's residual state killed %llu "
+      "innocent flows inside the\nwindow and none after it expired.\n",
+      static_cast<unsigned long long>(sniFilter.esniPassed()),
+      static_cast<unsigned long long>(injector.residualKills()));
+}
+
 }  // namespace
 
 int main() {
@@ -133,5 +223,7 @@ int main() {
       "identification but NOT confirmation; stripping branding kills\n"
       "validation and block-page attribution; disregarding submissions kills\n"
       "confirmation but identification still works.\n");
+
+  packetEvasionSection();
   return 0;
 }

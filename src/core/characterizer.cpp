@@ -2,12 +2,22 @@
 
 #include <stdexcept>
 
+#include "measure/mechanism.h"
+
 namespace urlf::core {
 
 bool CharacterizationResult::categoryBlocked(
     const std::string& oniCategory) const {
   const auto it = cells.find(oniCategory);
   return it != cells.end() && it->second.blocked > 0;
+}
+
+std::map<std::string, int> CharacterizationResult::mechanismTally() const {
+  return measure::tallyMechanisms(results);
+}
+
+std::string CharacterizationResult::dominantMechanism() const {
+  return measure::dominantMechanism(mechanismTally());
 }
 
 const std::vector<std::string>& table4Categories() {
@@ -96,6 +106,15 @@ CharacterizationResult Characterizer::characterize(
       e["verdict"] = report::Json::string(toString(result.verdict));
       if (result.provenance != measure::Provenance::kConfirmed)
         e["provenance"] = report::Json::string(toString(result.provenance));
+      // Failed field fetches journal their wire signature and ground-truth
+      // cause, exactly like the confirmer's verdict rows: without the
+      // cause, a resumed campaign could not tell an injected transient
+      // timeout from a packet-filter kill with the same signature.
+      if (result.field.signature != simnet::FailureSignature::kNone)
+        e["signature"] =
+            report::Json::string(simnet::toString(result.field.signature));
+      if (result.field.cause != simnet::FailureCause::kNone)
+        e["cause"] = report::Json::string(simnet::toString(result.field.cause));
       options.journal->sync(e);
     }
     out.results.push_back(std::move(result));

@@ -38,6 +38,11 @@ struct CharacterizationResult {
 
   /// True when any URL of this ONI category was blocked.
   [[nodiscard]] bool categoryBlocked(const std::string& oniCategory) const;
+
+  /// Blocking-mechanism mix across all rows, annotated purely from the
+  /// recorded exchanges (measure::mechanismOf) — reporting only.
+  [[nodiscard]] std::map<std::string, int> mechanismTally() const;
+  [[nodiscard]] std::string dominantMechanism() const;
 };
 
 /// Pipeline knobs for one characterization (fetch→classify fast path).

@@ -6,6 +6,7 @@
 
 #include "filters/netsweeper.h"
 #include "measure/blockpage.h"
+#include "measure/mechanism.h"
 
 namespace urlf::core {
 
@@ -31,6 +32,13 @@ void emitVerdicts(const CampaignContext& ctx, simnet::World& world,
     e["verdict"] = Json::string(toString(r.verdict));
     if (r.provenance != measure::Provenance::kConfirmed)
       e["provenance"] = Json::string(toString(r.provenance));
+    // Failed field fetches journal their wire signature and ground-truth
+    // cause so a resumed campaign can never misattribute an injected
+    // transient to a middlebox (or the other way around).
+    if (r.field.signature != simnet::FailureSignature::kNone)
+      e["signature"] = Json::string(simnet::toString(r.field.signature));
+    if (r.field.cause != simnet::FailureCause::kNone)
+      e["cause"] = Json::string(simnet::toString(r.field.cause));
     ctx.journal->sync(e);
   }
 }
@@ -53,6 +61,14 @@ std::string CaseStudyResult::submittedRatio() const {
 std::string CaseStudyResult::blockedRatio() const {
   return std::to_string(submittedBlocked) + "/" +
          std::to_string(submittedUrls.size());
+}
+
+std::map<std::string, int> CaseStudyResult::mechanismTally() const {
+  return measure::tallyMechanisms(finalResults);
+}
+
+std::string CaseStudyResult::dominantMechanism() const {
+  return measure::dominantMechanism(mechanismTally());
 }
 
 Confirmer::Confirmer(simnet::World& world, simnet::HostingProvider& hosting,

@@ -122,6 +122,13 @@ struct CaseStudyResult {
   /// "5/10"-style strings for Table 3.
   [[nodiscard]] std::string submittedRatio() const;
   [[nodiscard]] std::string blockedRatio() const;
+
+  /// Blocking-mechanism mix across the final retest rows, annotated purely
+  /// from the recorded exchanges (measure::mechanismOf) — reporting only,
+  /// no extra fetches, so campaign digests cannot move.
+  [[nodiscard]] std::map<std::string, int> mechanismTally() const;
+  /// Dominant non-trivial mechanism for the Table-3 "Mechanism" column.
+  [[nodiscard]] std::string dominantMechanism() const;
 };
 
 /// §4.4's alternative validation: one Netsweeper category-test probe result.

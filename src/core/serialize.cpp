@@ -47,6 +47,15 @@ Json toJson(const CaseStudyResult& result) {
       Json::number(std::int64_t{result.attributedToProduct});
   out["confirmed"] = Json::boolean(result.confirmed);
   if (!result.notes.empty()) out["notes"] = Json::string(result.notes);
+  // Mechanism columns are pure annotations of already-recorded rows — they
+  // add no fetches and cannot perturb campaign digests.
+  out["mechanism"] = Json::string(result.dominantMechanism());
+  if (const auto tally = result.mechanismTally(); !tally.empty()) {
+    Json mechanisms = Json::object();
+    for (const auto& [name, count] : tally)
+      mechanisms[name] = Json::number(std::int64_t{count});
+    out["mechanisms"] = std::move(mechanisms);
+  }
 
   Json submitted = Json::array();
   for (const auto& url : result.submittedUrls) submitted.push(Json::string(url));
@@ -75,6 +84,7 @@ Json toJson(const CharacterizationResult& result) {
     cells[category] = std::move(entry);
   }
   out["categories"] = std::move(cells);
+  out["mechanism"] = Json::string(result.dominantMechanism());
   return out;
 }
 

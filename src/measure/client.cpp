@@ -72,6 +72,8 @@ bool Client::chainsDeterministic() const {
     if (vantage->isp == nullptr) continue;  // lab: no chain
     for (const auto* box : vantage->isp->chain())
       if (!box->deterministicIntercept()) return false;
+    for (const auto* filter : vantage->isp->packetChain())
+      if (!filter->deterministicDecision()) return false;
   }
   return true;
 }
@@ -81,6 +83,11 @@ bool Client::chainsSideEffectFree() const {
     if (vantage->isp == nullptr) continue;  // lab: no chain
     for (const auto* box : vantage->isp->chain())
       if (box->interceptHasSideEffects()) return false;
+    // A stateful injector arms hold-down state on a kill; skipping its
+    // fetch would skip the arm (flow-table epoch moves gate the memo, but
+    // a replay path must not miss the mutation itself).
+    for (const auto* filter : vantage->isp->packetChain())
+      if (filter->decisionHasSideEffects()) return false;
   }
   return true;
 }

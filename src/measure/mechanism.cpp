@@ -1,0 +1,463 @@
+#include "measure/mechanism.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "net/url.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+
+namespace urlf::measure {
+
+using simnet::FailureSignature;
+using simnet::FetchOutcome;
+using simnet::FetchResult;
+
+std::string_view toString(Mechanism mechanism) {
+  switch (mechanism) {
+    case Mechanism::kNone: return "none";
+    case Mechanism::kHttpBlockPage: return "http-block-page";
+    case Mechanism::kDnsPoisoning: return "dns-poisoning";
+    case Mechanism::kTcpInjection: return "tcp-injection";
+    case Mechanism::kSniFiltering: return "sni-filtering";
+    case Mechanism::kNullRouting: return "null-routing";
+    case Mechanism::kInconclusive: return "inconclusive";
+  }
+  return "unknown";
+}
+
+report::Json toJson(const MechanismVerdict& verdict) {
+  report::Json out = report::Json::object();
+  out["url"] = report::Json::string(verdict.url);
+  out["mechanism"] = report::Json::string(toString(verdict.mechanism));
+  out["confidence"] = report::Json::number(verdict.confidence);
+  out["trials"] = report::Json::number(std::int64_t{verdict.trials});
+  if (verdict.signature != FailureSignature::kNone)
+    out["signature"] = report::Json::string(simnet::toString(verdict.signature));
+  if (verdict.residualObserved)
+    out["residual_observed"] = report::Json::boolean(true);
+  if (verdict.esniBypassed) out["esni_bypassed"] = report::Json::boolean(true);
+  if (verdict.provenance != Provenance::kConfirmed)
+    out["provenance"] = report::Json::string(toString(verdict.provenance));
+  if (!verdict.notes.empty()) out["notes"] = report::Json::string(verdict.notes);
+  return out;
+}
+
+std::string toLine(const MechanismVerdict& verdict) {
+  char confidence[16];
+  std::snprintf(confidence, sizeof confidence, "%.2f", verdict.confidence);
+  std::string line = verdict.url;
+  line += '|';
+  line += toString(verdict.mechanism);
+  line += '|';
+  line += confidence;
+  line += '|';
+  line += std::to_string(verdict.trials);
+  line += '|';
+  line += simnet::toString(verdict.signature);
+  line += '|';
+  line += verdict.residualObserved ? "residual" : "-";
+  line += '|';
+  line += verdict.esniBypassed ? "esni-open" : "-";
+  line += '|';
+  line += toString(verdict.provenance);
+  return line;
+}
+
+namespace {
+
+bool bodiesMatch(const FetchResult& field, const FetchResult& lab) {
+  return field.ok() && lab.ok() &&
+         field.response->statusCode == lab.response->statusCode &&
+         field.response->body == lab.response->body;
+}
+
+std::string hostOf(const std::string& url) {
+  const auto parsed = net::Url::parse(url);
+  return parsed ? util::toLower(parsed->host()) : std::string{};
+}
+
+bool isHttps(const std::string& url) {
+  return util::startsWith(util::toLower(url), "https:");
+}
+
+}  // namespace
+
+Mechanism mechanismOf(const UrlTestResult& row) {
+  if (row.provenance == Provenance::kDegraded) return Mechanism::kInconclusive;
+  return MechanismClassifier::referenceMechanism(row.field, row.lab,
+                                                 row.blockPage,
+                                                 isHttps(row.url));
+}
+
+std::map<std::string, int> tallyMechanisms(
+    std::span<const UrlTestResult> rows) {
+  std::map<std::string, int> tally;
+  for (const auto& row : rows) ++tally[std::string(toString(mechanismOf(row)))];
+  return tally;
+}
+
+std::string dominantMechanism(const std::map<std::string, int>& tally) {
+  std::string best;
+  int bestCount = 0;
+  for (const auto& [name, count] : tally) {
+    if (name == toString(Mechanism::kNone) ||
+        name == toString(Mechanism::kInconclusive))
+      continue;
+    if (count > bestCount) {
+      best = name;
+      bestCount = count;
+    }
+  }
+  if (!best.empty()) return best;
+  if (tally.contains(std::string(toString(Mechanism::kNone))))
+    return std::string(toString(Mechanism::kNone));
+  if (!tally.empty()) return std::string(toString(Mechanism::kInconclusive));
+  return std::string(toString(Mechanism::kNone));
+}
+
+Mechanism MechanismClassifier::referenceMechanism(
+    const FetchResult& field, const FetchResult& lab,
+    const std::optional<BlockPageMatch>& blockPage, bool https) {
+  if (!lab.ok()) return Mechanism::kInconclusive;
+  if (field.outcome == FetchOutcome::kOk) {
+    if (blockPage) return Mechanism::kHttpBlockPage;
+    if (bodiesMatch(field, lab)) return Mechanism::kNone;
+    return Mechanism::kInconclusive;
+  }
+  switch (field.signature) {
+    case FailureSignature::kEmptyDns: return Mechanism::kDnsPoisoning;
+    case FailureSignature::kRstAfterRequest: return Mechanism::kTcpInjection;
+    case FailureSignature::kRstBeforeBanner:
+      // On TLS a pre-banner kill is what an SNI filter looks like in one
+      // draw; on cleartext it is injector state. One draw cannot tell a
+      // fail-closed TLS injector apart — that is the evidence path's job.
+      return https ? Mechanism::kSniFiltering : Mechanism::kTcpInjection;
+    case FailureSignature::kTimeout: return Mechanism::kNullRouting;
+    case FailureSignature::kRefused:
+    case FailureSignature::kNone:
+      return Mechanism::kInconclusive;
+  }
+  return Mechanism::kInconclusive;
+}
+
+MechanismClassifier::MechanismClassifier(simnet::World& world,
+                                         const simnet::VantagePoint& field,
+                                         const simnet::VantagePoint& lab,
+                                         MechanismOptions options)
+    : world_(&world),
+      transport_(world),
+      field_(&field),
+      lab_(&lab),
+      options_(options) {}
+
+simnet::FetchResult MechanismClassifier::fieldFetch(const std::string& url,
+                                                    int trialIndex,
+                                                    bool omitSni) {
+  simnet::FetchOptions fetchOptions = options_.fetchOptions;
+  fetchOptions.omitSni = fetchOptions.omitSni || omitSni;
+  // Fresh fault draws per trial: draws are pure in (seed, vantage, url,
+  // attempt) and each fetch() restarts its attempt loop at 0, so without
+  // the offset every trial would re-observe trial 0's fault.
+  const int perTrial = std::max(1, options_.fetchOptions.retry.maxAttempts);
+  fetchOptions.attemptBase =
+      options_.fetchOptions.attemptBase + trialIndex * perTrial;
+  return transport_.fetchUrl(*field_, url, fetchOptions);
+}
+
+MechanismEvidence MechanismClassifier::collect(const std::string& url) {
+  MechanismEvidence evidence;
+  evidence.url = url;
+  evidence.https = isHttps(url);
+
+  if (options_.health != nullptr) {
+    switch (options_.health->of(field_->name).decide(world_->now())) {
+      case HealthDecision::kQuarantined:
+        evidence.vantageDegraded = true;
+        return evidence;
+      case HealthDecision::kProbe:
+      case HealthDecision::kProceed:
+        break;
+    }
+  }
+
+  evidence.lab = transport_.fetchUrl(*lab_, url, options_.fetchOptions);
+  if (!evidence.lab.ok()) return evidence;
+
+  const int budget = std::max(
+      1, options_.mode == MechanismMode::kReference ? 1 : options_.trialBudget);
+  int trialIndex = 0;
+  const auto runTrial = [&](bool omitSni) {
+    ++evidence.fetches;
+    return fieldFetch(url, trialIndex++, omitSni);
+  };
+
+  bool succeeded = false;
+  for (int t = 0; t < budget; ++t) {
+    if (t > 0)
+      world_->clock().advanceHours(options_.trialSpacing.backoffHours(t - 1));
+    evidence.fieldTrials.push_back(runTrial(false));
+    if (evidence.fieldTrials.back().outcome == FetchOutcome::kOk) {
+      succeeded = true;
+      break;
+    }
+  }
+
+  // One health observation per URL (like Client::testUrl): the first trial.
+  // Feeding every trial would let a single null-routed URL trip the breaker
+  // by itself, conflating "this URL is blocked" with "the vantage is sick".
+  if (options_.health != nullptr)
+    options_.health->of(field_->name)
+        .recordOutcome(evidence.fieldTrials.front().outcome, world_->now());
+
+  if (succeeded || options_.mode == MechanismMode::kReference) return evidence;
+
+  // Cross-checks are gated on which signature *families* showed up, not on
+  // strict unanimity: a single injected fault must not be able to veto a
+  // decisive, fault-free discriminator.
+  bool sawRstAfter = false, sawRstBefore = false, sawDns = false;
+  bool allTimeout = true;
+  for (const auto& trial : evidence.fieldTrials) {
+    switch (trial.signature) {
+      case FailureSignature::kRstAfterRequest: sawRstAfter = true; break;
+      case FailureSignature::kRstBeforeBanner: sawRstBefore = true; break;
+      case FailureSignature::kEmptyDns:
+      case FailureSignature::kRefused: sawDns = true; break;
+      default: break;
+    }
+    if (trial.signature != FailureSignature::kTimeout) allTimeout = false;
+  }
+
+  if (sawRstAfter) {
+    // Residual-state probe: an immediate refetch. A stateful injector's
+    // hold-down kills it *before* the request this time — the signature
+    // flip is the fingerprint.
+    evidence.residualProbe = runTrial(false);
+  } else if (sawRstBefore && evidence.https) {
+    // ESNI-style probe: re-fetch with the server name omitted from the
+    // hello. An SNI filter fails open; anything else keeps killing.
+    evidence.esniProbe = runTrial(true);
+  } else if (sawDns && !sawRstBefore) {
+    // Out-of-band resolver cross-check: compare what the field path and
+    // the lab path resolve, repeatedly. Transient flaps pass; persistent
+    // forged answers (empty or wrong) do not. resolveFrom rolls no fault
+    // draws, so this discriminator is itself noise-free.
+    const std::string host = hostOf(url);
+    for (int i = 0; i < std::max(1, options_.resolverChecks); ++i) {
+      const auto fieldIp = transport_.resolveFrom(*field_, host);
+      const auto labIp = transport_.resolveFrom(*lab_, host);
+      ++evidence.resolverChecks;
+      if (fieldIp != labIp) ++evidence.resolverMismatches;
+    }
+  } else if (allTimeout) {
+    // A timeout is the one signature with no cross-check, so null-routing
+    // is earned with extra corroborating trials (doubled budget).
+    const int extra = options_.timeoutCorroboration < 0
+                          ? budget
+                          : options_.timeoutCorroboration;
+    for (int t = 0; t < extra; ++t) {
+      world_->clock().advanceHours(
+          options_.trialSpacing.backoffHours(budget - 1 + t));
+      evidence.fieldTrials.push_back(runTrial(false));
+      if (evidence.fieldTrials.back().outcome == FetchOutcome::kOk) break;
+    }
+  }
+  return evidence;
+}
+
+MechanismVerdict MechanismClassifier::derive(
+    const MechanismEvidence& evidence) const {
+  MechanismVerdict verdict;
+  verdict.url = evidence.url;
+  verdict.trials = evidence.fetches;
+
+  if (evidence.vantageDegraded) {
+    verdict.mechanism = Mechanism::kInconclusive;
+    verdict.provenance = Provenance::kDegraded;
+    verdict.notes = "field vantage quarantined; nothing was fetched";
+    return verdict;
+  }
+  if (!evidence.lab.ok()) {
+    verdict.mechanism = Mechanism::kInconclusive;
+    verdict.notes = "lab control failed: the site is down, not censored";
+    return verdict;
+  }
+  if (evidence.fieldTrials.empty()) {
+    verdict.mechanism = Mechanism::kInconclusive;
+    verdict.notes = "no field trials collected";
+    return verdict;
+  }
+
+  // Any successful trial is definitive evidence one way or the other.
+  const auto& last = evidence.fieldTrials.back();
+  if (last.outcome == FetchOutcome::kOk) {
+    const int failuresBefore =
+        static_cast<int>(evidence.fieldTrials.size()) - 1;
+    const auto blockPage = classifyBlockPage(last);
+    if (blockPage) {
+      verdict.mechanism = Mechanism::kHttpBlockPage;
+      verdict.confidence = 1.0;
+      verdict.notes = "block page: " + blockPage->patternName;
+    } else if (bodiesMatch(last, evidence.lab)) {
+      verdict.mechanism = Mechanism::kNone;
+      verdict.confidence = 1.0 / (1 + failuresBefore);
+      if (failuresBefore > 0)
+        verdict.notes = "reachable after " + std::to_string(failuresBefore) +
+                        " transient failure(s)";
+    } else {
+      verdict.mechanism = Mechanism::kInconclusive;
+      verdict.confidence = 0.5;
+      verdict.notes = "reachable but content differs from the lab's view";
+    }
+    return verdict;
+  }
+
+  if (options_.mode == MechanismMode::kReference) {
+    const auto& only = evidence.fieldTrials.front();
+    verdict.mechanism = referenceMechanism(only, evidence.lab,
+                                           classifyBlockPage(only),
+                                           evidence.https);
+    verdict.signature = only.signature;
+    verdict.confidence = 0.5;  // one draw is never more than a guess
+    verdict.notes = "reference single-trial mapping";
+    return verdict;
+  }
+
+  // Family-based derivation. Strict per-trial unanimity would let a single
+  // injected fault veto decisive evidence; instead each family leans on a
+  // discriminator faults cannot touch — resets are never forged by the
+  // substrate, and the resolver cross-check rolls no fault draws. What has
+  // no such discriminator (timeouts, refused-with-truthful-DNS) degrades to
+  // kInconclusive rather than guessing.
+  const int n = static_cast<int>(evidence.fieldTrials.size());
+  int resetCount = 0;
+  bool sawAfter = false, sawBefore = false;
+  bool sawEmptyDns = false, sawRefused = false;
+  bool allTimeout = true;
+  bool allDns = true;
+  for (const auto& trial : evidence.fieldTrials) {
+    switch (trial.signature) {
+      case FailureSignature::kRstAfterRequest:
+        sawAfter = true;
+        ++resetCount;
+        break;
+      case FailureSignature::kRstBeforeBanner:
+        sawBefore = true;
+        ++resetCount;
+        break;
+      case FailureSignature::kEmptyDns: sawEmptyDns = true; break;
+      case FailureSignature::kRefused: sawRefused = true; break;
+      default: break;
+    }
+    if (trial.signature != FailureSignature::kTimeout) allTimeout = false;
+    if (trial.signature != FailureSignature::kEmptyDns &&
+        trial.signature != FailureSignature::kRefused)
+      allDns = false;
+  }
+
+  if (resetCount > 0) {
+    // Any reset is deliberate interference; the only question is which kind.
+    const bool clean = resetCount == n;  // no fault noise mixed in
+    if (evidence.https && !sawAfter) {
+      verdict.signature = FailureSignature::kRstBeforeBanner;
+      if (evidence.esniProbe && evidence.esniProbe->ok()) {
+        verdict.mechanism = Mechanism::kSniFiltering;
+        verdict.esniBypassed = true;
+        verdict.confidence = clean ? 0.95 : 0.85;
+        verdict.notes = "omitting the SNI made the handshake survive";
+      } else {
+        verdict.mechanism = Mechanism::kTcpInjection;
+        verdict.confidence = 0.7;
+        verdict.notes = "TLS flows die with or without SNI";
+      }
+    } else if (sawAfter && sawBefore) {
+      // The trials themselves showed the flip: first flow killed after the
+      // request, later flows killed before a byte — hold-down state.
+      verdict.signature = FailureSignature::kRstAfterRequest;
+      verdict.mechanism = Mechanism::kTcpInjection;
+      verdict.residualObserved = true;
+      verdict.confidence = 0.95;
+      verdict.notes =
+          "later flows died before the banner — stateful injector hold-down";
+    } else if (sawAfter) {
+      verdict.signature = FailureSignature::kRstAfterRequest;
+      verdict.mechanism = Mechanism::kTcpInjection;
+      if (evidence.residualProbe &&
+          evidence.residualProbe->signature ==
+              FailureSignature::kRstBeforeBanner) {
+        verdict.residualObserved = true;
+        verdict.confidence = 0.95;
+        verdict.notes =
+            "residual probe died before the banner — stateful injector";
+      } else {
+        verdict.confidence = clean ? 0.85 : 0.75;
+        verdict.notes = "resets follow the request — stateless injection "
+                        "(packet- or HTTP-layer)";
+      }
+    } else {
+      verdict.signature = FailureSignature::kRstBeforeBanner;
+      verdict.mechanism = Mechanism::kTcpInjection;
+      verdict.residualObserved = true;
+      verdict.confidence = 0.75;
+      verdict.notes =
+          "cleartext flows die before any byte — residual injector state";
+    }
+    return verdict;
+  }
+
+  if (sawEmptyDns || sawRefused) {
+    verdict.signature = sawEmptyDns ? FailureSignature::kEmptyDns
+                                    : FailureSignature::kRefused;
+    if (evidence.resolverChecks > 0 &&
+        evidence.resolverMismatches == evidence.resolverChecks) {
+      verdict.mechanism = Mechanism::kDnsPoisoning;
+      verdict.confidence = !allDns ? 0.85 : sawEmptyDns ? 0.95 : 0.9;
+      verdict.notes = sawEmptyDns
+                          ? "persistent NXDOMAIN while the lab resolves"
+                          : "forged A record: field resolves to a dead "
+                            "sinkhole";
+    } else {
+      // Truthful DNS with failing fetches has no confirmable mechanism
+      // among the modeled four; guessing here is how faults get misread.
+      verdict.mechanism = Mechanism::kInconclusive;
+      verdict.notes =
+          "resolver cross-check agrees with the lab — transient flaps";
+    }
+    return verdict;
+  }
+
+  if (allTimeout) {
+    verdict.signature = FailureSignature::kTimeout;
+    verdict.mechanism = Mechanism::kNullRouting;
+    verdict.confidence = 1.0 - std::pow(0.5, n - 1);
+    verdict.notes = std::to_string(n) + " consecutive timeouts";
+    return verdict;
+  }
+
+  verdict.mechanism = Mechanism::kInconclusive;
+  verdict.notes = "failure signatures disagree across trials — fault noise";
+  return verdict;
+}
+
+MechanismVerdict MechanismClassifier::classify(const std::string& url) {
+  return derive(collect(url));
+}
+
+std::vector<MechanismVerdict> MechanismClassifier::classifyList(
+    std::span<const std::string> urls, std::size_t threadLimit) {
+  // Evidence collection mutates the world (fetches, clock advances, flow
+  // state) and stays strictly serial in list order; derivation is pure and
+  // fans out with slot-per-index writes — byte-identical at any width.
+  std::vector<MechanismEvidence> evidence;
+  evidence.reserve(urls.size());
+  for (const auto& url : urls) evidence.push_back(collect(url));
+
+  std::vector<MechanismVerdict> out(urls.size());
+  util::parallelFor(
+      evidence.size(),
+      [&](std::size_t i) { out[i] = derive(evidence[i]); }, threadLimit);
+  return out;
+}
+
+}  // namespace urlf::measure

@@ -1,0 +1,186 @@
+#ifndef URLF_MEASURE_MECHANISM_H
+#define URLF_MEASURE_MECHANISM_H
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "measure/blockpage.h"
+#include "measure/client.h"
+#include "measure/health.h"
+#include "report/json.h"
+#include "simnet/transport.h"
+#include "simnet/world.h"
+
+namespace urlf::measure {
+
+/// The blocking mechanism behind an inaccessible URL, as recovered from
+/// client-visible evidence alone (DESIGN.md §4.8). kInconclusive is a
+/// first-class verdict, not a failure: when fault noise dominates, refusing
+/// to guess is the robust answer.
+enum class Mechanism {
+  kNone,           ///< no interference observed — the URL is reachable
+  kHttpBlockPage,  ///< an HTTP-layer product answered with a block page
+  kDnsPoisoning,   ///< forged DNS answers (NXDOMAIN or sinkhole)
+  kTcpInjection,   ///< injected TCP RST/FIN kills flows
+  kSniFiltering,   ///< TLS handshakes die when the hello names the server
+  kNullRouting,    ///< the destination is blackholed — flows just time out
+  kInconclusive,   ///< evidence too noisy or contradictory to attribute
+};
+
+[[nodiscard]] std::string_view toString(Mechanism mechanism);
+
+/// Classifier mode. The evidence-budget path is the robust default; the
+/// reference twin maps one field/lab exchange straight to a mechanism and
+/// exists as the equivalence baseline (both agree on fault-free worlds —
+/// property-tested).
+enum class MechanismMode {
+  kReference,  ///< single trial, direct signature -> mechanism mapping
+  kEvidence,   ///< repeated trials + cross-checks, degrades to kInconclusive
+};
+
+struct MechanismOptions {
+  MechanismMode mode = MechanismMode::kEvidence;
+  /// Field trials per URL before cross-checks (>= 1). The confusion-matrix
+  /// ablation (bench/ablation_mechanisms) shows 3 is where false-censorship
+  /// verdicts vanish for realistic fault rates.
+  int trialBudget = 3;
+  /// Simulated-clock spacing between trials: trial t+1 starts
+  /// trialSpacing.backoffHours(t) hours after trial t, exactly like retry
+  /// backoff. maxAttempts is ignored (trialBudget governs).
+  simnet::RetryPolicy trialSpacing;
+  /// Transport options for every trial (redirect limits, per-trial retry,
+  /// SNI behaviour). attemptBase is managed by the classifier: trial t
+  /// rolls fresh fault draws by offsetting the attempt index.
+  simnet::FetchOptions fetchOptions;
+  /// Repeats of the out-of-band resolver cross-check for DNS signatures.
+  int resolverChecks = 2;
+  /// Extra corroborating trials when every trial timed out: a timeout is
+  /// the one signature with no cross-check, so null-routing must be earned
+  /// with a doubled budget before it is attributed.
+  int timeoutCorroboration = -1;  ///< -1 = same as trialBudget
+  /// Campaign-wide circuit breakers (nullptr = no gating). A quarantined
+  /// field vantage yields kInconclusive with Provenance::kDegraded and no
+  /// network activity, reusing the PR-4 breaker path.
+  HealthRegistry* health = nullptr;
+};
+
+/// Everything the classifier gathered for one URL. Collection mutates the
+/// world (fetches, clock advances) and is strictly serial in list order;
+/// verdict derivation from an evidence record is a pure function, so it may
+/// fan out thread-pool-wide without changing a byte.
+struct MechanismEvidence {
+  std::string url;
+  bool vantageDegraded = false;  ///< breaker open — nothing was fetched
+  bool https = false;
+  simnet::FetchResult lab;                      ///< control fetch
+  std::vector<simnet::FetchResult> fieldTrials; ///< budget + corroboration
+  std::optional<simnet::FetchResult> residualProbe;  ///< immediate refetch
+  std::optional<simnet::FetchResult> esniProbe;      ///< omit-SNI refetch
+  int resolverChecks = 0;      ///< out-of-band resolver queries run
+  int resolverMismatches = 0;  ///< field answer differed from the lab's
+  int fetches = 0;             ///< field fetches consumed (trials + probes)
+};
+
+/// The classifier's answer for one URL.
+struct MechanismVerdict {
+  std::string url;
+  Mechanism mechanism = Mechanism::kInconclusive;
+  /// Calibrated-ish weight of evidence in [0, 1], a deterministic function
+  /// of the trial counts — not a probability, but monotone in evidence.
+  double confidence = 0.0;
+  int trials = 0;  ///< field fetches consumed
+  /// Dominant failure signature across trials (kNone when any succeeded).
+  simnet::FailureSignature signature = simnet::FailureSignature::kNone;
+  bool residualObserved = false;  ///< hold-down state confirmed by probe
+  bool esniBypassed = false;      ///< SNI omission made the fetch succeed
+  Provenance provenance = Provenance::kConfirmed;
+  std::string notes;
+};
+
+[[nodiscard]] report::Json toJson(const MechanismVerdict& verdict);
+/// Canonical one-line form for digests ("url|mechanism|conf|trials|sig|...").
+[[nodiscard]] std::string toLine(const MechanismVerdict& verdict);
+
+/// Pure single-row annotation for Table-3/Table-4 reporting: maps an
+/// already-recorded field/lab exchange to a mechanism via the reference
+/// mapping. No fetches, no RNG, no clock — stamping it onto existing
+/// results cannot move a campaign digest. Degraded rows annotate as
+/// kInconclusive.
+[[nodiscard]] Mechanism mechanismOf(const UrlTestResult& row);
+
+/// Tally of mechanismOf over a result set, keyed by toString(Mechanism).
+[[nodiscard]] std::map<std::string, int> tallyMechanisms(
+    std::span<const UrlTestResult> rows);
+
+/// The most frequent mechanism other than kNone/kInconclusive in a tally
+/// ("none" when every row was clean, "inconclusive" when nothing else won).
+[[nodiscard]] std::string dominantMechanism(
+    const std::map<std::string, int>& tally);
+
+/// Turns single-trial failure signatures into robust mechanism verdicts.
+///
+/// The evidence budget (mode kEvidence):
+///  1. Gate on the field vantage's circuit breaker (Provenance::kDegraded).
+///  2. Control fetch from the unfiltered lab vantage — if the lab cannot
+///     reach the site, nothing is attributable.
+///  3. Up to `trialBudget` field trials spaced on the simulated clock, each
+///     rolling fresh fault draws (FetchOptions::attemptBase). Any success
+///     short-circuits: a block page is definitive kHttpBlockPage evidence,
+///     a clean page means kNone.
+///  4. All-failed trials must agree on one signature; mixed signatures mean
+///     fault noise dominates -> kInconclusive.
+///  5. Per-signature cross-checks: empty-DNS -> out-of-band resolver
+///     comparison against the lab; rst-after-request -> immediate residual
+///     probe (a stateful injector's hold-down flips the signature to
+///     rst-before-banner); rst-before-banner on TLS -> omit-SNI probe (an
+///     SNI filter fails open); all-timeout -> extra corroborating trials
+///     before kNullRouting is earned.
+///
+/// Evidence collection is strictly serial in URL-list order (fetches mutate
+/// the world); derivation is pure and parallelizes byte-identically.
+class MechanismClassifier {
+ public:
+  MechanismClassifier(simnet::World& world,
+                      const simnet::VantagePoint& field,
+                      const simnet::VantagePoint& lab,
+                      MechanismOptions options = {});
+
+  [[nodiscard]] MechanismVerdict classify(const std::string& url);
+
+  /// Classify a list: serial evidence collection in list order, then the
+  /// pure derivation stage fanned out under util::parallelFor (threadLimit
+  /// semantics: 1 = serial reference, 0 = shared pool). Output is
+  /// byte-identical at any thread count.
+  [[nodiscard]] std::vector<MechanismVerdict> classifyList(
+      std::span<const std::string> urls, std::size_t threadLimit = 1);
+
+  /// The two halves, exposed for property tests.
+  [[nodiscard]] MechanismEvidence collect(const std::string& url);
+  [[nodiscard]] MechanismVerdict derive(const MechanismEvidence& evidence) const;
+
+  /// The single-exchange reference mapping (mode kReference, and the pure
+  /// annotation Confirmer/Characterizer stamp onto already-recorded rows —
+  /// no extra fetches, so digests cannot move).
+  [[nodiscard]] static Mechanism referenceMechanism(
+      const simnet::FetchResult& field, const simnet::FetchResult& lab,
+      const std::optional<BlockPageMatch>& blockPage, bool https = false);
+
+  [[nodiscard]] const MechanismOptions& options() const { return options_; }
+
+ private:
+  [[nodiscard]] simnet::FetchResult fieldFetch(const std::string& url,
+                                               int trialIndex, bool omitSni);
+
+  simnet::World* world_;
+  simnet::Transport transport_;
+  const simnet::VantagePoint* field_;
+  const simnet::VantagePoint* lab_;
+  MechanismOptions options_;
+};
+
+}  // namespace urlf::measure
+
+#endif  // URLF_MEASURE_MECHANISM_H

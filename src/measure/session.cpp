@@ -29,6 +29,15 @@ Json fetchToJson(const simnet::FetchResult& fetch) {
     out["attempts"] = Json::number(std::int64_t{fetch.attempts});
   if (fetch.injectedFault != simnet::FaultKind::kNone)
     out["injected_fault"] = Json::string(simnet::toString(fetch.injectedFault));
+  // The failure signature and cause ride along whenever they are
+  // non-default. Before the cause existed, a re-imported session could only
+  // tell injected faults apart via `injected_fault` — a middlebox-caused
+  // timeout and an injected one round-tripped identically and resumed
+  // campaigns could misattribute them.
+  if (fetch.signature != simnet::FailureSignature::kNone)
+    out["signature"] = Json::string(simnet::toString(fetch.signature));
+  if (fetch.cause != simnet::FailureCause::kNone)
+    out["cause"] = Json::string(simnet::toString(fetch.cause));
   out["response"] = fetch.response
                         ? Json::string(http::serialize(*fetch.response))
                         : Json::null();
@@ -60,6 +69,23 @@ std::optional<simnet::FetchResult> fetchFromJson(const Json& json) {
                             FK::kTimeout, FK::kOutage}) {
       if (*fault->asString() == simnet::toString(kind))
         fetch.injectedFault = kind;
+    }
+  }
+  if (const auto* signature = json.find("signature");
+      signature && signature->asString()) {
+    using FS = simnet::FailureSignature;
+    for (const auto kind :
+         {FS::kEmptyDns, FS::kRefused, FS::kRstBeforeBanner,
+          FS::kRstAfterRequest, FS::kTimeout}) {
+      if (*signature->asString() == simnet::toString(kind))
+        fetch.signature = kind;
+    }
+  }
+  if (const auto* cause = json.find("cause"); cause && cause->asString()) {
+    using FC = simnet::FailureCause;
+    for (const auto kind : {FC::kOrganic, FC::kFault, FC::kOutage,
+                            FC::kMiddlebox, FC::kPacketFilter}) {
+      if (*cause->asString() == simnet::toString(kind)) fetch.cause = kind;
     }
   }
 

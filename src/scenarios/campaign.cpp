@@ -160,6 +160,9 @@ Json CampaignOptions::headerJson() const {
   worldJson["geo_error_rate"] = Json::number(world.geoErrorRate);
   worldJson["fault_rate"] = Json::number(world.faultRate);
   worldJson["fault_seed"] = u64Json(world.faultSeed);
+  worldJson["packet_mechanisms"] = Json::boolean(world.packetMechanisms);
+  worldJson["rst_hold_down_hours"] =
+      Json::number(std::int64_t{world.rstHoldDownHours});
   out["world"] = std::move(worldJson);
 
   Json healthJson = Json::object();
@@ -209,6 +212,10 @@ util::Expected<CampaignOptions> CampaignOptions::fromHeaderJson(
       options.world.faultRate = *v->asNumber();
     if (const auto seed = u64FromJson(worldJson->find("fault_seed")))
       options.world.faultSeed = *seed;
+    boolean("packet_mechanisms", options.world.packetMechanisms);
+    if (const auto* v = worldJson->find("rst_hold_down_hours");
+        v && v->asNumber())
+      options.world.rstHoldDownHours = static_cast<int>(*v->asNumber());
   }
 
   if (const auto* healthJson = header.find("health");

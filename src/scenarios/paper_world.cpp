@@ -38,6 +38,7 @@ PaperWorld::PaperWorld(std::uint64_t seed, PaperWorldOptions options)
   buildFigure1Installations();
   buildDecoys();
   buildContentSites();
+  buildPacketMechanisms();
   buildCaseStudies();
 }
 
@@ -729,6 +730,55 @@ void PaperWorld::buildContentSites() {
         "democraticchange.org", "yemenpressfreedom.org",
         "yemenhumanrights.org", "yemenreform.org"})
     yemenNetsweeper_->policy().customDb.addHost(host, 66);
+}
+
+void PaperWorld::buildPacketMechanisms() {
+  if (!options_.packetMechanisms) return;
+
+  // YemenNet answers NXDOMAIN for its local political zones before the
+  // query ever reaches a resolver.
+  yemenDnsPoisoner_ = &world_.makePacketFilter<simnet::DnsPoisoner>(
+      "YemenNet DNS poisoner", simnet::DnsTamper::Kind::kNxdomain);
+  yemenDnsPoisoner_->poisonZone("yemenpressfreedom.org");
+  yemenDnsPoisoner_->poisonZone("yemenhumanrights.org");
+  world_.findIsp("YemenNet")->attachPacketFilter(*yemenDnsPoisoner_);
+
+  // Ooredoo injects RSTs on matching requests and keeps killing every flow
+  // to the same destination for a hold-down window (stateful residual
+  // blocking).
+  ooredooRstInjector_ = &world_.makePacketFilter<simnet::RstInjector>(
+      "Ooredoo RST injector",
+      std::vector<std::string>{"qatarlgbtforum.org", "dohacritique.org"},
+      options_.rstHoldDownHours);
+  world_.findIsp("Ooredoo")->attachPacketFilter(*ooredooRstInjector_);
+
+  // Du blackholes the route: flows neither complete nor fail, they time out.
+  duNullRoute_ = &world_.makePacketFilter<simnet::NullRouteFilter>(
+      "Du null-route", std::vector<std::string>{"uaeoppositionvoice.org"});
+  world_.findIsp("Du")->attachPacketFilter(*duNullRoute_);
+
+  // Etisalat kills TLS handshakes whose hello names a filtered server. The
+  // HTTPS origin it acts on only exists in this variant, so default worlds
+  // keep their historical shape (and digests) exactly.
+  {
+    auto& server =
+        world_.makeEndpoint<simnet::OriginServer>("securegulfnews.org");
+    simnet::Page page;
+    page.title = "securegulfnews.org";
+    page.body = "<h1>securegulfnews.org</h1><p>Encrypted Gulf news and "
+                "commentary.</p>";
+    page.contentLabel = "media freedom";
+    server.setPage("/", std::move(page));
+    const auto ip = world_.allocateAddress(15169);
+    world_.bind(ip, 443, server, /*externallyVisible=*/true);
+    world_.registerHostname("securegulfnews.org", ip);
+    auto& list = localLists_["AE"];
+    if (list.name.empty()) list.name = "local-ae";
+    list.entries.push_back({"https://securegulfnews.org/", "Media Freedom"});
+  }
+  etisalatSniFilter_ = &world_.makePacketFilter<simnet::SniFilter>(
+      "Etisalat SNI filter", std::vector<std::string>{"securegulfnews.org"});
+  world_.findIsp("Etisalat")->attachPacketFilter(*etisalatSniFilter_);
 }
 
 void PaperWorld::buildCaseStudies() {

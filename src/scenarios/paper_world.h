@@ -57,6 +57,15 @@ struct PaperWorldOptions {
   double faultRate = 0.0;
   /// Seed of that plan; 0 derives one from the world seed.
   std::uint64_t faultSeed = 0;
+  /// Attach packet-level blocking mechanisms under the HTTP chains
+  /// (DESIGN.md §4.8): YemenNet poisons DNS for its local political zones,
+  /// Ooredoo runs a stateful RST injector, Du null-routes, Etisalat filters
+  /// TLS handshakes by SNI (an extra HTTPS content site appears on the AE
+  /// local list for it to act on). Off by default — historical campaign
+  /// digests must not move.
+  bool packetMechanisms = false;
+  /// Hold-down window (hours) of Ooredoo's stateful injector.
+  int rstHoldDownHours = 24;
 };
 
 /// The fully wired simulated Internet of the paper:
@@ -120,6 +129,19 @@ class PaperWorld {
     return *yemenNetsweeper_;
   }
 
+  /// Packet-level mechanisms (only when options.packetMechanisms is set;
+  /// nullptr otherwise).
+  [[nodiscard]] simnet::DnsPoisoner* yemenDnsPoisoner() {
+    return yemenDnsPoisoner_;
+  }
+  [[nodiscard]] simnet::RstInjector* ooredooRstInjector() {
+    return ooredooRstInjector_;
+  }
+  [[nodiscard]] simnet::NullRouteFilter* duNullRoute() { return duNullRoute_; }
+  [[nodiscard]] simnet::SniFilter* etisalatSniFilter() {
+    return etisalatSniFilter_;
+  }
+
   [[nodiscard]] const PaperWorldOptions& options() const { return options_; }
 
   /// ASN of the hosting provider used for fresh test domains.
@@ -143,6 +165,7 @@ class PaperWorld {
   void buildFigure1Installations();
   void buildDecoys();
   void buildContentSites();
+  void buildPacketMechanisms();
   void buildCaseStudies();
 
   /// Create AS + ISP + one externally surfaced deployment, record ground
@@ -178,6 +201,11 @@ class PaperWorld {
   filters::NetsweeperDeployment* ooredooNetsweeper_ = nullptr;
   filters::NetsweeperDeployment* duNetsweeper_ = nullptr;
   filters::NetsweeperDeployment* yemenNetsweeper_ = nullptr;
+
+  simnet::DnsPoisoner* yemenDnsPoisoner_ = nullptr;
+  simnet::RstInjector* ooredooRstInjector_ = nullptr;
+  simnet::NullRouteFilter* duNullRoute_ = nullptr;
+  simnet::SniFilter* etisalatSniFilter_ = nullptr;
 
   std::vector<GroundTruthInstallation> groundTruth_;
   std::vector<CaseStudy> caseStudies_;

@@ -1,0 +1,45 @@
+#include "simnet/flow.h"
+
+namespace urlf::simnet {
+
+FlowEntry& FlowTable::track(const FlowKey& key, util::SimTime now) {
+  FlowEntry& entry = entries_[key];
+  ++entry.flowsSeen;
+  entry.lastSeen = now;
+  return entry;
+}
+
+void FlowTable::recordKill(const FlowKey& key, util::SimTime now) {
+  FlowEntry& entry = entries_[key];
+  ++entry.kills;
+  if (entry.lastSeen < now) entry.lastSeen = now;
+  ++kills_;
+}
+
+void FlowTable::armResidual(const FlowKey& key, util::SimTime now,
+                            util::SimTime until) {
+  FlowEntry& entry = entries_[key];
+  if (entry.lastSeen < now) entry.lastSeen = now;
+  if (until > entry.residualUntil) {
+    entry.residualUntil = until;
+    ++epoch_;
+  }
+}
+
+bool FlowTable::residualActive(const FlowKey& key, util::SimTime now) const {
+  const FlowEntry* entry = find(key);
+  return entry != nullptr && now < entry->residualUntil;
+}
+
+const FlowEntry* FlowTable::find(const FlowKey& key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void FlowTable::clear() {
+  entries_.clear();
+  // The epoch survives clear(): dropping armed state changes decisions too.
+  ++epoch_;
+}
+
+}  // namespace urlf::simnet

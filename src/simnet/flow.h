@@ -1,0 +1,84 @@
+#ifndef URLF_SIMNET_FLOW_H
+#define URLF_SIMNET_FLOW_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "util/clock.h"
+
+namespace urlf::simnet {
+
+/// Identity of one client flow as an on-path packet-level device sees it:
+/// who is talking (the vantage), to which destination host, on which port.
+/// The destination is tracked by name rather than address — every injector
+/// model here keys its policy on the hostname it extracted from the DNS
+/// query, the SNI, or the cleartext Host header, and names survive
+/// re-resolution while addresses do not.
+struct FlowKey {
+  std::string vantage;  ///< VantagePoint::name
+  std::string dstHost;  ///< lowercased destination hostname
+  std::uint16_t port = 80;
+
+  auto operator<=>(const FlowKey&) const = default;
+};
+
+/// Conntrack state for one flow key. `residualUntil` implements the
+/// stateful-injector signature: once an injector kills a flow it may keep
+/// killing *every* subsequent flow to the same destination until the
+/// hold-down expires — the fingerprint "Where The Light Gets In" uses to
+/// distinguish stateful injectors from stateless ones.
+struct FlowEntry {
+  std::uint64_t flowsSeen = 0;       ///< flows tracked under this key
+  std::uint64_t kills = 0;           ///< flows a filter terminated
+  util::SimTime lastSeen{};          ///< most recent flow start
+  util::SimTime residualUntil{-1};   ///< hold-down expiry; < lastSeen = off
+};
+
+/// The flow table an ISP's packet-level filters share: a deterministic
+/// conntrack in the idiom of the netfilter exemplar's conntrack/queue/
+/// urlfilter split. The table is the *only* mutable state the packet layer
+/// owns, and every mutation that can change a later filtering decision
+/// (arming or refreshing a residual hold-down) bumps `stateEpoch()`, which
+/// the world folds into its middlebox state epoch so verdict memoization
+/// can never replay across a residual-state change. Pure bookkeeping
+/// (flow/kill counters) is deliberately excluded from the epoch: it never
+/// alters a decision, and including it would invalidate the memo on every
+/// fetch through a packet chain.
+class FlowTable {
+ public:
+  /// Record a flow start under `key` (bookkeeping only; epoch unchanged).
+  FlowEntry& track(const FlowKey& key, util::SimTime now);
+
+  /// Record that a filter terminated a flow under `key`.
+  void recordKill(const FlowKey& key, util::SimTime now);
+
+  /// Arm (or extend) the residual hold-down for `key`. Bumps the epoch when
+  /// it actually extends the window.
+  void armResidual(const FlowKey& key, util::SimTime now,
+                   util::SimTime until);
+
+  /// True while the hold-down window armed for `key` covers `now`.
+  [[nodiscard]] bool residualActive(const FlowKey& key,
+                                    util::SimTime now) const;
+
+  [[nodiscard]] const FlowEntry* find(const FlowKey& key) const;
+
+  /// Monotone counter over decision-relevant mutations (residual arms).
+  [[nodiscard]] std::uint64_t stateEpoch() const { return epoch_; }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t totalKills() const { return kills_; }
+
+  void clear();
+
+ private:
+  std::map<FlowKey, FlowEntry> entries_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t kills_ = 0;
+};
+
+}  // namespace urlf::simnet
+
+#endif  // URLF_SIMNET_FLOW_H

@@ -9,6 +9,7 @@
 
 #include "net/ipv4.h"
 #include "simnet/middlebox.h"
+#include "simnet/packet_filter.h"
 
 namespace urlf::simnet {
 
@@ -33,6 +34,18 @@ class Isp {
   void attachMiddlebox(Middlebox& box) { chain_.push_back(&box); }
 
   [[nodiscard]] const std::vector<Middlebox*>& chain() const { return chain_; }
+
+  /// Append a packet-level filter to the wire chain (non-owning; the World
+  /// owns it). Packet filters sit *under* the HTTP middleboxes: they see the
+  /// subscriber's DNS queries, SYNs/ClientHellos, and cleartext request
+  /// bytes before any proxy can answer.
+  void attachPacketFilter(PacketFilter& filter) {
+    packetChain_.push_back(&filter);
+  }
+
+  [[nodiscard]] const std::vector<PacketFilter*>& packetChain() const {
+    return packetChain_;
+  }
 
   /// Primary ASN (the first one) — what Table 3 reports per ISP.
   [[nodiscard]] std::uint32_t primaryAsn() const {
@@ -64,6 +77,7 @@ class Isp {
   std::string country_;
   std::vector<std::uint32_t> asns_;
   std::vector<Middlebox*> chain_;
+  std::vector<PacketFilter*> packetChain_;
   std::map<std::string, net::Ipv4Addr> dnsOverrides_;
 };
 

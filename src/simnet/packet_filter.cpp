@@ -1,0 +1,135 @@
+#include "simnet/packet_filter.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace urlf::simnet {
+
+bool hostInZone(std::string_view hostname, std::string_view zone) {
+  if (zone.empty()) return false;
+  if (hostname == zone) return true;
+  return hostname.size() > zone.size() + 1 &&
+         hostname[hostname.size() - zone.size() - 1] == '.' &&
+         util::endsWith(hostname, zone);
+}
+
+namespace {
+
+FlowKey keyFor(const FlowSyn& syn, const PacketContext& ctx) {
+  return FlowKey{ctx.vantageName, syn.host, syn.port};
+}
+
+bool anyZoneMatches(const std::vector<std::string>& zones,
+                    std::string_view hostname) {
+  return std::any_of(zones.begin(), zones.end(), [&](const std::string& z) {
+    return hostInZone(hostname, z);
+  });
+}
+
+}  // namespace
+
+// --- DnsPoisoner -----------------------------------------------------------
+
+void DnsPoisoner::poisonZone(std::string zone) {
+  zones_.push_back(util::toLower(zone));
+  ++epoch_;
+}
+
+bool DnsPoisoner::matches(std::string_view hostname) const {
+  return zones_.empty() || anyZoneMatches(zones_, hostname);
+}
+
+std::optional<DnsTamper> DnsPoisoner::onDnsQuery(std::string_view hostname,
+                                                 const PacketContext& ctx) {
+  (void)ctx;
+  if (!matches(hostname)) return std::nullopt;
+  ++queriesPoisoned_;
+  return mode_ == DnsTamper::Kind::kNxdomain ? DnsTamper::nxdomain()
+                                             : DnsTamper::forged(sinkhole_);
+}
+
+// --- RstInjector -----------------------------------------------------------
+
+RstInjector::RstInjector(std::string name, std::vector<std::string> keywords,
+                         std::int64_t holdDownHours)
+    : name_(std::move(name)), holdDownHours_(holdDownHours) {
+  keywords_.reserve(keywords.size());
+  for (auto& keyword : keywords) keywords_.push_back(util::toLower(keyword));
+}
+
+std::optional<FlowKill> RstInjector::onConnect(const FlowSyn& syn,
+                                               const PacketContext& ctx) {
+  if (holdDownHours_ <= 0 || ctx.flows == nullptr) return std::nullopt;
+  const FlowKey key = keyFor(syn, ctx);
+  if (!ctx.flows->residualActive(key, ctx.now)) return std::nullopt;
+  // Residual blocking: the destination is still in hold-down from an
+  // earlier kill, so the SYN dies before any application byte.
+  ++residualKills_;
+  ctx.flows->recordKill(key, ctx.now);
+  ctx.flows->armResidual(key, ctx.now, ctx.now + holdDownHours_);
+  return FlowKill::reset();
+}
+
+std::optional<FlowKill> RstInjector::onRequest(const FlowSyn& syn,
+                                               const http::Request& request,
+                                               const PacketContext& ctx) {
+  const std::string wire = syn.host + " " + request.url.toString();
+  const std::string lowered = util::toLower(wire);
+  const bool hit =
+      std::any_of(keywords_.begin(), keywords_.end(),
+                  [&](const std::string& keyword) {
+                    return lowered.find(keyword) != std::string::npos;
+                  });
+  if (!hit) return std::nullopt;
+  ++resetsInjected_;
+  if (ctx.flows != nullptr) {
+    const FlowKey key = keyFor(syn, ctx);
+    ctx.flows->recordKill(key, ctx.now);
+    if (holdDownHours_ > 0)
+      ctx.flows->armResidual(key, ctx.now, ctx.now + holdDownHours_);
+  }
+  return FlowKill::reset();
+}
+
+// --- SniFilter -------------------------------------------------------------
+
+SniFilter::SniFilter(std::string name, std::vector<std::string> hostnames)
+    : name_(std::move(name)) {
+  hostnames_.reserve(hostnames.size());
+  for (auto& host : hostnames) hostnames_.push_back(util::toLower(host));
+}
+
+std::optional<FlowKill> SniFilter::onConnect(const FlowSyn& syn,
+                                             const PacketContext& ctx) {
+  (void)ctx;
+  if (!syn.tls) return std::nullopt;
+  if (!syn.sniPresent) {
+    // ESNI-style omission: nothing to match on, so the filter fails open.
+    if (anyZoneMatches(hostnames_, syn.host)) ++esniPassed_;
+    return std::nullopt;
+  }
+  if (!anyZoneMatches(hostnames_, syn.host)) return std::nullopt;
+  ++handshakesKilled_;
+  if (ctx.flows != nullptr) ctx.flows->recordKill(keyFor(syn, ctx), ctx.now);
+  return FlowKill::reset();
+}
+
+// --- NullRouteFilter -------------------------------------------------------
+
+NullRouteFilter::NullRouteFilter(std::string name,
+                                 std::vector<std::string> hostnames)
+    : name_(std::move(name)) {
+  hostnames_.reserve(hostnames.size());
+  for (auto& host : hostnames) hostnames_.push_back(util::toLower(host));
+}
+
+std::optional<FlowKill> NullRouteFilter::onConnect(const FlowSyn& syn,
+                                                   const PacketContext& ctx) {
+  if (!anyZoneMatches(hostnames_, syn.host)) return std::nullopt;
+  ++flowsBlackholed_;
+  if (ctx.flows != nullptr) ctx.flows->recordKill(keyFor(syn, ctx), ctx.now);
+  return FlowKill::drop();
+}
+
+}  // namespace urlf::simnet

@@ -1,0 +1,257 @@
+#ifndef URLF_SIMNET_PACKET_FILTER_H
+#define URLF_SIMNET_PACKET_FILTER_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "http/message.h"
+#include "net/ipv4.h"
+#include "simnet/flow.h"
+#include "util/clock.h"
+
+namespace urlf::simnet {
+
+class Isp;
+
+/// Context handed to a packet filter for each wire event. Unlike the HTTP
+/// middlebox InterceptContext there is no RNG here: every packet-level
+/// decision in the simulator is a pure function of (event, now, flow-table
+/// state), which is what keeps mechanism-classification experiments
+/// reproducible at any thread count.
+struct PacketContext {
+  util::SimTime now;
+  const Isp* isp = nullptr;      ///< the ISP whose packet chain is executing
+  std::string vantageName;       ///< subscriber identity for flow keying
+  FlowTable* flows = nullptr;    ///< shared conntrack (never null in use)
+};
+
+/// What an on-path device answered a subscriber's DNS query with.
+struct DnsTamper {
+  enum class Kind {
+    kNxdomain,  ///< forged empty answer — client sees NXDOMAIN
+    kForged,    ///< forged A record — client connects to `answer`
+  };
+  Kind kind = Kind::kNxdomain;
+  net::Ipv4Addr answer;  ///< meaningful only for kForged
+
+  static DnsTamper nxdomain() { return {Kind::kNxdomain, {}}; }
+  static DnsTamper forged(net::Ipv4Addr a) { return {Kind::kForged, a}; }
+};
+
+/// How a packet filter terminated a flow when it did not let it pass.
+struct FlowKill {
+  enum class Kind {
+    kReset,   ///< injected RST/FIN — client sees connection reset
+    kDrop,    ///< flow blackholed — client sees a timeout
+    kRefuse,  ///< forged RST on the SYN — client sees connection refused
+  };
+  Kind kind = Kind::kReset;
+
+  static FlowKill reset() { return {Kind::kReset}; }
+  static FlowKill drop() { return {Kind::kDrop}; }
+  static FlowKill refuse() { return {Kind::kRefuse}; }
+};
+
+/// What the wire shows about a new client flow at connect time: the SYN plus
+/// (for TLS) the ClientHello. `sniPresent` models ESNI/ECH-style omission —
+/// an SNI filter that "fails open" passes TLS flows whose hello names no
+/// server.
+struct FlowSyn {
+  std::string host;        ///< lowercased destination hostname
+  net::Ipv4Addr dstIp;
+  std::uint16_t port = 80;
+  bool tls = false;        ///< the flow is a TLS session (https URL)
+  bool sniPresent = true;  ///< ClientHello carries the server name
+};
+
+/// An on-path packet-level device in an ISP: sees subscribers' DNS queries,
+/// connection attempts, and cleartext request bytes, and may tamper with or
+/// kill them — but can never speak HTTP back. This is the wire-level
+/// counterpart of Middlebox, modelling the blocking mechanisms the paper's
+/// four products do NOT use: DNS poisoning, TCP RST/FIN injection, SNI
+/// filtering, and null-routing ("Where The Light Gets In", PAPERS.md).
+class PacketFilter {
+ public:
+  virtual ~PacketFilter() = default;
+
+  PacketFilter() = default;
+  PacketFilter(const PacketFilter&) = delete;
+  PacketFilter& operator=(const PacketFilter&) = delete;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// DNS stage: the subscriber's query for `hostname` crosses the wire
+  /// before any resolver answers. Returning a tamper preempts resolution.
+  virtual std::optional<DnsTamper> onDnsQuery(std::string_view hostname,
+                                              const PacketContext& ctx) {
+    (void)hostname;
+    (void)ctx;
+    return std::nullopt;
+  }
+
+  /// Connect stage: the SYN (and, for TLS, the ClientHello) crosses the
+  /// wire. A kill here lands before any application byte — the client-visible
+  /// signature is rst-before-banner / timeout / refused.
+  virtual std::optional<FlowKill> onConnect(const FlowSyn& syn,
+                                            const PacketContext& ctx) {
+    (void)syn;
+    (void)ctx;
+    return std::nullopt;
+  }
+
+  /// Request stage: the first cleartext request bytes cross the wire on an
+  /// established flow. TLS flows never reach this hook — the payload is
+  /// opaque to an on-path device. A kill here is rst-after-request.
+  virtual std::optional<FlowKill> onRequest(const FlowSyn& syn,
+                                            const http::Request& request,
+                                            const PacketContext& ctx) {
+    (void)syn;
+    (void)request;
+    (void)ctx;
+    return std::nullopt;
+  }
+
+  /// Monotone counter over mutable inputs that can change a decision for a
+  /// given (event, now, flow-table state). Rule-table edits bump it; the
+  /// shared FlowTable keeps its own epoch. Stateless filters keep 0.
+  [[nodiscard]] virtual std::uint64_t stateEpoch() const { return 0; }
+
+  /// True when decisions are pure in (event, now, flow-table state) — every
+  /// built-in model is; a hypothetical lossy injector would not be.
+  [[nodiscard]] virtual bool deterministicDecision() const { return true; }
+
+  /// True when a decision mutates state beyond statistics (arming residual
+  /// hold-downs). Verdict replay paths must never skip a fetch through such
+  /// a filter: the skipped world would miss the state the real fetch armed.
+  [[nodiscard]] virtual bool decisionHasSideEffects() const { return false; }
+};
+
+// --- the four packet-level censorship mechanisms ---------------------------
+
+/// DNS poisoner: forges answers to subscriber queries, either NXDOMAIN or a
+/// wrong A record (sinkhole). With zones configured only queries for a
+/// listed zone (exact host or any subdomain) are poisoned; with no zones the
+/// device poisons every query — resolver-wide tampering.
+class DnsPoisoner : public PacketFilter {
+ public:
+  DnsPoisoner(std::string name, DnsTamper::Kind mode,
+              net::Ipv4Addr sinkhole = {})
+      : name_(std::move(name)), mode_(mode), sinkhole_(sinkhole) {}
+
+  void poisonZone(std::string zone);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  std::optional<DnsTamper> onDnsQuery(std::string_view hostname,
+                                      const PacketContext& ctx) override;
+  [[nodiscard]] std::uint64_t stateEpoch() const override { return epoch_; }
+
+  [[nodiscard]] std::uint64_t queriesPoisoned() const {
+    return queriesPoisoned_;
+  }
+
+ private:
+  [[nodiscard]] bool matches(std::string_view hostname) const;
+
+  std::string name_;
+  DnsTamper::Kind mode_;
+  net::Ipv4Addr sinkhole_;
+  std::vector<std::string> zones_;  ///< lowercased; empty = poison all
+  std::uint64_t epoch_ = 0;
+  std::uint64_t queriesPoisoned_ = 0;
+};
+
+/// TCP RST/FIN injector: watches cleartext request bytes for keywords and
+/// kills matching flows with an injected reset. With a hold-down window
+/// (`holdDownHours` > 0) the injector is *stateful*: after a kill it resets
+/// every subsequent flow to the same destination until the window expires,
+/// before any application byte — the residual-blocking fingerprint.
+class RstInjector : public PacketFilter {
+ public:
+  RstInjector(std::string name, std::vector<std::string> keywords,
+              std::int64_t holdDownHours = 0);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  std::optional<FlowKill> onConnect(const FlowSyn& syn,
+                                    const PacketContext& ctx) override;
+  std::optional<FlowKill> onRequest(const FlowSyn& syn,
+                                    const http::Request& request,
+                                    const PacketContext& ctx) override;
+  [[nodiscard]] std::uint64_t stateEpoch() const override { return epoch_; }
+  /// A stateful injector arms hold-down state on a kill; replaying its
+  /// verdicts without fetching would miss the arm.
+  [[nodiscard]] bool decisionHasSideEffects() const override {
+    return holdDownHours_ > 0;
+  }
+
+  [[nodiscard]] std::int64_t holdDownHours() const { return holdDownHours_; }
+  [[nodiscard]] std::uint64_t resetsInjected() const {
+    return resetsInjected_;
+  }
+  [[nodiscard]] std::uint64_t residualKills() const { return residualKills_; }
+
+ private:
+  std::string name_;
+  std::vector<std::string> keywords_;  ///< lowercased
+  std::int64_t holdDownHours_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t resetsInjected_ = 0;
+  std::uint64_t residualKills_ = 0;
+};
+
+/// SNI filter: resets TLS flows whose ClientHello names a listed server.
+/// Fails open on ESNI-style omission — a hello with no server name passes —
+/// and never touches cleartext flows.
+class SniFilter : public PacketFilter {
+ public:
+  SniFilter(std::string name, std::vector<std::string> hostnames);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  std::optional<FlowKill> onConnect(const FlowSyn& syn,
+                                    const PacketContext& ctx) override;
+  [[nodiscard]] std::uint64_t stateEpoch() const override { return epoch_; }
+
+  [[nodiscard]] std::uint64_t handshakesKilled() const {
+    return handshakesKilled_;
+  }
+  [[nodiscard]] std::uint64_t esniPassed() const { return esniPassed_; }
+
+ private:
+  std::string name_;
+  std::vector<std::string> hostnames_;  ///< lowercased; subdomains match
+  std::uint64_t epoch_ = 0;
+  std::uint64_t handshakesKilled_ = 0;
+  std::uint64_t esniPassed_ = 0;
+};
+
+/// Null-route: destinations on the list are blackholed at connect time —
+/// the SYN goes nowhere and the client times out. Port- and TLS-agnostic.
+class NullRouteFilter : public PacketFilter {
+ public:
+  NullRouteFilter(std::string name, std::vector<std::string> hostnames);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  std::optional<FlowKill> onConnect(const FlowSyn& syn,
+                                    const PacketContext& ctx) override;
+  [[nodiscard]] std::uint64_t stateEpoch() const override { return epoch_; }
+
+  [[nodiscard]] std::uint64_t flowsBlackholed() const {
+    return flowsBlackholed_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> hostnames_;  ///< lowercased; subdomains match
+  std::uint64_t epoch_ = 0;
+  std::uint64_t flowsBlackholed_ = 0;
+};
+
+/// True when `hostname` is `zone` or a subdomain of it (both lowercase).
+[[nodiscard]] bool hostInZone(std::string_view hostname,
+                              std::string_view zone);
+
+}  // namespace urlf::simnet
+
+#endif  // URLF_SIMNET_PACKET_FILTER_H

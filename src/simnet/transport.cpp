@@ -18,6 +18,30 @@ std::string_view toString(FetchOutcome outcome) {
   return "unknown";
 }
 
+std::string_view toString(FailureSignature signature) {
+  switch (signature) {
+    case FailureSignature::kNone: return "none";
+    case FailureSignature::kEmptyDns: return "empty-dns";
+    case FailureSignature::kRefused: return "refused";
+    case FailureSignature::kRstBeforeBanner: return "rst-before-banner";
+    case FailureSignature::kRstAfterRequest: return "rst-after-request";
+    case FailureSignature::kTimeout: return "timeout";
+  }
+  return "unknown";
+}
+
+std::string_view toString(FailureCause cause) {
+  switch (cause) {
+    case FailureCause::kNone: return "none";
+    case FailureCause::kOrganic: return "organic";
+    case FailureCause::kFault: return "fault";
+    case FailureCause::kOutage: return "outage";
+    case FailureCause::kMiddlebox: return "middlebox";
+    case FailureCause::kPacketFilter: return "packet-filter";
+  }
+  return "unknown";
+}
+
 bool RetryPolicy::shouldRetry(FetchOutcome outcome) const {
   switch (outcome) {
     case FetchOutcome::kOk:
@@ -38,7 +62,8 @@ std::int64_t RetryPolicy::backoffHours(int attempt) const {
 }
 
 FetchResult Transport::fetchOnce(const VantagePoint& vantage,
-                                 http::Request request, int attempt) {
+                                 http::Request request,
+                                 const FetchOptions& options, int attempt) {
   FetchResult result;
 
   const OutagePlan* outages = world_->outagePlan();
@@ -49,6 +74,8 @@ FetchResult Transport::fetchOnce(const VantagePoint& vantage,
   if (outages != nullptr && outages->vantageDead(vantage, world_->now())) {
     result.outcome = FetchOutcome::kTimeout;
     result.injectedFault = FaultKind::kOutage;
+    result.signature = FailureSignature::kTimeout;
+    result.cause = FailureCause::kOutage;
     result.error = "vantage offline: " + vantage.name +
                    " permanently dead since hour " +
                    std::to_string(outages->deathTime(vantage.name)->hours());
@@ -57,26 +84,35 @@ FetchResult Transport::fetchOnce(const VantagePoint& vantage,
 
   // Injected transient fault (FaultPlan, if the world carries one) preempts
   // the whole exchange. The decision is a pure function of
-  // (plan seed, vantage, url, attempt) — see simnet/fault.h.
+  // (plan seed, vantage, url, attempt) — see simnet/fault.h. The signatures
+  // deliberately overlap packet-level censorship's: on a single trial the
+  // two are indistinguishable, which is what the mechanism classifier's
+  // evidence budget exists to resolve.
   if (const FaultPlan* plan = world_->faultPlan()) {
-    const FaultKind fault = plan->roll(vantage, request.url.toString(), attempt);
+    const FaultKind fault = plan->roll(vantage, request.url.toString(),
+                                       options.attemptBase + attempt);
     if (fault != FaultKind::kNone) {
       result.injectedFault = fault;
+      result.cause = FailureCause::kFault;
       switch (fault) {
         case FaultKind::kDnsFlap:
           result.outcome = FetchOutcome::kDnsFailure;
+          result.signature = FailureSignature::kEmptyDns;
           result.error = "injected transient DNS flap: " + request.url.host();
           break;
         case FaultKind::kConnectFail:
           result.outcome = FetchOutcome::kConnectFailure;
+          result.signature = FailureSignature::kRefused;
           result.error = "injected transient connect failure";
           break;
         case FaultKind::kLoss:
           result.outcome = FetchOutcome::kTimeout;
+          result.signature = FailureSignature::kTimeout;
           result.error = "injected transient loss (flow blackholed)";
           break;
         case FaultKind::kTimeout:
           result.outcome = FetchOutcome::kTimeout;
+          result.signature = FailureSignature::kTimeout;
           result.error = "injected timeout (response past deadline)";
           break;
         case FaultKind::kNone:
@@ -87,16 +123,91 @@ FetchResult Transport::fetchOnce(const VantagePoint& vantage,
     }
   }
 
+  const std::string host = util::toLower(request.url.host());
+  const std::vector<PacketFilter*>* packetChain =
+      vantage.isp != nullptr ? &vantage.isp->packetChain() : nullptr;
+  PacketContext pctx{world_->now(), vantage.isp, vantage.name,
+                     &world_->flows()};
+
+  // DNS stage of the wire chain: an on-path poisoner races the resolver and
+  // wins — its forged answer preempts both the ISP override and the global
+  // registry.
+  std::optional<net::Ipv4Addr> ip;
+  if (packetChain != nullptr) {
+    for (PacketFilter* filter : *packetChain) {
+      const auto tamper = filter->onDnsQuery(host, pctx);
+      if (!tamper) continue;
+      if (tamper->kind == DnsTamper::Kind::kNxdomain) {
+        result.outcome = FetchOutcome::kDnsFailure;
+        result.signature = FailureSignature::kEmptyDns;
+        result.cause = FailureCause::kPacketFilter;
+        result.error = "NXDOMAIN: " + request.url.host() +
+                       " (forged empty answer)";
+        return result;
+      }
+      ip = tamper->answer;
+      break;
+    }
+  }
+
   // Field vantage points use their ISP's resolver, which may be tampered
   // with (DNS-based censorship); the lab resolves cleanly.
-  std::optional<net::Ipv4Addr> ip;
-  if (vantage.isp != nullptr)
-    ip = vantage.isp->dnsOverride(util::toLower(request.url.host()));
+  if (!ip && vantage.isp != nullptr) ip = vantage.isp->dnsOverride(host);
   if (!ip) ip = world_->resolve(request.url.host());
   if (!ip) {
     result.outcome = FetchOutcome::kDnsFailure;
+    result.signature = FailureSignature::kEmptyDns;
+    result.cause = FailureCause::kOrganic;
     result.error = "NXDOMAIN: " + request.url.host();
     return result;
+  }
+
+  // Connect + request stages of the wire chain. The flow is tracked in the
+  // shared conntrack, then every filter sees the SYN/ClientHello; cleartext
+  // flows additionally expose their first request bytes. TLS payloads are
+  // opaque on the wire, so the request stage never runs for https.
+  const bool tls = util::iequals(request.url.scheme(), "https");
+  if (packetChain != nullptr && !packetChain->empty()) {
+    FlowSyn syn{host, *ip, request.url.effectivePort(), tls,
+                tls && !options.omitSni};
+    world_->flows().track(FlowKey{vantage.name, host, syn.port},
+                          world_->now());
+    const auto killResult = [&](const FlowKill& kill,
+                                FailureSignature resetSignature) {
+      result.cause = FailureCause::kPacketFilter;
+      switch (kill.kind) {
+        case FlowKill::Kind::kReset:
+          result.outcome = FetchOutcome::kReset;
+          result.signature = resetSignature;
+          result.error = "connection reset by peer";
+          break;
+        case FlowKill::Kind::kDrop:
+          result.outcome = FetchOutcome::kTimeout;
+          result.signature = FailureSignature::kTimeout;
+          result.error = "connection timed out";
+          break;
+        case FlowKill::Kind::kRefuse:
+          result.outcome = FetchOutcome::kConnectFailure;
+          result.signature = FailureSignature::kRefused;
+          result.error = "connection refused: " + ip->toString() + ":" +
+                         std::to_string(syn.port);
+          break;
+      }
+    };
+    for (PacketFilter* filter : *packetChain) {
+      if (const auto kill = filter->onConnect(syn, pctx)) {
+        killResult(*kill, FailureSignature::kRstBeforeBanner);
+        return result;
+      }
+    }
+    if (!tls) {
+      for (PacketFilter* filter : *packetChain) {
+        if (const auto kill = filter->onRequest(syn, request, pctx)) {
+          killResult(*kill, FailureSignature::kRstAfterRequest);
+          return result;
+        }
+      }
+    }
   }
 
   // Middleboxes see the policy-effective time: normally `now`, but during an
@@ -109,7 +220,9 @@ FetchResult Transport::fetchOnce(const VantagePoint& vantage,
 
   // Egress middlebox chain (field vantage points only). A box the outage
   // plan has silently stopped fails open: it neither intercepts nor
-  // post-processes, exactly as if unplugged.
+  // post-processes, exactly as if unplugged. An HTTP-layer proxy only acts
+  // once it has the request, so its reset signature is rst-after-request —
+  // the same shape a stateless packet injector produces.
   if (vantage.isp != nullptr) {
     for (Middlebox* box : vantage.isp->chain()) {
       if (outages != nullptr && outages->middleboxStopped(*box, world_->now()))
@@ -123,10 +236,14 @@ FetchResult Transport::fetchOnce(const VantagePoint& vantage,
           return result;
         case InterceptAction::Kind::kReset:
           result.outcome = FetchOutcome::kReset;
+          result.signature = FailureSignature::kRstAfterRequest;
+          result.cause = FailureCause::kMiddlebox;
           result.error = "connection reset by peer";
           return result;
         case InterceptAction::Kind::kDrop:
           result.outcome = FetchOutcome::kTimeout;
+          result.signature = FailureSignature::kTimeout;
+          result.cause = FailureCause::kMiddlebox;
           result.error = "connection timed out";
           return result;
       }
@@ -136,6 +253,8 @@ FetchResult Transport::fetchOnce(const VantagePoint& vantage,
   HttpEndpoint* endpoint = world_->endpointAt(*ip, request.url.effectivePort());
   if (endpoint == nullptr) {
     result.outcome = FetchOutcome::kConnectFailure;
+    result.signature = FailureSignature::kRefused;
+    result.cause = FailureCause::kOrganic;
     result.error = "connection refused: " + ip->toString() + ":" +
                    std::to_string(request.url.effectivePort());
     return result;
@@ -159,10 +278,27 @@ FetchResult Transport::fetchOnce(const VantagePoint& vantage,
   return result;
 }
 
+std::optional<net::Ipv4Addr> Transport::resolveFrom(
+    const VantagePoint& vantage, std::string_view hostname) {
+  const std::string host = util::toLower(hostname);
+  if (vantage.isp != nullptr) {
+    PacketContext pctx{world_->now(), vantage.isp, vantage.name,
+                       &world_->flows()};
+    for (PacketFilter* filter : vantage.isp->packetChain()) {
+      const auto tamper = filter->onDnsQuery(host, pctx);
+      if (!tamper) continue;
+      if (tamper->kind == DnsTamper::Kind::kNxdomain) return std::nullopt;
+      return tamper->answer;
+    }
+    if (const auto ip = vantage.isp->dnsOverride(host)) return ip;
+  }
+  return world_->resolve(host);
+}
+
 FetchResult Transport::fetchAttempt(const VantagePoint& vantage,
                                     const http::Request& request,
                                     const FetchOptions& options, int attempt) {
-  FetchResult result = fetchOnce(vantage, request, attempt);
+  FetchResult result = fetchOnce(vantage, request, options, attempt);
   if (!options.followRedirects) return result;
 
   int hops = 0;
@@ -185,7 +321,7 @@ FetchResult Transport::fetchAttempt(const VantagePoint& vantage,
 
     std::vector<http::Response> chain = std::move(result.redirectChain);
     chain.push_back(std::move(*result.response));
-    result = fetchOnce(vantage, http::Request::get(*target), attempt);
+    result = fetchOnce(vantage, http::Request::get(*target), options, attempt);
     // Keep the accumulated chain regardless of the hop's outcome.
     chain.insert(chain.end(),
                  std::make_move_iterator(result.redirectChain.begin()),

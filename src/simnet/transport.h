@@ -25,6 +25,39 @@ enum class FetchOutcome {
 
 [[nodiscard]] std::string_view toString(FetchOutcome outcome);
 
+/// The fine-grained, client-visible shape of a failed fetch — *what the
+/// wire showed*, not why. Packet-level censorship and ordinary substrate
+/// faults produce overlapping signatures (that ambiguity is the point:
+/// a single trial cannot tell them apart), so the mechanism classifier
+/// works from repeated signatures plus cross-checks, never one draw.
+enum class FailureSignature {
+  kNone,             ///< the fetch did not fail
+  kEmptyDns,         ///< resolution came back empty (NXDOMAIN)
+  kRefused,          ///< connection refused — RST on the SYN
+  kRstBeforeBanner,  ///< reset after connect, before any application byte
+  kRstAfterRequest,  ///< reset after the request bytes went out
+  kTimeout,          ///< nothing came back before the deadline
+};
+
+[[nodiscard]] std::string_view toString(FailureSignature signature);
+
+/// Why the fetch failed — *ground truth the simulator knows*, recorded so
+/// journals and resumed campaigns never conflate an injected transient
+/// fault with a middlebox- or packet-filter-caused failure that has the
+/// same outcome. (Real measurement clients cannot observe this directly;
+/// the mechanism classifier must recover it from signatures alone.)
+enum class FailureCause {
+  kNone,          ///< no failure
+  kOrganic,       ///< condition of the world itself (no DNS record, no
+                  ///< listener at the address)
+  kFault,         ///< injected transient fault (FaultPlan)
+  kOutage,        ///< permanent vantage death (OutagePlan)
+  kMiddlebox,     ///< HTTP-layer middlebox killed the exchange
+  kPacketFilter,  ///< packet-level filter tampered with or killed the flow
+};
+
+[[nodiscard]] std::string_view toString(FailureCause cause);
+
 /// The result of fetching a URL from a vantage point.
 struct FetchResult {
   FetchOutcome outcome = FetchOutcome::kOk;
@@ -35,6 +68,10 @@ struct FetchResult {
   /// The injected fault that produced this outcome, if any — keeps
   /// fault-rate accounting separable from organic failures.
   FaultKind injectedFault = FaultKind::kNone;
+  /// Client-visible failure shape (kNone on success).
+  FailureSignature signature = FailureSignature::kNone;
+  /// Simulator-side ground truth for the failure (kNone on success).
+  FailureCause cause = FailureCause::kNone;
   /// Attempts consumed, including the final one (1 = no retry happened).
   int attempts = 1;
 
@@ -74,6 +111,15 @@ struct FetchOptions {
   bool followRedirects = true;
   int maxRedirects = 5;
   RetryPolicy retry = {};
+  /// ESNI/ECH-style SNI omission: TLS fetches send a ClientHello that names
+  /// no server. An SNI filter fails open on such flows (Table 5 evasion).
+  bool omitSni = false;
+  /// Offset added to the attempt index the FaultPlan is rolled with. Fault
+  /// draws are pure in (seed, vantage, url, attempt), so a caller re-trying
+  /// the same URL across separate fetch() calls (the mechanism classifier's
+  /// evidence budget) must advance this or every trial re-observes the
+  /// first attempt's draw and a transient fault looks persistent.
+  int attemptBase = 0;
 };
 
 /// Client-side HTTP over the simulated Internet.
@@ -98,9 +144,19 @@ class Transport {
                                      std::string_view urlText,
                                      const FetchOptions& options = {});
 
+  /// Resolve `hostname` exactly as a fetch from `vantage` would — packet
+  /// chain DNS stage first, then the ISP resolver override, then the global
+  /// registry. This is the mechanism classifier's resolver cross-check: it
+  /// consumes no fault draw and advances nothing, like a client re-querying
+  /// its resolver out of band.
+  [[nodiscard]] std::optional<net::Ipv4Addr> resolveFrom(
+      const VantagePoint& vantage, std::string_view hostname);
+
  private:
   [[nodiscard]] FetchResult fetchOnce(const VantagePoint& vantage,
-                                      http::Request request, int attempt);
+                                      http::Request request,
+                                      const FetchOptions& options,
+                                      int attempt);
   /// One attempt: fetchOnce plus redirect following.
   [[nodiscard]] FetchResult fetchAttempt(const VantagePoint& vantage,
                                          const http::Request& request,

@@ -14,9 +14,11 @@
 #include "simnet/as.h"
 #include "simnet/endpoint.h"
 #include "simnet/fault.h"
+#include "simnet/flow.h"
 #include "simnet/isp.h"
 #include "simnet/middlebox.h"
 #include "simnet/outage.h"
+#include "simnet/packet_filter.h"
 #include "util/clock.h"
 #include "util/rng.h"
 
@@ -110,6 +112,26 @@ class World {
     return ref;
   }
 
+  /// Construct a packet-level filter owned by the world; returns a stable
+  /// reference. Attach it to an ISP's wire chain with attachPacketFilter.
+  template <typename T, typename... Args>
+  T& makePacketFilter(Args&&... args) {
+    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *owned;
+    packetFilters_.push_back(std::move(owned));
+    return ref;
+  }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<PacketFilter>>&
+  packetFilters() const {
+    return packetFilters_;
+  }
+
+  /// The conntrack every ISP's packet filters share (DESIGN.md §4.8). Flows
+  /// are tracked lazily — worlds without packet filters never touch it.
+  [[nodiscard]] FlowTable& flows() { return flows_; }
+  [[nodiscard]] const FlowTable& flows() const { return flows_; }
+
   /// Every middlebox the world owns, in creation order. Exposed so
   /// cross-cutting drivers (the longitudinal monitor) can enumerate
   /// deployments — e.g. to normalize policies or compute update-lag bounds —
@@ -123,9 +145,12 @@ class World {
   /// mutable filtering input (category databases, frozen snapshots) changes.
   /// Together with the clock this keys verdict memoization — see
   /// measure::Client.
+  /// Packet filters and the flow table fold in too: a residual hold-down
+  /// arm changes what later fetches see exactly like a DB mutation does.
   [[nodiscard]] std::uint64_t middleboxStateEpoch() const {
-    std::uint64_t epoch = 0;
+    std::uint64_t epoch = flows_.stateEpoch();
     for (const auto& box : middleboxes_) epoch += box->stateEpoch();
+    for (const auto& filter : packetFilters_) epoch += filter->stateEpoch();
     return epoch;
   }
 
@@ -224,6 +249,8 @@ class World {
   std::vector<std::unique_ptr<Isp>> isps_;
   std::vector<std::unique_ptr<HttpEndpoint>> endpoints_;
   std::vector<std::unique_ptr<Middlebox>> middleboxes_;
+  std::vector<std::unique_ptr<PacketFilter>> packetFilters_;
+  FlowTable flows_;
   std::vector<std::unique_ptr<VantagePoint>> vantages_;
   std::map<std::string, net::Ipv4Addr> dns_;
   std::map<std::uint64_t, std::size_t> bindingIndex_;  ///< key -> bindings_ slot

@@ -174,6 +174,42 @@ TEST_F(CampaignRecoveryTest, JournalFromOneThreadCountResumesAtAnother) {
   EXPECT_EQ(readFile(path), fullText);
 }
 
+TEST_F(CampaignRecoveryTest, MechanismCampaignResumeKeepsCausesDistinct) {
+  // Regression: a campaign running packet-level mechanisms *and* a fault
+  // plan journals timeouts of two different origins — injected transients
+  // ("cause":"fault") and packet-filter kills ("cause":"packet-filter").
+  // The header must carry the mechanism config, resume must reproduce the
+  // digest, and the journaled causes must never collapse into one.
+  scenarios::CampaignOptions options;
+  options.world.packetMechanisms = true;
+  options.world.faultRate = 0.02;
+  const fs::path path = dir_ / "mechanisms.journal";
+  auto journal = CampaignJournal::start(path.string(), options.headerJson());
+  const auto full = scenarios::runPaperCampaign(options, &journal);
+  const std::string fullText = readFile(path);
+
+  // Both causes appear in the journal, attached to events.
+  EXPECT_NE(fullText.find("\"cause\":\"packet-filter\""), std::string::npos);
+  EXPECT_NE(fullText.find("\"cause\":\"fault\""), std::string::npos);
+
+  // Resume from an interior boundary with options adopted from the header
+  // alone — packetMechanisms must survive the header round-trip or the
+  // resumed world diverges immediately.
+  const auto boundaries = CampaignJournal::recordBoundaries(fullText);
+  writeFile(path, std::string_view(fullText)
+                      .substr(0, boundaries[boundaries.size() / 2]));
+  auto opened = CampaignJournal::open(path.string());
+  ASSERT_TRUE(opened.ok()) << opened.error();
+  auto adopted = scenarios::CampaignOptions::fromHeaderJson(opened->header());
+  ASSERT_TRUE(adopted.ok()) << adopted.error();
+  EXPECT_TRUE(adopted.value().world.packetMechanisms);
+
+  const auto resumed =
+      scenarios::runPaperCampaign(adopted.value(), &opened.value());
+  EXPECT_EQ(resumed.digest, full.digest);
+  EXPECT_EQ(readFile(path), fullText);
+}
+
 TEST_F(CampaignRecoveryTest, DivergentConfigIsCaughtNotSilentlyAccepted) {
   // Resume whose re-execution disagrees with the journaled records must die
   // loudly with JournalDivergence — never blend two campaigns' histories.

@@ -13,8 +13,12 @@
 
 #include <unistd.h>
 
+#include "http/message.h"
+#include "measure/client.h"
 #include "measure/journal.h"
+#include "measure/session.h"
 #include "report/json.h"
+#include "simnet/transport.h"
 #include "util/clock.h"
 
 namespace {
@@ -176,6 +180,72 @@ TEST_F(JournalCorruptionTest, DivergentReplayThrowsWithBothRecords) {
   auto wrong = CampaignJournal::event("verdict", util::SimTime{0});
   wrong["url"] = report::Json::string("http://not-the-journaled-site.example/");
   EXPECT_THROW((void)opened.value().sync(wrong), measure::JournalDivergence);
+}
+
+TEST(CauseRoundTrip, InjectedAndFilterTimeoutsStayDistinctThroughJournal) {
+  // Regression: an injected transient timeout (FaultPlan) and a
+  // packet-filter null-route produce the *same* client-visible shape —
+  // kTimeout outcome, "timeout" signature. Before FailureCause existed the
+  // round-trip conflated them and a resumed campaign could misattribute
+  // fault noise as censorship. Both the session serializer and the journal
+  // must keep the ground-truth cause distinct.
+  measure::UrlTestResult transient;
+  transient.url = "http://flaky.example/";
+  transient.verdict = measure::Verdict::kInconclusive;
+  transient.field.outcome = simnet::FetchOutcome::kTimeout;
+  transient.field.signature = simnet::FailureSignature::kTimeout;
+  transient.field.cause = simnet::FailureCause::kFault;
+  transient.field.injectedFault = simnet::FaultKind::kTimeout;
+  transient.lab.outcome = simnet::FetchOutcome::kOk;
+  transient.lab.response = http::Response{};
+
+  measure::UrlTestResult filtered = transient;
+  filtered.url = "http://nullrouted.example/";
+  filtered.verdict = measure::Verdict::kBlockedOther;
+  filtered.field.cause = simnet::FailureCause::kPacketFilter;
+  filtered.field.injectedFault = simnet::FaultKind::kNone;
+
+  // Session round-trip.
+  const auto exported =
+      measure::exportSession({transient, filtered}, /*indent=*/0);
+  const auto imported = measure::importSession(exported);
+  ASSERT_TRUE(imported.has_value());
+  ASSERT_EQ(imported->size(), 2u);
+  EXPECT_EQ((*imported)[0].field.cause, simnet::FailureCause::kFault);
+  EXPECT_EQ((*imported)[0].field.injectedFault, simnet::FaultKind::kTimeout);
+  EXPECT_EQ((*imported)[1].field.cause, simnet::FailureCause::kPacketFilter);
+  EXPECT_EQ((*imported)[1].field.injectedFault, simnet::FaultKind::kNone);
+  // Same wire shape on both sides — only the cause separates them.
+  EXPECT_EQ((*imported)[0].field.signature, (*imported)[1].field.signature);
+
+  // Journal round-trip: embed both as verdict events, re-open from text.
+  report::Json header = report::Json::object();
+  header["type"] = report::Json::string("campaign-config");
+  const fs::path path =
+      fs::temp_directory_path() /
+      ("urlf_cause_" + std::to_string(::getpid()) + ".journal");
+  {
+    auto journal = CampaignJournal::start(path.string(), header);
+    for (const auto* result : {&transient, &filtered}) {
+      auto event = CampaignJournal::event("verdict", util::SimTime{0});
+      event["url"] = report::Json::string(result->url);
+      event["signature"] =
+          report::Json::string(simnet::toString(result->field.signature));
+      event["cause"] =
+          report::Json::string(simnet::toString(result->field.cause));
+      (void)journal.sync(event);
+    }
+  }
+  const std::string text = readFile(path);
+  fs::remove(path);
+  auto reopened = CampaignJournal::fromText(text);
+  ASSERT_TRUE(reopened.ok()) << reopened.error();
+  ASSERT_EQ(reopened->recordCount(), 2u);
+  const auto& records = reopened->records();
+  EXPECT_EQ(*records[0].find("cause")->asString(), "fault");
+  EXPECT_EQ(*records[1].find("cause")->asString(), "packet-filter");
+  EXPECT_EQ(*records[0].find("signature")->asString(),
+            *records[1].find("signature")->asString());
 }
 
 TEST(JournalOpenErrors, MissingEmptyAndHeaderlessAllFailOneLine) {

@@ -1,0 +1,259 @@
+// Property suite for the §4.8 mechanism classifier (DESIGN.md §4.8).
+//
+// Contracts under test:
+//  * classifyList is byte-identical serial vs pooled and across thread
+//    counts (evidence collection is serial; derivation is pure).
+//  * Zero-fault worlds never yield kInconclusive — every host classifies
+//    to its ground-truth mechanism.
+//  * Fault-only worlds (no middlebox of any kind) never yield a censorship
+//    verdict at trial budget >= 3.
+//  * MechanismMode::kReference agrees with the evidence path on fault-free
+//    worlds (the repo's reference-twin convention).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "measure/mechanism.h"
+#include "simnet/fault.h"
+#include "simnet/origin_server.h"
+#include "simnet/packet_filter.h"
+#include "simnet/world.h"
+
+namespace {
+
+using namespace urlf;
+using measure::Mechanism;
+
+struct GroundTruthHost {
+  std::string url;
+  Mechanism truth = Mechanism::kNone;
+};
+
+struct MechanismWorld {
+  std::unique_ptr<simnet::World> world;
+  std::vector<GroundTruthHost> hosts;
+  const simnet::VantagePoint* field = nullptr;
+  const simnet::VantagePoint* lab = nullptr;
+
+  std::vector<std::string> urls() const {
+    std::vector<std::string> out;
+    for (const auto& host : hosts) out.push_back(host.url);
+    return out;
+  }
+};
+
+/// One ISP with all four packet-level mechanisms attached (unless
+/// `attachFilters` is false — the fault-only configuration) and two hosts
+/// per ground-truth class.
+MechanismWorld buildWorld(std::uint64_t seed, double faultRate,
+                          bool attachFilters) {
+  MechanismWorld out;
+  out.world = std::make_unique<simnet::World>(seed);
+  auto& world = *out.world;
+  if (faultRate > 0.0)
+    world.setFaultPlan(simnet::FaultPlan(
+        seed ^ 0xFA017FA017ULL, simnet::FaultRates::uniform(faultRate)));
+
+  world.createAs(64500, "TESTNET", "Testland Telecom", "TL",
+                 {net::IpPrefix{net::Ipv4Addr{std::uint32_t{10} << 24}, 16}});
+  auto& isp = world.createIsp("Testland Telecom", "TL", {64500});
+  out.field = &world.createVantage("field-testland", "TL", &isp);
+  out.lab = &world.createVantage("lab-control", "CA", nullptr);
+
+  const auto addSite = [&](const std::string& host, std::uint16_t port) {
+    auto& server = world.makeEndpoint<simnet::OriginServer>(host);
+    simnet::Page page;
+    page.title = host;
+    page.body = "<h1>" + host + "</h1><p>benign content</p>";
+    page.contentLabel = "benign";
+    server.setPage("/", std::move(page));
+    const auto ip = world.allocateAddress(64500);
+    world.bind(ip, port, server, /*externallyVisible=*/true);
+    world.registerHostname(host, ip);
+  };
+
+  auto& poisoner = world.makePacketFilter<simnet::DnsPoisoner>(
+      "tl-dns-poisoner", simnet::DnsTamper::Kind::kNxdomain);
+  std::vector<std::string> rstKeywords, sniHosts, nullHosts;
+
+  for (int i = 0; i < 2; ++i) {
+    const std::string suffix = std::to_string(i) + ".example";
+    const Mechanism censored[] = {
+        Mechanism::kDnsPoisoning, Mechanism::kTcpInjection,
+        Mechanism::kSniFiltering, Mechanism::kNullRouting, Mechanism::kNone};
+    for (const auto truth : censored) {
+      std::string host;
+      switch (truth) {
+        case Mechanism::kDnsPoisoning:
+          host = "dns" + suffix;
+          addSite(host, 80);
+          if (attachFilters) poisoner.poisonZone(host);
+          out.hosts.push_back({"http://" + host + "/", truth});
+          break;
+        case Mechanism::kTcpInjection:
+          host = "rst" + suffix;
+          addSite(host, 80);
+          rstKeywords.push_back(host);
+          out.hosts.push_back({"http://" + host + "/", truth});
+          break;
+        case Mechanism::kSniFiltering:
+          host = "sni" + suffix;
+          addSite(host, 443);
+          sniHosts.push_back(host);
+          out.hosts.push_back({"https://" + host + "/", truth});
+          break;
+        case Mechanism::kNullRouting:
+          host = "null" + suffix;
+          addSite(host, 80);
+          nullHosts.push_back(host);
+          out.hosts.push_back({"http://" + host + "/", truth});
+          break;
+        default:
+          host = "open" + suffix;
+          addSite(host, 80);
+          out.hosts.push_back({"http://" + host + "/", Mechanism::kNone});
+          break;
+      }
+    }
+  }
+
+  if (attachFilters) {
+    auto& injector = world.makePacketFilter<simnet::RstInjector>(
+        "tl-rst-injector", std::move(rstKeywords), /*holdDownHours=*/24);
+    auto& sniFilter = world.makePacketFilter<simnet::SniFilter>(
+        "tl-sni-filter", std::move(sniHosts));
+    auto& blackhole = world.makePacketFilter<simnet::NullRouteFilter>(
+        "tl-null-route", std::move(nullHosts));
+    isp.attachPacketFilter(poisoner);
+    isp.attachPacketFilter(injector);
+    isp.attachPacketFilter(sniFilter);
+    isp.attachPacketFilter(blackhole);
+  }
+  // When filters are off, hosts that "would" be blocked are plain reachable
+  // sites; only the injected faults can make them fail.
+  return out;
+}
+
+bool isCensorshipVerdict(Mechanism mechanism) {
+  return mechanism != Mechanism::kNone && mechanism != Mechanism::kInconclusive;
+}
+
+std::vector<measure::MechanismVerdict> classifyAll(
+    const MechanismWorld& blueprintUnused, std::uint64_t seed,
+    double faultRate, bool attachFilters, measure::MechanismOptions options,
+    std::size_t threadLimit) {
+  (void)blueprintUnused;
+  auto mw = buildWorld(seed, faultRate, attachFilters);
+  measure::MechanismClassifier classifier(*mw.world, *mw.field, *mw.lab,
+                                          options);
+  return classifier.classifyList(mw.urls(), threadLimit);
+}
+
+TEST(MechanismClassifierProperty, ZeroFaultWorldsNeverInconclusive) {
+  for (const std::uint64_t seed : {1u, 7u, 20130813u}) {
+    auto mw = buildWorld(seed, 0.0, /*attachFilters=*/true);
+    measure::MechanismClassifier classifier(*mw.world, *mw.field, *mw.lab);
+    for (const auto& host : mw.hosts) {
+      const auto verdict = classifier.classify(host.url);
+      EXPECT_NE(verdict.mechanism, Mechanism::kInconclusive)
+          << host.url << " seed " << seed;
+      EXPECT_EQ(verdict.mechanism, host.truth) << host.url << " seed " << seed;
+    }
+  }
+}
+
+TEST(MechanismClassifierProperty, FaultOnlyWorldsNeverCensorship) {
+  // No middlebox anywhere; every failure the classifier sees is an injected
+  // substrate fault. Budget >= 3 must never attribute a mechanism.
+  for (const std::uint64_t seed : {3u, 11u, 42u, 20131023u}) {
+    for (const double rate : {0.01, 0.05}) {
+      measure::MechanismOptions options;
+      options.trialBudget = 3;
+      auto mw = buildWorld(seed, rate, /*attachFilters=*/false);
+      measure::MechanismClassifier classifier(*mw.world, *mw.field, *mw.lab,
+                                              options);
+      for (const auto& host : mw.hosts) {
+        const auto verdict = classifier.classify(host.url);
+        EXPECT_FALSE(isCensorshipVerdict(verdict.mechanism))
+            << host.url << " seed " << seed << " rate " << rate << " -> "
+            << toString(verdict.mechanism);
+      }
+    }
+  }
+}
+
+TEST(MechanismClassifierProperty, VerdictsByteIdenticalAcrossThreadCounts) {
+  // Same world parameters, fresh world per run (collection mutates state);
+  // derivation fans out under the given thread limit. Serialized verdict
+  // lines must match byte for byte at every width.
+  measure::MechanismOptions options;
+  options.trialBudget = 3;
+  const MechanismWorld unused{};
+
+  for (const double rate : {0.0, 0.05}) {
+    const auto serial =
+        classifyAll(unused, 99, rate, true, options, /*threadLimit=*/1);
+    std::string serialLines;
+    for (const auto& verdict : serial) serialLines += toLine(verdict) + "\n";
+
+    for (const std::size_t threads : {std::size_t{0}, std::size_t{2},
+                                      std::size_t{4}, std::size_t{8}}) {
+      const auto pooled =
+          classifyAll(unused, 99, rate, true, options, threads);
+      std::string pooledLines;
+      for (const auto& verdict : pooled) pooledLines += toLine(verdict) + "\n";
+      EXPECT_EQ(serialLines, pooledLines) << "threads " << threads
+                                          << " rate " << rate;
+    }
+  }
+}
+
+TEST(MechanismClassifierProperty, ReferenceAgreesOnFaultFreeWorlds) {
+  // The repo convention: every robust path ships with a reference twin and
+  // they agree wherever the reference is defined — here, fault-free worlds.
+  for (const std::uint64_t seed : {5u, 77u}) {
+    measure::MechanismOptions evidence;
+    measure::MechanismOptions reference;
+    reference.mode = measure::MechanismMode::kReference;
+
+    auto evidenceWorld = buildWorld(seed, 0.0, true);
+    auto referenceWorld = buildWorld(seed, 0.0, true);
+    measure::MechanismClassifier evidencePath(
+        *evidenceWorld.world, *evidenceWorld.field, *evidenceWorld.lab,
+        evidence);
+    measure::MechanismClassifier referencePath(
+        *referenceWorld.world, *referenceWorld.field, *referenceWorld.lab,
+        reference);
+    for (std::size_t i = 0; i < evidenceWorld.hosts.size(); ++i) {
+      const auto& host = evidenceWorld.hosts[i];
+      const auto robust = evidencePath.classify(host.url);
+      const auto simple = referencePath.classify(host.url);
+      EXPECT_EQ(robust.mechanism, simple.mechanism)
+          << host.url << " seed " << seed << ": evidence "
+          << toString(robust.mechanism) << " vs reference "
+          << toString(simple.mechanism);
+    }
+  }
+}
+
+TEST(MechanismClassifierProperty, DegradedVantageYieldsDegradedProvenance) {
+  auto mw = buildWorld(13, 0.0, true);
+  measure::HealthRegistry health{measure::BreakerPolicy{}};
+  // Force the breaker open by feeding it hard failures.
+  auto& breaker = health.of(mw.field->name);
+  for (int i = 0; i < 32; ++i)
+    breaker.recordOutcome(simnet::FetchOutcome::kTimeout, mw.world->now());
+
+  measure::MechanismOptions options;
+  options.health = &health;
+  measure::MechanismClassifier classifier(*mw.world, *mw.field, *mw.lab,
+                                          options);
+  const auto verdict = classifier.classify(mw.hosts.front().url);
+  EXPECT_EQ(verdict.mechanism, Mechanism::kInconclusive);
+  EXPECT_EQ(verdict.provenance, measure::Provenance::kDegraded);
+  EXPECT_EQ(verdict.trials, 0);
+}
+
+}  // namespace

@@ -24,6 +24,7 @@
 #include "core/proxy_detect.h"
 #include "core/serialize.h"
 #include "measure/journal.h"
+#include "measure/mechanism.h"
 #include "measure/mining.h"
 #include "measure/session.h"
 #include "scan/serialize.h"
@@ -47,6 +48,7 @@ struct Options {
   filters::ProductKind product = filters::ProductKind::kSmartFilter;
   int runs = 1;
   int retries = 1;
+  int trials = 3;  ///< mechanisms: evidence budget per URL
   bool viaPortal = false;
   scenarios::PaperWorldOptions worldOptions;
 
@@ -86,7 +88,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: urlfsim <identify|confirm|characterize|probe|scout|proxy-detect"
-      "|profile|record|export-scan|campaign|monitor|serve> [options]\n"
+      "|profile|record|export-scan|campaign|monitor|serve|mechanisms>"
+      " [options]\n"
       "       urlfsim diff <baseline.json> <current.json>\n"
       "       urlfsim reanalyze <session.json> [--mine]\n"
       "  --seed N            world seed (default %llu)\n"
@@ -98,6 +101,9 @@ int usage() {
       "  --runs N            characterize: passes per URL\n"
       "  --portal            confirm: submit via the vendor Web portal\n"
       "  --faults R          inject transient faults at rate R per process\n"
+      "  --mechanisms        attach packet-level blocking (DNS poisoning,\n"
+      "                      RST injection, SNI filtering, null-routing)\n"
+      "  --trials N          mechanisms: evidence budget per URL (default 3)\n"
       "  --retries N         transport retry budget (simulated backoff)\n"
       "  --hide-surfaces --strip-branding --disregard-submitter\n"
       "  --journal PATH      campaign: write-ahead journal file\n"
@@ -226,6 +232,12 @@ std::optional<Options> parseArgs(int argc, char** argv) {
       options.all = true;
     } else if (arg == "--portal") {
       options.viaPortal = true;
+    } else if (arg == "--mechanisms") {
+      options.worldOptions.packetMechanisms = true;
+    } else if (arg == "--trials") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      options.trials = std::stoi(*value);
     } else if (arg == "--hide-surfaces") {
       options.worldOptions.hideExternalSurfaces = true;
     } else if (arg == "--strip-branding") {
@@ -625,6 +637,58 @@ int runProfile(const Options& options) {
   return 0;
 }
 
+int runMechanisms(const Options& options) {
+  // Demo of the §4.8 mechanism classifier: build the paper world with the
+  // packet-level mechanisms attached and classify each country's local list
+  // from its field vantage.
+  auto worldOptions = options.worldOptions;
+  worldOptions.packetMechanisms = true;
+  scenarios::PaperWorld paper(options.seed, worldOptions);
+  auto& world = paper.world();
+
+  measure::MechanismOptions mechanismOptions;
+  mechanismOptions.trialBudget = options.trials;
+  mechanismOptions.fetchOptions = options.fetchOptions();
+
+  report::Json all = report::Json::array();
+  const std::pair<const char*, const char*> vantages[] = {
+      {"field-yemennet", "YE"},
+      {"field-ooredoo", "QA"},
+      {"field-du", "AE"},
+      {"field-etisalat", "AE"},
+  };
+  for (const auto& [vantageName, alpha2] : vantages) {
+    if (options.vantage && *options.vantage != vantageName) continue;
+    const auto* field = world.findVantage(vantageName);
+    const auto* lab = world.findVantage("lab-toronto");
+    measure::MechanismClassifier classifier(world, *field, *lab,
+                                            mechanismOptions);
+    std::vector<std::string> urls;
+    for (const auto& entry : paper.localList(alpha2).entries)
+      urls.push_back(entry.url);
+    const auto verdicts = classifier.classifyList(urls);
+    if (!options.json)
+      std::printf("%s (budget %d):\n", vantageName, options.trials);
+    for (const auto& verdict : verdicts) {
+      if (options.json) {
+        report::Json row = measure::toJson(verdict);
+        row["vantage"] = report::Json::string(vantageName);
+        all.push(std::move(row));
+      } else {
+        std::printf("  %-34s %-16s conf %.2f trials %d%s\n",
+                    verdict.url.c_str(),
+                    std::string(toString(verdict.mechanism)).c_str(),
+                    verdict.confidence, verdict.trials,
+                    verdict.residualObserved ? "  [residual]"
+                    : verdict.esniBypassed   ? "  [esni-open]"
+                                             : "");
+      }
+    }
+  }
+  if (options.json) std::printf("%s\n", all.dump(2).c_str());
+  return 0;
+}
+
 int runCampaign(const Options& options) {
   // Full paper campaign (Table 3 + §4.4 probe + Table 4), optionally
   // journaled for crash tolerance. On --resume, every configuration knob is
@@ -931,5 +995,6 @@ int main(int argc, char** argv) {
   if (options->command == "campaign") return runCampaign(*options);
   if (options->command == "monitor") return runMonitorCommand(*options);
   if (options->command == "serve") return runServe(*options);
+  if (options->command == "mechanisms") return runMechanisms(*options);
   return usage();
 }
