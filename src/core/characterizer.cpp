@@ -39,6 +39,7 @@ int verdictRank(const measure::UrlTestResult& result) {
     case measure::Verdict::kBlocked: return 5;
     case measure::Verdict::kAccessible: return 4;
     case measure::Verdict::kBlockedOther: return 3;
+    case measure::Verdict::kContested: return 3;  // blocked-ish, unattributed
     case measure::Verdict::kInconclusive: return 2;
     case measure::Verdict::kError: return 1;
   }
@@ -97,6 +98,10 @@ CharacterizationResult Characterizer::characterize(
     if (result.verdict == measure::Verdict::kBlocked && result.blockPage) {
       ++cell.blocked;
       ++productVotes[result.blockPage->product];
+    } else if (result.verdict == measure::Verdict::kContested) {
+      // Quorum/cross-check disagreement: blocked-ish evidence that must
+      // neither count as a confirmed block nor vote for a product.
+      ++cell.contested;
     }
     if (options.journal != nullptr) {
       report::Json e =
@@ -115,12 +120,61 @@ CharacterizationResult Characterizer::characterize(
             report::Json::string(simnet::toString(result.field.signature));
       if (result.field.cause != simnet::FailureCause::kNone)
         e["cause"] = report::Json::string(simnet::toString(result.field.cause));
+      if (result.field.interference != simnet::InterferenceEffect::kNone)
+        e["interference"] = report::Json::string(
+            simnet::toString(result.field.interference));
       options.journal->sync(e);
     }
     out.results.push_back(std::move(result));
   };
 
-  if (options.runs <= 1) {
+  if (options.runs <= 1 && !options.quorumVantages.empty()) {
+    // Quorum mode: every URL is confirmed across {field} ∪ quorumVantages
+    // by the RobustConfirmer (serial collect, parallel derive) and the
+    // quorum-combined verdict is tallied. kContested rows — quorum splits,
+    // mimicry cross-check failures — land in ContentCell::contested.
+    std::vector<const simnet::VantagePoint*> fields{field};
+    for (const auto& name : options.quorumVantages) {
+      auto* extra = world_->findVantage(name);
+      if (extra == nullptr)
+        throw std::invalid_argument("Characterizer: unknown quorum vantage " +
+                                    name);
+      fields.push_back(extra);
+    }
+    measure::RobustOptions robust = options.robust;
+    robust.fetchOptions = options.fetchOptions;
+    robust.classifyMode = options.classifyMode;
+    measure::RobustConfirmer confirmer(*world_, std::move(fields), *lab,
+                                       robust);
+
+    std::vector<std::string> urls;
+    urls.reserve(globalList.entries.size() + localList.entries.size());
+    for (const auto* list : {&globalList, &localList})
+      for (const auto& entry : list->entries) urls.push_back(entry.url);
+
+    auto verdicts = confirmer.confirmList(urls, options.classifyThreads);
+    std::size_t i = 0;
+    for (const auto* list : {&globalList, &localList}) {
+      for (const auto& entry : list->entries) {
+        measure::RobustUrlVerdict& quorumVerdict = verdicts[i++];
+        // Tally the row whose blockpage backs the quorum's attribution (the
+        // primary vantage's row otherwise), with the combined verdict.
+        measure::UrlTestResult row = quorumVerdict.perVantage.front();
+        if (quorumVerdict.verdict == measure::Verdict::kBlocked &&
+            quorumVerdict.product) {
+          for (const auto& candidate : quorumVerdict.perVantage) {
+            if (candidate.blockPage &&
+                candidate.blockPage->product == *quorumVerdict.product) {
+              row = candidate;
+              break;
+            }
+          }
+        }
+        row.verdict = quorumVerdict.verdict;
+        tally(std::move(row), entry.oniCategory);
+      }
+    }
+  } else if (options.runs <= 1) {
     // Single pass: the per-entry loop is just one fetch per URL in list
     // order, so the batched client reproduces it exactly while fanning the
     // classification stage out across threads.

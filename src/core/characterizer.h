@@ -10,6 +10,7 @@
 #include "measure/client.h"
 #include "measure/health.h"
 #include "measure/journal.h"
+#include "measure/robust.h"
 #include "measure/testlist.h"
 #include "simnet/world.h"
 
@@ -20,6 +21,8 @@ struct ContentCell {
   int tested = 0;      ///< URLs actually exchanged with the network
   int blocked = 0;     ///< blocked with a vendor-attributed block page
   int untestable = 0;  ///< skipped — vantage quarantined (kDegraded rows)
+  int contested = 0;   ///< blocked-ish but quorum/cross-check disagreed —
+                       ///< never counted as blocked, never product-voted
 };
 
 /// The §5 characterization of one network: which content categories the
@@ -67,6 +70,16 @@ struct CharacterizeOptions {
   /// Cross-session verdict store (nullptr = per-client memo only).
   measure::SharedVerdictStore* sharedMemo = nullptr;
   std::uint64_t memoScope = 0;
+  /// Extra field vantages forming a cross-vantage quorum with the primary
+  /// one. Non-empty switches the single-pass path to the RobustConfirmer:
+  /// every URL is fetched from {fieldVantage} ∪ quorumVantages and the
+  /// quorum-combined verdict is tallied (kContested rows land in
+  /// ContentCell::contested). Empty = historical single-vantage behaviour.
+  std::vector<std::string> quorumVantages;
+  /// Quorum/pacing/hedging knobs used when quorumVantages is non-empty.
+  /// (`robust.fetchOptions`/`robust.classifyMode` are overridden by the
+  /// characterize-level `fetchOptions`/`classifyMode` above.)
+  measure::RobustOptions robust;
 };
 
 /// Runs the global + local URL lists through the measurement client from a

@@ -12,6 +12,7 @@ std::string_view toString(Verdict verdict) {
     case Verdict::kBlockedOther: return "blocked-other";
     case Verdict::kInconclusive: return "inconclusive";
     case Verdict::kError: return "error";
+    case Verdict::kContested: return "contested";
   }
   return "unknown";
 }
@@ -92,6 +93,14 @@ bool Client::chainsSideEffectFree() const {
   return true;
 }
 
+bool Client::interferenceFree() const {
+  const simnet::InterferencePlan* plan = world_->interferencePlan();
+  if (plan == nullptr) return true;
+  for (const auto* vantage : {field_, lab_})
+    if (plan->activeFor(*vantage)) return false;
+  return true;
+}
+
 Client::MemoEpoch Client::currentEpoch() const {
   return MemoEpoch{world_->middleboxStateEpoch(), world_->now().hours()};
 }
@@ -100,9 +109,11 @@ void Client::attachSharedMemo(SharedVerdictStore* store, std::uint64_t scope) {
   shared_ = store;
   sharedScope_ = scope;
   // A shared hit skips this world's fetch entirely, so beyond determinism
-  // (the per-client memo's bar) every box must also be side-effect free.
-  sharedSafe_ =
-      store != nullptr && chainsDeterministic() && chainsSideEffectFree();
+  // (the per-client memo's bar) every box must also be side-effect free,
+  // and no interference may be armed for either vantage — a deceived
+  // observation must never be served to another session.
+  sharedSafe_ = store != nullptr && chainsDeterministic() &&
+                chainsSideEffectFree() && interferenceFree();
 }
 
 std::optional<UrlTestResult> Client::sharedLookup(const std::string& url,
@@ -135,8 +146,9 @@ void Client::sharedInsert(const UrlTestResult& result, const MemoEpoch& epoch) {
 void Client::enableVerdictMemo(bool enabled) {
   memoEnabled_ = enabled;
   // Re-check the chains each time: a box attached (or reconfigured) after
-  // construction must be able to veto memoization.
-  memoSafe_ = enabled && chainsDeterministic();
+  // construction must be able to veto memoization. An armed interference
+  // plan vetoes too: verdicts become cadence- and attempt-dependent.
+  memoSafe_ = enabled && chainsDeterministic() && interferenceFree();
   if (!verdictMemoActive()) clearVerdictMemo();
 }
 
@@ -212,8 +224,13 @@ UrlTestResult Client::testUrl(const std::string& url) {
   UrlTestResult result = fetchAndClassify(url);
   // Insert-guard: memoize only when the fetch itself left the epoch alone.
   // A fetch that advanced the clock (retry backoff) or mutated a database
-  // (queue-triggered categorization) would not replay identically.
-  if (currentEpoch() == before) {
+  // (queue-triggered categorization) would not replay identically. A fetch
+  // the interference layer touched is never cached (belt and braces on top
+  // of interferenceFree(): memoSafe_ is re-checked at enable time, but a
+  // plan installed later must still not leak deceived rows).
+  if (result.field.interference == simnet::InterferenceEffect::kNone &&
+      result.lab.interference == simnet::InterferenceEffect::kNone &&
+      currentEpoch() == before) {
     memo_.emplace(url, result);
     if (sharedActive) sharedInsert(result, before);
   }
@@ -308,9 +325,13 @@ std::vector<UrlTestResult> Client::testListBatched(
     }
     const bool sharedActive = sharedMemoActive();
     for (std::size_t k = 0; k < fetched.size(); ++k) {
+      const UrlTestResult& row = out[fetched[k]];
+      if (row.field.interference != simnet::InterferenceEffect::kNone ||
+          row.lab.interference != simnet::InterferenceEffect::kNone)
+        continue;  // a deceived observation is never cached
       if (before[k] == finalEpoch && after[k] == finalEpoch) {
-        memo_.emplace(out[fetched[k]].url, out[fetched[k]]);
-        if (sharedActive) sharedInsert(out[fetched[k]], finalEpoch);
+        memo_.emplace(row.url, row);
+        if (sharedActive) sharedInsert(row, finalEpoch);
       }
     }
   }

@@ -25,6 +25,10 @@ enum class Verdict {
                   ///< lab is fine) but no vendor pattern matched
   kInconclusive,  ///< field differs from lab in a way we cannot attribute
   kError,         ///< the lab access itself failed — the site is just down
+  kContested,     ///< cross-vantage quorum disagreed, or the blockpage
+                  ///< vendor contradicts the scan/fingerprint identification
+                  ///< — blocked-ish evidence that must not be attributed
+                  ///< (appended last: campaign digests cast verdicts to int)
 };
 
 [[nodiscard]] std::string_view toString(Verdict verdict);
@@ -153,7 +157,8 @@ class Client {
   /// the longitudinal monitor consults it before reusing cached verdicts
   /// across ticks.
   [[nodiscard]] bool cacheableChains() const {
-    return chainsDeterministic() && chainsSideEffectFree();
+    return chainsDeterministic() && chainsSideEffectFree() &&
+           interferenceFree();
   }
 
   /// The pure comparison rule (§4.1): derive the verdict from the two
@@ -175,6 +180,12 @@ class Client {
   [[nodiscard]] MemoEpoch currentEpoch() const;
   [[nodiscard]] bool chainsDeterministic() const;
   [[nodiscard]] bool chainsSideEffectFree() const;
+  /// True when no InterferencePlan feature is armed for either vantage.
+  /// Interference draws are attempt-keyed and the probe/lockout windows are
+  /// cadence-dependent, so a verdict observed under an active plan must
+  /// never be memoized or shared — a deceived observation served to another
+  /// session would launder the deception.
+  [[nodiscard]] bool interferenceFree() const;
   /// Shared-store lookup for `url` at `epoch`; populates the local memo on
   /// a hit. Only call when sharedMemoActive().
   [[nodiscard]] std::optional<UrlTestResult> sharedLookup(

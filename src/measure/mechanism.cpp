@@ -137,6 +137,9 @@ Mechanism MechanismClassifier::referenceMechanism(
     case FailureSignature::kTimeout: return Mechanism::kNullRouting;
     case FailureSignature::kRefused:
     case FailureSignature::kNone:
+    case FailureSignature::kSlowDrip:
+      // A deadline-cancelled slow drip is adversarial interference, not a
+      // blocking mechanism — it never counts toward a censorship verdict.
       return Mechanism::kInconclusive;
   }
   return Mechanism::kInconclusive;

@@ -32,6 +32,7 @@ std::vector<UrlRunStats> RepeatedTester::run(std::span<const std::string> urls,
           break;
         case Verdict::kInconclusive:
         case Verdict::kError:
+        case Verdict::kContested:  // blocked-ish but unattributable
           ++s.other;
           break;
       }

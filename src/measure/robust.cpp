@@ -1,0 +1,212 @@
+#include "measure/robust.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace urlf::measure {
+
+RobustConfirmer::RobustConfirmer(
+    simnet::World& world, std::vector<const simnet::VantagePoint*> fields,
+    const simnet::VantagePoint& lab, RobustOptions options)
+    : world_(&world),
+      transport_(world),
+      fields_(std::move(fields)),
+      lab_(&lab),
+      options_(std::move(options)) {
+  if (fields_.empty())
+    throw std::invalid_argument("RobustConfirmer: no field vantages");
+  for (const auto* vantage : fields_)
+    if (vantage == nullptr)
+      throw std::invalid_argument("RobustConfirmer: null field vantage");
+}
+
+void RobustConfirmer::takePaceToken() {
+  if (options_.mode == RobustMode::kReference || options_.paceBurst <= 0 ||
+      options_.paceRefillPerHour <= 0.0)
+    return;
+  const std::int64_t nowHours = world_->now().hours();
+  if (!paceStarted_) {
+    paceStarted_ = true;
+    paceTokens_ = options_.paceBurst;
+    paceRefillHour_ = nowHours;
+  } else if (nowHours > paceRefillHour_) {
+    paceTokens_ = std::min<double>(
+        options_.paceBurst,
+        paceTokens_ + static_cast<double>(nowHours - paceRefillHour_) *
+                          options_.paceRefillPerHour);
+    paceRefillHour_ = nowHours;
+  }
+  if (paceTokens_ < 1.0) {
+    // Bucket empty: wait (on the simulated clock) until one token refills.
+    const auto waitHours = static_cast<std::int64_t>(
+        std::ceil((1.0 - paceTokens_) / options_.paceRefillPerHour));
+    world_->clock().advanceHours(waitHours);
+    paceTokens_ = std::min<double>(
+        options_.paceBurst, paceTokens_ + static_cast<double>(waitHours) *
+                                              options_.paceRefillPerHour);
+    paceRefillHour_ = world_->now().hours();
+  }
+  paceTokens_ -= 1.0;
+}
+
+std::optional<BlockPageMatch> RobustConfirmer::classify(
+    const simnet::FetchResult& field) const {
+  return options_.classifyMode == ClassifyMode::kReference
+             ? classifyBlockPageReference(field, builtinBlockPagePatterns())
+             : classifyBlockPage(field);
+}
+
+std::vector<UrlTestResult> RobustConfirmer::collect(const std::string& url) {
+  const bool robust = options_.mode == RobustMode::kRobust;
+  simnet::FetchOptions fieldOptions = options_.fetchOptions;
+  if (robust && options_.attemptDeadlineHours > 0)
+    fieldOptions.attemptDeadlineHours = options_.attemptDeadlineHours;
+
+  const std::size_t vantageCount = robust ? fields_.size() : 1;
+  std::vector<UrlTestResult> rows;
+  rows.reserve(vantageCount);
+  for (std::size_t v = 0; v < vantageCount; ++v) {
+    simnet::FetchOptions attemptOptions = fieldOptions;
+    takePaceToken();
+    UrlTestResult row;
+    row.url = url;
+    row.field = transport_.fetchUrl(*fields_[v], url, attemptOptions);
+    if (robust) {
+      // Hedge: a slow-drip cancellation is one tarpitted flow, not a
+      // verdict — re-fetch with a fresh attempt base (new pure draws),
+      // re-paced so hedges don't trip cadence thresholds either.
+      for (int hedge = 0;
+           hedge < options_.hedgeAttempts &&
+           row.field.signature == simnet::FailureSignature::kSlowDrip;
+           ++hedge) {
+        attemptOptions.attemptBase +=
+            std::max(1, attemptOptions.retry.maxAttempts);
+        takePaceToken();
+        row.field = transport_.fetchUrl(*fields_[v], url, attemptOptions);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  // One lab control per URL, shared by every row: the lab is uncensored, so
+  // per-vantage lab fetches would add nothing but extra fault draws.
+  simnet::FetchResult lab =
+      transport_.fetchUrl(*lab_, url, options_.fetchOptions);
+  for (std::size_t v = 0; v + 1 < rows.size(); ++v) rows[v].lab = lab;
+  rows.back().lab = std::move(lab);
+  return rows;
+}
+
+RobustUrlVerdict RobustConfirmer::derive(const std::string& url,
+                                         std::vector<UrlTestResult> rows) const {
+  RobustUrlVerdict out;
+  out.url = url;
+  for (auto& row : rows) {
+    row.blockPage = classify(row.field);
+    row.verdict = Client::compare(row.field, row.lab, row.blockPage);
+  }
+
+  if (options_.mode == RobustMode::kReference) {
+    // Historical single-vantage behaviour, verbatim: first row decides.
+    const UrlTestResult& row = rows.front();
+    out.verdict = row.verdict;
+    if (row.verdict == Verdict::kBlocked && row.blockPage)
+      out.product = row.blockPage->product;
+    out.agreeing = 1;
+    out.perVantage = std::move(rows);
+    return out;
+  }
+
+  const int quorum = std::min(std::max(1, options_.quorum),
+                              static_cast<int>(rows.size()));
+  std::map<filters::ProductKind, int> blockVotes;
+  int blockedOther = 0, accessible = 0, inconclusive = 0, error = 0;
+  for (const auto& row : rows) {
+    switch (row.verdict) {
+      case Verdict::kBlocked:
+        if (row.blockPage) ++blockVotes[row.blockPage->product];
+        break;
+      case Verdict::kBlockedOther: ++blockedOther; break;
+      case Verdict::kAccessible: ++accessible; break;
+      case Verdict::kInconclusive: ++inconclusive; break;
+      case Verdict::kError: ++error; break;
+      case Verdict::kContested: ++inconclusive; break;  // not emitted by compare
+    }
+  }
+
+  if (!blockVotes.empty()) {
+    if (options_.identifiedProduct) {
+      // Mimicry cross-check: only the scan-identified vendor can ever be
+      // confirmed. Votes for any other vendor flag suspected mimicry; if
+      // the identified vendor itself lacks a quorum, the row is contested,
+      // never misattributed.
+      const auto it = blockVotes.find(*options_.identifiedProduct);
+      const int own = it != blockVotes.end() ? it->second : 0;
+      out.mimicrySuspected =
+          static_cast<int>(blockVotes.size()) > (own > 0 ? 1 : 0);
+      out.agreeing = own;
+      if (own >= quorum) {
+        out.verdict = Verdict::kBlocked;
+        out.product = options_.identifiedProduct;
+      } else {
+        out.verdict = Verdict::kContested;
+      }
+    } else {
+      // No identification to cross-check against: confirm only a
+      // unanimous-vendor quorum; any vendor split is contested.
+      auto best = blockVotes.begin();
+      for (auto it = blockVotes.begin(); it != blockVotes.end(); ++it)
+        if (it->second > best->second) best = it;
+      out.agreeing = best->second;
+      if (blockVotes.size() == 1 && best->second >= quorum) {
+        out.verdict = Verdict::kBlocked;
+        out.product = best->first;
+      } else {
+        out.verdict = Verdict::kContested;
+        out.mimicrySuspected = blockVotes.size() > 1;
+      }
+    }
+  } else if (blockedOther >= quorum) {
+    out.verdict = Verdict::kBlockedOther;
+    out.agreeing = blockedOther;
+  } else if (accessible >= quorum) {
+    out.verdict = Verdict::kAccessible;
+    out.agreeing = accessible;
+  } else if (error == static_cast<int>(rows.size())) {
+    out.verdict = Verdict::kError;
+    out.agreeing = error;
+  } else {
+    out.verdict = Verdict::kInconclusive;
+    out.agreeing = std::max({blockedOther, accessible, inconclusive, error});
+  }
+  out.perVantage = std::move(rows);
+  return out;
+}
+
+RobustUrlVerdict RobustConfirmer::confirmUrl(const std::string& url) {
+  return derive(url, collect(url));
+}
+
+std::vector<RobustUrlVerdict> RobustConfirmer::confirmList(
+    std::span<const std::string> urls, std::size_t threadLimit) {
+  // Serial collect: fetching mutates the world (pacing clock advances, RNG
+  // draws, vendor queues) and must run in exact URL × vantage order.
+  std::vector<std::vector<UrlTestResult>> collected;
+  collected.reserve(urls.size());
+  for (const auto& url : urls) collected.push_back(collect(url));
+
+  // Pure derive, fanned out with slot-per-index writes.
+  std::vector<RobustUrlVerdict> out(urls.size());
+  util::parallelFor(
+      urls.size(),
+      [&](std::size_t i) { out[i] = derive(urls[i], std::move(collected[i])); },
+      threadLimit);
+  return out;
+}
+
+}  // namespace urlf::measure

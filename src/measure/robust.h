@@ -1,0 +1,129 @@
+#ifndef URLF_MEASURE_ROBUST_H
+#define URLF_MEASURE_ROBUST_H
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "measure/client.h"
+#include "simnet/transport.h"
+#include "simnet/world.h"
+
+namespace urlf::measure {
+
+/// kReference replays the historical single-vantage confirmer exactly (no
+/// quorum, no pacing, no hedging, no cross-check); kRobust applies the full
+/// anti-interference battery. Both are pure functions of the same serial
+/// fetch program, so reference ≡ robust on interference-free worlds is a
+/// property test, not a hope.
+enum class RobustMode {
+  kReference,
+  kRobust,
+};
+
+/// Knobs for the interference-robust confirmation path.
+struct RobustOptions {
+  RobustMode mode = RobustMode::kRobust;
+
+  /// k-of-n cross-vantage quorum: a verdict is confirmed only when at least
+  /// `quorum` vantages independently agree (clamped to the vantage count).
+  int quorum = 2;
+
+  /// Token-bucket pacing against the simulated clock: a bucket of
+  /// `paceBurst` tokens refilling at `paceRefillPerHour` gates every field
+  /// fetch; an empty bucket advances the simulated clock until one token is
+  /// available. Keeps the request cadence under detection/lockout
+  /// thresholds. 0 = pacing off.
+  int paceBurst = 0;
+  double paceRefillPerHour = 1.0;
+
+  /// Per-attempt deadline threaded into FetchOptions (tarpit defense):
+  /// a slow-drip attempt is cancelled after this many simulated hours.
+  std::int64_t attemptDeadlineHours = 0;
+
+  /// Extra re-fetches (fresh attemptBase, re-paced) after a slow-drip
+  /// cancellation — hedging so one tarpitted flow doesn't decide the row.
+  int hedgeAttempts = 0;
+
+  /// The product the scan/fingerprint pipeline identified on this path, if
+  /// any. With it set, a blockpage classifying as any OTHER vendor can
+  /// never be confirmed — disagreement downgrades to kContested
+  /// (mimicry cross-check).
+  std::optional<filters::ProductKind> identifiedProduct;
+
+  ClassifyMode classifyMode = ClassifyMode::kCompiled;
+  simnet::FetchOptions fetchOptions;
+};
+
+/// The quorum-combined outcome for one URL.
+struct RobustUrlVerdict {
+  std::string url;
+  Verdict verdict = Verdict::kError;
+  /// Attributed product — only ever set when the quorum (and, if supplied,
+  /// the scan identification) agree on a single vendor.
+  std::optional<filters::ProductKind> product;
+  /// True when blockpage evidence named more than one vendor, or named a
+  /// vendor that contradicts the scan identification.
+  bool mimicrySuspected = false;
+  /// How many vantages backed the winning verdict.
+  int agreeing = 0;
+  /// One confirmed row per field vantage, in vantage order.
+  std::vector<UrlTestResult> perVantage;
+};
+
+/// Cross-vantage, interference-robust confirmation (DESIGN.md §4.9).
+///
+/// Follows the repo's serial-collect / pure-derive contract: collect()
+/// mutates the world (fetches, pacing clock advances, hedges) and runs
+/// strictly in URL × vantage order; derive() is a pure function of the
+/// collected rows, so confirmList can fan it out over any thread count and
+/// stay byte-identical to the serial reference.
+class RobustConfirmer {
+ public:
+  RobustConfirmer(simnet::World& world,
+                  std::vector<const simnet::VantagePoint*> fields,
+                  const simnet::VantagePoint& lab, RobustOptions options);
+
+  /// Serial stage: fetch `url` from every field vantage (first vantage only
+  /// in kReference mode) plus once from the lab. Pacing, deadlines, and
+  /// hedging apply here.
+  [[nodiscard]] std::vector<UrlTestResult> collect(const std::string& url);
+
+  /// Pure stage: classify each row and combine under the quorum rule.
+  [[nodiscard]] RobustUrlVerdict derive(const std::string& url,
+                                        std::vector<UrlTestResult> rows) const;
+
+  [[nodiscard]] RobustUrlVerdict confirmUrl(const std::string& url);
+
+  /// Serial-collect / parallel-derive over a list (threadLimit as in
+  /// util::parallelFor: 1 = serial reference, 0 = shared pool).
+  [[nodiscard]] std::vector<RobustUrlVerdict> confirmList(
+      std::span<const std::string> urls, std::size_t threadLimit = 1);
+
+  [[nodiscard]] const RobustOptions& options() const { return options_; }
+
+ private:
+  /// Blocks (advancing the simulated clock) until one pacing token is
+  /// available, then spends it. No-op when pacing is off or in reference
+  /// mode.
+  void takePaceToken();
+
+  [[nodiscard]] std::optional<BlockPageMatch> classify(
+      const simnet::FetchResult& field) const;
+
+  simnet::World* world_;
+  simnet::Transport transport_;
+  std::vector<const simnet::VantagePoint*> fields_;
+  const simnet::VantagePoint* lab_;
+  RobustOptions options_;
+
+  double paceTokens_ = 0.0;
+  std::int64_t paceRefillHour_ = 0;
+  bool paceStarted_ = false;
+};
+
+}  // namespace urlf::measure
+
+#endif  // URLF_MEASURE_ROBUST_H

@@ -38,6 +38,8 @@ Json fetchToJson(const simnet::FetchResult& fetch) {
     out["signature"] = Json::string(simnet::toString(fetch.signature));
   if (fetch.cause != simnet::FailureCause::kNone)
     out["cause"] = Json::string(simnet::toString(fetch.cause));
+  if (fetch.interference != simnet::InterferenceEffect::kNone)
+    out["interference"] = Json::string(simnet::toString(fetch.interference));
   out["response"] = fetch.response
                         ? Json::string(http::serialize(*fetch.response))
                         : Json::null();
@@ -76,16 +78,26 @@ std::optional<simnet::FetchResult> fetchFromJson(const Json& json) {
     using FS = simnet::FailureSignature;
     for (const auto kind :
          {FS::kEmptyDns, FS::kRefused, FS::kRstBeforeBanner,
-          FS::kRstAfterRequest, FS::kTimeout}) {
+          FS::kRstAfterRequest, FS::kTimeout, FS::kSlowDrip}) {
       if (*signature->asString() == simnet::toString(kind))
         fetch.signature = kind;
     }
   }
   if (const auto* cause = json.find("cause"); cause && cause->asString()) {
     using FC = simnet::FailureCause;
-    for (const auto kind : {FC::kOrganic, FC::kFault, FC::kOutage,
-                            FC::kMiddlebox, FC::kPacketFilter}) {
+    for (const auto kind :
+         {FC::kOrganic, FC::kFault, FC::kOutage, FC::kMiddlebox,
+          FC::kPacketFilter, FC::kInterference}) {
       if (*cause->asString() == simnet::toString(kind)) fetch.cause = kind;
+    }
+  }
+  if (const auto* interference = json.find("interference");
+      interference && interference->asString()) {
+    using IE = simnet::InterferenceEffect;
+    for (const auto effect : {IE::kHidden, IE::kLockout, IE::kTarpit,
+                              IE::kFlakyOpen, IE::kMimicry}) {
+      if (*interference->asString() == simnet::toString(effect))
+        fetch.interference = effect;
     }
   }
 

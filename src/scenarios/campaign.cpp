@@ -163,7 +163,14 @@ Json CampaignOptions::headerJson() const {
   worldJson["packet_mechanisms"] = Json::boolean(world.packetMechanisms);
   worldJson["rst_hold_down_hours"] =
       Json::number(std::int64_t{world.rstHoldDownHours});
+  worldJson["interference_rate"] = Json::number(world.interferenceRate);
+  worldJson["interference_seed"] = u64Json(world.interferenceSeed);
+  worldJson["quorum_vantages"] =
+      Json::number(std::int64_t{world.quorumVantages});
   out["world"] = std::move(worldJson);
+
+  out["quorum"] = Json::number(std::int64_t{quorum});
+  out["hedge"] = Json::boolean(hedge);
 
   Json healthJson = Json::object();
   healthJson["enabled"] = Json::boolean(healthEnabled);
@@ -216,7 +223,19 @@ util::Expected<CampaignOptions> CampaignOptions::fromHeaderJson(
     if (const auto* v = worldJson->find("rst_hold_down_hours");
         v && v->asNumber())
       options.world.rstHoldDownHours = static_cast<int>(*v->asNumber());
+    if (const auto* v = worldJson->find("interference_rate");
+        v && v->asNumber())
+      options.world.interferenceRate = *v->asNumber();
+    if (const auto seed = u64FromJson(worldJson->find("interference_seed")))
+      options.world.interferenceSeed = *seed;
+    if (const auto* v = worldJson->find("quorum_vantages"); v && v->asNumber())
+      options.world.quorumVantages = static_cast<int>(*v->asNumber());
   }
+
+  if (const auto* v = header.find("quorum"); v && v->asNumber())
+    options.quorum = static_cast<int>(*v->asNumber());
+  if (const auto* v = header.find("hedge"); v && v->asBool())
+    options.hedge = *v->asBool();
 
   if (const auto* healthJson = header.find("health");
       healthJson && healthJson->isObject()) {
@@ -354,6 +373,22 @@ CampaignReport runPaperCampaign(PaperWorld& paper,
     characterizeOptions.health = ctx.health;
     characterizeOptions.sharedMemo = ctx.sharedMemo;
     characterizeOptions.memoScope = ctx.memoScope;
+    if (options.quorum >= 2) {
+      // Quorum confirmation replaces per-URL repeats as the inconsistency
+      // defense: every URL is fetched from the primary vantage plus its
+      // "-q<i>" clones and combined k-of-n (RobustConfirmer).
+      characterizeOptions.runs = 1;
+      for (int i = 1; i < options.quorum; ++i)
+        characterizeOptions.quorumVantages.push_back(
+            std::string(network.vantage) + "-q" + std::to_string(i));
+      characterizeOptions.robust.quorum = options.quorum;
+      if (options.hedge) {
+        characterizeOptions.robust.attemptDeadlineHours = 6;
+        characterizeOptions.robust.hedgeAttempts = 2;
+        characterizeOptions.robust.paceBurst = 4;
+        characterizeOptions.robust.paceRefillPerHour = 2.0;
+      }
+    }
     const auto result = characterizer.characterize(
         network.vantage, "lab-toronto", paper.globalList(),
         paper.localList(network.alpha2), characterizeOptions);
@@ -365,6 +400,7 @@ CampaignReport runPaperCampaign(PaperWorld& paper,
     for (const auto& [category, cell] : result.cells) {
       digest << '|' << category << '=' << cell.tested << '/' << cell.blocked;
       if (cell.untestable > 0) digest << "/u" << cell.untestable;
+      if (cell.contested > 0) digest << "/c" << cell.contested;
       report.table4Blocked += cell.blocked;
     }
     digest << '\n';

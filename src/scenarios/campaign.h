@@ -77,6 +77,16 @@ struct CampaignOptions {
   /// Persistent failures to inject (empty = none).
   OutageSpec outages;
 
+  /// Cross-vantage quorum size for the Table 4 characterizations. >= 2
+  /// switches them to the RobustConfirmer over the primary vantage plus
+  /// its "-q<i>" clones (requires world.quorumVantages >= quorum - 1).
+  /// 1 = historical single-vantage behaviour.
+  int quorum = 1;
+  /// Arm the tarpit defenses on the quorum path: per-attempt deadlines,
+  /// slow-drip hedging, and token-bucket pacing against the simulated
+  /// clock. Only meaningful with quorum >= 2.
+  bool hedge = false;
+
   /// The journal header: every field that affects observable output. A
   /// resumed campaign adopts this wholesale, so a journal is self-contained.
   [[nodiscard]] report::Json headerJson() const;

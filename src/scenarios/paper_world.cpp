@@ -32,6 +32,41 @@ PaperWorld::PaperWorld(std::uint64_t seed, PaperWorldOptions options)
     world_.setFaultPlan(simnet::FaultPlan(
         faultSeed, simnet::FaultRates::uniform(options_.faultRate)));
   }
+  if (options_.interferenceRate > 0.0) {
+    const std::uint64_t interferenceSeed =
+        options_.interferenceSeed != 0 ? options_.interferenceSeed
+                                       : seed ^ 0x1F7E12FE9EULL;
+    simnet::InterferencePlan plan(interferenceSeed);
+    using MT = simnet::MimicTemplate;
+    const auto profileWithPool = [&](std::vector<MT> pool) {
+      simnet::InterferenceProfile profile;
+      profile.tarpitRate = options_.interferenceRate;
+      profile.flakyRate = options_.interferenceRate;
+      profile.mimicryRate = options_.interferenceRate;
+      profile.mimicPool = std::move(pool);
+      return profile;
+    };
+    plan.setDefaultProfile(profileWithPool(
+        {MT::kSmartFilter, MT::kBlueCoat, MT::kNetsweeper, MT::kWebsense}));
+    // Each case-study ISP mimics only vendors it does NOT deploy, so every
+    // mimicked blockpage is a misattribution bait (Table 3 arrangements).
+    plan.setIspProfile("Etisalat",
+                       profileWithPool({MT::kNetsweeper, MT::kWebsense}));
+    plan.setIspProfile("Du", profileWithPool({MT::kSmartFilter, MT::kBlueCoat,
+                                              MT::kWebsense}));
+    plan.setIspProfile("Ooredoo",
+                       profileWithPool({MT::kSmartFilter, MT::kWebsense}));
+    plan.setIspProfile("YemenNet",
+                       profileWithPool({MT::kSmartFilter, MT::kBlueCoat,
+                                        MT::kWebsense}));
+    plan.setIspProfile("Bayanat Al-Oula", profileWithPool({MT::kBlueCoat,
+                                                           MT::kNetsweeper,
+                                                           MT::kWebsense}));
+    plan.setIspProfile("Nournet", profileWithPool({MT::kBlueCoat,
+                                                   MT::kNetsweeper,
+                                                   MT::kWebsense}));
+    world_.setInterferencePlan(std::move(plan));
+  }
   buildBackbone();
   buildVendors();
   buildCaseStudyIsps();
@@ -40,6 +75,20 @@ PaperWorld::PaperWorld(std::uint64_t seed, PaperWorldOptions options)
   buildContentSites();
   buildPacketMechanisms();
   buildCaseStudies();
+
+  if (options_.quorumVantages > 0) {
+    // Clone every field vantage ("<name>-q<i>", same ISP and country) so a
+    // RobustConfirmer can form a cross-vantage quorum. Vantage creation
+    // draws no randomness and the knob defaults to 0, so stock campaign
+    // digests cannot move.
+    std::vector<const simnet::VantagePoint*> fieldVantages;
+    for (const auto& vantage : world_.vantages())
+      if (vantage->isp != nullptr) fieldVantages.push_back(vantage.get());
+    for (const auto* vantage : fieldVantages)
+      for (int i = 1; i <= options_.quorumVantages; ++i)
+        world_.createVantage(vantage->name + "-q" + std::to_string(i),
+                             vantage->countryAlpha2, vantage->isp);
+  }
 }
 
 net::IpPrefix PaperWorld::nextPrefix() {

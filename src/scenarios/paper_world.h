@@ -66,6 +66,20 @@ struct PaperWorldOptions {
   bool packetMechanisms = false;
   /// Hold-down window (hours) of Ooredoo's stateful injector.
   int rstHoldDownHours = 24;
+  /// Adversarial measurement interference (DESIGN.md §4.9): when > 0, a
+  /// simnet::InterferencePlan is installed with tarpitting, flaky
+  /// enforcement, and blockpage mimicry each firing at this per-fetch rate.
+  /// Each case-study ISP's mimic pool excludes its own deployed vendor(s),
+  /// so every mimicked blockpage is a misattribution bait. Probe-detection
+  /// and lockout thresholds stay off in the paper world (the interference
+  /// ablation bench arms them in its own world). Off by default — historical
+  /// campaign digests must not move.
+  double interferenceRate = 0.0;
+  /// Seed of that plan; 0 derives one from the world seed.
+  std::uint64_t interferenceSeed = 0;
+  /// Extra measurement vantages per field vantage (named "<name>-q<i>",
+  /// same ISP) for cross-vantage quorum confirmation. 0 = none.
+  int quorumVantages = 0;
 };
 
 /// The fully wired simulated Internet of the paper:

@@ -26,6 +26,7 @@ std::string_view toString(FailureSignature signature) {
     case FailureSignature::kRstBeforeBanner: return "rst-before-banner";
     case FailureSignature::kRstAfterRequest: return "rst-after-request";
     case FailureSignature::kTimeout: return "timeout";
+    case FailureSignature::kSlowDrip: return "slow-drip";
   }
   return "unknown";
 }
@@ -38,6 +39,7 @@ std::string_view toString(FailureCause cause) {
     case FailureCause::kOutage: return "outage";
     case FailureCause::kMiddlebox: return "middlebox";
     case FailureCause::kPacketFilter: return "packet-filter";
+    case FailureCause::kInterference: return "interference";
   }
   return "unknown";
 }
@@ -120,6 +122,73 @@ FetchResult Transport::fetchOnce(const VantagePoint& vantage,
           break;
       }
       return result;
+    }
+  }
+
+  // Adversarial interference (InterferencePlan, if armed for this ISP).
+  // Window state is fed first — the fetch that trips a threshold is itself
+  // affected — then lockouts preempt the exchange, tarpits consume clock,
+  // and hide/flaky windows unplug the HTTP censor for this flow. All rate
+  // draws are pure in (plan seed, purpose, vantage, url, attempt); only the
+  // probe/lockout windows are history-dependent, and arming one bumps the
+  // world's state epoch exactly like a residual hold-down.
+  const InterferencePlan* iplan = world_->interferencePlan();
+  const InterferenceProfile* iprofile = nullptr;
+  std::string iUrl;
+  int iAttempt = 0;
+  bool censorUnplugged = false;
+  if (iplan != nullptr && vantage.isp != nullptr) {
+    const InterferenceProfile& profile = iplan->profileFor(vantage);
+    if (profile.any()) {
+      iprofile = &profile;
+      iUrl = request.url.toString();
+      iAttempt = options.attemptBase + attempt;
+      const InterferenceEffect window = world_->interferenceState().recordFetch(
+          vantage.name, world_->now(), profile);
+      if (window == InterferenceEffect::kLockout) {
+        result.interference = InterferenceEffect::kLockout;
+        result.cause = FailureCause::kInterference;
+        if (iplan->draw("lockout-sig", vantage, iUrl, iAttempt) < 0.5) {
+          result.outcome = FetchOutcome::kConnectFailure;
+          result.signature = FailureSignature::kRefused;
+          result.error = "connection refused (rate-limit lockout)";
+        } else {
+          result.outcome = FetchOutcome::kTimeout;
+          result.signature = FailureSignature::kTimeout;
+          result.error = "connection timed out (rate-limit lockout)";
+        }
+        return result;
+      }
+      if (profile.tarpitRate > 0.0 &&
+          iplan->draw("tarpit", vantage, iUrl, iAttempt) < profile.tarpitRate) {
+        if (options.attemptDeadlineHours > 0 &&
+            options.attemptDeadlineHours < profile.tarpitHours) {
+          // Deadline cancellation: the client hangs up after its per-attempt
+          // budget and sees the distinct slow-drip signature.
+          world_->clock().advanceHours(options.attemptDeadlineHours);
+          result.interference = InterferenceEffect::kTarpit;
+          result.outcome = FetchOutcome::kTimeout;
+          result.signature = FailureSignature::kSlowDrip;
+          result.cause = FailureCause::kInterference;
+          result.error = "slow-drip response cancelled at deadline";
+          return result;
+        }
+        // No (effective) deadline: the drip eventually completes, at full
+        // simulated-clock cost. The exchange then proceeds normally.
+        world_->clock().advanceHours(profile.tarpitHours);
+        result.interference = InterferenceEffect::kTarpit;
+      }
+      if (window == InterferenceEffect::kHidden) {
+        censorUnplugged = true;
+        if (result.interference == InterferenceEffect::kNone)
+          result.interference = InterferenceEffect::kHidden;
+      } else if (profile.flakyRate > 0.0 &&
+                 iplan->draw("flaky", vantage, iUrl, iAttempt) <
+                     profile.flakyRate) {
+        censorUnplugged = true;
+        if (result.interference == InterferenceEffect::kNone)
+          result.interference = InterferenceEffect::kFlakyOpen;
+      }
     }
   }
 
@@ -223,7 +292,9 @@ FetchResult Transport::fetchOnce(const VantagePoint& vantage,
   // post-processes, exactly as if unplugged. An HTTP-layer proxy only acts
   // once it has the request, so its reset signature is rst-after-request —
   // the same shape a stateless packet injector produces.
-  if (vantage.isp != nullptr) {
+  // A hidden (probe-detected) or flaky-open censor behaves as if unplugged
+  // for this flow: no intercept, no return-path post-processing.
+  if (vantage.isp != nullptr && !censorUnplugged) {
     for (Middlebox* box : vantage.isp->chain()) {
       if (outages != nullptr && outages->middleboxStopped(*box, world_->now()))
         continue;
@@ -233,6 +304,17 @@ FetchResult Transport::fetchOnce(const VantagePoint& vantage,
         case InterceptAction::Kind::kRespond:
           result.outcome = FetchOutcome::kOk;
           result.response = action->response;
+          // Blockpage mimicry: swap the censor's own template for another
+          // vendor's to bait misattribution. Pure per-fetch draw.
+          if (iprofile != nullptr && iprofile->mimicryRate > 0.0 &&
+              !iprofile->mimicPool.empty() &&
+              iplan->draw("mimic", vantage, iUrl, iAttempt) <
+                  iprofile->mimicryRate) {
+            result.response =
+                mimicResponse(iplan->drawTemplate(*iprofile, vantage, iUrl,
+                                                  iAttempt));
+            result.interference = InterferenceEffect::kMimicry;
+          }
           return result;
         case InterceptAction::Kind::kReset:
           result.outcome = FetchOutcome::kReset;
@@ -263,7 +345,7 @@ FetchResult Transport::fetchOnce(const VantagePoint& vantage,
   http::Response response = endpoint->handle(request, world_->now());
 
   // Return path through the chain, innermost middlebox last.
-  if (vantage.isp != nullptr) {
+  if (vantage.isp != nullptr && !censorUnplugged) {
     const auto& chain = vantage.isp->chain();
     for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
       if (outages != nullptr &&

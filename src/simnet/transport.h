@@ -8,6 +8,7 @@
 
 #include "http/message.h"
 #include "simnet/fault.h"
+#include "simnet/interference.h"
 #include "simnet/isp.h"
 #include "simnet/world.h"
 
@@ -37,6 +38,7 @@ enum class FailureSignature {
   kRstBeforeBanner,  ///< reset after connect, before any application byte
   kRstAfterRequest,  ///< reset after the request bytes went out
   kTimeout,          ///< nothing came back before the deadline
+  kSlowDrip,         ///< bytes trickled but the per-attempt deadline fired
 };
 
 [[nodiscard]] std::string_view toString(FailureSignature signature);
@@ -54,6 +56,7 @@ enum class FailureCause {
   kOutage,        ///< permanent vantage death (OutagePlan)
   kMiddlebox,     ///< HTTP-layer middlebox killed the exchange
   kPacketFilter,  ///< packet-level filter tampered with or killed the flow
+  kInterference,  ///< adversarial interference (InterferencePlan)
 };
 
 [[nodiscard]] std::string_view toString(FailureCause cause);
@@ -72,6 +75,9 @@ struct FetchResult {
   FailureSignature signature = FailureSignature::kNone;
   /// Simulator-side ground truth for the failure (kNone on success).
   FailureCause cause = FailureCause::kNone;
+  /// Ground-truth interference that shaped this fetch (kNone when no
+  /// InterferencePlan is armed). Measurement code must never branch on it.
+  InterferenceEffect interference = InterferenceEffect::kNone;
   /// Attempts consumed, including the final one (1 = no retry happened).
   int attempts = 1;
 
@@ -120,6 +126,11 @@ struct FetchOptions {
   /// evidence budget) must advance this or every trial re-observes the
   /// first attempt's draw and a transient fault looks persistent.
   int attemptBase = 0;
+  /// Per-attempt deadline on the simulated clock, in hours. 0 = wait
+  /// forever (historical behaviour). With a deadline set, a tarpitted
+  /// attempt is cancelled after `attemptDeadlineHours` and reports the
+  /// distinct kSlowDrip signature instead of burning the full tarpit.
+  std::int64_t attemptDeadlineHours = 0;
 };
 
 /// Client-side HTTP over the simulated Internet.

@@ -15,6 +15,7 @@
 #include "simnet/endpoint.h"
 #include "simnet/fault.h"
 #include "simnet/flow.h"
+#include "simnet/interference.h"
 #include "simnet/isp.h"
 #include "simnet/middlebox.h"
 #include "simnet/outage.h"
@@ -68,6 +69,30 @@ class World {
   void clearOutagePlan() { outagePlan_.reset(); }
   [[nodiscard]] const OutagePlan* outagePlan() const {
     return outagePlan_ ? &*outagePlan_ : nullptr;
+  }
+
+  /// Install (or replace) the adversarial-interference model (probe
+  /// detection, lockouts, tarpits, flaky enforcement, mimicry). Installing
+  /// a plan resets any sliding-window state; a plan with all-inert profiles
+  /// is behaviourally identical to having none.
+  void setInterferencePlan(InterferencePlan plan) {
+    interferencePlan_ = std::move(plan);
+    interference_.clear();
+  }
+  void clearInterferencePlan() {
+    interferencePlan_.reset();
+    interference_.clear();
+  }
+  [[nodiscard]] const InterferencePlan* interferencePlan() const {
+    return interferencePlan_ ? &*interferencePlan_ : nullptr;
+  }
+
+  /// Sliding-window probe/lockout counters the transport feeds — shared
+  /// across all interfering ISPs like the FlowTable is across packet
+  /// filters.
+  [[nodiscard]] InterferenceState& interferenceState() { return interference_; }
+  [[nodiscard]] const InterferenceState& interferenceState() const {
+    return interference_;
   }
 
   // --- topology -----------------------------------------------------------
@@ -148,7 +173,7 @@ class World {
   /// Packet filters and the flow table fold in too: a residual hold-down
   /// arm changes what later fetches see exactly like a DB mutation does.
   [[nodiscard]] std::uint64_t middleboxStateEpoch() const {
-    std::uint64_t epoch = flows_.stateEpoch();
+    std::uint64_t epoch = flows_.stateEpoch() + interference_.stateEpoch();
     for (const auto& box : middleboxes_) epoch += box->stateEpoch();
     for (const auto& filter : packetFilters_) epoch += filter->stateEpoch();
     return epoch;
@@ -245,6 +270,8 @@ class World {
   util::Rng rng_;
   std::optional<FaultPlan> faultPlan_;
   std::optional<OutagePlan> outagePlan_;
+  std::optional<InterferencePlan> interferencePlan_;
+  InterferenceState interference_;
   std::map<std::uint32_t, std::unique_ptr<AutonomousSystem>> ases_;
   std::vector<std::unique_ptr<Isp>> isps_;
   std::vector<std::unique_ptr<HttpEndpoint>> endpoints_;

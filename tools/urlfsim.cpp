@@ -49,6 +49,8 @@ struct Options {
   int runs = 1;
   int retries = 1;
   int trials = 3;  ///< mechanisms: evidence budget per URL
+  int quorum = 1;  ///< campaign: cross-vantage quorum size
+  bool hedge = false;  ///< campaign: pacing + deadlines + slow-drip hedging
   bool viaPortal = false;
   scenarios::PaperWorldOptions worldOptions;
 
@@ -101,6 +103,12 @@ int usage() {
       "  --runs N            characterize: passes per URL\n"
       "  --portal            confirm: submit via the vendor Web portal\n"
       "  --faults R          inject transient faults at rate R per process\n"
+      "  --interference R    adversarial interference (tarpits, flaky\n"
+      "                      enforcement, blockpage mimicry) at rate R\n"
+      "  --quorum N          campaign: k-of-n cross-vantage quorum on the\n"
+      "                      Table 4 characterizations (default 1 = off)\n"
+      "  --hedge             campaign: arm tarpit deadlines, slow-drip\n"
+      "                      hedging, and pacing on the quorum path\n"
       "  --mechanisms        attach packet-level blocking (DNS poisoning,\n"
       "                      RST injection, SNI filtering, null-routing)\n"
       "  --trials N          mechanisms: evidence budget per URL (default 3)\n"
@@ -260,6 +268,16 @@ std::optional<Options> parseArgs(int argc, char** argv) {
       const auto value = next();
       if (!value) return std::nullopt;
       options.worldOptions.faultRate = std::stod(*value);
+    } else if (arg == "--interference") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      options.worldOptions.interferenceRate = std::stod(*value);
+    } else if (arg == "--quorum") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      options.quorum = std::stoi(*value);
+    } else if (arg == "--hedge") {
+      options.hedge = true;
     } else if (arg == "--retries") {
       const auto value = next();
       if (!value) return std::nullopt;
@@ -726,6 +744,14 @@ int runCampaign(const Options& options) {
     campaign.seed = options.seed;
     campaign.world = options.worldOptions;
     campaign.outages = options.outages;
+    if (options.quorum >= 2) {
+      campaign.quorum = options.quorum;
+      campaign.hedge = options.hedge;
+      // The quorum draws on "-q<i>" clones of each field vantage; make sure
+      // the world builds enough of them.
+      campaign.world.quorumVantages =
+          std::max(campaign.world.quorumVantages, options.quorum - 1);
+    }
     if (options.breakerThreshold) {
       campaign.healthEnabled = true;
       campaign.breaker.failureThreshold = *options.breakerThreshold;
